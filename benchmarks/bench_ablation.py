@@ -1,0 +1,33 @@
+"""Ablations: gamma sensitivity, sweep stepping, memory-first gap."""
+
+
+def test_ablation(regenerate):
+    report = regenerate("ablation")
+
+    # (A) gamma = 0.5 (the paper's empirical choice) is near-best.
+    gamma_data = report.data["gamma"]
+    keys = {(wl, cap) for (wl, cap, _g) in gamma_data}
+    for wl, cap in keys:
+        by_gamma = {
+            g: gamma_data[(w, c, g)]["perf"]
+            for (w, c, g) in gamma_data
+            if (w, c) == (wl, cap)
+        }
+        assert by_gamma[0.5] >= 0.90 * max(by_gamma.values()), (wl, cap)
+
+    # (B) finer sweeps never find worse optima; 32 W stepping costs real
+    # performance for at least one workload (the paper's observation that
+    # a coarse sweep can be beaten by the heuristic).
+    step_data = report.data["stepping"]
+    losses_at_32 = [
+        1.0 - row["perf"] / row["reference"]
+        for (wl, b, s), row in step_data.items()
+        if s == 32.0
+    ]
+    assert max(losses_at_32) > 0.0
+
+    # (C) COORD matches or beats memory-first essentially everywhere.
+    mf_data = report.data["memory_first"]
+    assert all(row["coord"] >= 0.90 * row["memory_first"] for row in mf_data.values())
+    # ... and wins by > 20 % somewhere in the starved-budget regime.
+    assert any(row["coord"] > 1.2 * row["memory_first"] for row in mf_data.values())

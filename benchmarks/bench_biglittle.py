@@ -1,0 +1,30 @@
+"""big.LITTLE extension: the wake crossover and heuristic accuracy."""
+
+import numpy as np
+
+
+def test_biglittle(regenerate):
+    report = regenerate("biglittle")
+    rows = report.data["rows"]
+
+    # The optimum gates the big cluster at tiny budgets and wakes it at a
+    # workload-specific crossover.
+    crossovers = report.data["crossover"]
+    assert all(np.isfinite(v) for v in crossovers.values())
+    assert any(d["big_gated"] for d in rows.values())
+    assert any(not d["big_gated"] for d in rows.values())
+
+    # The candidate-probing heuristic tracks the fine sweep outside the
+    # crossover window and never loses badly inside it.
+    gaps = [1.0 - d["coord"] / d["best"] for d in rows.values()]
+    assert max(gaps) < 0.30
+    assert float(np.mean(gaps)) < 0.08
+
+    # Gate-aware coordination beats both-clusters-always-on naive
+    # allocation somewhere (the homogeneous-thinking penalty).
+    naive_losses = [
+        1.0 - d["naive"] / d["best"]
+        for d in rows.values()
+        if np.isfinite(d["naive"])
+    ]
+    assert naive_losses and max(naive_losses) > 0.10

@@ -1,0 +1,29 @@
+"""Cluster-level scheduling study: FCFS grants vs dynamic rebalancing."""
+
+
+def test_cluster(regenerate):
+    report = regenerate("cluster")
+    data = report.data["bounds"]
+
+    for bound, outcomes in data.items():
+        base, dyn = outcomes["fcfs"], outcomes["rebalance"]
+        # Same work gets done under both policies...
+        assert dyn.n_completed == base.n_completed
+        # ... the global bound is never exceeded by either...
+        assert base.peak_charged_w <= bound + 1e-6
+        assert dyn.peak_charged_w <= bound + 1e-6
+        # ... and rebalancing never meaningfully extends the makespan
+        # (non-preemptive boosts allow sub-percent slippage on unlucky
+        # arrival patterns).
+        assert dyn.makespan_s <= base.makespan_s * 1.02 + 1e-6
+
+    # Rebalancing actually fires and buys double-digit makespan somewhere.
+    gains = [
+        1.0 - outcomes["rebalance"].makespan_s / outcomes["fcfs"].makespan_s
+        for outcomes in data.values()
+    ]
+    assert max(gains) > 0.10
+    assert any(outcomes["rebalance"].n_boosts > 0 for outcomes in data.values())
+
+    # Admission trims over-asking jobs (surplus reclaim) at every bound.
+    assert all(outcomes["fcfs"].reclaimed_w_total > 0 for outcomes in data.values())

@@ -1,0 +1,45 @@
+"""Extension studies: adaptive, online, efficiency, co-scheduling."""
+
+import numpy as np
+
+
+def test_extensions(regenerate):
+    report = regenerate("extensions")
+
+    # (A) Per-phase adaptation never badly hurts and wins visibly on at
+    # least one multi-phase code.
+    speedups = [c.speedup for c in report.data["adaptive"].values()]
+    assert min(speedups) > 0.90
+    assert max(speedups) > 1.10
+
+    # (B) Online shifting approaches COORD where profiles exist but burns
+    # measurement epochs doing it.
+    for row in report.data["online"].values():
+        if np.isfinite(row["coord"]) and row["coord"] > 0:
+            assert row["online"] >= 0.55 * row["coord"]
+            assert row["epochs"] >= 2
+
+    # (C) Efficiency peaks inside the budget range — neither starved nor
+    # over-provisioned budgets are efficient.
+    for name, curve in report.data["efficiency"].items():
+        budgets = curve.budgets_w
+        peak = curve.peak_efficiency_budget_w
+        assert budgets.min() < peak <= budgets.max()
+        # Compute-bound DGEMM's perf scales near-linearly with power, so
+        # its perf/W varies less than the memory-bound codes'.
+        floor = 1.05 if name == "dgemm" else 1.2
+        assert curve.perf_per_watt.max() / curve.perf_per_watt.min() > floor, name
+
+    # (D) Complementary tenants co-run better than time-sharing the node.
+    dgemm_stream = report.data["coschedule"][("dgemm", "stream")]
+    assert dgemm_stream.weighted_speedup > 1.0
+    # The search found an asymmetric slice: the compute-bound tenant gives
+    # up bandwidth share relative to its core share.
+    a = dgemm_stream.tenant_a
+    assert a.bw_fraction < a.core_fraction
+
+    # (E) Budget shifting beats the static host/device split for the
+    # offload application, while respecting the node bound.
+    for budget, row in report.data["hybrid"].items():
+        assert row["dynamic"].performance_gflops >= row["static"].performance_gflops
+        assert row["dynamic"].peak_node_power_w <= budget + 1e-6

@@ -1,0 +1,22 @@
+"""Figure 1: Stream under power bounds (CPU + GPU motivating example)."""
+
+
+def test_fig1(regenerate):
+    report = regenerate("fig1")
+
+    # perf_max rises with the budget and then flattens (both devices).
+    cpu = report.data["cpu_curve"]["perf"]
+    assert cpu[-1] >= cpu[0]
+    assert abs(cpu[-1] - cpu[-2]) <= 1e-6 * max(cpu[-1], 1.0)
+    gpu = report.data["gpu_curve"]["perf"]
+    assert gpu[-1] >= gpu[0]
+
+    # Allocation matters enormously at the fixed budgets: paper reports
+    # up to 30x on the CPU at 208 W and > 30 % on the GPU at 140 W.
+    assert report.data["cpu_sweep"].perf_spread > 10.0
+    assert report.data["gpu_sweep"].perf_spread > 1.25
+
+    # Capping keeps every bound-respecting allocation under budget.
+    for point in report.data["cpu_sweep"].points:
+        if point.result.respects_bound:
+            assert point.actual_total_w <= 208.0 + 1e-6

@@ -1,0 +1,21 @@
+"""Figure 2: upper performance bound vs total budget (DGEMM, SRA; 2 CPUs)."""
+
+import numpy as np
+
+
+def test_fig2(regenerate):
+    report = regenerate("fig2")
+    for wl in ("dgemm", "sra"):
+        for plat in ("ivybridge", "haswell"):
+            curve = report.data[wl][plat]
+            # Monotone, then saturating.
+            assert np.all(np.diff(curve.perf_max) >= -1e-9)
+            assert curve.perf_max[-1] == np.max(curve.perf_max)
+
+    # DGEMM on IvyBridge flattens near the paper's ~240 W.
+    sat = report.data["dgemm"]["ivybridge"].saturation_budget_w
+    assert 200.0 <= sat <= 260.0
+
+    # Haswell (DDR4) delivers better performance at small budgets.
+    for wl in ("dgemm", "sra"):
+        assert report.data[wl]["haswell"].perf_max[0] > report.data[wl]["ivybridge"].perf_max[0]

@@ -1,0 +1,26 @@
+"""Figure 3: the six-category scenario taxonomy (SRA @ 240 W, IvyBridge)."""
+
+from repro.core.scenario import Scenario
+
+
+def test_fig3(regenerate):
+    report = regenerate("fig3")
+    spans = report.data["spans"]
+
+    # All six categories appear at this budget.
+    assert set(spans) == set(Scenario)
+
+    # Their layout along the memory axis matches the paper's figure.
+    order = [Scenario.V, Scenario.III, Scenario.I, Scenario.II, Scenario.IV, Scenario.VI]
+    mids = [sum(spans[s]) / 2 for s in order]
+    assert mids == sorted(mids)
+
+    # Scenario I spans the paper's P_mem ~ [120, 132] W window.
+    lo, hi = spans[Scenario.I]
+    assert 108.0 <= lo <= 126.0
+    assert 120.0 <= hi <= 140.0
+
+    # Scenario VI delivers the worst performance and violates the bound.
+    sweep = report.data["sweep"]
+    assert sweep.worst.scenario is Scenario.VI
+    assert not sweep.worst.result.respects_bound

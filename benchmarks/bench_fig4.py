@@ -1,0 +1,22 @@
+"""Figure 4: allocation patterns across budgets (SRA, EP-DGEMM)."""
+
+from repro.core.scenario import Scenario
+
+
+def test_fig4(regenerate):
+    report = regenerate("fig4")
+
+    sra_sweeps = report.data["sra"]
+    # Categories shrink in number as the budget shrinks, ...
+    n_cats = {b: len(set(s.scenarios)) for b, s in sra_sweeps.items()}
+    budgets = sorted(n_cats)
+    assert n_cats[budgets[0]] <= n_cats[budgets[-1]]
+    # ... and the first to go is the high-performing scenario I.
+    assert Scenario.I in set(sra_sweeps[240.0].scenarios)
+    assert Scenario.I not in set(sra_sweeps[176.0].scenarios)
+
+    # perf_max increases with the budget for both workloads.
+    for wl in ("sra", "dgemm"):
+        sweeps = report.data[wl]
+        perfs = [sweeps[b].perf_max for b in sorted(sweeps)]
+        assert perfs == sorted(perfs)

@@ -1,0 +1,23 @@
+"""Figure 5: balanced compute/memory interaction at the optimum (208 W)."""
+
+
+def test_fig5(regenerate):
+    report = regenerate("fig5")
+    for wl in ("dgemm", "stream"):
+        data = report.data[wl]
+        points = data["points"]
+        best_mem = data["optimal_mem_w"]
+        best_pt = min(points, key=lambda bp: abs(bp.allocation.mem_w - best_mem))
+
+        # At the optimum both utilizations are high (balance).
+        assert best_pt.compute_utilization > 0.75
+        assert best_pt.mem_utilization > 0.75
+
+        # Away from the optimum, the utilization product degrades: one
+        # domain's paid-for capacity sits idle.
+        extremes = [points[0], points[-1]]
+        best_product = best_pt.compute_utilization * best_pt.mem_utilization
+        assert any(
+            bp.compute_utilization * bp.mem_utilization < best_product - 0.05
+            for bp in extremes
+        )

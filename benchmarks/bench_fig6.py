@@ -1,0 +1,27 @@
+"""Figure 6: GPU upper performance bound vs cap (SGEMM, MiniFE; 2 cards)."""
+
+import numpy as np
+
+
+def test_fig6(regenerate):
+    report = regenerate("fig6")
+
+    # Titan XP: SGEMM never flattens (demands > 300 W)...
+    xp_sgemm = report.data["titan-xp/sgemm"]["curve"]
+    assert xp_sgemm.perf_max[-1] > xp_sgemm.perf_max[-4] * 1.01
+    # ... while MiniFE saturates near the paper's ~180 W.
+    xp_minife = report.data["titan-xp/minife"]["curve"]
+    assert xp_minife.saturation_budget_w <= 200.0
+
+    # Titan V: SGEMM saturates within the range, MiniFE flat above ~180 W.
+    v_sgemm = report.data["titan-v/sgemm"]["curve"]
+    assert v_sgemm.saturation_budget_w <= 230.0
+    v_minife = report.data["titan-v/minife"]["curve"]
+    assert v_minife.saturation_budget_w <= 185.0
+
+    # The default capping policy fails to reach the bound somewhere.
+    worst_shortfall = max(
+        float(np.max(1.0 - d["default"] / d["curve"].perf_max))
+        for d in report.data.values()
+    )
+    assert worst_shortfall > 0.05

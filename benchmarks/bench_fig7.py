@@ -1,0 +1,34 @@
+"""Figure 7: GPU performance vs memory power allocation under various caps."""
+
+import numpy as np
+
+
+def test_fig7(regenerate):
+    report = regenerate("fig7")
+
+    # Compute-intensive (SGEMM on XP): capped performance falls as memory
+    # power rises — watts flow from SMs to the memory PHY (category II).
+    sgemm_200 = report.data["titan-xp/sgemm"][200.0]
+    assert sgemm_200.performances[0] >= sgemm_200.performances[-1]
+
+    # Memory-intensive (STREAM on XP): rises with memory power at a large
+    # cap (category III) and the per-cap curves overlap at the top...
+    s230 = report.data["titan-xp/gpu-stream"][230.0]
+    s260 = report.data["titan-xp/gpu-stream"][260.0]
+    assert s230.performances[-1] >= s230.performances[0]
+    assert np.allclose(s230.performances, s260.performances, rtol=1e-6)
+
+    # ... but rises-then-falls at a starved cap (category II region).
+    s140 = report.data["titan-xp/gpu-stream"][140.0]
+    best_idx = int(np.argmax(s140.performances))
+    assert 0 < best_idx < len(s140.performances) - 1
+
+    # In-between (CloverLeaf): per-cap curves diverge rather than overlap.
+    c200 = report.data["titan-xp/cloverleaf"][200.0]
+    c260 = report.data["titan-xp/cloverleaf"][260.0]
+    assert c260.performances[-1] > c200.performances[-1] * 1.02
+
+    # Titan V: memory-bound, performance rises with the memory clock.
+    for wl in ("gpu-stream", "minife"):
+        for sweep in report.data[f"titan-v/{wl}"].values():
+            assert sweep.performances[-1] >= sweep.performances[0]

@@ -1,0 +1,26 @@
+"""Figure 8: performance profiles of every benchmark on the platforms."""
+
+from repro.workloads import list_cpu_workloads, list_gpu_workloads
+
+
+def test_fig8(regenerate):
+    report = regenerate("fig8")
+
+    # Coverage: every Table 3 benchmark is profiled on its platforms.
+    for name in list_cpu_workloads():
+        assert any(k.startswith(f"ivybridge/{name}/") for k in report.data)
+        assert any(k.startswith(f"haswell/{name}/") for k in report.data)
+    for name in list_gpu_workloads():
+        assert any(k.startswith(f"titan-xp/{name}/") for k in report.data)
+
+    # Universal pattern: coordination matters for every CPU benchmark
+    # (best/worst spread well above 1 at the 208 W budget).
+    for name in list_cpu_workloads():
+        sweep = report.data[f"ivybridge/{name}/208"]
+        assert sweep.perf_spread > 2.0, name
+
+    # Workload-specific features: memory-intensive codes put more of the
+    # optimum's watts into DRAM than compute-intensive ones.
+    mg = report.data["ivybridge/mg/208"].best.allocation.mem_w
+    dgemm = report.data["ivybridge/dgemm/208"].best.allocation.mem_w
+    assert mg > dgemm

@@ -1,0 +1,38 @@
+"""Figure 9: COORD vs sweep oracle, memory-first, and the Nvidia default."""
+
+import numpy as np
+
+
+def test_fig9(regenerate):
+    report = regenerate("fig9")
+
+    # CPU accuracy: paper reports < 5 % gap for large caps, 9.6 % average.
+    gaps, large = [], []
+    for (name, budget), row in report.data["cpu"].items():
+        if not np.isfinite(row["coord"]):
+            continue
+        gap = 1.0 - row["coord"] / row["best"]
+        gaps.append(gap)
+        if budget >= 208.0:
+            large.append(gap)
+    assert np.mean(gaps) < 0.13
+    assert np.mean(large) < 0.05
+
+    # COORD generally outperforms memory-first at small budgets.
+    small = [
+        (row["coord"], row["memory_first"])
+        for (name, budget), row in report.data["cpu"].items()
+        if budget <= 176.0 and np.isfinite(row["coord"])
+    ]
+    wins = sum(c >= m * 0.999 for c, m in small)
+    assert wins >= 0.7 * len(small)
+
+    # GPU accuracy: paper reports < 2 % gap.
+    gpu_gaps = [1.0 - r["coord"] / r["best"] for r in report.data["gpu"].values()]
+    assert np.mean(gpu_gaps) < 0.04
+
+    # COORD beats the Nvidia default by a double-digit percentage for at
+    # least one budget-starved application, and never badly loses.
+    advantage = [r["coord"] / r["default"] - 1.0 for r in report.data["gpu"].values()]
+    assert max(advantage) > 0.08
+    assert min(advantage) > -0.10

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not a paper artifact: these time the building blocks every experiment is
+made of, so regressions in the simulator core show up directly.
+"""
+
+import pytest
+
+from repro.core.profiler import profile_cpu_workload
+from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
+from repro.hardware.platforms import ivybridge_node, titan_xp_card
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+from repro.workloads import cpu_workload, gpu_workload
+
+
+@pytest.fixture(scope="module")
+def node():
+    return ivybridge_node()
+
+
+@pytest.fixture(scope="module")
+def card():
+    return titan_xp_card()
+
+
+def test_execute_on_host_single_run(benchmark, node):
+    wl = cpu_workload("mg")  # multi-phase: the expensive case
+    result = benchmark(
+        execute_on_host, node.cpu, node.dram, wl.phases, 150.0, 90.0
+    )
+    assert result.elapsed_s > 0
+
+
+def test_execute_on_gpu_single_run(benchmark, card):
+    wl = gpu_workload("cloverleaf")
+    result = benchmark(execute_on_gpu, card, wl.phases, 200.0, 5000.0)
+    assert result.elapsed_s > 0
+
+
+def test_cpu_allocation_sweep(benchmark, node):
+    wl = cpu_workload("sra")
+    sweep = benchmark(
+        sweep_cpu_allocations, node.cpu, node.dram, wl, 240.0, step_w=4.0
+    )
+    assert len(sweep.points) > 40
+
+
+def test_gpu_allocation_sweep(benchmark, card):
+    wl = gpu_workload("minife")
+    sweep = benchmark(sweep_gpu_allocations, card, wl, 200.0)
+    assert len(sweep.points) > 20
+
+
+def test_lightweight_profiling(benchmark, node):
+    wl = cpu_workload("bt")
+    critical = benchmark(profile_cpu_workload, node.cpu, node.dram, wl)
+    assert critical.cpu_l1 > critical.cpu_l4

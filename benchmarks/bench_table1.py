@@ -1,0 +1,31 @@
+"""Table 1: optimal allocation and critical component vs power budget."""
+
+from repro.core.scenario import Scenario
+
+
+def test_table1(regenerate):
+    report = regenerate("table1")
+    rows = {r.budget_w: r for r in report.data["rows"]}
+
+    # Large budget: optimum inside scenario I, no critical component.
+    assert Scenario.I in rows[280.0].intersection
+    assert rows[280.0].critical is None
+
+    # 224 W: II|III intersection, DRAM critical, optimum near the paper's
+    # (108, 116) W at the plateau's low-memory edge.
+    assert set(rows[224.0].intersection) == {Scenario.II, Scenario.III}
+    assert rows[224.0].critical == "DRAM"
+
+    # Shrinking budgets: the optimum migrates down the scenario ladder
+    # and the CPU becomes the critical component.
+    assert Scenario.IV in rows[150.0].intersection
+    assert rows[150.0].critical == "CPU"
+
+    # The valid-scenario set shrinks monotonically with the budget.
+    budgets = sorted(rows, reverse=True)
+    sizes = [len(rows[b].valid_scenarios) for b in budgets]
+    assert sizes == sorted(sizes, reverse=True)
+
+    # perf_max is monotone in the budget.
+    perfs = [rows[b].perf_max for b in budgets]
+    assert perfs == sorted(perfs, reverse=True)

@@ -1,0 +1,41 @@
+"""Shared benchmark harness utilities.
+
+Each benchmark regenerates one paper artifact (figure or table) at full
+sweep resolution, times it with pytest-benchmark, writes the rendered
+rows/series to ``benchmarks/reports/<id>.txt``, and asserts the headline
+shape claims hold.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to also see the rendered tables inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.report import ExperimentReport
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment under the timer and persist its rendered report."""
+
+    def _run(experiment_id: str) -> ExperimentReport:
+        report = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=3, iterations=1,
+            warmup_rounds=0,
+        )
+        REPORTS_DIR.mkdir(exist_ok=True)
+        rendered = report.render()
+        (REPORTS_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+        print()
+        print(rendered)
+        return report
+
+    return _run

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""big.LITTLE power coordination: when is it worth waking the big cores?
+
+On a heterogeneous node the allocation question gains a dimension: the
+little cluster delivers more operations per watt, the big cluster more
+operations outright — so under a tight power bound the optimum *gates the
+big cores entirely*, and there is a workload-specific crossover budget
+where waking them starts to pay.
+
+Run: ``python examples/biglittle_crossover.py [workload]``
+"""
+
+import sys
+
+from repro.core.coord_hetero import (
+    coord_biglittle,
+    profile_biglittle,
+    sweep_biglittle,
+)
+from repro.hardware.biglittle import biglittle_node
+from repro.perfmodel.hetero import execute_on_biglittle
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mg"
+    node = biglittle_node()
+    workload = cpu_workload(name)
+
+    print(f"Node: {node} "
+          f"(productive from {node.min_productive_power_w:.2f} W, "
+          f"max {node.max_power_w:.2f} W)")
+    print(f"Workload: {workload}\n")
+
+    critical = profile_biglittle(node, workload)
+    print(f"profiled demands: big {critical.big_l1:.2f} W, "
+          f"little {critical.little_l1:.2f} W, memory {critical.mem_l1:.2f} W\n")
+
+    rows = []
+    for budget in (0.8, 1.2, 1.8, 2.6, 3.5, 5.0, 7.0, 9.5):
+        points = sweep_biglittle(node, workload, budget, step_w=0.25)
+        best = max(points, key=lambda p: p.performance)
+        alloc = coord_biglittle(node, critical, budget, workload=workload)
+        result = execute_on_biglittle(
+            node, workload.phases, alloc.big_w, alloc.little_w, alloc.mem_w
+        )
+        heur = workload.performance(result)
+        rows.append(
+            (
+                budget,
+                best.performance,
+                heur,
+                f"({best.allocation.big_w:.2f}/{best.allocation.little_w:.2f}/"
+                f"{best.allocation.mem_w:.2f})",
+                "GATED" if best.allocation.big_w < node.big.gate_threshold_w else "on",
+            )
+        )
+    print(
+        format_table(
+            ["budget (W)", f"best ({workload.metric_unit})",
+             f"heuristic ({workload.metric_unit})",
+             "best (big/little/mem)", "big cluster"],
+            rows,
+            float_spec=".4g",
+        )
+    )
+    wake = next((r[0] for r in rows if r[4] == "on"), None)
+    if wake is not None:
+        print(f"\nwake crossover: the big cluster first pays off at ~{wake:.1f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""From real code to a power plan: characterize a NumPy kernel, coordinate it.
+
+Demonstrates the full onboarding path for a *new* application that is not
+in the paper's suite:
+
+1. run the actual kernel (real NumPy computation with analytic op/byte
+   accounting);
+2. lift the measurement into an execution-model characterization;
+3. profile the characterized workload and produce a COORD power plan for a
+   range of budgets.
+
+Run: ``python examples/characterize_and_coordinate.py [kernel]``
+(kernels: stream, dgemm, sra, cg, is, ep, ft)
+"""
+
+import sys
+
+from repro import coord_cpu, execute_on_host, ivybridge_node, profile_cpu_workload
+from repro.perfmodel.phase import Phase
+from repro.workloads.base import MetricKind, Workload, WorkloadClass
+from repro.workloads.characterize import PATTERN_DEFAULTS, characterize_kernel
+from repro.workloads.kernels import run_kernel
+from repro.util.tables import format_table
+
+#: Rough class guess by analytic intensity (ops per byte).
+def classify(intensity: float) -> WorkloadClass:
+    if intensity > 8.0:
+        return WorkloadClass.COMPUTE_INTENSIVE
+    if intensity < 0.05:
+        return WorkloadClass.RANDOM_ACCESS
+    if intensity < 0.5:
+        return WorkloadClass.MEMORY_INTENSIVE
+    return WorkloadClass.MIXED
+
+
+def main() -> None:
+    kernel_name = sys.argv[1] if len(sys.argv) > 1 else "cg"
+    node = ivybridge_node()
+
+    # 1. Run the real kernel.
+    report = run_kernel(kernel_name)
+    print(f"kernel {report.name!r}: {report.elapsed_s * 1e3:.1f} ms, "
+          f"{report.flops:.3g} ops, {report.bytes_moved:.3g} bytes "
+          f"(intensity {report.intensity:.3g} op/B, checksum {report.checksum:.6g})")
+
+    # 2. Characterize: analytic volumes + pattern-class defaults, scaled to
+    #    a production problem size.
+    wl_class = classify(report.intensity)
+    phase: Phase = characterize_kernel(report, wl_class, scale=1e4)
+    workload = Workload(
+        name=f"user-{kernel_name}",
+        suite="user",
+        description=f"user kernel {kernel_name} (characterized)",
+        device="cpu",
+        workload_class=wl_class,
+        phases=(phase,),
+        metric=MetricKind.GFLOPS,
+    )
+    defaults = PATTERN_DEFAULTS[wl_class]
+    print(f"classified as {wl_class.value}; defaults: activity "
+          f"{defaults.activity}, mem efficiency {defaults.memory_efficiency}\n")
+
+    # 3. Profile + coordinate across budgets.
+    critical = profile_cpu_workload(node.cpu, node.dram, workload)
+    print("critical powers (W):",
+          {k: round(v, 1) for k, v in critical.as_dict().items()})
+    print(f"productive band: {critical.productive_threshold_w:.0f} W "
+          f"... {critical.max_demand_w:.0f} W\n")
+
+    rows = []
+    for budget in (100.0, 130.0, 160.0, 190.0, 220.0, 250.0):
+        decision = coord_cpu(critical, budget)
+        if not decision.accepted:
+            rows.append((budget, None, None, None, "rejected (too small)"))
+            continue
+        result = execute_on_host(
+            node.cpu, node.dram, workload.phases,
+            decision.allocation.proc_w, decision.allocation.mem_w,
+        )
+        note = decision.status.value
+        if decision.surplus_w > 0:
+            note += f" ({decision.surplus_w:.0f} W reclaimable)"
+        rows.append(
+            (budget, decision.allocation.proc_w, decision.allocation.mem_w,
+             workload.performance(result), note)
+        )
+    print(
+        format_table(
+            ["budget (W)", "P_cpu (W)", "P_mem (W)", "perf (GFLOPS)", "status"],
+            rows,
+            float_spec=".1f",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

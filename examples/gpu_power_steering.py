@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""GPU power steering: COORD vs the stock Nvidia capping policy.
+
+Drives the NVML-style interface exactly as a deployment would: set a board
+power limit, steer the memory clock per application, and measure.  Shows,
+across caps and on both cards, where the application-oblivious default
+(memory pinned at the nominal clock) leaves performance on the table.
+
+Run: ``python examples/gpu_power_steering.py [workload]``
+(e.g. ``python examples/gpu_power_steering.py minife``)
+"""
+
+import sys
+
+from repro import (
+    execute_on_gpu,
+    gpu_workload,
+    profile_gpu_workload,
+    titan_v_card,
+    titan_xp_card,
+)
+from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
+from repro.core.sweep import sweep_gpu_allocations
+from repro.hardware.nvml import NvmlDevice
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gpu-stream"
+    workload = gpu_workload(name)
+    print(f"Workload: {workload}\n")
+
+    for card in (titan_xp_card(), titan_v_card()):
+        device = NvmlDevice(card)
+        critical = profile_gpu_workload(card, workload)
+        intensive = critical.is_compute_intensive(card.max_cap_w)
+        print(f"--- {card.name} "
+              f"(caps {card.min_cap_w:.0f}-{card.max_cap_w:.0f} W, "
+              f"P_tot_max={critical.tot_max:.0f} W, "
+              f"P_tot_ref={critical.tot_ref:.0f} W, "
+              f"{'compute' if intensive else 'memory/mixed'} intensive) ---")
+
+        rows = []
+        caps = [c for c in (130.0, 150.0, 175.0, 200.0, 250.0, 300.0)
+                if card.min_cap_w <= c <= card.max_cap_w]
+        for cap in caps:
+            # COORD: watts -> memory clock via the empirical power model.
+            decision = coord_gpu(critical, cap, hardware_max_w=card.max_cap_w)
+            mem_op = apply_gpu_decision(device, decision, cap)
+            coord_perf = workload.performance(
+                execute_on_gpu(card, workload.phases, device.power_limit_w,
+                               mem_op.freq_mhz)
+            )
+            # Stock policy: memory at nominal, firmware reclaim only.
+            device.apply_default_policy(cap_w=cap)
+            default_perf = workload.performance(
+                execute_on_gpu(card, workload.phases, device.power_limit_w,
+                               device.mem_operating_point.freq_mhz)
+            )
+            # Oracle: full sweep of the memory-clock grid.
+            best = sweep_gpu_allocations(card, workload, cap).perf_max
+            rows.append(
+                (
+                    cap,
+                    mem_op.freq_mhz,
+                    coord_perf,
+                    default_perf,
+                    best,
+                    f"{(coord_perf / default_perf - 1) * 100:+.1f}%",
+                    f"{(1 - coord_perf / best) * 100:.1f}%",
+                )
+            )
+        print(
+            format_table(
+                ["cap (W)", "COORD mem clk (MHz)",
+                 f"COORD ({workload.metric_unit})",
+                 f"default ({workload.metric_unit})",
+                 f"best ({workload.metric_unit})",
+                 "vs default", "gap to best"],
+                rows,
+                float_spec=".4g",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

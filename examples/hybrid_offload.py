@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Hybrid CPU+GPU offload under one node power bound.
+
+A GPU-offload application alternates between host steps and device
+kernels; one side idles while the other works.  A coordinator that is
+aware of this shifts nearly the whole node budget back and forth per step;
+a static host/device split strands the idle side's watts.  This example
+quantifies the difference across node bounds.
+
+Run: ``python examples/hybrid_offload.py``
+"""
+
+from repro.core.coord import coord_cpu
+from repro.core.coord_gpu import coord_gpu
+from repro.core.coord_hybrid import (
+    HybridDecision,
+    coord_hybrid,
+    execute_hybrid,
+    offload_workload,
+)
+from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
+from repro.hardware.platforms import get_platform
+from repro.util.tables import format_table
+from repro.util.units import clamp
+
+
+def main() -> None:
+    node = get_platform("titan-xp-host")
+    card = node.gpu(0)
+    workload = offload_workload()
+    print(f"Node: {node.name} (host + {card.name})")
+    print(f"Workload: {workload.name} — "
+          f"{sum(1 for s in workload.steps if s.device == 'cpu')} host steps, "
+          f"{sum(1 for s in workload.steps if s.device == 'gpu')} device steps\n")
+
+    host_critical = profile_cpu_workload(node.cpu, node.dram, workload.host_view())
+    gpu_critical = profile_gpu_workload(card, workload.gpu_view())
+
+    rows = []
+    for budget in (330.0, 360.0, 400.0, 450.0, 500.0):
+        dynamic_decision = coord_hybrid(
+            node, workload, budget,
+            host_critical=host_critical, gpu_critical=gpu_critical,
+        )
+        dynamic = execute_hybrid(node, workload, dynamic_decision)
+
+        half = clamp(budget / 2.0, card.min_cap_w, card.max_cap_w)
+        static = execute_hybrid(
+            node, workload,
+            HybridDecision(
+                host=coord_cpu(host_critical, budget / 2.0),
+                gpu=coord_gpu(gpu_critical, half, hardware_max_w=card.max_cap_w),
+                gpu_cap_w=half,
+                gpu_mem_freq_mhz=card.mem.nominal_mhz,
+            ),
+        )
+        rows.append(
+            (
+                budget,
+                dynamic.performance_gflops,
+                static.performance_gflops,
+                f"{(dynamic.performance_gflops / static.performance_gflops - 1) * 100:+.1f}%",
+                dynamic_decision.gpu_cap_w,
+                dynamic.peak_node_power_w,
+            )
+        )
+    print(
+        format_table(
+            ["node bound (W)", "shifting (GFLOPS)", "static 50/50 (GFLOPS)",
+             "gain", "device-step cap (W)", "peak node (W)"],
+            rows,
+            float_spec=".1f",
+        )
+    )
+    print("\nThe shifting coordinator gives the GPU the host's idle share "
+          "during device steps\n(and vice versa), so both step types run "
+          "faster under the same node bound.")
+
+
+if __name__ == "__main__":
+    main()

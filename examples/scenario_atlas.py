@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario atlas: map the six power-allocation categories for a workload.
+
+Reproduces the paper's Figure 3 style analysis for any benchmark and
+budget: sweep the memory share, classify each allocation into categories
+I–VI from the hardware mechanisms it engages, and report the spans, the
+optimum, and the critical component.
+
+Run: ``python examples/scenario_atlas.py [workload] [budget_watts]``
+(e.g. ``python examples/scenario_atlas.py mg 208``)
+"""
+
+import sys
+
+from repro import cpu_workload, ivybridge_node, sweep_cpu_allocations
+from repro.core.analysis import (
+    critical_component,
+    optimal_intersection,
+    scenario_spans,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "sra"
+    budget_w = float(sys.argv[2]) if len(sys.argv) > 2 else 240.0
+    node = ivybridge_node()
+    workload = cpu_workload(name)
+
+    sweep = sweep_cpu_allocations(node.cpu, node.dram, workload, budget_w, step_w=4.0)
+
+    print(f"{workload} on {node.name} at P_b = {budget_w:.0f} W")
+    print(f"profiled {len(sweep.points)} allocations\n")
+
+    # The per-allocation profile: performance, actual powers, category.
+    rows = [
+        (
+            p.allocation.mem_w,
+            p.allocation.proc_w,
+            p.performance,
+            p.result.proc_power_w,
+            p.result.mem_power_w,
+            p.scenario.roman,
+        )
+        for p in sweep.points[:: max(1, len(sweep.points) // 24)]
+    ]
+    print(
+        format_table(
+            ["P_mem (W)", "P_cpu (W)", f"perf ({sweep.metric_unit})",
+             "actual CPU (W)", "actual DRAM (W)", "cat."],
+            rows,
+            float_spec=".4g",
+            title="allocation profile (subsampled)",
+        )
+    )
+
+    spans = scenario_spans(sweep)
+    print()
+    print(
+        format_table(
+            ["category", "P_mem span (W)", "meaning"],
+            [
+                (s.roman, f"[{lo:.0f}, {hi:.0f}]", s.description)
+                for s, (lo, hi) in sorted(spans.items())
+            ],
+            title="category spans",
+        )
+    )
+
+    best = sweep.best
+    inter = optimal_intersection(sweep)
+    crit = critical_component(node.cpu, node.dram, workload, sweep)
+    print(f"\noptimum: {best.allocation} -> {best.performance:.4g} "
+          f"{sweep.metric_unit}")
+    print(f"optimum sits at: {'|'.join(s.roman for s in inter)}")
+    print(f"critical component: {crit or 'none'}")
+    print(f"best/worst spread: {sweep.perf_spread:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

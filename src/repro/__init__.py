@@ -1,0 +1,170 @@
+"""repro — cross-component power coordination on power-bounded systems.
+
+A full reproduction of Ge et al., *The Case for Cross-Component Power
+Coordination on Power Bounded Systems* (ICPP 2016), as a Python library:
+
+* calibrated hardware models of the paper's four platforms with RAPL- and
+  NVML-style control planes (:mod:`repro.hardware`);
+* a roofline-with-stalls execution model under power caps
+  (:mod:`repro.perfmodel`);
+* the paper's benchmark suites, characterized and (where meaningful)
+  executable (:mod:`repro.workloads`);
+* the contribution itself — scenario taxonomy, critical power values,
+  lightweight profiling, and the COORD heuristics (:mod:`repro.core`);
+* a power-bounded batch scheduler built on COORD (:mod:`repro.sched`);
+* an experiment harness regenerating every figure and table
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        ivybridge_node, cpu_workload, profile_cpu_workload, coord_cpu,
+        execute_on_host,
+    )
+
+    node = ivybridge_node()
+    workload = cpu_workload("stream")
+    critical = profile_cpu_workload(node.cpu, node.dram, workload)
+    decision = coord_cpu(critical, budget_w=208.0)
+    result = execute_on_host(
+        node.cpu, node.dram, workload.phases,
+        decision.allocation.proc_w, decision.allocation.mem_w,
+    )
+    print(workload.performance(result), workload.metric_unit)
+"""
+
+from repro.errors import (
+    BudgetTooSmallError,
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleBudgetError,
+    PowerBoundError,
+    ProfilingError,
+    ReproError,
+    SchedulerError,
+    SweepError,
+    UnitError,
+    UnknownPlatformError,
+    UnknownWorkloadError,
+)
+from repro.hardware import (
+    ComputeNode,
+    CpuDomain,
+    DramDomain,
+    GpuCard,
+    NvmlDevice,
+    RaplInterface,
+    get_platform,
+    haswell_node,
+    ivybridge_node,
+    list_platforms,
+    titan_v_card,
+    titan_xp_card,
+)
+from repro.perfmodel import (
+    ExecutionResult,
+    Phase,
+    execute_on_gpu,
+    execute_on_host,
+)
+from repro.workloads import (
+    Workload,
+    WorkloadClass,
+    cpu_workload,
+    get_workload,
+    gpu_workload,
+    list_cpu_workloads,
+    list_gpu_workloads,
+    list_workloads,
+    synthetic_workload,
+)
+from repro.core import (
+    CoordDecision,
+    CoordStatus,
+    CpuCriticalPowers,
+    GpuCriticalPowers,
+    PowerAllocation,
+    Scenario,
+    advise_budget,
+    classify_cpu,
+    classify_gpu,
+    coord_cpu,
+    coord_gpu,
+    cpu_budget_curve,
+    gpu_budget_curve,
+    memory_first_allocation,
+    oracle_allocation,
+    profile_cpu_workload,
+    profile_gpu_workload,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.sched import Cluster, Job, PowerBoundedScheduler
+from repro.experiments import list_experiments, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetTooSmallError",
+    "Cluster",
+    "ComputeNode",
+    "ConfigurationError",
+    "ConvergenceError",
+    "CoordDecision",
+    "CoordStatus",
+    "CpuCriticalPowers",
+    "CpuDomain",
+    "DramDomain",
+    "ExecutionResult",
+    "GpuCard",
+    "GpuCriticalPowers",
+    "InfeasibleBudgetError",
+    "Job",
+    "NvmlDevice",
+    "Phase",
+    "PowerAllocation",
+    "PowerBoundError",
+    "PowerBoundedScheduler",
+    "ProfilingError",
+    "RaplInterface",
+    "ReproError",
+    "Scenario",
+    "SchedulerError",
+    "SweepError",
+    "UnitError",
+    "UnknownPlatformError",
+    "UnknownWorkloadError",
+    "Workload",
+    "WorkloadClass",
+    "__version__",
+    "advise_budget",
+    "classify_cpu",
+    "classify_gpu",
+    "coord_cpu",
+    "coord_gpu",
+    "cpu_budget_curve",
+    "cpu_workload",
+    "execute_on_gpu",
+    "execute_on_host",
+    "get_platform",
+    "get_workload",
+    "gpu_budget_curve",
+    "gpu_workload",
+    "haswell_node",
+    "ivybridge_node",
+    "list_cpu_workloads",
+    "list_experiments",
+    "list_gpu_workloads",
+    "list_platforms",
+    "list_workloads",
+    "memory_first_allocation",
+    "oracle_allocation",
+    "profile_cpu_workload",
+    "profile_gpu_workload",
+    "run_experiment",
+    "sweep_cpu_allocations",
+    "sweep_gpu_allocations",
+    "synthetic_workload",
+    "titan_v_card",
+    "titan_xp_card",
+]

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``list`` — platforms, workloads, and experiments available;
+* ``profile`` — print (or export as JSON) a workload's critical power
+  values on a platform;
+* ``coord`` — run COORD for a workload and budget, optionally execute and
+  report performance;
+* ``sweep`` — print a Figure-3 style allocation profile;
+* ``experiment`` — regenerate a paper artifact and print its tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.config import to_json
+from repro.core.coord import coord_cpu
+from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
+from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
+from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
+from repro.errors import ReproError
+from repro.experiments import list_experiments, run_experiment
+from repro.hardware.gpu import GpuCard
+from repro.hardware.node import ComputeNode
+from repro.hardware.nvml import NvmlDevice
+from repro.hardware.platforms import get_platform, list_platforms
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+from repro.util.ascii_plot import sparkline
+from repro.util.tables import format_table
+from repro.workloads import get_workload, list_workloads
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-component power coordination on power-bounded systems",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list platforms, workloads, experiments")
+
+    p = sub.add_parser("profile", help="extract critical power values")
+    p.add_argument("workload")
+    p.add_argument("--platform", default=None, help="default: ivybridge / titan-xp")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+
+    p = sub.add_parser("coord", help="coordinate a budget for a workload")
+    p.add_argument("workload")
+    p.add_argument("budget", type=float, help="total power budget in watts")
+    p.add_argument("--platform", default=None)
+    p.add_argument("--execute", action="store_true", help="run under the allocation")
+
+    p = sub.add_parser("sweep", help="allocation profile at one budget")
+    p.add_argument("workload")
+    p.add_argument("budget", type=float)
+    p.add_argument("--platform", default=None)
+    p.add_argument("--step", type=float, default=8.0)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("artifact", help="fig1..fig9, table1, ablation, or 'all'")
+    p.add_argument("--fast", action="store_true", help="coarser sweeps")
+    return parser
+
+
+def _resolve(workload_name: str, platform_name: str | None):
+    workload = get_workload(workload_name)
+    if platform_name is None:
+        platform_name = "ivybridge" if workload.device == "cpu" else "titan-xp"
+    platform = get_platform(platform_name)
+    if workload.device == "cpu" and not isinstance(platform, ComputeNode):
+        raise ReproError(
+            f"workload {workload.name!r} needs a CPU node, got {platform_name!r}"
+        )
+    if workload.device == "gpu" and not isinstance(platform, GpuCard):
+        raise ReproError(
+            f"workload {workload.name!r} needs a GPU card, got {platform_name!r}"
+        )
+    return workload, platform
+
+
+def _cmd_list() -> int:
+    print("platforms: ", ", ".join(list_platforms()))
+    print("cpu workloads: ", ", ".join(list_workloads("cpu")))
+    print("gpu workloads: ", ", ".join(list_workloads("gpu")))
+    print("experiments: ", ", ".join(list_experiments()))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    workload, platform = _resolve(args.workload, args.platform)
+    if workload.device == "cpu":
+        critical = profile_cpu_workload(platform.cpu, platform.dram, workload)
+    else:
+        critical = profile_gpu_workload(platform, workload)
+    if args.json:
+        print(to_json(critical))
+    else:
+        for key, value in critical.as_dict().items():
+            print(f"{key:>10s}: {value:8.1f} W")
+    return 0
+
+
+def _cmd_coord(args: argparse.Namespace) -> int:
+    workload, platform = _resolve(args.workload, args.platform)
+    if workload.device == "cpu":
+        critical = profile_cpu_workload(platform.cpu, platform.dram, workload)
+        decision = coord_cpu(critical, args.budget)
+        print(f"status: {decision.status.value}")
+        print(f"allocation: {decision.allocation}")
+        if decision.surplus_w > 0:
+            print(f"reclaimable surplus: {decision.surplus_w:.1f} W")
+        if not decision.accepted:
+            print(f"(productive threshold: {critical.productive_threshold_w:.1f} W)")
+            return 1
+        if args.execute:
+            result = execute_on_host(
+                platform.cpu, platform.dram, workload.phases,
+                decision.allocation.proc_w, decision.allocation.mem_w,
+            )
+            print(f"performance: {workload.performance(result):.4g} "
+                  f"{workload.metric_unit}")
+            print(f"actual power: {result.total_power_w:.1f} W "
+                  f"(bound respected: {result.respects_bound})")
+    else:
+        critical = profile_gpu_workload(platform, workload)
+        decision = coord_gpu(critical, args.budget, hardware_max_w=platform.max_cap_w)
+        device = NvmlDevice(platform)
+        mem_op = apply_gpu_decision(device, decision, args.budget)
+        print(f"status: {decision.status.value}")
+        print(f"allocation: {decision.allocation} "
+              f"(memory clock {mem_op.freq_mhz:.0f} MHz)")
+        if args.execute:
+            result = execute_on_gpu(
+                platform, workload.phases, device.power_limit_w, mem_op.freq_mhz
+            )
+            print(f"performance: {workload.performance(result):.4g} "
+                  f"{workload.metric_unit}")
+            print(f"actual power: {result.total_power_w:.1f} W")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload, platform = _resolve(args.workload, args.platform)
+    if workload.device == "cpu":
+        sweep = sweep_cpu_allocations(
+            platform.cpu, platform.dram, workload, args.budget, step_w=args.step
+        )
+        rows = [
+            (p.allocation.mem_w, p.allocation.proc_w, p.performance,
+             p.actual_total_w, p.scenario.roman)
+            for p in sweep.points
+        ]
+        headers = ["P_mem (W)", "P_cpu (W)", f"perf ({workload.metric_unit})",
+                   "actual (W)", "cat."]
+    else:
+        sweep = sweep_gpu_allocations(platform, workload, args.budget)
+        rows = [
+            (f, a, p, r.actual_total_w, r.scenario.roman)
+            for f, a, p, r in zip(
+                sweep.mem_freqs_mhz, sweep.mem_alloc_w,
+                sweep.performances, sweep.points,
+            )
+        ]
+        headers = ["mem clk (MHz)", "P_mem est. (W)",
+                   f"perf ({workload.metric_unit})", "actual (W)", "cat."]
+    print(format_table(headers, rows, float_spec=".4g"))
+    perfs = [r[2] for r in rows]
+    print(f"\nshape: {sparkline(perfs)}")
+    best = sweep.best
+    print(f"best: {best.allocation} -> {best.performance:.4g} "
+          f"{workload.metric_unit}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    artifacts = list_experiments() if args.artifact == "all" else [args.artifact]
+    for artifact in artifacts:
+        report = run_experiment(artifact, fast=args.fast)
+        print(report.render())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "coord":
+            return _cmd_coord(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Serialization of library objects to/from plain dicts and JSON.
+
+Profiles are per (application, platform) pairs that deployments want to
+persist between job submissions — the paper's "provided offline application
+profiling, this method does not incur runtime overhead" workflow assumes
+exactly this.  Workload characterizations are likewise shareable artifacts.
+
+Round-tripping is exact for every supported type::
+
+    blob = to_json(workload)
+    assert from_json(blob) == workload
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.allocation import PowerAllocation
+from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
+from repro.errors import ConfigurationError
+from repro.perfmodel.phase import Phase
+from repro.workloads.base import MetricKind, Workload, WorkloadClass
+
+__all__ = ["from_dict", "from_json", "to_dict", "to_json"]
+
+#: Type tag -> class, for self-describing payloads.
+_TYPES = {
+    "phase": Phase,
+    "workload": Workload,
+    "cpu-critical-powers": CpuCriticalPowers,
+    "gpu-critical-powers": GpuCriticalPowers,
+    "power-allocation": PowerAllocation,
+}
+
+
+def to_dict(obj: Any) -> dict:
+    """Serialize a supported object into a self-describing plain dict."""
+    if isinstance(obj, Phase):
+        return {
+            "type": "phase",
+            "name": obj.name,
+            "flops": obj.flops,
+            "bytes_moved": obj.bytes_moved,
+            "activity": obj.activity,
+            "stall_activity": obj.stall_activity,
+            "compute_efficiency": obj.compute_efficiency,
+            "memory_efficiency": obj.memory_efficiency,
+        }
+    if isinstance(obj, Workload):
+        return {
+            "type": "workload",
+            "name": obj.name,
+            "suite": obj.suite,
+            "description": obj.description,
+            "device": obj.device,
+            "workload_class": obj.workload_class.value,
+            "metric": obj.metric.name,
+            "work_units": obj.work_units,
+            "phases": [to_dict(p) for p in obj.phases],
+        }
+    if isinstance(obj, CpuCriticalPowers):
+        return {"type": "cpu-critical-powers", **obj.as_dict()}
+    if isinstance(obj, GpuCriticalPowers):
+        return {"type": "gpu-critical-powers", **obj.as_dict()}
+    if isinstance(obj, PowerAllocation):
+        return {"type": "power-allocation", "proc_w": obj.proc_w, "mem_w": obj.mem_w}
+    raise ConfigurationError(
+        f"cannot serialize objects of type {type(obj).__name__}"
+    )
+
+
+def from_dict(payload: dict) -> Any:
+    """Reconstruct an object serialized by :func:`to_dict`."""
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ConfigurationError("payload is not a self-describing dict")
+    kind = payload["type"]
+    data = {k: v for k, v in payload.items() if k != "type"}
+    if kind == "phase":
+        return Phase(**data)
+    if kind == "workload":
+        return Workload(
+            name=data["name"],
+            suite=data["suite"],
+            description=data["description"],
+            device=data["device"],
+            workload_class=WorkloadClass(data["workload_class"]),
+            metric=MetricKind[data["metric"]],
+            work_units=data["work_units"],
+            phases=tuple(from_dict(p) for p in data["phases"]),
+        )
+    if kind == "cpu-critical-powers":
+        return CpuCriticalPowers(**data)
+    if kind == "gpu-critical-powers":
+        return GpuCriticalPowers(**data)
+    if kind == "power-allocation":
+        return PowerAllocation(**data)
+    raise ConfigurationError(
+        f"unknown payload type {kind!r}; supported: {sorted(_TYPES)}"
+    )
+
+
+def to_json(obj: Any, *, indent: int | None = 2) -> str:
+    """Serialize a supported object to a JSON string."""
+    return json.dumps(to_dict(obj), indent=indent, sort_keys=True)
+
+
+def from_json(blob: str) -> Any:
+    """Reconstruct an object from :func:`to_json` output."""
+    try:
+        payload = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON payload: {exc}") from exc
+    return from_dict(payload)

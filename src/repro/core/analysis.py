@@ -1,0 +1,212 @@
+"""Analysis utilities: scenario spans, critical components, Table 1, Figure 5.
+
+These routines post-process allocation sweeps into the paper's analytical
+artifacts:
+
+* :func:`scenario_spans` — the memory-allocation interval each category
+  occupies (the x-axis annotations of Figure 3);
+* :func:`optimal_intersection` — which category pair the optimum sits
+  between (Table 1's "Intersection" column);
+* :func:`critical_component` — which domain, if under-powered, hurts more
+  (Table 1's "Critical Comp." column, via the ±shift experiment of
+  Section 3.4.2);
+* :func:`table1_rows` — the full Table 1 derivation for a workload;
+* :func:`balance_analysis` — capacity vs utilization per domain
+  (Figure 5's balanced-interaction evidence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import PowerAllocation
+from repro.core.scenario import Scenario
+from repro.core.sweep import AllocationSweep, optimal_plateau, sweep_cpu_allocations
+from repro.errors import SweepError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.perfmodel.executor import execute_on_host
+from repro.workloads.base import Workload
+
+__all__ = [
+    "BalancePoint",
+    "Table1Row",
+    "balance_analysis",
+    "critical_component",
+    "optimal_intersection",
+    "scenario_spans",
+    "table1_rows",
+]
+
+
+def scenario_spans(sweep: AllocationSweep) -> dict[Scenario, tuple[float, float]]:
+    """Memory-allocation span (min, max watts) of each category in a sweep."""
+    spans: dict[Scenario, tuple[float, float]] = {}
+    for point in sweep.points:
+        lo, hi = spans.get(point.scenario, (float("inf"), float("-inf")))
+        m = point.allocation.mem_w
+        spans[point.scenario] = (min(lo, m), max(hi, m))
+    return spans
+
+
+def optimal_intersection(sweep: AllocationSweep) -> tuple[Scenario, ...]:
+    """The category (pair) the sweep's optimum sits at.
+
+    "The optimal allocation is located at Scenario I given sufficient
+    power, and usually at the intersection of two neighboring scenarios
+    given smaller power budgets" (Section 3.4.2).  When the optimal
+    plateau touches scenario I, the answer is just I; otherwise the
+    categories at and immediately beyond the plateau's edges are reported,
+    lower category first.
+    """
+    points = sweep.points
+    lo, hi = _optimal_plateau(sweep)
+    plateau_cats = {points[i].scenario for i in range(lo, hi + 1)}
+    if Scenario.I in plateau_cats:
+        return (Scenario.I,)
+    cats = {points[lo].scenario, points[hi].scenario}
+    for j in (lo - 1, hi + 1):
+        if 0 <= j < len(points):
+            cats.add(points[j].scenario)
+    return tuple(sorted(cats))
+
+
+def _optimal_plateau(sweep: AllocationSweep) -> tuple[int, int]:
+    """Index span [lo, hi] of the bound-respecting optimal plateau."""
+    return optimal_plateau(sweep.points)
+
+
+def critical_component(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    sweep: AllocationSweep,
+    *,
+    shift_w: float = 24.0,
+) -> str | None:
+    """Which component drastically degrades performance if under-powered.
+
+    Reproduces the paper's ±24 W shift experiment (Section 3.4.2).  When
+    the optimal plateau reaches scenario I the budget is ample and no
+    component is critical (Table 1, first row).  Otherwise the shifts are
+    measured from the plateau's low-memory edge — the scenario-boundary
+    point the paper reports as *the* optimal allocation (e.g. (108, 116) W
+    for RandomAccess at 224 W).  Returns ``"DRAM"``, ``"CPU"``, or
+    ``None`` when neither direction loses more than 5 %.
+    """
+    lo, hi = _optimal_plateau(sweep)
+    points = sweep.points
+    if any(points[i].scenario is Scenario.I for i in range(lo, hi + 1)):
+        return None
+    top = points[lo].performance
+
+    def perf_at(alloc: PowerAllocation) -> float:
+        r = execute_on_host(cpu, dram, workload.phases, alloc.proc_w, alloc.mem_w)
+        return workload.performance(r)
+
+    losses: dict[str, float] = {}
+    edge = points[lo].allocation
+    if edge.mem_w - shift_w > 0.0:
+        losses["DRAM"] = 1.0 - perf_at(edge.shifted(-shift_w)) / top
+    if edge.proc_w - shift_w > 0.0:
+        losses["CPU"] = 1.0 - perf_at(edge.shifted(shift_w)) / top
+    if not losses:
+        raise SweepError(
+            f"optimal plateau of sweep at {sweep.budget_w} W too close to the "
+            f"axes to shift by {shift_w} W"
+        )
+    component, loss = max(losses.items(), key=lambda kv: kv[1])
+    return component if loss > 0.05 else None
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1 for a concrete budget."""
+
+    budget_w: float
+    valid_scenarios: tuple[Scenario, ...]
+    intersection: tuple[Scenario, ...]
+    critical: str | None
+    optimal: PowerAllocation
+    perf_max: float
+
+
+def table1_rows(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budgets_w: list[float],
+    *,
+    step_w: float = 4.0,
+    shift_w: float = 24.0,
+) -> list[Table1Row]:
+    """Derive Table 1 (optimal allocation & critical component vs budget)."""
+    rows = []
+    for budget in budgets_w:
+        sweep = sweep_cpu_allocations(cpu, dram, workload, budget, step_w=step_w)
+        best = sweep.best
+        rows.append(
+            Table1Row(
+                budget_w=float(budget),
+                valid_scenarios=tuple(sorted(set(sweep.scenarios))),
+                intersection=optimal_intersection(sweep),
+                critical=critical_component(
+                    cpu, dram, workload, sweep, shift_w=shift_w
+                ),
+                optimal=best.allocation,
+                perf_max=best.performance,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BalancePoint:
+    """Per-domain capacity and utilization at one allocation (Figure 5)."""
+
+    allocation: PowerAllocation
+    compute_capacity: float
+    compute_rate: float
+    mem_capacity: float
+    mem_rate: float
+
+    @property
+    def compute_utilization(self) -> float:
+        return 0.0 if self.compute_capacity <= 0 else self.compute_rate / self.compute_capacity
+
+    @property
+    def mem_utilization(self) -> float:
+        return 0.0 if self.mem_capacity <= 0 else self.mem_rate / self.mem_capacity
+
+
+def balance_analysis(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    allocations: list[PowerAllocation],
+) -> list[BalancePoint]:
+    """Capacity vs utilization per domain across allocations (Figure 5).
+
+    A domain's *capacity* under its share is its achieved rate when the
+    other domain is excessively powered (the paper's definition); its
+    *utilization* is the achieved rate in the coordinated run divided by
+    that capacity.  At the optimal allocation both utilizations approach
+    100 % — the balance the paper identifies as the optimum's signature.
+    """
+    over_cpu = cpu.max_power_w + 50.0
+    over_mem = dram.max_power_w + 50.0
+    out = []
+    for alloc in allocations:
+        real = execute_on_host(cpu, dram, workload.phases, alloc.proc_w, alloc.mem_w)
+        cap_c = execute_on_host(cpu, dram, workload.phases, alloc.proc_w, over_mem)
+        cap_m = execute_on_host(cpu, dram, workload.phases, over_cpu, alloc.mem_w)
+        out.append(
+            BalancePoint(
+                allocation=alloc,
+                compute_capacity=cap_c.flops_rate,
+                compute_rate=real.flops_rate,
+                mem_capacity=cap_m.bytes_rate,
+                mem_rate=real.bytes_rate,
+            )
+        )
+    return out

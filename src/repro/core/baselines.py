@@ -1,0 +1,159 @@
+"""Baseline allocation strategies COORD is evaluated against (Figure 9).
+
+* :func:`oracle_allocation` — the best allocation a (costly) exhaustive
+  sweep finds; COORD's accuracy is reported relative to this.
+* :func:`memory_first_allocation` — the strategy of the paper's own prior
+  work [19]: give memory its full demand, hand the CPU whatever is left.
+* :func:`cpu_first_allocation`, :func:`uniform_allocation`,
+  :func:`demand_proportional_allocation` — naive comparison points.
+* :func:`interpolation_allocation` — the Sarood et al. [30] approach:
+  sample a moderate subset of allocations, interpolate, pick the argmax.
+
+GPU-side, the Nvidia *default* policy (memory pinned at the nominal clock)
+is modelled in :meth:`repro.hardware.nvml.NvmlDevice.apply_default_policy`
+and exercised by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import PowerAllocation
+from repro.core.critical import CpuCriticalPowers
+from repro.core.sweep import sweep_cpu_allocations
+from repro.errors import SweepError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.perfmodel.executor import execute_on_host
+from repro.util.units import clamp, watts
+from repro.workloads.base import Workload
+
+__all__ = [
+    "cpu_first_allocation",
+    "demand_proportional_allocation",
+    "interpolation_allocation",
+    "memory_first_allocation",
+    "oracle_allocation",
+    "uniform_allocation",
+]
+
+
+def memory_first_allocation(
+    critical: CpuCriticalPowers, budget_w: float
+) -> PowerAllocation:
+    """The memory-first strategy of [19].
+
+    Memory is granted its full demand (capped so the CPU keeps at least
+    its hardware floor); the CPU receives the remainder.  Conservative:
+    avoids the catastrophic memory-starved scenarios at the cost of
+    starving the CPU under small budgets — exactly the regime where COORD
+    wins in Figure 9.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    # The strategy's lower bound is the hardware floor setting, except for
+    # compute-bound applications whose busy-coupled demand sits below it.
+    mem_floor = min(critical.mem_l3, critical.mem_l1)
+    mem = clamp(
+        min(critical.mem_l1, budget_w - critical.cpu_l4),
+        mem_floor,
+        critical.mem_l1,
+    )
+    return PowerAllocation(max(0.0, budget_w - mem), mem)
+
+
+def cpu_first_allocation(
+    critical: CpuCriticalPowers, budget_w: float
+) -> PowerAllocation:
+    """Mirror image of memory-first: CPU gets its demand, memory the rest."""
+    budget_w = watts(budget_w, "budget_w")
+    cpu = clamp(
+        min(critical.cpu_l1, budget_w - critical.mem_l3),
+        critical.cpu_l4,
+        critical.cpu_l1,
+    )
+    return PowerAllocation(cpu, max(0.0, budget_w - cpu))
+
+
+def uniform_allocation(budget_w: float) -> PowerAllocation:
+    """Application-oblivious 50/50 split."""
+    budget_w = watts(budget_w, "budget_w")
+    return PowerAllocation(budget_w / 2.0, budget_w / 2.0)
+
+
+def demand_proportional_allocation(
+    critical: CpuCriticalPowers, budget_w: float
+) -> PowerAllocation:
+    """Split proportionally to the components' maximum demands."""
+    budget_w = watts(budget_w, "budget_w")
+    total_demand = critical.cpu_l1 + critical.mem_l1
+    frac_cpu = critical.cpu_l1 / total_demand
+    return PowerAllocation(frac_cpu * budget_w, (1.0 - frac_cpu) * budget_w)
+
+
+def oracle_allocation(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budget_w: float,
+    *,
+    step_w: float = 4.0,
+) -> PowerAllocation:
+    """Best allocation found by an exhaustive sweep at ``step_w`` stepping.
+
+    The paper notes COORD occasionally *beats* this "best" because the
+    sweep's stepping need not include the heuristic's exact point.
+    """
+    sweep = sweep_cpu_allocations(cpu, dram, workload, budget_w, step_w=step_w)
+    return sweep.best.allocation
+
+
+def interpolation_allocation(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budget_w: float,
+    *,
+    n_samples: int = 6,
+    mem_min_w: float = 16.0,
+    proc_min_w: float = 8.0,
+) -> PowerAllocation:
+    """Sarood-style interpolation: coarse samples, local fit, argmax.
+
+    Runs the workload at ``n_samples`` evenly spaced memory shares, then
+    refines with a parabola through the best sample and its neighbours
+    (successive parabolic interpolation) — robust for the tent-shaped
+    performance curves power sweeps produce, where a global polynomial
+    biases the peak toward the centre.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    if n_samples < 3:
+        raise SweepError(f"interpolation needs >= 3 samples, got {n_samples}")
+    mem_max = budget_w - proc_min_w
+    if mem_max <= mem_min_w:
+        raise SweepError(
+            f"budget {budget_w} W leaves no room between the domain floors"
+        )
+    mem_samples = np.linspace(mem_min_w, mem_max, n_samples)
+    perfs = np.empty_like(mem_samples)
+    for i, m in enumerate(mem_samples):
+        result = execute_on_host(
+            cpu, dram, workload.phases, budget_w - float(m), float(m)
+        )
+        perf = workload.performance(result)
+        # Bound-violating samples (hardware floors overriding the caps)
+        # are not legitimate operating points; exclude them from the fit
+        # the same way the sweep oracle does.
+        perfs[i] = perf if result.respects_bound else -perf
+    best = int(np.argmax(perfs))
+    if best == 0 or best == n_samples - 1:
+        peak = mem_samples[best]
+    else:
+        x = mem_samples[best - 1 : best + 2]
+        y = perfs[best - 1 : best + 2]
+        a, b, _ = np.polyfit(x, y, deg=2)
+        peak = -b / (2.0 * a) if a < 0.0 else mem_samples[best]
+        # Keep the vertex inside the bracket: the parabola is only a
+        # local model of the tent around the best sample.
+        peak = float(np.clip(peak, x[0], x[2]))
+    mem = float(np.clip(peak, mem_min_w, mem_max))
+    return PowerAllocation(budget_w - mem, mem)

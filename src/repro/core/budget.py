@@ -1,0 +1,83 @@
+"""Budget advice for higher-level power schedulers.
+
+Encodes the scheduling guidance the paper distills in Sections 3.1 and 8:
+
+* budgets below the productive threshold (``P_cpu_L2 + P_mem_L2``) should
+  be refused and reclaimed — low performance *and* low efficiency;
+* budgets above the application's maximum demand waste power; the surplus
+  should be returned to the upper-level scheduler;
+* everything in between is productive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.critical import CpuCriticalPowers
+from repro.util.units import watts
+
+__all__ = ["BudgetAdvice", "BudgetVerdict", "advise_budget"]
+
+
+class BudgetVerdict(enum.Enum):
+    """What a node-level coordinator should tell the scheduler."""
+
+    #: Refuse the job; return the whole budget.
+    REJECT = "reject"
+    #: Run the job; the budget is within the productive band.
+    ACCEPT = "accept"
+    #: Run the job; return the reported surplus.
+    ACCEPT_WITH_SURPLUS = "accept-with-surplus"
+
+
+@dataclass(frozen=True)
+class BudgetAdvice:
+    """A verdict plus the power-accounting details behind it."""
+
+    verdict: BudgetVerdict
+    budget_w: float
+    threshold_w: float
+    max_useful_w: float
+    surplus_w: float = 0.0
+    reclaimable_w: float = 0.0
+
+    @property
+    def productive_band_w(self) -> tuple[float, float]:
+        """The [threshold, max-demand] band where budgets buy performance."""
+        return (self.threshold_w, self.max_useful_w)
+
+
+def advise_budget(critical: CpuCriticalPowers, budget_w: float) -> BudgetAdvice:
+    """Classify a budget into reject / accept / accept-with-surplus.
+
+    ``reclaimable_w`` is the full budget on rejection and the surplus
+    above the application's maximum demand otherwise.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    threshold = critical.productive_threshold_w
+    max_useful = critical.max_demand_w
+    if budget_w < threshold:
+        return BudgetAdvice(
+            verdict=BudgetVerdict.REJECT,
+            budget_w=budget_w,
+            threshold_w=threshold,
+            max_useful_w=max_useful,
+            reclaimable_w=budget_w,
+        )
+    if budget_w > max_useful:
+        surplus = budget_w - max_useful
+        return BudgetAdvice(
+            verdict=BudgetVerdict.ACCEPT_WITH_SURPLUS,
+            budget_w=budget_w,
+            threshold_w=threshold,
+            max_useful_w=max_useful,
+            surplus_w=surplus,
+            reclaimable_w=surplus,
+        )
+    return BudgetAdvice(
+        verdict=BudgetVerdict.ACCEPT,
+        budget_w=budget_w,
+        threshold_w=threshold,
+        max_useful_w=max_useful,
+    )

@@ -1,0 +1,121 @@
+"""COORD: the category-based heuristic power coordination (Algorithm 1).
+
+Given a workload's critical power values and a total budget, COORD picks a
+near-optimal ``(P_cpu, P_mem)`` in constant time.  The four budget regimes
+of Algorithm 1:
+
+A. ``P_b ≥ L1_cpu + L1_mem`` — both components get their full demand; the
+   surplus is reported so a higher-level scheduler can reclaim it.
+B. ``P_b ≥ L2_cpu + L1_mem`` — memory gets its full demand first ("warrant
+   memory power ... when the total budget is insufficient", Section 3.2's
+   scenario-II heuristic), CPU gets the remainder.
+C. ``P_b ≥ L2_cpu + L2_mem`` — neither fits; the gap above the floors is
+   split *proportionally to each component's dynamic range*.
+D. below that — the job is refused: both components would sit in the
+   throttled/floor regime where performance and efficiency are
+   unacceptable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.allocation import PowerAllocation
+from repro.core.critical import CpuCriticalPowers
+from repro.errors import BudgetTooSmallError
+from repro.util.units import watts
+
+__all__ = ["CoordDecision", "CoordStatus", "coord_cpu"]
+
+
+class CoordStatus(enum.Enum):
+    """Outcome flag of a COORD decision."""
+
+    #: Budget allocated, no slack worth reporting.
+    SUCCESS = "success"
+    #: Budget exceeds the application's maximum demand; surplus reported.
+    SURPLUS = "power surplus"
+    #: Budget refused — below the productive threshold (Algorithm 1, D).
+    REJECTED = "budget too small"
+
+
+@dataclass(frozen=True)
+class CoordDecision:
+    """A COORD allocation plus its status and any reclaimable surplus."""
+
+    allocation: PowerAllocation
+    status: CoordStatus
+    surplus_w: float = 0.0
+
+    @property
+    def accepted(self) -> bool:
+        return self.status is not CoordStatus.REJECTED
+
+
+def coord_cpu(
+    critical: CpuCriticalPowers,
+    budget_w: float,
+    *,
+    strict: bool = False,
+) -> CoordDecision:
+    """Algorithm 1: category-based heuristic power coordination for CPUs.
+
+    Parameters
+    ----------
+    critical:
+        The workload's profiled critical power values.
+    budget_w:
+        Total node power budget ``P_b``.
+    strict:
+        When true, a too-small budget raises
+        :class:`~repro.errors.BudgetTooSmallError` instead of returning a
+        ``REJECTED`` decision (batch schedulers prefer the exception).
+
+    Returns
+    -------
+    CoordDecision
+        The chosen ``(P_cpu, P_mem)``; on rejection the allocation pins
+        both domains at their hardware floors (the best the node can do if
+        forced to run anyway).
+    """
+    budget_w = watts(budget_w, "budget_w")
+    c = critical
+
+    if budget_w >= c.cpu_l1 + c.mem_l1:
+        # Case A: adequate power for both; report the reclaimable surplus.
+        allocation = PowerAllocation(c.cpu_l1, c.mem_l1)
+        return CoordDecision(
+            allocation,
+            CoordStatus.SURPLUS,
+            surplus_w=budget_w - allocation.total_w,
+        )
+
+    if budget_w >= c.cpu_l2 + c.mem_l1:
+        # Case B: memory first — it is the performance-critical component
+        # in this regime (scenario II beats scenario III).
+        mem = c.mem_l1
+        return CoordDecision(PowerAllocation(budget_w - mem, mem), CoordStatus.SUCCESS)
+
+    if budget_w >= c.cpu_l2 + c.mem_l2:
+        # Case C: split the budget above the (L2) floors proportionally to
+        # each component's dynamic power range.
+        d_cpu = c.cpu_l1 - c.cpu_l2
+        d_mem = c.mem_l1 - c.mem_l2
+        if d_cpu + d_mem <= 0.0:
+            percent_cpu = 0.5
+        else:
+            percent_cpu = d_cpu / (d_cpu + d_mem)
+        headroom = budget_w - (c.cpu_l2 + c.mem_l2)
+        cpu_w = c.cpu_l2 + percent_cpu * headroom
+        return CoordDecision(
+            PowerAllocation(cpu_w, budget_w - cpu_w), CoordStatus.SUCCESS
+        )
+
+    # Case D: refuse — the node would run in the throttled/floor regime.
+    if strict:
+        raise BudgetTooSmallError(budget_w, c.productive_threshold_w)
+    return CoordDecision(
+        PowerAllocation(c.cpu_l4, c.mem_l3),
+        CoordStatus.REJECTED,
+    )

@@ -1,0 +1,100 @@
+"""COORD for GPU computing (Algorithm 2).
+
+The GPU variant needs fewer parameters because the driver already excludes
+the degenerate scenarios: two per-application totals (``P_tot_max``,
+``P_tot_ref``) and two per-card memory constants.  Three cases:
+
+A. compute-intensive application → minimum memory power, rest to the SMs;
+B. memory-intensive with ``P_b ≥ P_tot_ref`` → maximum memory power, rest
+   to the SMs;
+C. otherwise (in between / small budget) → balance: memory gets its
+   minimum plus ``γ`` of the budget above ``P_tot_min`` (γ = 0.5 in the
+   paper's experiments).
+
+The decision is expressed in watts; :func:`apply_gpu_decision` translates
+it onto the driver's actual knobs (board cap + memory clock offset).
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import PowerAllocation
+from repro.core.coord import CoordDecision, CoordStatus
+from repro.core.critical import GpuCriticalPowers
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GpuCard
+from repro.hardware.gpu_mem import GpuMemOperatingPoint
+from repro.hardware.nvml import NvmlDevice
+from repro.util.units import clamp, watts
+
+__all__ = ["coord_gpu", "apply_gpu_decision"]
+
+
+def coord_gpu(
+    critical: GpuCriticalPowers,
+    budget_w: float,
+    *,
+    hardware_max_w: float,
+    gamma: float = 0.5,
+    compute_intensity_threshold: float = 0.95,
+) -> CoordDecision:
+    """Algorithm 2: category-based heuristic for GPU computing.
+
+    Parameters
+    ----------
+    critical:
+        The workload's profiled GPU parameters.
+    budget_w:
+        Total board power budget ``P_b``.
+    hardware_max_w:
+        The card's maximum settable cap (300 W on the paper's cards);
+        used by the compute-intensity test.
+    gamma:
+        Balance factor for the in-between case; the paper sets 0.5.
+    compute_intensity_threshold:
+        Fraction of ``hardware_max_w`` above which ``P_tot_max`` marks the
+        application compute intensive.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    if not 0.0 <= gamma <= 1.0:
+        raise ConfigurationError(f"gamma must be in [0, 1], got {gamma}")
+    c = critical
+
+    status = CoordStatus.SUCCESS
+    surplus = 0.0
+    if budget_w >= c.tot_max:
+        status = CoordStatus.SURPLUS
+        surplus = budget_w - c.tot_max
+
+    if c.is_compute_intensive(hardware_max_w, compute_intensity_threshold):
+        # Case A: starve memory, feed the SMs.
+        mem = c.mem_min
+    elif budget_w >= c.tot_ref:
+        # Case B: memory intensive with budget to spare — max memory clock.
+        # (Clamped to the budget for robustness against degenerate profiles
+        # where mem_max exceeds tot_ref; profiled values always satisfy
+        # tot_ref > mem_max because tot_ref includes board + SM floor.)
+        mem = min(c.mem_max, budget_w)
+    else:
+        # Case C: balanced split of the headroom above the minimum total.
+        mem = c.mem_min + gamma * max(0.0, budget_w - c.tot_min)
+        mem = clamp(mem, c.mem_min, c.mem_max)
+
+    sm = max(0.0, budget_w - mem)
+    return CoordDecision(PowerAllocation(sm, mem), status, surplus_w=surplus)
+
+
+def apply_gpu_decision(
+    device: NvmlDevice,
+    decision: CoordDecision,
+    budget_w: float,
+) -> GpuMemOperatingPoint:
+    """Program a COORD decision onto the driver knobs.
+
+    The memory share becomes a clock via the card's empirical power model;
+    the board cap is the total budget (clamped to the driver range), with
+    the firmware's reclaim handling any watts the memory leaves unused.
+    """
+    card: GpuCard = device.card
+    cap = clamp(budget_w, card.min_cap_w, card.max_cap_w)
+    device.set_power_limit(cap)
+    return device.set_mem_power_target(decision.allocation.mem_w)

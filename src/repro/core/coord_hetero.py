@@ -1,0 +1,281 @@
+"""Heuristic power coordination for big.LITTLE nodes (extension).
+
+Extends the COORD philosophy to a three-way allocation
+``(P_big, P_little, P_mem)``.  The heuristic's structure mirrors
+Algorithm 1, with one heterogeneous twist — *efficiency-ordered compute
+filling*:
+
+1. memory first, up to the workload's DRAM demand (memory remains the
+   performance-critical component);
+2. the **little** cluster next, up to its full demand — little cores
+   deliver more operations per watt, so each watt placed there buys more
+   throughput than on the big cluster;
+3. the **big** cluster last, only with what remains — and only if the
+   remainder clears its gate threshold plus a margin where waking the big
+   cores actually helps (below that, the watts do more good as little/DRAM
+   headroom).
+
+A small sweep utility (:func:`sweep_biglittle`) provides the oracle for
+evaluating the heuristic's accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BudgetTooSmallError, SweepError
+from repro.hardware.biglittle import BigLittleNode
+from repro.perfmodel.executor import _effective_activity
+from repro.perfmodel.hetero import execute_on_biglittle
+from repro.util.units import watts
+from repro.workloads.base import Workload
+
+__all__ = [
+    "HeteroAllocation",
+    "HeteroSweepPoint",
+    "coord_biglittle",
+    "profile_biglittle",
+    "sweep_biglittle",
+]
+
+
+@dataclass(frozen=True)
+class HeteroAllocation:
+    """A three-way allocation on a heterogeneous node."""
+
+    big_w: float
+    little_w: float
+    mem_w: float
+
+    def __post_init__(self) -> None:
+        watts(self.big_w, "big_w")
+        watts(self.little_w, "little_w")
+        watts(self.mem_w, "mem_w")
+
+    @property
+    def total_w(self) -> float:
+        return self.big_w + self.little_w + self.mem_w
+
+
+@dataclass(frozen=True)
+class HeteroCriticalPowers:
+    """Profiled demands for the three domains."""
+
+    big_l1: float
+    little_l1: float
+    mem_l1: float
+    mem_floor: float
+
+
+def profile_biglittle(node: BigLittleNode, workload: Workload) -> HeteroCriticalPowers:
+    """One uncapped run → per-domain maximum demands."""
+    big_max = node.big.domain.max_power_w + 1.0
+    little_max = node.little.domain.max_power_w + 1.0
+    mem_max = node.dram.max_power_w + 1.0
+    result = execute_on_biglittle(node, workload.phases, big_max, little_max, mem_max)
+    # Per-cluster demand: recompute from the run's effective activity.
+    u = result.utilization
+    a_eff = max(
+        _effective_activity(phase, u) for phase in workload.phases
+    )
+    big_l1 = node.big.domain.pstate_power_w(node.big.domain.pstates.f_nom_ghz, a_eff)
+    little_l1 = node.little.domain.pstate_power_w(
+        node.little.domain.pstates.f_nom_ghz, a_eff
+    )
+    mem_l1 = max(p.mem_power_w for p in result.phases)
+    return HeteroCriticalPowers(
+        big_l1=big_l1,
+        little_l1=little_l1,
+        mem_l1=mem_l1,
+        mem_floor=node.dram.background_w,
+    )
+
+
+def _fill(budget_w: float, *wants: float) -> list[float]:
+    """Greedy fill: grant each demand in order until the budget runs out."""
+    grants = []
+    remaining = budget_w
+    for want in wants:
+        grant = min(want, max(0.0, remaining))
+        grants.append(grant)
+        remaining -= grant
+    return grants
+
+
+def coord_biglittle(
+    node: BigLittleNode,
+    critical: HeteroCriticalPowers,
+    budget_w: float,
+    *,
+    workload: Workload | None = None,
+    strict: bool = False,
+) -> HeteroAllocation:
+    """Heuristic allocation for a heterogeneous node: candidate probing.
+
+    Homogeneous COORD picks its case from critical values alone; with a
+    gateable third domain the wake-the-big-cores decision is a genuine
+    crossover that critical values cannot settle, so the heuristic builds
+    a fixed candidate set (≤ 4 configurations, each an efficiency-ordered
+    greedy fill) and — when ``workload`` is supplied — probes each with
+    one short run, picking the winner.  Without a workload the candidates
+    are ranked by a static preference (little-first below the big gate,
+    big-first above), which is cheaper but weaker at the crossover.
+
+    Raises :class:`~repro.errors.BudgetTooSmallError` (``strict``) or
+    returns the cheapest running configuration when the budget cannot
+    power the little cluster and the DRAM floor.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    threshold = node.min_productive_power_w
+    if budget_w < threshold:
+        if strict:
+            raise BudgetTooSmallError(budget_w, threshold)
+        return HeteroAllocation(0.0, node.little.gate_threshold_w, node.dram.background_w)
+
+    mem_floor = max(min(node.dram.floor_power_w, critical.mem_l1), critical.mem_floor)
+    gate = node.big.gate_threshold_w
+    candidates: list[HeteroAllocation] = []
+
+    # (a) little-only: floor memory, little, then memory demand.
+    m0, l0, m_extra = _fill(
+        budget_w, mem_floor, critical.little_l1, max(0.0, critical.mem_l1 - mem_floor)
+    )
+    candidates.append(HeteroAllocation(0.0, l0, m0 + m_extra))
+
+    # (a2) little-only, little saturated: with the big cluster gated the
+    # little cores carry all the work, so their demand exceeds the shared-
+    # run profile; offer the cluster maximum with balanced leftovers.
+    m0b, l0b, m0b_extra = _fill(
+        budget_w,
+        critical.mem_floor,
+        node.little.domain.max_power_w,
+        max(0.0, critical.mem_l1 - critical.mem_floor),
+    )
+    candidates.append(HeteroAllocation(0.0, l0b, m0b + m0b_extra))
+
+    # (b) wake big with floor memory: floor mem, little, big.
+    m1, l1, b1 = _fill(budget_w, mem_floor, critical.little_l1, critical.big_l1)
+    if b1 >= gate:
+        candidates.append(HeteroAllocation(b1, l1, m1))
+
+    # (c) wake big with full memory: mem demand, little, big.
+    m2, l2, b2 = _fill(
+        budget_w, max(mem_floor, critical.mem_l1), critical.little_l1, critical.big_l1
+    )
+    if b2 >= gate:
+        candidates.append(HeteroAllocation(b2, l2, m2))
+
+    # (d) big-only: gate the little cluster, balance big against memory.
+    m3, b3 = _fill(budget_w, max(mem_floor, critical.mem_l1), critical.big_l1)
+    if b3 >= gate:
+        candidates.append(HeteroAllocation(b3, 0.0, m3))
+
+    # (e) big-only with floor memory: the aggressive wake at the crossover.
+    m4, b4 = _fill(budget_w, mem_floor, critical.big_l1)
+    if b4 >= gate:
+        candidates.append(HeteroAllocation(b4, 0.0, m4))
+
+    # (e2) big-only with mid-range memory: the crossover's balanced form.
+    mem_mid = 0.5 * (mem_floor + max(mem_floor, critical.mem_l1))
+    m4b, b4b = _fill(budget_w, mem_mid, critical.big_l1)
+    if b4b >= gate:
+        candidates.append(HeteroAllocation(b4b, 0.0, m4b))
+
+    # (f) balanced wake: little + half the remaining watts each to the big
+    # cluster and to memory headroom.
+    m5, l5 = _fill(budget_w, mem_floor, critical.little_l1)
+    rest = budget_w - m5 - l5
+    if rest / 2.0 >= gate:
+        extra_mem = min(rest / 2.0, max(0.0, critical.mem_l1 - m5))
+        candidates.append(
+            HeteroAllocation(rest - extra_mem, l5, m5 + extra_mem)
+        )
+
+    # Discard configurations that gate both clusters (tiny budgets can
+    # push candidate (a)'s little share under its gate after the memory
+    # floor is served), and guarantee at least one valid configuration:
+    # little at its gate, memory with the rest.
+    candidates = [
+        c for c in candidates
+        if c.big_w >= gate or c.little_w >= node.little.gate_threshold_w
+    ]
+    little_min = node.little.gate_threshold_w
+    candidates.append(
+        HeteroAllocation(0.0, little_min, max(0.0, budget_w - little_min))
+    )
+    # (a3) starved balance: memory background plus an even split of the
+    # rest between the little cluster and memory headroom — the right
+    # shape when the budget barely clears the productive threshold.
+    rest = max(0.0, budget_w - critical.mem_floor)
+    candidates.append(
+        HeteroAllocation(
+            0.0,
+            max(little_min, min(node.little.domain.max_power_w, rest / 2.0)),
+            budget_w - max(little_min, min(node.little.domain.max_power_w, rest / 2.0)),
+        )
+    )
+
+    if workload is not None:
+        def probe(alloc: HeteroAllocation) -> tuple[bool, float]:
+            result = execute_on_biglittle(
+                node, workload.phases, alloc.big_w, alloc.little_w, alloc.mem_w
+            )
+            # Bound-respecting candidates strictly outrank violating ones.
+            return (result.respects_bound, workload.performance(result))
+
+        return max(candidates, key=probe)
+
+    # Static preference: below the big gate only (a) exists anyway; above
+    # it prefer waking big with full memory, then floor memory, then (a).
+    for alloc in (candidates[2:3] or candidates[1:2]) + candidates[:1]:
+        return alloc
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class HeteroSweepPoint:
+    """One point of the 2-D heterogeneous sweep."""
+
+    allocation: HeteroAllocation
+    performance: float
+
+
+def sweep_biglittle(
+    node: BigLittleNode,
+    workload: Workload,
+    budget_w: float,
+    *,
+    step_w: float = 0.5,
+) -> list[HeteroSweepPoint]:
+    """Exhaustive oracle over (big, little) splits; memory gets the rest.
+
+    Gated configurations (caps below thresholds) are included — they are
+    legitimate choices on this hardware — but infeasible all-gated points
+    are skipped.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    if step_w <= 0:
+        raise SweepError(f"step_w must be > 0, got {step_w}")
+    points: list[HeteroSweepPoint] = []
+    mem_floor = node.dram.background_w
+    for big in np.arange(0.0, budget_w - mem_floor + 1e-9, step_w):
+        for little in np.arange(0.0, budget_w - mem_floor - big + 1e-9, step_w):
+            mem = budget_w - big - little
+            if mem < mem_floor:
+                continue
+            if node.big.is_gated(big) and node.little.is_gated(little):
+                continue
+            result = execute_on_biglittle(node, workload.phases, big, little, mem)
+            if not result.respects_bound:
+                continue
+            points.append(
+                HeteroSweepPoint(
+                    allocation=HeteroAllocation(float(big), float(little), float(mem)),
+                    performance=workload.performance(result),
+                )
+            )
+    if not points:
+        raise SweepError(f"no feasible heterogeneous allocation at {budget_w} W")
+    return points

@@ -1,0 +1,259 @@
+"""Hybrid CPU+GPU application coordination (extension).
+
+Section 2.2 explicitly defers "hybrid computing" to future work.  This
+module takes the natural first step for the dominant hybrid pattern — GPU
+offload: the application alternates between host steps (setup, halo
+exchange, reductions) and device steps (kernels), one side mostly idle
+while the other works.
+
+Under a *node* power bound the coordinator can therefore shift nearly the
+whole budget back and forth per step:
+
+* during a host step the GPU sits at its idle floor, so the host domains
+  get ``P_b − P_gpu_idle``, split by host COORD;
+* during a device step the host idles, so the card's cap is
+  ``P_b − P_host_idle`` (clamped to the driver range) with the memory
+  clock steered by GPU COORD.
+
+The alternative a budget-oblivious deployment uses — statically splitting
+the bound between host and card — wastes the idle side's share; the
+comparison utilities quantify that cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coord import CoordDecision, coord_cpu
+from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
+from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
+from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
+from repro.errors import ConfigurationError, InfeasibleBudgetError
+from repro.hardware.node import ComputeNode
+from repro.hardware.nvml import NvmlDevice
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+from repro.perfmodel.phase import Phase
+from repro.util.units import clamp, watts
+from repro.workloads.base import MetricKind, Workload, WorkloadClass
+
+__all__ = [
+    "HybridResult",
+    "HybridStep",
+    "HybridWorkload",
+    "coord_hybrid",
+    "execute_hybrid",
+    "offload_workload",
+]
+
+
+@dataclass(frozen=True)
+class HybridStep:
+    """One step of a hybrid application: a phase bound to a device."""
+
+    device: str
+    phase: Phase
+
+    def __post_init__(self) -> None:
+        if self.device not in ("cpu", "gpu"):
+            raise ConfigurationError(
+                f"step device must be 'cpu' or 'gpu', got {self.device!r}"
+            )
+
+
+@dataclass(frozen=True)
+class HybridWorkload:
+    """A GPU-offload application: an ordered sequence of device-tagged steps."""
+
+    name: str
+    steps: tuple[HybridStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigurationError(f"hybrid workload {self.name!r} has no steps")
+        if not any(s.device == "gpu" for s in self.steps):
+            raise ConfigurationError(
+                f"hybrid workload {self.name!r} never uses the GPU; "
+                "model it as a plain CPU workload instead"
+            )
+
+    def host_view(self) -> Workload:
+        """The host steps as a profiling-ready CPU workload."""
+        phases = tuple(s.phase for s in self.steps if s.device == "cpu")
+        if not phases:
+            raise ConfigurationError(f"{self.name!r} has no host steps")
+        return Workload(
+            name=f"{self.name}-host", suite="hybrid", description="host steps",
+            device="cpu", workload_class=WorkloadClass.MIXED, phases=phases,
+            metric=MetricKind.GFLOPS,
+        )
+
+    def gpu_view(self) -> Workload:
+        """The device steps as a profiling-ready GPU workload."""
+        phases = tuple(s.phase for s in self.steps if s.device == "gpu")
+        return Workload(
+            name=f"{self.name}-gpu", suite="hybrid", description="device steps",
+            device="gpu", workload_class=WorkloadClass.MIXED, phases=phases,
+            metric=MetricKind.GFLOPS,
+        )
+
+    @property
+    def total_flops(self) -> float:
+        return sum(s.phase.flops for s in self.steps)
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    """Outcome of a hybrid run under a node bound."""
+
+    elapsed_s: float
+    host_time_s: float
+    gpu_time_s: float
+    energy_j: float
+    peak_node_power_w: float
+    performance_gflops: float
+
+
+@dataclass(frozen=True)
+class HybridDecision:
+    """The per-step-type control settings the hybrid coordinator chose."""
+
+    host: CoordDecision
+    gpu: CoordDecision
+    gpu_cap_w: float
+    gpu_mem_freq_mhz: float
+
+
+def _gpu_idle_w(node: ComputeNode) -> float:
+    card = node.gpu(0)
+    return card.floor_power_w
+
+
+def _host_idle_w(node: ComputeNode) -> float:
+    return node.cpu.idle_power_w + node.dram.background_w
+
+
+def coord_hybrid(
+    node: ComputeNode,
+    workload: HybridWorkload,
+    budget_w: float,
+    *,
+    host_critical: CpuCriticalPowers | None = None,
+    gpu_critical: GpuCriticalPowers | None = None,
+) -> HybridDecision:
+    """Coordinate a node budget across the steps of a hybrid application.
+
+    Profiles each side (unless profiles are supplied) and produces the
+    per-step-type settings: host caps for CPU steps, board cap + memory
+    clock for GPU steps.  Raises
+    :class:`~repro.errors.InfeasibleBudgetError` when the budget cannot
+    cover even the idle side plus the active side's minimum.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    if not node.gpus:
+        raise ConfigurationError(f"node {node.name!r} carries no GPU")
+    card = node.gpu(0)
+    gpu_idle = _gpu_idle_w(node)
+    host_idle = _host_idle_w(node)
+
+    host_budget = budget_w - gpu_idle
+    gpu_budget = budget_w - host_idle
+    if host_budget <= 0 or gpu_budget < card.min_cap_w:
+        raise InfeasibleBudgetError(
+            f"node budget {budget_w:.0f} W cannot host the hybrid workload: "
+            f"host share {host_budget:.0f} W, gpu share {gpu_budget:.0f} W "
+            f"(driver minimum {card.min_cap_w:.0f} W)"
+        )
+
+    if host_critical is None:
+        host_critical = profile_cpu_workload(node.cpu, node.dram, workload.host_view())
+    if gpu_critical is None:
+        gpu_critical = profile_gpu_workload(card, workload.gpu_view())
+
+    host_decision = coord_cpu(host_critical, host_budget)
+    gpu_cap = clamp(gpu_budget, card.min_cap_w, card.max_cap_w)
+    gpu_decision = coord_gpu(gpu_critical, gpu_cap, hardware_max_w=card.max_cap_w)
+    device = NvmlDevice(card)
+    mem_op = apply_gpu_decision(device, gpu_decision, gpu_cap)
+    return HybridDecision(
+        host=host_decision,
+        gpu=gpu_decision,
+        gpu_cap_w=gpu_cap,
+        gpu_mem_freq_mhz=mem_op.freq_mhz,
+    )
+
+
+def execute_hybrid(
+    node: ComputeNode,
+    workload: HybridWorkload,
+    decision: HybridDecision,
+) -> HybridResult:
+    """Run a hybrid workload under a coordinator's settings.
+
+    Steps serialize (the offload model): the idle side draws its floor
+    while the other works, and the reported peak node power is the worst
+    concurrent draw over all steps.
+    """
+    card = node.gpu(0)
+    gpu_idle = _gpu_idle_w(node)
+    host_idle = _host_idle_w(node)
+    host_alloc = decision.host.allocation
+
+    elapsed = host_time = gpu_time = energy = 0.0
+    peak = 0.0
+    for step in workload.steps:
+        if step.device == "cpu":
+            r = execute_on_host(
+                node.cpu, node.dram, (step.phase,),
+                host_alloc.proc_w, host_alloc.mem_w,
+            )
+            node_power = r.total_power_w + gpu_idle
+            host_time += r.elapsed_s
+        else:
+            r = execute_on_gpu(
+                card, (step.phase,), decision.gpu_cap_w, decision.gpu_mem_freq_mhz
+            )
+            node_power = r.total_power_w + host_idle
+            gpu_time += r.elapsed_s
+        elapsed += r.elapsed_s
+        energy += node_power * r.elapsed_s
+        peak = max(peak, node_power)
+    return HybridResult(
+        elapsed_s=elapsed,
+        host_time_s=host_time,
+        gpu_time_s=gpu_time,
+        energy_j=energy,
+        peak_node_power_w=peak,
+        performance_gflops=workload.total_flops / elapsed / 1e9,
+    )
+
+
+def offload_workload(name: str = "offload-cg") -> HybridWorkload:
+    """A reference GPU-offload application.
+
+    Host assembly → device solver kernels → host reduction: the classic
+    accelerated-solver shape (MiniFE-like device work bracketed by mixed
+    host work).
+    """
+    assemble = Phase(
+        name="assemble", flops=6.0e10, bytes_moved=1.0e11,
+        activity=0.6, stall_activity=0.4,
+        compute_efficiency=0.06, memory_efficiency=0.6,
+    )
+    solve = Phase(
+        name="device-solve", flops=6.6e11, bytes_moved=2.64e12,
+        activity=0.38, stall_activity=0.30,
+        compute_efficiency=0.0053, memory_efficiency=0.55,
+    )
+    reduce = Phase(
+        name="reduce", flops=2.0e10, bytes_moved=5.0e10,
+        activity=0.5, stall_activity=0.4,
+        compute_efficiency=0.04, memory_efficiency=0.7,
+    )
+    return HybridWorkload(
+        name=name,
+        steps=(
+            HybridStep("cpu", assemble),
+            HybridStep("gpu", solve),
+            HybridStep("cpu", reduce),
+        ),
+    )

@@ -1,0 +1,74 @@
+"""COORD+ : Algorithm 1 with a three-candidate probe in the tight regime.
+
+Faithful COORD (Algorithm 1) splits case-C budgets *proportionally to the
+components' dynamic ranges* — a blind rule that costs 15–30 % against the
+oracle at small budgets (the paper's own numbers average 9.6 % across all
+caps for the same reason).  The balance point actually satisfies
+
+    t_compute(P_cpu)  =  t_memory(P_mem)
+
+which two or three probe runs can bracket.  COORD+ keeps Algorithm 1's
+cases A/B/D verbatim and, in case C only, evaluates three candidates —
+the proportional split plus a memory-lean and a memory-rich variant —
+returning the best *bound-respecting* one.  The cost is two extra runs per
+(application, budget) decision; the ablation harness quantifies the gain.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import PowerAllocation
+from repro.core.coord import CoordDecision, CoordStatus, coord_cpu
+from repro.core.critical import CpuCriticalPowers
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.perfmodel.executor import execute_on_host
+from repro.util.units import watts
+from repro.workloads.base import Workload
+
+__all__ = ["coord_cpu_probing"]
+
+
+def coord_cpu_probing(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    critical: CpuCriticalPowers,
+    budget_w: float,
+    *,
+    lean_shift: float = 0.5,
+    strict: bool = False,
+) -> CoordDecision:
+    """COORD with case-C candidate probing (three short runs).
+
+    ``lean_shift`` sets how far the two extra candidates lean away from
+    the proportional split, as a fraction of the distance to the L2
+    floors.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    if not 0.0 < lean_shift <= 1.0:
+        raise ConfigurationError(f"lean_shift must be in (0, 1], got {lean_shift}")
+    base = coord_cpu(critical, budget_w, strict=strict)
+    if base.status is not CoordStatus.SUCCESS:
+        return base  # cases A (surplus) and D (rejected) are already right
+    if budget_w >= critical.cpu_l2 + critical.mem_l1:
+        return base  # case B: memory-first is already the paper's rule
+
+    # Case C: probe around the proportional split.
+    prop = base.allocation
+    room_down = max(0.0, prop.mem_w - critical.mem_l2)
+    room_up = max(0.0, prop.proc_w - critical.cpu_l2)
+    candidates = [prop]
+    if room_down > 0:
+        candidates.append(prop.shifted(-lean_shift * room_down))
+    if room_up > 0:
+        candidates.append(prop.shifted(lean_shift * room_up))
+
+    def score(alloc: PowerAllocation) -> tuple[bool, float]:
+        result = execute_on_host(
+            cpu, dram, workload.phases, alloc.proc_w, alloc.mem_w
+        )
+        return (result.respects_bound, workload.performance(result))
+
+    best = max(candidates, key=score)
+    return CoordDecision(best, CoordStatus.SUCCESS)

@@ -1,0 +1,175 @@
+"""Critical power values: the boundaries of the scenario categories.
+
+Section 5.1 defines four critical processor powers and three critical
+memory powers per application on CPU platforms, and Section 5.2 reduces the
+GPU case to two per-application totals plus two per-card constants.  These
+are the *only* inputs the COORD heuristics need — the whole point of the
+paper's "lightweight profiling" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CpuCriticalPowers", "GpuCriticalPowers"]
+
+
+@dataclass(frozen=True)
+class CpuCriticalPowers:
+    """The seven application-specific critical power values (Section 5.1).
+
+    Attributes
+    ----------
+    cpu_l1:
+        Maximum processor power consumption (highest P-state, full run).
+    cpu_l2:
+        Processor power at the lowest P-state; ``[cpu_l2, cpu_l1]`` is the
+        DVFS-managed range.
+    cpu_l3:
+        Processor power at the lowest clock-throttling (T-state) setting.
+    cpu_l4:
+        Hardware minimum while actively executing — application independent;
+        caps below it are not honoured.
+    mem_l1:
+        Highest DRAM power when both domains run at full performance.
+    mem_l2:
+        DRAM power when the processor sits at ``cpu_l3``.
+    mem_l3:
+        Hardware minimum DRAM power — application independent.
+    """
+
+    cpu_l1: float
+    cpu_l2: float
+    cpu_l3: float
+    cpu_l4: float
+    mem_l1: float
+    mem_l2: float
+    mem_l3: float
+
+    def __post_init__(self) -> None:
+        if not (self.cpu_l1 >= self.cpu_l2 >= self.cpu_l3 >= self.cpu_l4 > 0):
+            raise ConfigurationError(
+                "CPU critical powers must be ordered L1 >= L2 >= L3 >= L4 > 0, got "
+                f"({self.cpu_l1}, {self.cpu_l2}, {self.cpu_l3}, {self.cpu_l4})"
+            )
+        # Note: mem_l1 (the application's busy-coupled demand) may sit
+        # *below* mem_l3 (the hardware floor *setting*) for compute-bound
+        # applications whose bus is mostly idle, so no ordering is imposed
+        # between them.
+        if min(self.mem_l1, self.mem_l2, self.mem_l3) <= 0:
+            raise ConfigurationError(
+                "memory critical powers must be positive, got "
+                f"({self.mem_l1}, {self.mem_l2}, {self.mem_l3})"
+            )
+
+    @property
+    def max_demand_w(self) -> float:
+        """Node power demand at full performance — above this is surplus."""
+        return self.cpu_l1 + self.mem_l1
+
+    @property
+    def productive_threshold_w(self) -> float:
+        """The minimum budget COORD accepts: ``cpu_l2 + mem_l2``.
+
+        Below it, both components would have to be throttled into the
+        unproductive T-state/floor regime (Algorithm 1, case D).
+        """
+        return self.cpu_l2 + self.mem_l2
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (reports, serialization)."""
+        return {
+            "cpu_l1": self.cpu_l1,
+            "cpu_l2": self.cpu_l2,
+            "cpu_l3": self.cpu_l3,
+            "cpu_l4": self.cpu_l4,
+            "mem_l1": self.mem_l1,
+            "mem_l2": self.mem_l2,
+            "mem_l3": self.mem_l3,
+        }
+
+    def perturbed(self, rel_noise: float, rng) -> "CpuCriticalPowers":
+        """A copy with multiplicative measurement noise on the *measured*
+        values (L1–L3 and mem L1/L2); the hardware constants L4/mem-L3 are
+        read from specifications and stay exact.
+
+        Models the paper's observed < 5 % run-to-run variation; used by
+        the robustness analysis to ask how sensitive COORD is to noisy
+        profiling.  The documented orderings are re-imposed after
+        perturbation (a real profiler would clamp the same way).
+        """
+        if rel_noise < 0:
+            raise ConfigurationError(f"rel_noise must be >= 0, got {rel_noise}")
+
+        def jitter(value: float) -> float:
+            return value * float(1.0 + rng.uniform(-rel_noise, rel_noise))
+
+        cpu_l3 = max(jitter(self.cpu_l3), self.cpu_l4)
+        cpu_l2 = max(jitter(self.cpu_l2), cpu_l3)
+        cpu_l1 = max(jitter(self.cpu_l1), cpu_l2)
+        return CpuCriticalPowers(
+            cpu_l1=cpu_l1,
+            cpu_l2=cpu_l2,
+            cpu_l3=cpu_l3,
+            cpu_l4=self.cpu_l4,
+            mem_l1=jitter(self.mem_l1),
+            mem_l2=jitter(self.mem_l2),
+            mem_l3=self.mem_l3,
+        )
+
+
+@dataclass(frozen=True)
+class GpuCriticalPowers:
+    """GPU COORD parameters (Section 5.2).
+
+    Two are per application:
+
+    * ``tot_max`` — total board power with no cap imposed (also the
+      compute-intensity test: a value close to the hardware maximum means
+      compute intensive);
+    * ``tot_ref`` — total power with memory at the nominal clock and the SM
+      at its minimum pairing clock.
+
+    Two are per card, application independent:
+
+    * ``mem_min`` / ``mem_max`` — estimated memory power at the lowest and
+      nominal memory clocks.
+
+    ``tot_min`` (total at both minima) anchors the balanced in-between
+    branch of Algorithm 2.
+    """
+
+    tot_max: float
+    tot_ref: float
+    tot_min: float
+    mem_min: float
+    mem_max: float
+
+    def __post_init__(self) -> None:
+        if not (self.tot_max >= self.tot_ref >= self.tot_min > 0):
+            raise ConfigurationError(
+                "GPU totals must be ordered tot_max >= tot_ref >= tot_min > 0, "
+                f"got ({self.tot_max}, {self.tot_ref}, {self.tot_min})"
+            )
+        if not (self.mem_max >= self.mem_min > 0):
+            raise ConfigurationError(
+                f"mem_max ({self.mem_max}) must be >= mem_min ({self.mem_min}) > 0"
+            )
+
+    def is_compute_intensive(self, hardware_max_w: float, threshold: float = 0.95) -> bool:
+        """The paper's intensity test: demand close to the hardware maximum."""
+        if hardware_max_w <= 0:
+            raise ConfigurationError("hardware_max_w must be > 0")
+        return self.tot_max >= threshold * hardware_max_w
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (reports, serialization)."""
+        return {
+            "tot_max": self.tot_max,
+            "tot_ref": self.tot_ref,
+            "tot_min": self.tot_min,
+            "mem_min": self.mem_min,
+            "mem_max": self.mem_max,
+        }

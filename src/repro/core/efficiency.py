@@ -1,0 +1,139 @@
+"""Energy-efficiency analysis of power budgets and allocations.
+
+Section 3.1's scheduling insights are stated in efficiency terms: small
+budgets deliver "low performance *and* power efficiency" and should be
+reclaimed; over-budgeting "wastes power without increasing performance".
+This module quantifies both with the metrics the community uses:
+
+* performance per watt (the Green500 metric shape);
+* energy-to-solution and energy-delay product (EDP);
+* the *efficient budget band*: budgets whose perf/W is within a factor of
+  the peak — the operating region a global scheduler should target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sweep import AllocationSweep, sweep_cpu_allocations
+from repro.errors import SweepError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.util.units import check_fraction
+from repro.workloads.base import Workload
+
+__all__ = [
+    "EfficiencyCurve",
+    "EfficiencyPoint",
+    "efficiency_curve",
+    "sweep_efficiency",
+]
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """Efficiency metrics for one (budget, best-allocation) pair."""
+
+    budget_w: float
+    performance: float
+    actual_power_w: float
+    elapsed_s: float
+    energy_j: float
+
+    @property
+    def perf_per_watt(self) -> float:
+        """Performance per *actual* watt (not per allocated watt)."""
+        return self.performance / self.actual_power_w
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP = energy × time; lower is better."""
+        return self.energy_j * self.elapsed_s
+
+
+@dataclass(frozen=True)
+class EfficiencyCurve:
+    """Efficiency metrics of the per-budget optimal allocations."""
+
+    workload_name: str
+    metric_unit: str
+    points: tuple[EfficiencyPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise SweepError("efficiency curve needs at least one budget")
+
+    @property
+    def budgets_w(self) -> np.ndarray:
+        return np.array([p.budget_w for p in self.points])
+
+    @property
+    def perf_per_watt(self) -> np.ndarray:
+        return np.array([p.perf_per_watt for p in self.points])
+
+    @property
+    def edp(self) -> np.ndarray:
+        return np.array([p.energy_delay_product for p in self.points])
+
+    @property
+    def peak_efficiency_budget_w(self) -> float:
+        """The budget with the best perf/W — a scheduler's sweet spot."""
+        return float(self.budgets_w[int(np.argmax(self.perf_per_watt))])
+
+    def efficient_band_w(self, tolerance: float = 0.9) -> tuple[float, float]:
+        """Budgets whose perf/W is within ``tolerance``× of the peak.
+
+        The paper's advice operationalized: budgets below the band should
+        be refused, budgets above it trimmed.
+        """
+        check_fraction(tolerance, "tolerance")
+        eff = self.perf_per_watt
+        ok = self.budgets_w[eff >= tolerance * eff.max()]
+        return float(ok.min()), float(ok.max())
+
+
+def _point_from_sweep(sweep: AllocationSweep) -> EfficiencyPoint:
+    best = sweep.best
+    return EfficiencyPoint(
+        budget_w=sweep.budget_w,
+        performance=best.performance,
+        actual_power_w=best.result.total_power_w,
+        elapsed_s=best.result.elapsed_s,
+        energy_j=best.result.energy_j,
+    )
+
+
+def efficiency_curve(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budgets_w: list[float] | np.ndarray,
+    *,
+    step_w: float = 4.0,
+) -> EfficiencyCurve:
+    """Efficiency of the best allocation at each budget."""
+    budgets = np.asarray(budgets_w, dtype=float)
+    if budgets.size == 0:
+        raise SweepError("efficiency curve needs at least one budget")
+    points = tuple(
+        _point_from_sweep(
+            sweep_cpu_allocations(cpu, dram, workload, float(b), step_w=step_w)
+        )
+        for b in budgets
+    )
+    return EfficiencyCurve(
+        workload_name=workload.name,
+        metric_unit=workload.metric_unit,
+        points=points,
+    )
+
+
+def sweep_efficiency(sweep: AllocationSweep) -> np.ndarray:
+    """perf/W across one sweep's allocations (the Figure 8 efficiency view).
+
+    Poorly coordinated allocations score badly twice: less performance
+    *and* (outside the floor scenarios) nearly the same power draw.
+    """
+    return sweep.performances / sweep.total_actual_w

@@ -1,0 +1,116 @@
+"""Power elasticity: where does the next watt help most?
+
+A cluster power manager holding spare watts must decide which job to give
+them to.  The right quantity is the *marginal* performance per watt —
+the relative speedup a small budget increase buys through COORD:
+
+    elasticity(W, P_b, Δ) = (perf_max(P_b + Δ) / perf_max(P_b) − 1) / Δ
+
+computed on the *optimal frontier* (``perf_max``, via the golden-section
+oracle) — the frontier is monotone in the budget, so the signal is clean;
+a single heuristic's output is not (its discrete case boundaries make
+small increments non-monotone).
+
+Saturated jobs (budget at or above their max demand) have elasticity ≈ 0;
+budget-starved memory-bound jobs have the highest.  The rebalancing
+scheduler can order its boosts by this signal instead of FCFS, and
+:func:`rank_by_elasticity` is the generic building block for any
+higher-level power market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coord import coord_cpu
+from repro.core.critical import CpuCriticalPowers
+from repro.core.optimize import golden_section_optimal
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.util.units import check_positive, watts
+from repro.workloads.base import Workload
+
+__all__ = ["ElasticityEstimate", "power_elasticity", "rank_by_elasticity"]
+
+
+@dataclass(frozen=True)
+class ElasticityEstimate:
+    """Marginal performance of extra power for one (workload, budget)."""
+
+    budget_w: float
+    delta_w: float
+    base_performance: float
+    boosted_performance: float
+
+    @property
+    def relative_gain(self) -> float:
+        """Fractional speedup from the probe increment."""
+        if self.base_performance <= 0:
+            return float("inf")
+        return self.boosted_performance / self.base_performance - 1.0
+
+    @property
+    def per_watt(self) -> float:
+        """Relative speedup per additional watt — the ranking signal."""
+        return self.relative_gain / self.delta_w
+
+
+def power_elasticity(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    critical: CpuCriticalPowers,
+    budget_w: float,
+    *,
+    delta_w: float = 10.0,
+) -> ElasticityEstimate:
+    """Probe the marginal performance of ``delta_w`` extra watts.
+
+    Two golden-section searches (a few dozen short model runs) give the
+    optimal-frontier performance at the current and incremented budgets.
+    Budgets below COORD's productive threshold probe as zero base
+    performance — any watt that makes the job admissible is infinitely
+    valuable there, and the estimate reports ``inf``.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    check_positive(delta_w, "delta_w")
+
+    def perf_at(b: float) -> float:
+        if not coord_cpu(critical, b).accepted:
+            return 0.0
+        return golden_section_optimal(cpu, dram, workload, b, tol_w=4.0).performance
+
+    base = perf_at(budget_w)
+    boosted = perf_at(budget_w + delta_w)
+    return ElasticityEstimate(
+        budget_w=budget_w,
+        delta_w=delta_w,
+        base_performance=base,
+        # The frontier is monotone; clip the oracle's tolerance jitter.
+        boosted_performance=max(base, boosted),
+    )
+
+
+def rank_by_elasticity(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    candidates: list[tuple[Workload, CpuCriticalPowers, float]],
+    *,
+    delta_w: float = 10.0,
+) -> list[tuple[int, ElasticityEstimate]]:
+    """Rank (workload, critical, current-budget) triples by marginal value.
+
+    Returns ``(candidate index, estimate)`` pairs, most elastic first —
+    the order in which spare watts should be handed out.
+    """
+    if not candidates:
+        raise ConfigurationError("no candidates to rank")
+    estimates = [
+        (
+            i,
+            power_elasticity(cpu, dram, wl, critical, budget, delta_w=delta_w),
+        )
+        for i, (wl, critical, budget) in enumerate(candidates)
+    ]
+    return sorted(estimates, key=lambda pair: pair[1].per_watt, reverse=True)

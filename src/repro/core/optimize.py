@@ -1,0 +1,114 @@
+"""Fast optimal-allocation search: golden-section over the memory share.
+
+The exhaustive sweep needs one run per grid point; the performance-vs-
+memory-share curve at a fixed budget is unimodal-with-plateaus (rising
+through the memory-starved scenarios, flat across the optimum, falling
+through the CPU-starved ones), so a golden-section search finds the
+optimum in ~2·log_φ(range/tol) runs — an order of magnitude fewer than a
+fine sweep at the same resolution.
+
+This is the oracle a deployment would actually use for one-off decisions
+without profiling; tests validate it against the exhaustive sweep across
+the whole suite (which simultaneously validates the unimodality claim).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import PowerAllocation
+from repro.errors import SweepError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.perfmodel.executor import execute_on_host
+from repro.util.units import watts
+from repro.workloads.base import Workload
+
+__all__ = ["GoldenSectionResult", "golden_section_optimal"]
+
+#: 1/φ — the golden-section interior-point ratio.
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class GoldenSectionResult:
+    """Outcome of the golden-section optimum search."""
+
+    allocation: PowerAllocation
+    performance: float
+    evaluations: int
+
+    @property
+    def search_cost_runs(self) -> int:
+        """Simulated runs spent (the quantity a deployment cares about)."""
+        return self.evaluations
+
+
+def golden_section_optimal(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budget_w: float,
+    *,
+    mem_min_w: float = 16.0,
+    proc_min_w: float = 8.0,
+    tol_w: float = 2.0,
+) -> GoldenSectionResult:
+    """Find the best memory share by golden-section search.
+
+    Only bound-respecting evaluations can win (matching the sweep
+    oracle's rule); plateaus are handled naturally — any point on the
+    plateau is optimal.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    if tol_w <= 0:
+        raise SweepError(f"tol_w must be > 0, got {tol_w}")
+    lo = mem_min_w
+    hi = budget_w - proc_min_w
+    if hi <= lo:
+        raise SweepError(
+            f"budget {budget_w} W leaves no range between the domain floors"
+        )
+
+    evaluations = 0
+    best_alloc: PowerAllocation | None = None
+    best_perf = float("-inf")
+
+    def evaluate(mem_w: float) -> float:
+        nonlocal evaluations, best_alloc, best_perf
+        evaluations += 1
+        alloc = PowerAllocation(budget_w - mem_w, mem_w)
+        result = execute_on_host(
+            cpu, dram, workload.phases, alloc.proc_w, alloc.mem_w
+        )
+        perf = workload.performance(result)
+        score = perf if result.respects_bound else -1.0 / (1.0 + perf)
+        if score > best_perf:
+            best_perf = score
+            best_alloc = alloc
+        return score
+
+    a, b = lo, hi
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc, fd = evaluate(c), evaluate(d)
+    while b - a > tol_w:
+        if fc >= fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = evaluate(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = evaluate(d)
+
+    assert best_alloc is not None
+    final = execute_on_host(
+        cpu, dram, workload.phases, best_alloc.proc_w, best_alloc.mem_w
+    )
+    return GoldenSectionResult(
+        allocation=best_alloc,
+        performance=workload.performance(final),
+        evaluations=evaluations,
+    )

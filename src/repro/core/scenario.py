@@ -1,0 +1,116 @@
+"""The paper's power-allocation scenario taxonomy and its classifier.
+
+Section 3.2 identifies six categories of CPU power-allocation scenarios;
+Section 3.3 explains each by the hardware mechanism the caps engage.  The
+classifier here therefore reads the *mechanisms* recorded by the execution
+model rather than curve shapes — the same ground truth the paper's "under
+the hood" section appeals to:
+
+====  ==========================================  =========================
+Cat.  Paper description                           Mechanism signature
+====  ==========================================  =========================
+I     adequate power for both                     CPU none, DRAM none
+II    adequate memory, lightly constrained CPU    CPU DVFS (P-state)
+III   adequate CPU, constrained memory            DRAM bandwidth throttle
+IV    seriously constrained CPU                   CPU T-state throttle
+V     minimum memory power                        DRAM floor
+VI    minimum CPU power (bound not ensured)       CPU floor
+====  ==========================================  =========================
+
+GPUs expose only I, II and III (Section 4): the driver's cap range and
+clock floors exclude the degenerate categories.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hardware.component import CappingMechanism
+from repro.perfmodel.metrics import ExecutionResult
+
+__all__ = ["Scenario", "classify_cpu", "classify_gpu", "CPU_SCENARIOS", "GPU_SCENARIOS"]
+
+
+class Scenario(enum.IntEnum):
+    """Power-allocation scenario categories I–VI (Section 3.2)."""
+
+    I = 1
+    II = 2
+    III = 3
+    IV = 4
+    V = 5
+    VI = 6
+
+    @property
+    def roman(self) -> str:
+        """Roman-numeral label as used in the paper's figures."""
+        return ("I", "II", "III", "IV", "V", "VI")[self - 1]
+
+    @property
+    def description(self) -> str:
+        return {
+            Scenario.I: "adequate power for both CPUs and memory",
+            Scenario.II: "adequate memory power, lightly constrained CPU power",
+            Scenario.III: "adequate CPU power, constrained memory power",
+            Scenario.IV: "adequate memory power, seriously constrained CPU power",
+            Scenario.V: "adequate CPU power, minimum memory power",
+            Scenario.VI: "adequate memory power, minimum CPU power",
+        }[self]
+
+    @property
+    def respects_bound(self) -> bool:
+        """Scenario VI cannot ensure the node power bound (Section 3.2)."""
+        return self is not Scenario.VI
+
+
+#: Categories observable on CPU platforms.
+CPU_SCENARIOS: tuple[Scenario, ...] = tuple(Scenario)
+#: Categories observable on GPU platforms (Section 4).
+GPU_SCENARIOS: tuple[Scenario, ...] = (Scenario.I, Scenario.II, Scenario.III)
+
+
+def classify_cpu(result: ExecutionResult) -> Scenario:
+    """Classify a host run into one of the six categories.
+
+    Precedence follows the hardware: floors dominate (they override caps),
+    then T-states, then the P-state / bandwidth-throttle pair.  When *both*
+    domains are lightly constrained (the II/III intersection where the
+    optimum lives), the binding bottleneck decides: a compute-limited run
+    is II-like, a memory-limited run III-like.
+    """
+    proc = result.proc_mechanism
+    mem = result.mem_mechanism
+    if proc is CappingMechanism.FLOOR:
+        return Scenario.VI
+    if mem is CappingMechanism.FLOOR:
+        return Scenario.V
+    if proc is CappingMechanism.THROTTLE:
+        return Scenario.IV
+    proc_constrained = proc is CappingMechanism.DVFS
+    mem_constrained = mem is CappingMechanism.BANDWIDTH_THROTTLE
+    if proc_constrained and mem_constrained:
+        return Scenario.II if result.utilization >= result.mem_busy else Scenario.III
+    if proc_constrained:
+        return Scenario.II
+    if mem_constrained:
+        return Scenario.III
+    return Scenario.I
+
+
+def classify_gpu(result: ExecutionResult) -> Scenario:
+    """Classify a GPU run into the reduced I/II/III taxonomy (Section 4).
+
+    * I — the cap binds nothing: performance insensitive to the memory
+      allocation (SM at top clock, compute-limited);
+    * II — the cap constrains the SM clock: raising the memory allocation
+      *lowers* performance (watts flow from SMs to the memory PHY);
+    * III — memory-bandwidth limited: performance rises with the memory
+      allocation.
+    """
+    proc = result.proc_mechanism
+    memory_limited = result.mem_busy > result.utilization
+    if memory_limited:
+        return Scenario.III
+    if proc in (CappingMechanism.DVFS, CappingMechanism.FLOOR):
+        return Scenario.II
+    return Scenario.I

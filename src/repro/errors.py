@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one handler while still being able to distinguish
+configuration problems from runtime/simulation problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "UnitError",
+    "PowerBoundError",
+    "InfeasibleBudgetError",
+    "BudgetTooSmallError",
+    "UnknownWorkloadError",
+    "UnknownPlatformError",
+    "ProfilingError",
+    "SweepError",
+    "ConvergenceError",
+    "SchedulerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, platform, or workload was configured with invalid parameters."""
+
+
+class UnitError(ConfigurationError):
+    """A physical quantity was supplied with an invalid value (e.g. negative watts)."""
+
+
+class PowerBoundError(ReproError):
+    """A power cap request cannot be represented or enforced by the hardware model."""
+
+
+class InfeasibleBudgetError(PowerBoundError):
+    """A total power budget cannot be met even at the lowest hardware states."""
+
+
+class BudgetTooSmallError(PowerBoundError):
+    """COORD rejected the budget because the job would run unproductively.
+
+    Mirrors the ``Warning: budget too small!`` branch of Algorithm 1 in the
+    paper: budgets below ``P_cpu_L2 + P_mem_L2`` are refused rather than
+    allocated.
+    """
+
+    def __init__(self, budget_w: float, threshold_w: float) -> None:
+        self.budget_w = float(budget_w)
+        self.threshold_w = float(threshold_w)
+        super().__init__(
+            f"power budget {budget_w:.1f} W is below the productive threshold "
+            f"{threshold_w:.1f} W; refusing to allocate (paper Algorithm 1, case D)"
+        )
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A workload name was not found in the registered suites."""
+
+
+class UnknownPlatformError(ReproError, KeyError):
+    """A platform name was not found in the registered presets."""
+
+
+class ProfilingError(ReproError):
+    """Lightweight profiling failed to extract critical power values."""
+
+
+class SweepError(ReproError):
+    """A power-allocation sweep was requested with an empty or invalid grid."""
+
+
+class ConvergenceError(ReproError):
+    """The executor's power/performance fixed point failed to converge."""
+
+    def __init__(self, iterations: int, residual: float) -> None:
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+        super().__init__(
+            f"fixed-point executor did not converge after {iterations} "
+            f"iterations (residual {residual:.3e})"
+        )
+
+
+class SchedulerError(ReproError):
+    """The power-bounded batch scheduler was driven into an invalid state."""

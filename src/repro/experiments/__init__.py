@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment regenerates the corresponding artifact's rows/series and
+returns an :class:`~repro.experiments.report.ExperimentReport` holding both
+rendered ASCII tables (what the benchmark harness prints) and the raw data
+(what tests assert shape properties against).
+
+Use :func:`run_experiment` / :data:`EXPERIMENTS` for programmatic access::
+
+    from repro.experiments import run_experiment
+    report = run_experiment("fig3")
+    print(report.render())
+"""
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentReport", "list_experiments", "run_experiment"]

@@ -1,0 +1,114 @@
+"""big.LITTLE study: three-way coordination on a heterogeneous node.
+
+The paper's named future work (Section 8).  Regenerates, for a set of
+workloads on the reference mobile-class node:
+
+* the **perf_max ~ budget** curve with the big-cluster wake crossover —
+  below it the optimum gates the big cores entirely;
+* the accuracy of the candidate-probing heuristic
+  (:func:`repro.core.coord_hetero.coord_biglittle`) against a fine sweep;
+* the cost of *homogeneous thinking*: the best allocation that insists on
+  powering both clusters proportionally, vs. the gate-aware optimum.
+"""
+
+from __future__ import annotations
+
+from repro.core.coord_hetero import (
+    coord_biglittle,
+    profile_biglittle,
+    sweep_biglittle,
+)
+from repro.experiments.report import ExperimentReport
+from repro.hardware.biglittle import biglittle_node
+from repro.perfmodel.hetero import execute_on_biglittle
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+__all__ = ["run", "BUDGETS_W", "WORKLOADS"]
+
+#: Budgets swept on the ~10 W mobile-class node.
+BUDGETS_W = (1.0, 1.8, 2.6, 3.5, 5.0, 7.0, 9.5)
+#: Workloads studied (reusing the Table 3 characterizations).
+WORKLOADS = ("dgemm", "stream", "mg", "cg")
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate the heterogeneous-node study."""
+    report = ExperimentReport(
+        "biglittle", "Three-way power coordination on a big.LITTLE node"
+    )
+    node = biglittle_node()
+    step = 0.5 if fast else 0.25
+    budgets = BUDGETS_W[1::2] if fast else BUDGETS_W
+    rows = []
+    data = {}
+    for name in WORKLOADS if not fast else WORKLOADS[:2]:
+        wl = cpu_workload(name)
+        critical = profile_biglittle(node, wl)
+        for budget in budgets:
+            points = sweep_biglittle(node, wl, budget, step_w=step)
+            best = max(points, key=lambda p: p.performance)
+            # Homogeneous thinking: both clusters always powered, shares
+            # proportional to their maximum demands.
+            prop = [
+                p for p in points
+                if p.allocation.big_w >= node.big.gate_threshold_w
+                and p.allocation.little_w >= node.little.gate_threshold_w
+                and abs(
+                    p.allocation.big_w / max(p.allocation.little_w, 1e-9)
+                    - critical.big_l1 / max(critical.little_l1, 1e-9)
+                ) < 2.0
+            ]
+            naive_perf = max((p.performance for p in prop), default=float("nan"))
+            alloc = coord_biglittle(node, critical, budget, workload=wl)
+            result = execute_on_biglittle(
+                node, wl.phases, alloc.big_w, alloc.little_w, alloc.mem_w
+            )
+            coord_perf = wl.performance(result)
+            big_gated = best.allocation.big_w < node.big.gate_threshold_w
+            rows.append(
+                (
+                    name,
+                    budget,
+                    best.performance,
+                    coord_perf,
+                    naive_perf,
+                    "gated" if big_gated else "on",
+                    f"({best.allocation.big_w:.2f}/{best.allocation.little_w:.2f}/"
+                    f"{best.allocation.mem_w:.2f})",
+                )
+            )
+            data[(name, budget)] = {
+                "best": best.performance,
+                "coord": coord_perf,
+                "naive": naive_perf,
+                "best_alloc": best.allocation,
+                "big_gated": big_gated,
+            }
+    report.add_table(
+        format_table(
+            [
+                "benchmark", "P_b (W)", "best", "heuristic",
+                "both-on naive", "big cluster", "best (big/little/mem)",
+            ],
+            rows,
+            float_spec=".4g",
+        )
+    )
+    report.data["rows"] = data
+
+    # Crossover summary: smallest budget at which the optimum wakes big.
+    crossover_rows = []
+    for name in WORKLOADS if not fast else WORKLOADS[:2]:
+        wake = [b for (n, b), d in data.items() if n == name and not d["big_gated"]]
+        crossover_rows.append((name, min(wake) if wake else float("nan")))
+    report.add_table(
+        format_table(
+            ["benchmark", "big-cluster wake budget (W)"],
+            crossover_rows,
+            float_spec=".2g",
+            title="wake crossover per workload",
+        )
+    )
+    report.data["crossover"] = dict(crossover_rows)
+    return report

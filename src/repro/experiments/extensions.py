@@ -1,0 +1,239 @@
+"""Extension studies beyond the paper's evaluation.
+
+Four studies exercising the future-work directions the paper names:
+
+* **(A) adaptive** — per-phase COORD vs static whole-application COORD on
+  the multi-phase NPB codes ("the need of adaptive scheduling inside the
+  application", Section 6.2);
+* **(B) online** — profiling-free feedback power shifting (the Hanson-
+  style related-work approach) vs COORD: final performance and the
+  exploration epochs it burns;
+* **(C) efficiency** — perf/W across budgets; the efficient budget band a
+  global scheduler should target (Section 3.1's insights, quantified);
+* **(D) coschedule** — two tenants sharing one node under one bound with
+  asymmetric core/bandwidth slices ("multi-task and multi-tenant
+  systems", Section 8);
+* **(E) hybrid** — a GPU-offload application under one node bound: the
+  budget-shifting coordinator vs a static host/device split ("hybrid
+  computing", deferred in Section 2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import adaptive_vs_static
+from repro.core.coord import coord_cpu
+from repro.core.efficiency import efficiency_curve
+from repro.core.online import online_power_shift
+from repro.core.profiler import profile_cpu_workload
+from repro.errors import SchedulerError
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import ivybridge_node
+from repro.perfmodel.executor import execute_on_host
+from repro.sched.coschedule import coschedule_pair
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+__all__ = ["run"]
+
+
+def _adaptive_study(report: ExperimentReport, node, fast: bool) -> None:
+    rows = []
+    data = {}
+    budgets = (200.0,) if fast else (160.0, 180.0, 200.0, 220.0)
+    for name in ("bt", "sp", "lu", "ft", "mg"):
+        wl = cpu_workload(name)
+        for budget in budgets:
+            cmp = adaptive_vs_static(node.cpu, node.dram, wl, budget)
+            rows.append(
+                (name, budget, cmp.static_perf, cmp.adaptive_perf,
+                 f"{(cmp.speedup - 1) * 100:+.1f}%")
+            )
+            data[(name, budget)] = cmp
+    report.add_table(
+        format_table(
+            ["benchmark", "P_b (W)", "static COORD", "per-phase COORD", "gain"],
+            rows,
+            float_spec=".4g",
+            title="(A) per-phase adaptive coordination on multi-phase codes",
+        )
+    )
+    report.data["adaptive"] = data
+
+
+def _online_study(report: ExperimentReport, node, fast: bool) -> None:
+    rows = []
+    data = {}
+    budgets = (180.0,) if fast else (150.0, 180.0, 210.0)
+    for name in ("stream", "sra", "mg", "dgemm", "cg"):
+        wl = cpu_workload(name)
+        critical = profile_cpu_workload(node.cpu, node.dram, wl)
+        for budget in budgets:
+            shift = online_power_shift(node.cpu, node.dram, wl, budget)
+            decision = coord_cpu(critical, budget)
+            if decision.accepted:
+                r = execute_on_host(
+                    node.cpu, node.dram, wl.phases,
+                    decision.allocation.proc_w, decision.allocation.mem_w,
+                )
+                coord_perf = wl.performance(r)
+            else:
+                coord_perf = float("nan")
+            rows.append(
+                (name, budget, coord_perf, shift.performance, shift.epochs)
+            )
+            data[(name, budget)] = {
+                "coord": coord_perf,
+                "online": shift.performance,
+                "epochs": shift.epochs,
+            }
+    report.add_table(
+        format_table(
+            ["benchmark", "P_b (W)", "COORD (profiled)", "online shifting",
+             "search epochs"],
+            rows,
+            float_spec=".4g",
+            title="(B) profiling-free feedback shifting vs COORD",
+        )
+    )
+    report.data["online"] = data
+
+
+def _efficiency_study(report: ExperimentReport, node, fast: bool) -> None:
+    rows = []
+    data = {}
+    budgets = np.arange(130.0, 281.0, 30.0 if fast else 15.0)
+    for name in ("sra", "dgemm", "mg"):
+        wl = cpu_workload(name)
+        curve = efficiency_curve(
+            node.cpu, node.dram, wl, budgets, step_w=12.0 if fast else 6.0
+        )
+        band = curve.efficient_band_w()
+        rows.append(
+            (name, curve.peak_efficiency_budget_w, f"[{band[0]:.0f}, {band[1]:.0f}]",
+             curve.perf_per_watt.max() / curve.perf_per_watt.min())
+        )
+        data[name] = curve
+    report.add_table(
+        format_table(
+            ["benchmark", "peak perf/W budget (W)", "efficient band (W)",
+             "perf/W max/min"],
+            rows,
+            float_spec=".3g",
+            title="(C) energy efficiency across budgets (best allocation each)",
+        )
+    )
+    report.data["efficiency"] = data
+
+
+def _coschedule_study(report: ExperimentReport, node, fast: bool) -> None:
+    rows = []
+    data = {}
+    pairs = [("dgemm", "stream"), ("ep", "sra")]
+    if not fast:
+        pairs.append(("bt", "mg"))
+    for name_a, name_b in pairs:
+        try:
+            result = coschedule_pair(
+                node.cpu, node.dram, cpu_workload(name_a), cpu_workload(name_b),
+                260.0,
+            )
+        except SchedulerError:
+            rows.append((f"{name_a}+{name_b}", None, None, None, "infeasible"))
+            continue
+        a, b = result.tenant_a, result.tenant_b
+        rows.append(
+            (
+                f"{name_a}+{name_b}",
+                f"{a.core_fraction:.2f}/{a.bw_fraction:.2f}",
+                a.normalized_progress,
+                b.normalized_progress,
+                f"{result.weighted_speedup:.2f}",
+            )
+        )
+        data[(name_a, name_b)] = result
+    report.add_table(
+        format_table(
+            ["pair", "A cores/bw share", "A progress", "B progress",
+             "weighted speedup"],
+            rows,
+            float_spec=".2f",
+            title="(D) two tenants under one 260 W node bound",
+        )
+    )
+    report.data["coschedule"] = data
+
+
+def _hybrid_study(report: ExperimentReport, fast: bool) -> None:
+    from repro.core.coord import coord_cpu
+    from repro.core.coord_gpu import coord_gpu
+    from repro.core.coord_hybrid import (
+        HybridDecision,
+        coord_hybrid,
+        execute_hybrid,
+        offload_workload,
+    )
+    from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
+    from repro.hardware.platforms import get_platform
+    from repro.util.units import clamp
+
+    node = get_platform("titan-xp-host")
+    card = node.gpu(0)
+    wl = offload_workload()
+    host_critical = profile_cpu_workload(node.cpu, node.dram, wl.host_view())
+    gpu_critical = profile_gpu_workload(card, wl.gpu_view())
+    budgets = (360.0,) if fast else (330.0, 360.0, 400.0, 450.0)
+    rows = []
+    data = {}
+    for budget in budgets:
+        dynamic = execute_hybrid(
+            node, wl,
+            coord_hybrid(node, wl, budget,
+                         host_critical=host_critical, gpu_critical=gpu_critical),
+        )
+        half = clamp(budget / 2.0, card.min_cap_w, card.max_cap_w)
+        static = execute_hybrid(
+            node, wl,
+            HybridDecision(
+                host=coord_cpu(host_critical, budget / 2.0),
+                gpu=coord_gpu(gpu_critical, half, hardware_max_w=card.max_cap_w),
+                gpu_cap_w=half,
+                gpu_mem_freq_mhz=card.mem.nominal_mhz,
+            ),
+        )
+        rows.append(
+            (
+                budget,
+                dynamic.performance_gflops,
+                static.performance_gflops,
+                f"{(dynamic.performance_gflops / static.performance_gflops - 1) * 100:+.1f}%",
+                dynamic.peak_node_power_w,
+            )
+        )
+        data[budget] = {"dynamic": dynamic, "static": static}
+    report.add_table(
+        format_table(
+            ["node bound (W)", "shifting coord (GFLOPS)", "static split (GFLOPS)",
+             "gain", "peak node power (W)"],
+            rows,
+            float_spec=".4g",
+            title="(E) GPU-offload application under one node bound",
+        )
+    )
+    report.data["hybrid"] = data
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Run the five extension studies."""
+    report = ExperimentReport(
+        "extensions",
+        "Future-work studies: adaptive, online, efficiency, co-scheduling, hybrid",
+    )
+    node = ivybridge_node()
+    _adaptive_study(report, node, fast)
+    _online_study(report, node, fast)
+    _efficiency_study(report, node, fast)
+    _coschedule_study(report, node, fast)
+    _hybrid_study(report, fast)
+    return report

@@ -1,0 +1,101 @@
+"""Figure 1: STREAM under power bounds, CPU and GPU computing.
+
+Left panels: the upper performance bound vs the total power budget.
+Right panels: performance across cross-component allocations at one fixed
+budget — 208 W for CPU computing, 140 W for GPU computing.  CPU bandwidth
+is reported per core, GPU bandwidth for the whole card, matching the
+figure's caption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sweep import (
+    cpu_budget_curve,
+    gpu_budget_curve,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import ivybridge_node, titan_xp_card
+from repro.util.tables import format_series, format_table
+from repro.workloads import cpu_workload, gpu_workload
+
+__all__ = ["run", "CPU_FIXED_BUDGET_W", "GPU_FIXED_BUDGET_W"]
+
+#: The fixed budgets of the figure's right-hand panels.
+CPU_FIXED_BUDGET_W = 208.0
+GPU_FIXED_BUDGET_W = 140.0
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 1's four panels."""
+    report = ExperimentReport(
+        "fig1",
+        "Performance of Stream with CPU and GPU computing under power bounds",
+    )
+    node = ivybridge_node()
+    card = titan_xp_card()
+    stream = cpu_workload("stream")
+    gstream = gpu_workload("gpu-stream")
+    n_cores = node.cpu.n_cores
+    step = 16.0 if fast else 8.0
+
+    # (a) left: CPU perf_max ~ P_b, per-core GB/s.
+    budgets = np.arange(120.0, 292.0, 24.0 if fast else 12.0)
+    curve = cpu_budget_curve(node.cpu, node.dram, stream, budgets, step_w=step)
+    per_core = curve.perf_max / n_cores
+    report.add_table(
+        format_series(
+            "P_b (W)", "GB/s per core", budgets, per_core,
+            title="(a-left) CPU Stream: upper performance bound vs total budget",
+        )
+    )
+    report.data["cpu_curve"] = {"budgets_w": budgets, "perf": per_core}
+
+    # (a) right: CPU allocations at 208 W.
+    sweep = sweep_cpu_allocations(node.cpu, node.dram, stream, CPU_FIXED_BUDGET_W, step_w=step)
+    report.add_table(
+        format_table(
+            ["P_mem (W)", "P_cpu (W)", "GB/s per core", "actual total (W)"],
+            [
+                (p.allocation.mem_w, p.allocation.proc_w, p.performance / n_cores,
+                 p.actual_total_w)
+                for p in sweep.points
+            ],
+            title=f"(a-right) CPU Stream allocations at P_b = {CPU_FIXED_BUDGET_W:.0f} W",
+        )
+    )
+    report.data["cpu_sweep"] = sweep
+
+    # (b) left: GPU perf_max ~ cap.
+    caps = np.arange(130.0, 301.0, 20.0 if fast else 10.0)
+    gcurve = gpu_budget_curve(card, gstream, caps, freq_stride=4 if fast else 1)
+    report.add_table(
+        format_series(
+            "cap (W)", "GB/s", caps, gcurve.perf_max,
+            title="(b-left) GPU Stream: upper performance bound vs power cap",
+        )
+    )
+    report.data["gpu_curve"] = {"caps_w": caps, "perf": gcurve.perf_max}
+
+    # (b) right: GPU allocations at 140 W.
+    gsweep = sweep_gpu_allocations(
+        card, gstream, GPU_FIXED_BUDGET_W, freq_stride=4 if fast else 1
+    )
+    report.add_table(
+        format_table(
+            ["mem clock (MHz)", "P_mem est. (W)", "GB/s", "actual total (W)"],
+            [
+                (p, a, perf, r.result.total_power_w)
+                for p, a, perf, r in zip(
+                    gsweep.mem_freqs_mhz, gsweep.mem_alloc_w,
+                    gsweep.performances, gsweep.points,
+                )
+            ],
+            title=f"(b-right) GPU Stream allocations at cap = {GPU_FIXED_BUDGET_W:.0f} W",
+        )
+    )
+    report.data["gpu_sweep"] = gsweep
+    return report

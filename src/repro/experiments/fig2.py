@@ -1,0 +1,62 @@
+"""Figure 2: upper performance bound ``perf_max`` vs total budget ``P_b``.
+
+DGEMM and RandomAccess on both CPU platforms.  The paper's observations
+this experiment must reproduce: monotone growth with slow/fast/slow
+segments, saturation at an application-specific demand (≈240 W for DGEMM
+on IvyBridge), DGEMM saturating later and higher than RandomAccess, and
+the Haswell node winning at small budgets while both nodes consume similar
+power at maximum performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sweep import cpu_budget_curve
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import haswell_node, ivybridge_node
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 2's four curves."""
+    report = ExperimentReport(
+        "fig2", "Upper performance bound perf_max varies with P_b"
+    )
+    # Budgets start just above the node's hardware floor (~115 W on the
+    # IvyBridge node): below it no allocation can respect the bound and
+    # the upper performance bound is ill-defined.
+    budgets = np.arange(120.0, 301.0, 20.0 if fast else 10.0)
+    step = 16.0 if fast else 6.0
+    platforms = {"ivybridge": ivybridge_node(), "haswell": haswell_node()}
+    for wl_name in ("dgemm", "sra"):
+        wl = cpu_workload(wl_name)
+        curves = {}
+        for plat_name, node in platforms.items():
+            curves[plat_name] = cpu_budget_curve(
+                node.cpu, node.dram, wl, budgets, step_w=step
+            )
+        rows = [
+            (
+                b,
+                curves["ivybridge"].perf_max[i],
+                curves["haswell"].perf_max[i],
+            )
+            for i, b in enumerate(budgets)
+        ]
+        report.add_table(
+            format_table(
+                ["P_b (W)", f"IvyBridge ({wl.metric_unit})", f"Haswell ({wl.metric_unit})"],
+                rows,
+                title=f"perf_max ~ P_b for {wl_name.upper()}",
+            )
+        )
+        report.data[wl_name] = {
+            "budgets_w": budgets,
+            "ivybridge": curves["ivybridge"],
+            "haswell": curves["haswell"],
+        }
+    return report

@@ -1,0 +1,70 @@
+"""Figure 3: categorization of power-allocation scenarios.
+
+RandomAccess on the IvyBridge node at ``P_b = 240`` W: application
+performance (panel a) and actual per-component power (panel b) across
+processor/memory allocations, with each point labelled by the scenario
+category I–VI its mechanisms place it in.  The report also prints the span
+each category occupies, mirroring the shaded regions of the figure.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import scenario_spans
+from repro.core.sweep import sweep_cpu_allocations
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import ivybridge_node
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+__all__ = ["run", "BUDGET_W"]
+
+#: The figure's fixed budget.
+BUDGET_W = 240.0
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 3's two panels and the category spans."""
+    report = ExperimentReport(
+        "fig3", "Categorization of power allocation scenarios (SRA @ 240 W, IvyBridge)"
+    )
+    node = ivybridge_node()
+    wl = cpu_workload("sra")
+    sweep = sweep_cpu_allocations(
+        node.cpu, node.dram, wl, BUDGET_W, step_w=8.0 if fast else 4.0
+    )
+    report.add_table(
+        format_table(
+            [
+                "P_mem (W)", "P_cpu (W)", f"perf ({wl.metric_unit})",
+                "actual CPU (W)", "actual DRAM (W)", "actual total (W)", "scenario",
+            ],
+            [
+                (
+                    p.allocation.mem_w,
+                    p.allocation.proc_w,
+                    p.performance,
+                    p.result.proc_power_w,
+                    p.result.mem_power_w,
+                    p.actual_total_w,
+                    p.scenario.roman,
+                )
+                for p in sweep.points
+            ],
+            float_spec=".4g",
+            title="(a)+(b) performance and actual power vs allocation",
+        )
+    )
+    spans = scenario_spans(sweep)
+    report.add_table(
+        format_table(
+            ["scenario", "P_mem span (W)", "description"],
+            [
+                (s.roman, f"[{lo:.0f}, {hi:.0f}]", s.description)
+                for s, (lo, hi) in sorted(spans.items())
+            ],
+            title="scenario spans over the memory allocation axis",
+        )
+    )
+    report.data["sweep"] = sweep
+    report.data["spans"] = spans
+    return report

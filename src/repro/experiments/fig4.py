@@ -1,0 +1,59 @@
+"""Figure 4: allocation patterns across total budgets.
+
+Star RandomAccess and EP-DGEMM on the IvyBridge node, swept across several
+total budgets.  The paper's observations: the general pattern persists
+across budgets; the number of categories and each category's span shrink
+with the budget; the first categories to disappear are the high-performing
+ones (scenario I, then the II/III intersection region).
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import scenario_spans
+from repro.core.sweep import sweep_cpu_allocations
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import ivybridge_node
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+__all__ = ["run", "BUDGETS_W"]
+
+#: The budget series swept for both workloads.
+BUDGETS_W = (176.0, 192.0, 208.0, 224.0, 240.0)
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 4's per-budget performance curves."""
+    report = ExperimentReport(
+        "fig4", "Patterns of cross-component allocation impact vs total budget"
+    )
+    node = ivybridge_node()
+    step = 8.0 if fast else 4.0
+    for wl_name, label in (("sra", "Star RandomAccess"), ("dgemm", "EP-DGEMM")):
+        wl = cpu_workload(wl_name)
+        sweeps = {}
+        rows = []
+        for budget in BUDGETS_W:
+            sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=step)
+            sweeps[budget] = sweep
+            spans = scenario_spans(sweep)
+            rows.append(
+                (
+                    budget,
+                    sweep.perf_max,
+                    sweep.best.allocation.mem_w,
+                    "/".join(s.roman for s in sorted(spans)),
+                )
+            )
+        report.add_table(
+            format_table(
+                [
+                    "P_b (W)", f"perf_max ({wl.metric_unit})",
+                    "optimal P_mem (W)", "categories present",
+                ],
+                rows,
+                title=f"({label}) per-budget optimum and visible categories",
+            )
+        )
+        report.data[wl_name] = sweeps
+    return report

@@ -1,0 +1,62 @@
+"""Figure 5: balanced compute and memory access at the optimum.
+
+DGEMM and STREAM on the IvyBridge node at ``P_b = 208`` W.  For each
+allocation, each domain's *capacity* (its rate with the other domain
+over-powered) is compared with its achieved rate.  The paper's signature
+result: at the optimal allocation both utilizations approach 100 %, while
+skewed allocations leave one domain's capacity idle.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import allocation_grid
+from repro.core.analysis import balance_analysis
+from repro.core.sweep import sweep_cpu_allocations
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import ivybridge_node
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+__all__ = ["run", "BUDGET_W"]
+
+#: The figure's fixed budget.
+BUDGET_W = 208.0
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 5's capacity/utilization bars."""
+    report = ExperimentReport(
+        "fig5", "Balanced compute and memory access for P_b = 208 W (IvyBridge)"
+    )
+    node = ivybridge_node()
+    step = 24.0 if fast else 12.0
+    for wl_name in ("dgemm", "stream"):
+        wl = cpu_workload(wl_name)
+        allocations = list(
+            allocation_grid(BUDGET_W, mem_min_w=28.0, proc_min_w=40.0, step_w=step)
+        )
+        points = balance_analysis(node.cpu, node.dram, wl, allocations)
+        sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, BUDGET_W, step_w=step)
+        best_mem = sweep.best.allocation.mem_w
+        report.add_table(
+            format_table(
+                [
+                    "P_mem (W)", "compute cap (GFLOP/s)", "compute util",
+                    "mem cap (GB/s)", "mem util", "optimal?",
+                ],
+                [
+                    (
+                        bp.allocation.mem_w,
+                        bp.compute_capacity / 1e9,
+                        bp.compute_utilization,
+                        bp.mem_capacity / 1e9,
+                        bp.mem_utilization,
+                        "<-- optimum" if abs(bp.allocation.mem_w - best_mem) < step / 2 else "",
+                    )
+                    for bp in points
+                ],
+                title=f"{wl_name.upper()}: capacity and utilization per allocation",
+            )
+        )
+        report.data[wl_name] = {"points": points, "optimal_mem_w": best_mem}
+    return report

@@ -1,0 +1,61 @@
+"""Figure 6: GPU upper performance bound vs power cap.
+
+SGEMM and MiniFE on the Titan XP and Titan V cards.  Anchors from the
+paper: on the XP, SGEMM's bound keeps rising through the full cap range
+(it demands more than 300 W) while MiniFE saturates near 180 W; on the V,
+SGEMM saturates near 180 W and MiniFE is flat across the studied range.
+The report also notes where the Nvidia *default* policy (memory at the
+nominal clock) falls short of the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sweep import gpu_budget_curve
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import titan_v_card, titan_xp_card
+from repro.perfmodel.executor import execute_on_gpu
+from repro.util.tables import format_table
+from repro.workloads import gpu_workload
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 6's four curves."""
+    report = ExperimentReport(
+        "fig6", "Upper performance bound vs power cap (Titan XP and Titan V)"
+    )
+    stride = 4 if fast else 1
+    for card_fn, card_label in ((titan_xp_card, "Titan XP"), (titan_v_card, "Titan V")):
+        card = card_fn()
+        caps = np.arange(card.min_cap_w + 5.0, card.max_cap_w + 1.0, 25.0 if fast else 10.0)
+        for wl_name in ("sgemm", "minife"):
+            wl = gpu_workload(wl_name)
+            curve = gpu_budget_curve(card, wl, caps, freq_stride=stride)
+            default_perf = np.array(
+                [
+                    wl.performance(execute_on_gpu(card, wl.phases, float(c), None))
+                    for c in caps
+                ]
+            )
+            report.add_table(
+                format_table(
+                    [
+                        "cap (W)", f"perf_max ({wl.metric_unit})",
+                        f"default policy ({wl.metric_unit})", "default shortfall",
+                    ],
+                    [
+                        (c, p, d, f"{(1 - d / p) * 100:.1f}%")
+                        for c, p, d in zip(caps, curve.perf_max, default_perf)
+                    ],
+                    title=f"{wl_name.upper()} on {card_label}",
+                )
+            )
+            report.data[f"{card.name}/{wl_name}"] = {
+                "caps_w": caps,
+                "curve": curve,
+                "default": default_perf,
+            }
+    return report

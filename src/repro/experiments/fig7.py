@@ -1,0 +1,63 @@
+"""Figure 7: GPU performance trends vs memory power allocation.
+
+For each card and workload, performance is plotted against the *estimated*
+memory power (derived from the memory clock via the empirical model — the
+paper's own method) under several total power caps.  The paper's three
+patterns on the Titan XP:
+
+* compute-intensive (SGEMM): best at minimum memory power; curves
+  dispersed and diverging (categories I & II);
+* memory-intensive (STREAM, MiniFE): rising with memory power at large
+  caps (curves overlap, category III), falling at small caps (category II);
+* in-between (CloverLeaf): rising at a small rate at large caps, rising
+  then falling at small caps; curves diverge.
+
+On the Titan V everything is memory-bound (category III).
+"""
+
+from __future__ import annotations
+
+from repro.core.sweep import sweep_gpu_allocations
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import titan_v_card, titan_xp_card
+from repro.util.tables import format_table
+from repro.workloads import gpu_workload
+
+__all__ = ["run", "CAPS_W", "WORKLOADS"]
+
+#: Total power caps swept per card (clamped to the card's range).
+CAPS_W = (140.0, 170.0, 200.0, 230.0, 260.0)
+#: Workloads shown in the figure.
+WORKLOADS = ("sgemm", "gpu-stream", "minife", "cloverleaf")
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 7's per-cap performance-vs-memory-power series."""
+    report = ExperimentReport(
+        "fig7", "Performance trends as memory power allocation increases"
+    )
+    stride = 6 if fast else 2
+    for card_fn, card_label in ((titan_xp_card, "Titan XP"), (titan_v_card, "Titan V")):
+        card = card_fn()
+        caps = [c for c in CAPS_W if card.min_cap_w <= c <= card.max_cap_w]
+        for wl_name in WORKLOADS:
+            wl = gpu_workload(wl_name)
+            sweeps = {}
+            rows = []
+            for cap in caps:
+                sweep = sweep_gpu_allocations(card, wl, cap, freq_stride=stride)
+                sweeps[cap] = sweep
+                for alloc, perf, scen in zip(
+                    sweep.mem_alloc_w, sweep.performances, sweep.scenarios
+                ):
+                    rows.append((cap, alloc, perf, scen.roman))
+            report.add_table(
+                format_table(
+                    ["cap (W)", "P_mem est. (W)", f"perf ({wl.metric_unit})", "cat."],
+                    rows,
+                    float_spec=".4g",
+                    title=f"{wl_name} on {card_label}",
+                )
+            )
+            report.data[f"{card.name}/{wl_name}"] = sweeps
+    return report

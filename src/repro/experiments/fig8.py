@@ -1,0 +1,98 @@
+"""Figure 8: performance profiles of all benchmarks on three platforms.
+
+Every Table 3 benchmark is profiled across allocations on its platforms:
+the 11 CPU benchmarks on IvyBridge and Haswell, the 6 GPU benchmarks on
+the Titan XP.  The report summarizes, per benchmark and budget: the
+achievable maximum, the best/worst spread (the cost of poor coordination),
+the optimal memory share, and the categories present — the "universal
+patterns with workload-specific features" the section argues.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import scenario_spans
+from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import haswell_node, ivybridge_node, titan_xp_card
+from repro.util.tables import format_table
+from repro.workloads import list_cpu_workloads, list_gpu_workloads, get_workload
+
+__all__ = ["run", "CPU_BUDGETS_W", "GPU_CAPS_W"]
+
+#: Budgets profiled on the CPU platforms.
+CPU_BUDGETS_W = (176.0, 208.0, 240.0)
+#: Caps profiled on the GPU platform.
+GPU_CAPS_W = (140.0, 180.0, 220.0, 260.0)
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Figure 8's per-benchmark profile summaries."""
+    report = ExperimentReport(
+        "fig8", "Performance profiles of all benchmarks on the three platforms"
+    )
+    step = 12.0 if fast else 6.0
+    stride = 6 if fast else 2
+    cpu_budgets = CPU_BUDGETS_W[1:2] if fast else CPU_BUDGETS_W
+    gpu_caps = GPU_CAPS_W[1:3] if fast else GPU_CAPS_W
+
+    for node, plat_label in ((ivybridge_node(), "IvyBridge"), (haswell_node(), "Haswell")):
+        rows = []
+        for name in list_cpu_workloads():
+            wl = get_workload(name)
+            for budget in cpu_budgets:
+                sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=step)
+                spans = scenario_spans(sweep)
+                rows.append(
+                    (
+                        name,
+                        budget,
+                        sweep.perf_max,
+                        wl.metric_unit,
+                        sweep.perf_spread,
+                        sweep.best.allocation.mem_w,
+                        "/".join(s.roman for s in sorted(spans)),
+                    )
+                )
+                report.data[f"{plat_label.lower()}/{name}/{budget:.0f}"] = sweep
+        report.add_table(
+            format_table(
+                [
+                    "benchmark", "P_b (W)", "perf_max", "unit",
+                    "best/worst", "opt P_mem (W)", "categories",
+                ],
+                rows,
+                float_spec=".4g",
+                title=f"CPU benchmark profiles on {plat_label}",
+            )
+        )
+
+    card = titan_xp_card()
+    rows = []
+    for name in list_gpu_workloads():
+        wl = get_workload(name)
+        for cap in gpu_caps:
+            sweep = sweep_gpu_allocations(card, wl, cap, freq_stride=stride)
+            rows.append(
+                (
+                    name,
+                    cap,
+                    sweep.perf_max,
+                    wl.metric_unit,
+                    sweep.perf_max / max(sweep.worst.performance, 1e-12),
+                    sweep.best.allocation.mem_w,
+                    "/".join(sorted({s.roman for s in sweep.scenarios})),
+                )
+            )
+            report.data[f"titan-xp/{name}/{cap:.0f}"] = sweep
+    report.add_table(
+        format_table(
+            [
+                "benchmark", "cap (W)", "perf_max", "unit",
+                "best/worst", "opt P_mem (W)", "categories",
+            ],
+            rows,
+            float_spec=".4g",
+            title="GPU benchmark profiles on Titan XP",
+        )
+    )
+    return report

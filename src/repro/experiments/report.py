@@ -1,0 +1,39 @@
+"""Experiment reports: rendered tables plus raw data for assertions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact id, e.g. ``"fig3"`` or ``"table1"``.
+    title:
+        Human-readable description of what the artifact shows.
+    tables:
+        Rendered ASCII tables/series, in presentation order.
+    data:
+        Raw per-series data keyed by series name; used by tests and
+        benchmarks to assert the paper's qualitative shapes.
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add_table(self, rendered: str) -> None:
+        """Append a rendered table to the report."""
+        self.tables.append(rendered)
+
+    def render(self) -> str:
+        """The full printable report."""
+        header = f"=== {self.experiment_id}: {self.title} ==="
+        return "\n\n".join([header, *self.tables])

@@ -1,0 +1,56 @@
+"""Table 1: optimal allocation and critical component vs power budget.
+
+The paper's Table 1 maps budget regimes onto the valid scenario set, the
+category intersection the optimum sits at, and the critical component —
+the one whose under-powering drastically degrades performance.  The table
+is derived here for RandomAccess on the IvyBridge node (the paper's
+running example), descending through budgets so the regime progression
+I → II|III → III|IV → IV|VI is visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import table1_rows
+from repro.experiments.report import ExperimentReport
+from repro.hardware.platforms import ivybridge_node
+from repro.util.tables import format_table
+from repro.workloads import cpu_workload
+
+__all__ = ["run", "BUDGETS_W"]
+
+#: Budget ladder, large to small, spanning all regimes of the paper's table.
+BUDGETS_W = (280.0, 224.0, 176.0, 150.0, 132.0)
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Regenerate Table 1 for RandomAccess on IvyBridge."""
+    report = ExperimentReport(
+        "table1", "Optimal allocation and critical component vs power budget (SRA)"
+    )
+    node = ivybridge_node()
+    wl = cpu_workload("sra")
+    rows = table1_rows(
+        node.cpu, node.dram, wl, list(BUDGETS_W), step_w=8.0 if fast else 4.0
+    )
+    report.add_table(
+        format_table(
+            [
+                "P_b (W)", "valid scenarios", "optimum at", "critical comp.",
+                "optimal (P_cpu, P_mem)", f"perf_max ({wl.metric_unit})",
+            ],
+            [
+                (
+                    r.budget_w,
+                    "/".join(s.roman for s in r.valid_scenarios),
+                    "|".join(s.roman for s in r.intersection),
+                    r.critical or "none",
+                    f"({r.optimal.proc_w:.0f}, {r.optimal.mem_w:.0f})",
+                    r.perf_max,
+                )
+                for r in rows
+            ],
+            float_spec=".4g",
+        )
+    )
+    report.data["rows"] = rows
+    return report

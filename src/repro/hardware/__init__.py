@@ -1,0 +1,73 @@
+"""Hardware substrate: power-cappable component models and control interfaces.
+
+This package implements the machinery the paper's testbed provided in silicon:
+
+* CPU package model with P-states (DVFS), T-states (duty-cycle clock
+  throttling) and a C-state/idle power floor (:mod:`repro.hardware.cpu`).
+* DRAM subsystem with bandwidth throttling and a hardware minimum-power floor
+  (:mod:`repro.hardware.dram`).
+* A RAPL-like control interface with MSR-style energy counters
+  (:mod:`repro.hardware.rapl`).
+* GPU SM and device-memory models plus an NVML-like interface whose capping
+  policy *reclaims* unused memory budget for the SMs
+  (:mod:`repro.hardware.gpu`, :mod:`repro.hardware.nvml`).
+* Node composition and the four calibrated platform presets of the paper's
+  Table 2 (:mod:`repro.hardware.node`, :mod:`repro.hardware.platforms`).
+"""
+
+from repro.hardware.component import (
+    CappingMechanism,
+    PowerBoundableComponent,
+)
+from repro.hardware.biglittle import BigLittleNode, CoreCluster, biglittle_node
+from repro.hardware.pstate import PStateTable
+from repro.hardware.cpu import CpuDomain, CpuOperatingPoint
+from repro.hardware.dram import DramDomain, DramOperatingPoint
+from repro.hardware.gpu_sm import GpuSmDomain, GpuSmOperatingPoint
+from repro.hardware.gpu_mem import GpuMemDomain, GpuMemOperatingPoint
+from repro.hardware.gpu import GpuCard
+from repro.hardware.node import ComputeNode
+from repro.hardware.rapl import MsrEnergyCounter, RaplDomainName, RaplInterface
+from repro.hardware.meter import MeterReading, RaplPowerMeter
+from repro.hardware.nvml import NvmlDevice
+from repro.hardware.platforms import (
+    PLATFORMS,
+    get_platform,
+    haswell_node,
+    ivybridge_node,
+    list_platforms,
+    titan_v_card,
+    titan_xp_card,
+)
+
+__all__ = [
+    "BigLittleNode",
+    "CappingMechanism",
+    "ComputeNode",
+    "CoreCluster",
+    "CpuDomain",
+    "CpuOperatingPoint",
+    "DramDomain",
+    "DramOperatingPoint",
+    "GpuCard",
+    "GpuMemDomain",
+    "GpuMemOperatingPoint",
+    "GpuSmDomain",
+    "GpuSmOperatingPoint",
+    "MeterReading",
+    "MsrEnergyCounter",
+    "NvmlDevice",
+    "PLATFORMS",
+    "PStateTable",
+    "PowerBoundableComponent",
+    "RaplDomainName",
+    "RaplInterface",
+    "RaplPowerMeter",
+    "biglittle_node",
+    "get_platform",
+    "haswell_node",
+    "ivybridge_node",
+    "list_platforms",
+    "titan_v_card",
+    "titan_xp_card",
+]

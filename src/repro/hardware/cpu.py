@@ -1,0 +1,217 @@
+"""Aggregated CPU package domain with P-state, T-state and floor mechanisms.
+
+Following the paper's simplification (Section 2.2, assumption (b)), all
+processor packages on a node are modelled as one aggregated component whose
+cap is distributed evenly over the cores.  The power model is::
+
+    P(f, duty, a_eff) = P_idle + a_eff · duty · w(f) · P_dyn_max
+
+where ``w(f)`` is the P-state table's voltage/frequency weight and ``a_eff``
+is the workload's *effective activity*: its intrinsic switching activity
+times the fraction of time the cores are not stalled on memory.  The stall
+coupling is what makes the paper's Figure 3(b) "actual power" curves come
+out: a memory-throttled run draws less CPU power even under a generous CPU
+cap (scenario III).
+
+Cap enforcement (:meth:`CpuDomain.operating_point`) mirrors Section 3.3:
+
+1. cap ≥ demand at nominal frequency → no mechanism (scenario I/III side);
+2. cap within the P-state power range → DVFS picks the highest frequency
+   that fits (scenario II);
+3. cap below the lowest P-state demand → T-state duty-cycle throttling
+   (scenario IV);
+4. cap below the duty floor → the package runs at its hardware floor and
+   the cap is **not** respected (scenario VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.component import CappingMechanism, PowerBoundableComponent
+from repro.hardware.pstate import PStateTable
+from repro.util.units import check_fraction, check_positive, watts
+
+__all__ = ["CpuDomain", "CpuOperatingPoint"]
+
+
+@dataclass(frozen=True)
+class CpuOperatingPoint:
+    """Resolved hardware state for a CPU cap: frequency, duty cycle, mechanism."""
+
+    freq_ghz: float
+    duty: float
+    mechanism: CappingMechanism
+
+    @property
+    def effective_freq_ghz(self) -> float:
+        """Throughput-equivalent clock: frequency scaled by the duty cycle."""
+        return self.freq_ghz * self.duty
+
+
+class CpuDomain(PowerBoundableComponent):
+    """The aggregated processor-package power domain of a compute node.
+
+    Parameters
+    ----------
+    name:
+        Domain label (``"package"`` by convention, matching RAPL).
+    n_cores:
+        Total physical cores across all sockets (hyperthreading disabled,
+        as in the paper's methodology).
+    pstates:
+        DVFS table shared by all cores.
+    idle_power_w:
+        Hardware floor: power drawn while powered on but fully gated.  This
+        is the paper's ``P_cpu_L4`` ("the same across all applications").
+    max_dynamic_w:
+        Dynamic power at nominal frequency with activity 1.0 — the headroom
+        above idle a maximally switching workload (e.g. DGEMM) consumes.
+    duty_min:
+        Lowest T-state duty cycle (Intel exposes 12.5 % steps).
+    duty_steps:
+        Number of discrete duty positions between ``duty_min`` and 1.0.
+    flops_per_core_cycle:
+        Peak double-precision FLOPs per core per cycle (vector width ×
+        FMA factor); per-workload efficiency factors scale this down.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "package",
+        n_cores: int,
+        pstates: PStateTable,
+        idle_power_w: float,
+        max_dynamic_w: float,
+        duty_min: float = 0.125,
+        duty_steps: int = 8,
+        flops_per_core_cycle: float = 8.0,
+    ) -> None:
+        if n_cores <= 0:
+            raise ConfigurationError(f"n_cores must be positive, got {n_cores}")
+        if duty_steps < 1:
+            raise ConfigurationError(f"duty_steps must be >= 1, got {duty_steps}")
+        self.name = str(name)
+        self.n_cores = int(n_cores)
+        self.pstates = pstates
+        self.idle_power_w = watts(idle_power_w, "idle_power_w")
+        self.max_dynamic_w = check_positive(max_dynamic_w, "max_dynamic_w")
+        self.duty_min = check_fraction(duty_min, "duty_min")
+        if self.duty_min <= 0.0:
+            raise ConfigurationError("duty_min must be > 0")
+        self.duty_steps = int(duty_steps)
+        self.flops_per_core_cycle = check_positive(
+            flops_per_core_cycle, "flops_per_core_cycle"
+        )
+
+    # ------------------------------------------------------------------
+    # demand bounds
+    # ------------------------------------------------------------------
+    @property
+    def floor_power_w(self) -> float:
+        return self.idle_power_w
+
+    @property
+    def max_power_w(self) -> float:
+        return self.idle_power_w + self.max_dynamic_w
+
+    def demand_w(self, effective_activity: float, op: CpuOperatingPoint) -> float:
+        """Power the package draws at ``op`` for a given effective activity."""
+        check_fraction(effective_activity, "effective_activity")
+        weight = float(self.pstates.power_weight(op.freq_ghz))
+        return self.idle_power_w + effective_activity * op.duty * weight * self.max_dynamic_w
+
+    # ------------------------------------------------------------------
+    # cap enforcement
+    # ------------------------------------------------------------------
+    def _snap_duty(self, duty: float) -> float:
+        """Snap a continuous duty cycle down onto the discrete T-state grid."""
+        if self.duty_steps == 1:
+            return self.duty_min
+        span = 1.0 - self.duty_min
+        step = span / (self.duty_steps - 1)
+        # Round *down* so the snapped state never exceeds the cap.
+        k = int((duty - self.duty_min) / step + 1e-9)
+        return self.duty_min + max(0, min(self.duty_steps - 1, k)) * step
+
+    def operating_point(
+        self, cap_w: float, effective_activity: float
+    ) -> CpuOperatingPoint:
+        """Resolve a power cap into (frequency, duty, mechanism).
+
+        ``effective_activity`` is the activity the enforcement loop observes
+        — RAPL regulates *measured* power, so a stalled (memory-bound)
+        workload is allowed to keep a high frequency under a tight cap.
+        """
+        cap_w = watts(cap_w, "cap_w")
+        a = check_fraction(effective_activity, "effective_activity")
+        f_nom = self.pstates.f_nom_ghz
+
+        demand_nominal = self.idle_power_w + a * float(
+            self.pstates.power_weight(f_nom)
+        ) * self.max_dynamic_w
+        if cap_w >= demand_nominal:
+            return CpuOperatingPoint(f_nom, 1.0, CappingMechanism.NONE)
+
+        dyn_budget = cap_w - self.idle_power_w
+        if a <= 0.0 or self.max_dynamic_w <= 0.0:
+            # No dynamic draw at all: any cap at or above idle is met.
+            mech = CappingMechanism.NONE if cap_w >= self.idle_power_w else CappingMechanism.FLOOR
+            return CpuOperatingPoint(f_nom, 1.0, mech)
+
+        max_weight = dyn_budget / (a * self.max_dynamic_w)
+        freq = self.pstates.highest_under_weight(max_weight)
+        if freq is not None:
+            return CpuOperatingPoint(freq, 1.0, CappingMechanism.DVFS)
+
+        # Below the lowest P-state: clock throttling at f_min.
+        f_min = self.pstates.f_min_ghz
+        w_min = float(self.pstates.power_weight(f_min))
+        duty = max_weight / w_min
+        if duty >= self.duty_min:
+            duty = self._snap_duty(min(duty, 1.0))
+            return CpuOperatingPoint(f_min, duty, CappingMechanism.THROTTLE)
+
+        # Below the duty floor: hardware runs at the floor regardless of cap.
+        return CpuOperatingPoint(f_min, self.duty_min, CappingMechanism.FLOOR)
+
+    # ------------------------------------------------------------------
+    # rate model
+    # ------------------------------------------------------------------
+    def compute_rate_flops(
+        self, op: CpuOperatingPoint, compute_efficiency: float
+    ) -> float:
+        """Aggregate FLOP/s at an operating point for a workload efficiency.
+
+        ``compute_efficiency`` folds vectorization quality, ILP, and
+        pipeline stalls *not* caused by main memory (those are modelled by
+        the roofline coupling in the executor).
+        """
+        check_fraction(compute_efficiency, "compute_efficiency")
+        cycles_per_s = op.effective_freq_ghz * 1e9
+        return self.n_cores * cycles_per_s * self.flops_per_core_cycle * compute_efficiency
+
+    # ------------------------------------------------------------------
+    # critical power values (hardware side)
+    # ------------------------------------------------------------------
+    def pstate_power_w(self, f_ghz: float, activity: float) -> float:
+        """Full-duty power at frequency ``f_ghz`` for an activity level."""
+        check_fraction(activity, "activity")
+        return self.idle_power_w + activity * float(
+            self.pstates.power_weight(f_ghz)
+        ) * self.max_dynamic_w
+
+    def min_throttled_power_w(self, activity: float) -> float:
+        """Power at the lowest T-state (duty floor at ``f_min``)."""
+        check_fraction(activity, "activity")
+        w_min = float(self.pstates.power_weight(self.pstates.f_min_ghz))
+        return self.idle_power_w + activity * self.duty_min * w_min * self.max_dynamic_w
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CpuDomain(name={self.name!r}, n_cores={self.n_cores}, "
+            f"f={self.pstates.f_min_ghz}-{self.pstates.f_nom_ghz} GHz, "
+            f"idle={self.idle_power_w} W, dyn={self.max_dynamic_w} W)"
+        )

@@ -1,0 +1,155 @@
+"""Aggregated DRAM domain with bandwidth throttling and a power floor.
+
+All DIMMs on a node are modelled as one aggregated component (paper
+Section 2.2, assumption (c)).  The power model splits into a constant
+background term (refresh, PLLs, I/O termination — drawn whenever the system
+is up) and an access term proportional to how busy the memory bus is::
+
+    P(level, busy) = P_bg + P_access_max · level · busy
+
+``level`` is the throttle level the cap engaged (the fraction of command
+slots the controller leaves enabled) and ``busy`` is the fraction of those
+remaining slots the workload actually uses.  Two paper observations fall out
+of this split:
+
+* scenario III — a memory-bound run under a throttled cap has ``busy = 1``,
+  so actual DRAM power tracks the cap and performance scales with the level;
+* scenario IV — a CPU-throttled run issues few requests, ``busy « 1``, so
+  "memory consumes much less power than its allocation".
+
+Random-access workloads keep the bus busy with activates while delivering
+few useful bytes; that is modelled by a per-phase *memory efficiency* on the
+delivered-bandwidth side only (see :mod:`repro.perfmodel`), which is why
+STREAM and RandomAccess both reach the same maximum DRAM power, as the paper
+measures (~116 W on the IvyBridge node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.component import CappingMechanism, PowerBoundableComponent
+from repro.util.units import as_gbps, check_fraction, check_positive, watts
+
+__all__ = ["DramDomain", "DramOperatingPoint"]
+
+
+@dataclass(frozen=True)
+class DramOperatingPoint:
+    """Resolved hardware state for a DRAM cap: throttle level and mechanism."""
+
+    level: float
+    mechanism: CappingMechanism
+
+
+class DramDomain(PowerBoundableComponent):
+    """The aggregated main-memory power domain of a compute node.
+
+    Parameters
+    ----------
+    name:
+        Domain label (``"dram"`` by convention, matching RAPL).
+    background_w:
+        Constant power drawn while the system runs (refresh + I/O).
+    max_access_w:
+        Additional power at full bus utilization, unthrottled.
+    peak_bw_gbps:
+        Peak deliverable bandwidth for a perfectly streaming pattern.
+    min_level:
+        Lowest throttle level the controller supports.  The corresponding
+        power, ``background_w + min_level · max_access_w``, is the paper's
+        ``P_mem_L3`` floor: caps below it are disregarded.
+    level_steps:
+        Number of discrete throttle positions between ``min_level`` and 1.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "dram",
+        background_w: float,
+        max_access_w: float,
+        peak_bw_gbps: float,
+        min_level: float = 0.45,
+        level_steps: int = 32,
+    ) -> None:
+        self.name = str(name)
+        self.background_w = watts(background_w, "background_w")
+        self.max_access_w = check_positive(max_access_w, "max_access_w")
+        self.peak_bw_gbps = check_positive(peak_bw_gbps, "peak_bw_gbps")
+        self.min_level = check_fraction(min_level, "min_level")
+        if self.min_level <= 0.0:
+            raise ConfigurationError("min_level must be > 0")
+        if level_steps < 1:
+            raise ConfigurationError(f"level_steps must be >= 1, got {level_steps}")
+        self.level_steps = int(level_steps)
+
+    # ------------------------------------------------------------------
+    # demand bounds
+    # ------------------------------------------------------------------
+    @property
+    def floor_power_w(self) -> float:
+        """``P_mem_L3``: power at the lowest throttle level, fully busy."""
+        return self.background_w + self.min_level * self.max_access_w
+
+    @property
+    def max_power_w(self) -> float:
+        return self.background_w + self.max_access_w
+
+    # ------------------------------------------------------------------
+    # cap enforcement
+    # ------------------------------------------------------------------
+    def snap_level(self, level: float) -> float:
+        """Snap a continuous throttle level down onto the discrete grid."""
+        if self.level_steps == 1:
+            return self.min_level
+        span = 1.0 - self.min_level
+        step = span / (self.level_steps - 1)
+        k = int((level - self.min_level) / step + 1e-9)
+        return self.min_level + max(0, min(self.level_steps - 1, k)) * step
+
+    def operating_point(self, cap_w: float) -> DramOperatingPoint:
+        """Resolve a DRAM power cap into a bandwidth throttle level.
+
+        The controller budgets for a fully busy bus (it cannot predict the
+        workload), so the level is chosen such that worst-case power fits
+        under the cap.
+        """
+        cap_w = watts(cap_w, "cap_w")
+        if cap_w >= self.max_power_w:
+            return DramOperatingPoint(1.0, CappingMechanism.NONE)
+        level = (cap_w - self.background_w) / self.max_access_w
+        if level >= self.min_level:
+            level = self.snap_level(min(level, 1.0))
+            return DramOperatingPoint(level, CappingMechanism.BANDWIDTH_THROTTLE)
+        # Cap below the hardware minimum: disregarded, floor level applies.
+        return DramOperatingPoint(self.min_level, CappingMechanism.FLOOR)
+
+    # ------------------------------------------------------------------
+    # power / rate models
+    # ------------------------------------------------------------------
+    def demand_w(self, op: DramOperatingPoint, busy_fraction: float) -> float:
+        """Actual power at an operating point given bus busy fraction."""
+        check_fraction(busy_fraction, "busy_fraction")
+        return self.background_w + op.level * busy_fraction * self.max_access_w
+
+    def bandwidth_ceiling_gbps(
+        self, op: DramOperatingPoint, memory_efficiency: float
+    ) -> float:
+        """Deliverable bandwidth at a throttle level for a given access pattern.
+
+        ``memory_efficiency`` is the fraction of peak bandwidth the pattern
+        can extract (≈0.85 streaming, ≈0.08 random); throttling scales the
+        ceiling multiplicatively, matching the paper's "DRAM bandwidth
+        throttling reduces memory power proportionally [and] decreases
+        memory access rate" (Section 3.3).
+        """
+        check_fraction(memory_efficiency, "memory_efficiency")
+        return as_gbps(self.peak_bw_gbps * op.level * memory_efficiency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DramDomain(name={self.name!r}, bg={self.background_w} W, "
+            f"access={self.max_access_w} W, peak={self.peak_bw_gbps} GB/s)"
+        )

@@ -1,0 +1,122 @@
+"""Discrete GPU card: SM + device memory + board, with budget *reclaim*.
+
+The key behavioural difference from the CPU side (paper Section 4): "unlike
+independent management of processors and DRAM on the host, where unused power
+budget on one component is simply wasted, the GPU power capping automatically
+reclaims unused power budget and shifts it to another component".  The card
+firmware regulates *total board power* against one cap; whatever the memory
+does not draw at its configured clock is available to boost the SM clock.
+
+:meth:`GpuCard.sm_budget_w` implements that reclaim: the SM share is the cap
+minus board static power minus the memory's *actual* draw.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, PowerBoundError
+from repro.hardware.gpu_mem import GpuMemDomain, GpuMemOperatingPoint
+from repro.hardware.gpu_sm import GpuSmDomain
+from repro.util.units import check_fraction, watts
+
+__all__ = ["GpuCard"]
+
+
+class GpuCard:
+    """A power-capped discrete GPU accelerator.
+
+    Parameters
+    ----------
+    name:
+        Card label, e.g. ``"titan-xp"``.
+    sm, mem:
+        The two power domains the paper coordinates across.
+    board_static_w:
+        Fans, VRM losses, PCB — drawn regardless of activity.
+    min_cap_w, max_cap_w, default_cap_w:
+        Driver-enforced cap range and factory default.  The paper's cards
+        default to 250 W with a user-settable maximum of 300 W.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        sm: GpuSmDomain,
+        mem: GpuMemDomain,
+        board_static_w: float,
+        min_cap_w: float,
+        max_cap_w: float,
+        default_cap_w: float,
+    ) -> None:
+        self.name = str(name)
+        self.sm = sm
+        self.mem = mem
+        self.board_static_w = watts(board_static_w, "board_static_w")
+        self.min_cap_w = watts(min_cap_w, "min_cap_w")
+        self.max_cap_w = watts(max_cap_w, "max_cap_w")
+        self.default_cap_w = watts(default_cap_w, "default_cap_w")
+        if not (self.min_cap_w <= self.default_cap_w <= self.max_cap_w):
+            raise ConfigurationError(
+                f"default cap {default_cap_w} W outside "
+                f"[{min_cap_w}, {max_cap_w}] W"
+            )
+
+    # ------------------------------------------------------------------
+    # demand bounds
+    # ------------------------------------------------------------------
+    @property
+    def floor_power_w(self) -> float:
+        """Lowest possible board draw (both domains at their floors, idle)."""
+        return self.board_static_w + self.sm.idle_power_w + self.mem.idle_power_w
+
+    @property
+    def max_power_w(self) -> float:
+        """Maximum possible board draw (both domains flat out)."""
+        return self.board_static_w + self.sm.max_power_w + self.mem.max_power_w
+
+    # ------------------------------------------------------------------
+    # capping
+    # ------------------------------------------------------------------
+    def validate_cap(self, cap_w: float) -> float:
+        """Check a requested cap against the driver-enforced range."""
+        cap_w = watts(cap_w, "cap_w")
+        if not (self.min_cap_w - 1e-9 <= cap_w <= self.max_cap_w + 1e-9):
+            raise PowerBoundError(
+                f"{self.name}: cap {cap_w:.1f} W outside driver range "
+                f"[{self.min_cap_w:.0f}, {self.max_cap_w:.0f}] W"
+            )
+        return cap_w
+
+    def sm_budget_w(
+        self,
+        cap_w: float,
+        mem_op: GpuMemOperatingPoint,
+        mem_busy_fraction: float,
+    ) -> float:
+        """Power available to the SMs after board and *actual* memory draw.
+
+        This is the reclaim mechanism: when the memory bus is not busy (or
+        is clocked down), its unspent share flows to the SM clock instead of
+        being wasted, so "the actual total power consumption always matches
+        the set power cap, unless the cap exceeds the application's demand"
+        (paper Section 4).
+        """
+        check_fraction(mem_busy_fraction, "mem_busy_fraction")
+        mem_actual = self.mem.demand_w(mem_op, mem_busy_fraction)
+        return max(0.0, float(cap_w) - self.board_static_w - mem_actual)
+
+    def total_power_w(
+        self,
+        sm_power_w: float,
+        mem_power_w: float,
+    ) -> float:
+        """Board power given per-domain actual draws."""
+        return self.board_static_w + watts(sm_power_w, "sm_power_w") + watts(
+            mem_power_w, "mem_power_w"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GpuCard({self.name!r}, caps [{self.min_cap_w:.0f}, "
+            f"{self.max_cap_w:.0f}] W, default {self.default_cap_w:.0f} W)"
+        )

@@ -1,0 +1,204 @@
+"""GPU device-memory (GDDR5X / HBM2) power domain.
+
+Device-memory power is steered through *frequency offsets* (the paper uses
+``nvidia-settings``), not direct caps.  Bandwidth scales with the memory
+clock; power is estimated from the clock with an empirical model — exactly
+how the paper produces the "memory power" axis of Figure 7 ("estimated using
+memory frequency setting and empirical power models built from experiment
+data on the card").
+
+The power model has three terms::
+
+    P(r, busy) = P_idle + P_clock · r² + P_access · r · busy
+
+with ``r = freq / nominal``.  The clock term (PLL, PHY, I/O voltage that
+rises with the clock) is drawn *regardless of traffic* — this is the watts a
+coordinated policy recovers by downclocking memory for compute-bound
+kernels, and what the budget-oblivious Nvidia default (memory always at
+nominal) leaves on the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PowerBoundError
+from repro.hardware.component import CappingMechanism, PowerBoundableComponent
+from repro.util.units import check_fraction, check_positive, watts
+
+__all__ = ["GpuMemDomain", "GpuMemOperatingPoint"]
+
+
+@dataclass(frozen=True)
+class GpuMemOperatingPoint:
+    """Resolved device-memory state: clock in MHz and how it was reached."""
+
+    freq_mhz: float
+    mechanism: CappingMechanism
+
+    def offset_mhz(self, nominal_mhz: float) -> float:
+        """The ``nvidia-settings`` style offset relative to the nominal clock."""
+        return self.freq_mhz - nominal_mhz
+
+
+class GpuMemDomain(PowerBoundableComponent):
+    """The global-memory power domain of a discrete GPU.
+
+    Parameters
+    ----------
+    nominal_mhz:
+        Default (highest stable) memory clock; the Nvidia default capping
+        policy always runs here.
+    min_mhz:
+        Lowest clock the driver accepts via negative offsets.
+    step_mhz:
+        Offset granularity.
+    idle_power_w:
+        Clock-independent floor (refresh, cell retention).
+    clock_power_w:
+        Additional power at the nominal clock from PLL/PHY/I-O rails; scales
+        with the square of the clock ratio and is traffic-independent.
+    access_power_w:
+        Additional power at the nominal clock with a fully busy bus.
+    peak_bw_gbps:
+        Deliverable bandwidth at the nominal clock for streaming access.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "gpumem",
+        nominal_mhz: float,
+        min_mhz: float,
+        step_mhz: float = 50.0,
+        idle_power_w: float,
+        clock_power_w: float,
+        access_power_w: float,
+        peak_bw_gbps: float,
+    ) -> None:
+        self.name = str(name)
+        self.nominal_mhz = check_positive(nominal_mhz, "nominal_mhz")
+        self.min_mhz = check_positive(min_mhz, "min_mhz")
+        if self.min_mhz > self.nominal_mhz:
+            raise ConfigurationError(
+                f"min_mhz ({min_mhz}) exceeds nominal_mhz ({nominal_mhz})"
+            )
+        self.step_mhz = check_positive(step_mhz, "step_mhz")
+        self.idle_power_w = watts(idle_power_w, "idle_power_w")
+        self.clock_power_w = check_positive(clock_power_w, "clock_power_w")
+        self.access_power_w = check_positive(access_power_w, "access_power_w")
+        self.peak_bw_gbps = check_positive(peak_bw_gbps, "peak_bw_gbps")
+        n_steps = int(round((self.nominal_mhz - self.min_mhz) / self.step_mhz))
+        freqs = self.min_mhz + self.step_mhz * np.arange(n_steps + 1)
+        freqs[-1] = self.nominal_mhz
+        freqs.setflags(write=False)
+        self._freqs = freqs
+
+    @property
+    def frequencies_mhz(self) -> np.ndarray:
+        """All selectable memory clocks, ascending."""
+        return self._freqs
+
+    def _ratio(self, freq_mhz: float) -> float:
+        return float(freq_mhz) / self.nominal_mhz
+
+    # ------------------------------------------------------------------
+    # demand bounds
+    # ------------------------------------------------------------------
+    @property
+    def floor_power_w(self) -> float:
+        """Estimated busy-bus power at the lowest selectable clock."""
+        return self.allocated_power_w(self.min_mhz)
+
+    @property
+    def max_power_w(self) -> float:
+        """Estimated busy-bus power at the nominal clock."""
+        return self.allocated_power_w(self.nominal_mhz)
+
+    @property
+    def min_power_w(self) -> float:
+        """Traffic-free power at the lowest clock — the true domain floor."""
+        r = self._ratio(self.min_mhz)
+        return self.idle_power_w + self.clock_power_w * r * r
+
+    # ------------------------------------------------------------------
+    # empirical power model (clock -> power)
+    # ------------------------------------------------------------------
+    def allocated_power_w(self, freq_mhz: float) -> float:
+        """Empirical worst-case (busy bus) power estimate for a clock.
+
+        This is the "memory power allocation" axis the paper plots: what
+        running at ``freq_mhz`` would draw if the bus stayed fully busy.
+        """
+        r = self._ratio(freq_mhz)
+        return self.idle_power_w + self.clock_power_w * r * r + self.access_power_w * r
+
+    def demand_w(self, op: GpuMemOperatingPoint, busy_fraction: float) -> float:
+        """Actual power at a clock given the measured bus busy fraction."""
+        check_fraction(busy_fraction, "busy_fraction")
+        r = self._ratio(op.freq_mhz)
+        return (
+            self.idle_power_w
+            + self.clock_power_w * r * r
+            + self.access_power_w * r * busy_fraction
+        )
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def operating_point(self, freq_mhz: float) -> GpuMemOperatingPoint:
+        """Snap a requested clock onto the driver's offset grid."""
+        f = float(freq_mhz)
+        if not (self.min_mhz - 1e-9 <= f <= self.nominal_mhz + 1e-9):
+            raise PowerBoundError(
+                f"memory clock {f} MHz outside driver range "
+                f"[{self.min_mhz}, {self.nominal_mhz}] MHz"
+            )
+        idx = int(np.argmin(np.abs(self._freqs - f)))
+        snapped = float(self._freqs[idx])
+        mech = (
+            CappingMechanism.NONE
+            if snapped >= self.nominal_mhz
+            else CappingMechanism.DVFS
+        )
+        return GpuMemOperatingPoint(snapped, mech)
+
+    def operating_point_for_power(self, target_w: float) -> GpuMemOperatingPoint:
+        """Invert the empirical power model: clock whose allocation ≈ target.
+
+        Used by the GPU COORD heuristic, which reasons in watts and must be
+        translated into the frequency-offset knob the driver exposes.  The
+        result is the highest clock whose worst-case power fits ``target_w``
+        (clamped to the driver range — caps below the floor are disallowed
+        by hardware, matching the paper's Section 4 observation).
+        """
+        target_w = watts(target_w, "target_w")
+        ratios = self._freqs / self.nominal_mhz
+        powers = (
+            self.idle_power_w
+            + self.clock_power_w * ratios * ratios
+            + self.access_power_w * ratios
+        )
+        mask = powers <= target_w + 1e-9
+        if not mask.any():
+            return GpuMemOperatingPoint(float(self._freqs[0]), CappingMechanism.FLOOR)
+        freq = float(self._freqs[np.nonzero(mask)[0][-1]])
+        mech = (
+            CappingMechanism.NONE if freq >= self.nominal_mhz else CappingMechanism.DVFS
+        )
+        return GpuMemOperatingPoint(freq, mech)
+
+    def bandwidth_ceiling_gbps(
+        self, op: GpuMemOperatingPoint, memory_efficiency: float
+    ) -> float:
+        """Deliverable bandwidth at a clock for a given access pattern."""
+        check_fraction(memory_efficiency, "memory_efficiency")
+        return self.peak_bw_gbps * self._ratio(op.freq_mhz) * memory_efficiency
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GpuMemDomain({self.min_mhz:.0f}-{self.nominal_mhz:.0f} MHz, "
+            f"{self.peak_bw_gbps} GB/s)"
+        )

@@ -1,0 +1,129 @@
+"""GPU streaming-multiprocessor (SM) power domain.
+
+GPUs expose DVFS on the SM clock but — unlike Intel CPUs — no duty-cycle
+throttling usable from the capping firmware, and the driver refuses caps
+below a hardware minimum.  This is why the paper observes that "GPU hardware
+excludes categories (IV & V & VI) that would deliver an unacceptably low
+performance, by disallowing low power caps on SMs and memory" (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.component import CappingMechanism, PowerBoundableComponent
+from repro.hardware.pstate import PStateTable
+from repro.util.units import check_fraction, check_positive, watts
+
+__all__ = ["GpuSmDomain", "GpuSmOperatingPoint"]
+
+
+@dataclass(frozen=True)
+class GpuSmOperatingPoint:
+    """Resolved SM state for a power share: clock frequency and mechanism."""
+
+    freq_ghz: float
+    mechanism: CappingMechanism
+
+
+class GpuSmDomain(PowerBoundableComponent):
+    """The SM-array power domain of a discrete GPU.
+
+    Parameters
+    ----------
+    n_sm:
+        Number of streaming multiprocessors.
+    pstates:
+        SM clock grid (GHz); Nvidia bins are ~13 MHz, approximated here
+        with a configurable step.
+    idle_power_w:
+        SM-array power when clock-gated but powered.
+    max_dynamic_w:
+        Additional power at the top clock with activity 1.0.
+    flops_per_sm_cycle:
+        Peak single-precision FLOPs per SM per cycle (2 × FP32 lanes).
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "sm",
+        n_sm: int,
+        pstates: PStateTable,
+        idle_power_w: float,
+        max_dynamic_w: float,
+        flops_per_sm_cycle: float = 256.0,
+    ) -> None:
+        if n_sm <= 0:
+            raise ConfigurationError(f"n_sm must be positive, got {n_sm}")
+        self.name = str(name)
+        self.n_sm = int(n_sm)
+        self.pstates = pstates
+        self.idle_power_w = watts(idle_power_w, "idle_power_w")
+        self.max_dynamic_w = check_positive(max_dynamic_w, "max_dynamic_w")
+        self.flops_per_sm_cycle = check_positive(
+            flops_per_sm_cycle, "flops_per_sm_cycle"
+        )
+
+    @property
+    def floor_power_w(self) -> float:
+        """Power at the lowest allowed SM clock under full activity.
+
+        The driver never lets the SM share fall below this, which is what
+        removes the paper's scenarios IV–VI from GPU profiles.
+        """
+        w_min = float(self.pstates.power_weight(self.pstates.f_min_ghz))
+        return self.idle_power_w + w_min * self.max_dynamic_w
+
+    @property
+    def max_power_w(self) -> float:
+        return self.idle_power_w + self.max_dynamic_w
+
+    def operating_point(
+        self, budget_w: float, effective_activity: float
+    ) -> GpuSmOperatingPoint:
+        """Pick the highest SM clock whose draw fits the budget share."""
+        budget_w = watts(budget_w, "budget_w")
+        a = check_fraction(effective_activity, "effective_activity")
+        f_max = self.pstates.f_nom_ghz
+        demand_top = self.idle_power_w + a * float(
+            self.pstates.power_weight(f_max)
+        ) * self.max_dynamic_w
+        if budget_w >= demand_top:
+            return GpuSmOperatingPoint(f_max, CappingMechanism.NONE)
+        if a <= 0.0:
+            mech = (
+                CappingMechanism.NONE
+                if budget_w >= self.idle_power_w
+                else CappingMechanism.FLOOR
+            )
+            return GpuSmOperatingPoint(f_max, mech)
+        max_weight = (budget_w - self.idle_power_w) / (a * self.max_dynamic_w)
+        freq = self.pstates.highest_under_weight(max_weight)
+        if freq is not None:
+            return GpuSmOperatingPoint(freq, CappingMechanism.DVFS)
+        # Budget below the lowest clock's demand: hardware clamps to f_min.
+        return GpuSmOperatingPoint(self.pstates.f_min_ghz, CappingMechanism.FLOOR)
+
+    def demand_w(
+        self, op: GpuSmOperatingPoint, effective_activity: float
+    ) -> float:
+        """Actual SM power at an operating point for an effective activity."""
+        check_fraction(effective_activity, "effective_activity")
+        weight = float(self.pstates.power_weight(op.freq_ghz))
+        return self.idle_power_w + effective_activity * weight * self.max_dynamic_w
+
+    def compute_rate_flops(
+        self, op: GpuSmOperatingPoint, compute_efficiency: float
+    ) -> float:
+        """Aggregate FLOP/s at an SM clock for a workload efficiency."""
+        check_fraction(compute_efficiency, "compute_efficiency")
+        cycles_per_s = op.freq_ghz * 1e9
+        return self.n_sm * cycles_per_s * self.flops_per_sm_cycle * compute_efficiency
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GpuSmDomain(n_sm={self.n_sm}, "
+            f"f={self.pstates.f_min_ghz}-{self.pstates.f_nom_ghz} GHz)"
+        )

@@ -1,0 +1,112 @@
+"""Sampling power meters over RAPL energy counters.
+
+The paper's measurements difference RAPL's energy-status MSRs at a fixed
+polling interval.  This module reproduces that measurement path — with its
+real-world wrinkle, the 32-bit register wrap — so that everything reported
+as "actual power" can also be observed the way a deployment would observe
+it, rather than read out of the simulator's internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.rapl import MsrEnergyCounter, RaplDomainName, RaplInterface
+from repro.perfmodel.power_trace import PowerTrace
+from repro.util.units import check_positive
+
+__all__ = ["MeterReading", "RaplPowerMeter"]
+
+
+@dataclass(frozen=True)
+class MeterReading:
+    """One polling window's measurement."""
+
+    t_start_s: float
+    t_end_s: float
+    energy_j: float
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / (self.t_end_s - self.t_start_s)
+
+
+class RaplPowerMeter:
+    """Polls a RAPL domain's energy counter and reports per-window power.
+
+    The meter never sees instantaneous power — only energy deltas between
+    polls, reconstructed wrap-safely (valid as long as less than one full
+    register wrap, 2¹⁶ J, passes between polls; at node-level powers that
+    is several minutes, far above any sane polling interval).
+    """
+
+    def __init__(
+        self,
+        rapl: RaplInterface,
+        domain: RaplDomainName,
+        poll_interval_s: float = 0.1,
+    ) -> None:
+        self.rapl = rapl
+        self.domain = domain
+        self.poll_interval_s = check_positive(poll_interval_s, "poll_interval_s")
+
+    def observe_trace(self, trace: PowerTrace, domain_select: str = "proc") -> list[MeterReading]:
+        """Replay a sampled trace into the counter, polling as we go.
+
+        ``domain_select`` picks which trace channel feeds this domain's
+        counter (``"proc"``, ``"mem"`` or ``"total"``).  Returns one
+        reading per polling window, reconstructed purely from raw counter
+        values — the same arithmetic a real meter performs.
+        """
+        channel = {
+            "proc": trace.proc_w,
+            "mem": trace.mem_w,
+            "total": trace.total_w,
+        }.get(domain_select)
+        if channel is None:
+            raise ConfigurationError(
+                f"domain_select must be proc/mem/total, got {domain_select!r}"
+            )
+        samples_per_poll = max(1, int(round(self.poll_interval_s / trace.dt_s)))
+        readings: list[MeterReading] = []
+        prev_raw = self.rapl.read_energy_raw(self.domain)
+        t = 0.0
+        for start in range(0, channel.size, samples_per_poll):
+            chunk = channel[start : start + samples_per_poll]
+            energy = float(chunk.sum() * trace.dt_s)
+            self.rapl.record_energy(self.domain, energy)
+            now_raw = self.rapl.read_energy_raw(self.domain)
+            window = chunk.size * trace.dt_s
+            readings.append(
+                MeterReading(
+                    t_start_s=t,
+                    t_end_s=t + window,
+                    energy_j=MsrEnergyCounter.delta_joules(prev_raw, now_raw),
+                )
+            )
+            prev_raw = now_raw
+            t += window
+        return readings
+
+    @staticmethod
+    def average_power_w(readings: list[MeterReading]) -> float:
+        """Time-weighted average power over a set of readings."""
+        if not readings:
+            raise ConfigurationError("no meter readings to average")
+        total_t = sum(r.t_end_s - r.t_start_s for r in readings)
+        total_e = sum(r.energy_j for r in readings)
+        return total_e / total_t
+
+    @staticmethod
+    def max_window_power_w(readings: list[MeterReading]) -> float:
+        """Worst single-window power — what a cap auditor checks."""
+        if not readings:
+            raise ConfigurationError("no meter readings to inspect")
+        return max(r.power_w for r in readings)
+
+    def as_array(self, readings: list[MeterReading]) -> np.ndarray:
+        """Reading powers as an array (for compliance checks/plotting)."""
+        return np.array([r.power_w for r in readings])

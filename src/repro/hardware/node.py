@@ -1,0 +1,91 @@
+"""Compute-node composition: CPU domain + DRAM domain (+ optional GPUs).
+
+A :class:`ComputeNode` is the unit the paper budgets power for ("we focus on
+power allocation on compute nodes which are the building blocks of HPC
+systems").  It bundles the two host power domains with a RAPL control plane
+and any attached accelerator cards, and exposes the node-level demand bounds
+the coordinator and scheduler reason about.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.hardware.gpu import GpuCard
+from repro.hardware.nvml import NvmlDevice
+from repro.hardware.rapl import RaplInterface
+
+__all__ = ["ComputeNode"]
+
+
+class ComputeNode:
+    """A power-bounded compute node with host domains and optional GPUs.
+
+    Parameters
+    ----------
+    name:
+        Platform label, e.g. ``"ivybridge"``.
+    cpu, dram:
+        The two host power domains coordinated in the CPU experiments.
+    gpus:
+        Attached accelerator cards (empty for the host-only platforms).
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        cpu: CpuDomain,
+        dram: DramDomain,
+        gpus: tuple[GpuCard, ...] = (),
+    ) -> None:
+        self.name = str(name)
+        if not self.name:
+            raise ConfigurationError("node name must be non-empty")
+        self.cpu = cpu
+        self.dram = dram
+        self.gpus = tuple(gpus)
+        self.rapl = RaplInterface()
+        self.nvml = tuple(NvmlDevice(card) for card in self.gpus)
+
+    # ------------------------------------------------------------------
+    # node-level demand bounds
+    # ------------------------------------------------------------------
+    @property
+    def host_floor_power_w(self) -> float:
+        """Lowest host power while running: both domain floors engaged.
+
+        Budgets below this cannot be honoured (paper scenario VI: "this
+        scenario cannot ensure the system power bound").
+        """
+        return self.cpu.floor_power_w + self.dram.floor_power_w
+
+    @property
+    def host_max_power_w(self) -> float:
+        """Host power with both domains flat out — above this is surplus."""
+        return self.cpu.max_power_w + self.dram.max_power_w
+
+    def gpu(self, index: int = 0) -> GpuCard:
+        """Convenience accessor for an attached card."""
+        try:
+            return self.gpus[index]
+        except IndexError as exc:
+            raise ConfigurationError(
+                f"node {self.name!r} has {len(self.gpus)} GPU(s); "
+                f"index {index} is out of range"
+            ) from exc
+
+    def nvml_device(self, index: int = 0) -> NvmlDevice:
+        """The driver handle for an attached card."""
+        try:
+            return self.nvml[index]
+        except IndexError as exc:
+            raise ConfigurationError(
+                f"node {self.name!r} has {len(self.nvml)} GPU(s); "
+                f"index {index} is out of range"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        gpu_part = f", gpus={[g.name for g in self.gpus]}" if self.gpus else ""
+        return f"ComputeNode({self.name!r}, {self.cpu.n_cores} cores{gpu_part})"

@@ -1,0 +1,209 @@
+"""Calibrated presets for the paper's four experimental platforms (Table 2).
+
+=====================  =================================  ==============
+Platform               Processor                          Memory
+=====================  =================================  ==============
+CPU Platform I         2× Xeon 10-core IvyBridge          256 GB DDR3
+CPU Platform II        2× Xeon 12-core Haswell            256 GB DDR4
+GPU Platform I         Nvidia Titan XP                    12 GB GDDR5X
+GPU Platform II        Nvidia Titan V                     12 GB HBM2
+=====================  =================================  ==============
+
+Calibration anchors are taken from numbers the paper states explicitly:
+
+* IvyBridge: per-processor DVFS 1.2–2.5 GHz; CPU idle/hardware floor ≈ 48 W;
+  RandomAccess draws ≈ 108–112 W on the packages and ≈ 116 W on DRAM; DGEMM's
+  node demand flattens above ≈ 240 W; scenario V for RandomAccess begins
+  below a DRAM cap of ≈ 68 W (the DRAM floor).
+* Haswell: per-core DVFS 1.2–2.3 GHz; DDR4 "consumes less power" and delivers
+  more bandwidth, so the Haswell node wins at small budgets but "the two
+  systems consume similar power when performance reaches the maximum".
+* Titan XP: caps settable 125–300 W (default 250); SGEMM demands > 300 W
+  (its perf never flattens in range); MiniFE saturates near 180 W.
+* Titan V: smaller total and DRAM power range than the XP (HBM2); SGEMM
+  saturates near 180 W; memory-bound behaviour dominates.
+
+The numeric values below are *model* parameters fitted to those anchors, not
+datasheet transcriptions; ``tests/test_calibration.py`` asserts the anchors
+hold within tolerance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import UnknownPlatformError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.hardware.gpu import GpuCard
+from repro.hardware.gpu_mem import GpuMemDomain
+from repro.hardware.gpu_sm import GpuSmDomain
+from repro.hardware.node import ComputeNode
+from repro.hardware.pstate import PStateTable
+
+__all__ = [
+    "PLATFORMS",
+    "get_platform",
+    "haswell_node",
+    "ivybridge_node",
+    "list_platforms",
+    "titan_v_card",
+    "titan_xp_card",
+]
+
+
+def ivybridge_node() -> ComputeNode:
+    """CPU Platform I: 2× Xeon 10-core IvyBridge, 256 GB DDR3-1600."""
+    cpu = CpuDomain(
+        n_cores=20,
+        pstates=PStateTable(f_min_ghz=1.2, f_nom_ghz=2.5, step_ghz=0.1, v_min_ratio=0.75),
+        idle_power_w=48.0,
+        max_dynamic_w=125.0,
+        duty_min=0.0625,
+        duty_steps=16,
+        flops_per_core_cycle=8.0,  # AVX: 4-wide DP mul + add
+    )
+    dram = DramDomain(
+        background_w=26.0,
+        max_access_w=90.0,
+        peak_bw_gbps=80.0,
+        min_level=0.45,
+        level_steps=32,
+    )
+    return ComputeNode(name="ivybridge", cpu=cpu, dram=dram)
+
+
+def haswell_node() -> ComputeNode:
+    """CPU Platform II: 2× Xeon 12-core Haswell, 256 GB DDR4-2133.
+
+    Per-core DVFS is modelled as a finer frequency grid; DDR4 carries a
+    lower background and per-access cost than the IvyBridge node's DDR3
+    while delivering more bandwidth.
+    """
+    cpu = CpuDomain(
+        n_cores=24,
+        pstates=PStateTable(f_min_ghz=1.2, f_nom_ghz=2.3, step_ghz=0.05, v_min_ratio=0.78),
+        idle_power_w=44.0,
+        max_dynamic_w=140.0,
+        duty_min=0.0625,
+        duty_steps=16,
+        flops_per_core_cycle=16.0,  # AVX2 FMA: 4-wide DP fused mul-add ×2
+    )
+    dram = DramDomain(
+        background_w=16.0,
+        max_access_w=64.0,
+        peak_bw_gbps=110.0,
+        min_level=0.40,
+        level_steps=32,
+    )
+    return ComputeNode(name="haswell", cpu=cpu, dram=dram)
+
+
+def titan_xp_card() -> GpuCard:
+    """GPU Platform I: Nvidia Titan XP, 12 GB GDDR5X."""
+    sm = GpuSmDomain(
+        n_sm=30,
+        pstates=PStateTable(f_min_ghz=1.0, f_nom_ghz=1.9, step_ghz=0.05, v_min_ratio=0.80),
+        idle_power_w=20.0,
+        max_dynamic_w=230.0,
+        flops_per_sm_cycle=256.0,  # 128 FP32 lanes × FMA
+    )
+    mem = GpuMemDomain(
+        nominal_mhz=5705.0,
+        min_mhz=4100.0,
+        step_mhz=50.0,
+        idle_power_w=10.0,
+        clock_power_w=32.0,
+        access_power_w=28.0,
+        peak_bw_gbps=480.0,
+    )
+    return GpuCard(
+        name="titan-xp",
+        sm=sm,
+        mem=mem,
+        board_static_w=17.0,
+        min_cap_w=125.0,
+        max_cap_w=300.0,
+        default_cap_w=250.0,
+    )
+
+
+def titan_v_card() -> GpuCard:
+    """GPU Platform II: Nvidia Titan V, 12 GB HBM2.
+
+    HBM2 gives a much smaller memory power range than GDDR5X, and the
+    12 nm SMs reach their full clock at a lower total power — which is why
+    the paper sees SGEMM saturate near 180 W here but not on the XP.
+    """
+    sm = GpuSmDomain(
+        n_sm=80,
+        pstates=PStateTable(f_min_ghz=1.0, f_nom_ghz=1.455, step_ghz=0.035, v_min_ratio=0.84),
+        idle_power_w=20.0,
+        max_dynamic_w=125.0,
+        flops_per_sm_cycle=128.0,  # 64 FP32 lanes × FMA
+    )
+    mem = GpuMemDomain(
+        nominal_mhz=850.0,
+        min_mhz=600.0,
+        step_mhz=25.0,
+        idle_power_w=8.0,
+        clock_power_w=12.0,
+        access_power_w=17.0,
+        peak_bw_gbps=650.0,
+    )
+    return GpuCard(
+        name="titan-v",
+        sm=sm,
+        mem=mem,
+        board_static_w=18.0,
+        min_cap_w=100.0,
+        max_cap_w=300.0,
+        default_cap_w=250.0,
+    )
+
+
+def titan_xp_node() -> ComputeNode:
+    """Host node carrying the Titan XP (host domains sized like a workstation)."""
+    node = ivybridge_node()
+    return ComputeNode(
+        name="titan-xp-host", cpu=node.cpu, dram=node.dram, gpus=(titan_xp_card(),)
+    )
+
+
+def titan_v_node() -> ComputeNode:
+    """Host node carrying the Titan V."""
+    node = ivybridge_node()
+    return ComputeNode(
+        name="titan-v-host", cpu=node.cpu, dram=node.dram, gpus=(titan_v_card(),)
+    )
+
+
+#: Registry mapping platform names to constructors (fresh instance per call,
+#: so callers can mutate control state without cross-test leakage).
+PLATFORMS: dict[str, Callable[[], ComputeNode | GpuCard]] = {
+    "ivybridge": ivybridge_node,
+    "haswell": haswell_node,
+    "titan-xp": titan_xp_card,
+    "titan-v": titan_v_card,
+    "titan-xp-host": titan_xp_node,
+    "titan-v-host": titan_v_node,
+}
+
+
+def list_platforms() -> tuple[str, ...]:
+    """Names of all registered platform presets."""
+    return tuple(PLATFORMS)
+
+
+def get_platform(name: str) -> ComputeNode | GpuCard:
+    """Instantiate a platform preset by name.
+
+    Raises :class:`~repro.errors.UnknownPlatformError` for unknown names.
+    """
+    try:
+        factory = PLATFORMS[name]
+    except KeyError:
+        raise UnknownPlatformError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,99 @@
+"""P-state (DVFS) tables with a voltage/frequency power model.
+
+A P-state table holds the discrete frequency grid a processor exposes and the
+relative dynamic-power weight of each state.  Dynamic CMOS power scales as
+``C · V² · f``; within the DVFS range voltage scales roughly linearly with
+frequency, so the weight of state *f* relative to the nominal state is::
+
+    w(f) = (f / f_nom) * (V(f) / V_nom)**2
+
+with ``V(f)`` interpolated linearly between ``v_min`` at ``f_min`` and
+``v_nom`` at ``f_nom``.  Only the *ratio* ``v_min / v_nom`` matters, so
+voltages are expressed relative to nominal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.units import as_ghz, check_fraction
+
+__all__ = ["PStateTable"]
+
+
+@dataclass(frozen=True)
+class PStateTable:
+    """Discrete DVFS frequency grid with per-state dynamic-power weights.
+
+    Parameters
+    ----------
+    f_min_ghz, f_nom_ghz:
+        Lowest and nominal (highest stable, turbo excluded — the paper
+        disables turbo) frequencies in GHz.
+    step_ghz:
+        Grid spacing; Intel exposes 100 MHz bins.
+    v_min_ratio:
+        Core voltage at ``f_min`` relative to the voltage at ``f_nom``.
+    """
+
+    f_min_ghz: float
+    f_nom_ghz: float
+    step_ghz: float = 0.1
+    v_min_ratio: float = 0.75
+    _freqs: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        as_ghz(self.f_min_ghz, "f_min_ghz")
+        as_ghz(self.f_nom_ghz, "f_nom_ghz")
+        as_ghz(self.step_ghz, "step_ghz")
+        check_fraction(self.v_min_ratio, "v_min_ratio")
+        if self.f_min_ghz > self.f_nom_ghz:
+            raise ConfigurationError(
+                f"f_min ({self.f_min_ghz} GHz) exceeds f_nom ({self.f_nom_ghz} GHz)"
+            )
+        n_steps = int(round((self.f_nom_ghz - self.f_min_ghz) / self.step_ghz))
+        freqs = self.f_min_ghz + self.step_ghz * np.arange(n_steps + 1)
+        freqs[-1] = self.f_nom_ghz  # avoid fp drift on the top state
+        freqs.setflags(write=False)
+        object.__setattr__(self, "_freqs", freqs)
+
+    @property
+    def frequencies_ghz(self) -> np.ndarray:
+        """All grid frequencies, ascending, including both endpoints."""
+        return self._freqs
+
+    def __len__(self) -> int:
+        return int(self._freqs.size)
+
+    def voltage_ratio(self, f_ghz: float | np.ndarray) -> float | np.ndarray:
+        """Relative core voltage ``V(f)/V_nom`` (linear V-f interpolation)."""
+        if self.f_nom_ghz == self.f_min_ghz:
+            return np.ones_like(np.asarray(f_ghz, dtype=float)) + 0.0
+        span = self.f_nom_ghz - self.f_min_ghz
+        frac = (np.asarray(f_ghz, dtype=float) - self.f_min_ghz) / span
+        return self.v_min_ratio + (1.0 - self.v_min_ratio) * frac
+
+    def power_weight(self, f_ghz: float | np.ndarray) -> float | np.ndarray:
+        """Dynamic-power weight ``w(f) = (f/f_nom)·(V(f)/V_nom)²`` in (0, 1]."""
+        f = np.asarray(f_ghz, dtype=float)
+        return (f / self.f_nom_ghz) * self.voltage_ratio(f) ** 2
+
+    def nearest(self, f_ghz: float) -> float:
+        """Snap an arbitrary frequency onto the grid (clamped to range)."""
+        idx = int(np.argmin(np.abs(self._freqs - float(f_ghz))))
+        return float(self._freqs[idx])
+
+    def highest_under_weight(self, max_weight: float) -> float | None:
+        """Highest grid frequency whose power weight is ≤ ``max_weight``.
+
+        Returns ``None`` when even ``f_min`` exceeds the weight budget —
+        the caller must then fall back to throttling (T-states).
+        """
+        weights = self.power_weight(self._freqs)
+        mask = weights <= max_weight + 1e-12
+        if not mask.any():
+            return None
+        return float(self._freqs[np.nonzero(mask)[0][-1]])

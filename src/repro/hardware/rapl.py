@@ -1,0 +1,192 @@
+"""RAPL-style control interface with MSR energy-counter emulation.
+
+The paper caps CPU-side components through Intel's Running Average Power
+Limit interface.  This module reproduces the parts of that interface the
+study relies on:
+
+* named power domains (``package``, ``dram``) with settable power limits and
+  averaging windows;
+* monotonically increasing, fixed-unit, 32-bit wrapping energy counters
+  (``MSR_PKG_ENERGY_STATUS`` semantics) that power meters difference and
+  divide by elapsed time;
+* a running-average enforcement check over a configurable window.
+
+The actual actuation — which P/T-state or throttle level a limit engages —
+lives in the component models (:mod:`repro.hardware.cpu`,
+:mod:`repro.hardware.dram`); this module is the *control plane* the
+coordinator layer talks to, mirroring how a real deployment would talk to
+``/sys/class/powercap/intel-rapl``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PowerBoundError
+from repro.util.units import check_positive, watts
+
+__all__ = ["MsrEnergyCounter", "RaplDomainName", "RaplInterface", "RaplDomainStatus"]
+
+#: RAPL energy status unit: 15.3 microjoules (2^-16 J), per Intel SDM Vol 3B.
+ENERGY_UNIT_J = 2.0**-16
+
+#: Energy-status registers are 32-bit and wrap silently.
+_COUNTER_MODULUS = 2**32
+
+
+class RaplDomainName(str, enum.Enum):
+    """The RAPL domains this study caps (Section 3.3)."""
+
+    PACKAGE = "package"
+    DRAM = "dram"
+
+
+@dataclass
+class MsrEnergyCounter:
+    """A wrapping, fixed-unit energy accumulator (MSR_*_ENERGY_STATUS).
+
+    Real meters sample the 32-bit register and difference successive reads;
+    at tens of watts the register wraps every few hours, so wrap handling is
+    part of the contract and is exercised in the tests.
+    """
+
+    energy_unit_j: float = ENERGY_UNIT_J
+    _raw: int = field(default=0, init=False)
+
+    def accumulate(self, energy_j: float) -> None:
+        """Add consumed energy (joules) to the register, wrapping at 2³²."""
+        if energy_j < 0.0 or not np.isfinite(energy_j):
+            raise ConfigurationError(f"energy must be finite and >= 0, got {energy_j}")
+        ticks = int(round(energy_j / self.energy_unit_j))
+        self._raw = (self._raw + ticks) % _COUNTER_MODULUS
+
+    def read_raw(self) -> int:
+        """Current 32-bit register value, in energy-status units."""
+        return self._raw
+
+    def read_joules(self) -> float:
+        """Current register value converted to joules."""
+        return self._raw * self.energy_unit_j
+
+    @staticmethod
+    def delta_joules(
+        earlier_raw: int, later_raw: int, energy_unit_j: float = ENERGY_UNIT_J
+    ) -> float:
+        """Energy between two raw reads, handling a single wraparound."""
+        diff = (later_raw - earlier_raw) % _COUNTER_MODULUS
+        return diff * energy_unit_j
+
+
+@dataclass
+class RaplDomainStatus:
+    """Per-domain control state: limit, window, and the energy counter."""
+
+    name: RaplDomainName
+    limit_w: float | None = None
+    window_s: float = 0.01
+    enabled: bool = True
+    counter: MsrEnergyCounter = field(default_factory=MsrEnergyCounter)
+
+
+class RaplInterface:
+    """The node-level RAPL control plane.
+
+    A coordinator sets per-domain power limits here; the execution model
+    reads the limits back to decide which hardware mechanism engages, and
+    writes consumed energy into the counters so that meters can observe
+    actual power the same way the paper's measurements do.
+    """
+
+    def __init__(self, domains: tuple[RaplDomainName, ...] = (
+        RaplDomainName.PACKAGE,
+        RaplDomainName.DRAM,
+    )) -> None:
+        if not domains:
+            raise ConfigurationError("RAPL interface needs at least one domain")
+        self._domains: dict[RaplDomainName, RaplDomainStatus] = {
+            d: RaplDomainStatus(name=d) for d in domains
+        }
+
+    # ------------------------------------------------------------------
+    # limit control
+    # ------------------------------------------------------------------
+    def domains(self) -> tuple[RaplDomainName, ...]:
+        """The domains this interface exposes."""
+        return tuple(self._domains)
+
+    def _status(self, domain: RaplDomainName) -> RaplDomainStatus:
+        try:
+            return self._domains[RaplDomainName(domain)]
+        except (KeyError, ValueError) as exc:
+            raise PowerBoundError(f"unknown RAPL domain: {domain!r}") from exc
+
+    def set_power_limit(
+        self,
+        domain: RaplDomainName,
+        limit_w: float,
+        window_s: float = 0.01,
+    ) -> None:
+        """Program a running-average power limit for a domain."""
+        status = self._status(domain)
+        status.limit_w = watts(limit_w, "limit_w")
+        status.window_s = check_positive(window_s, "window_s")
+        status.enabled = True
+
+    def clear_power_limit(self, domain: RaplDomainName) -> None:
+        """Disable capping on a domain (cap reverts to unconstrained)."""
+        status = self._status(domain)
+        status.limit_w = None
+        status.enabled = False
+
+    def power_limit_w(self, domain: RaplDomainName) -> float | None:
+        """Currently programmed limit, or ``None`` when uncapped."""
+        status = self._status(domain)
+        return status.limit_w if status.enabled else None
+
+    # ------------------------------------------------------------------
+    # energy accounting
+    # ------------------------------------------------------------------
+    def record_energy(self, domain: RaplDomainName, energy_j: float) -> None:
+        """Accumulate consumed energy into a domain's MSR counter."""
+        self._status(domain).counter.accumulate(energy_j)
+
+    def read_energy_raw(self, domain: RaplDomainName) -> int:
+        """Raw 32-bit energy-status register read."""
+        return self._status(domain).counter.read_raw()
+
+    def read_energy_joules(self, domain: RaplDomainName) -> float:
+        """Energy-status register in joules (still subject to wrap)."""
+        return self._status(domain).counter.read_joules()
+
+    # ------------------------------------------------------------------
+    # compliance checking
+    # ------------------------------------------------------------------
+    def check_running_average(
+        self,
+        domain: RaplDomainName,
+        power_trace_w: np.ndarray,
+        dt_s: float,
+        tolerance_w: float = 0.5,
+    ) -> bool:
+        """Verify a sampled power trace respects the domain's limit.
+
+        Computes the running average over the programmed window and checks
+        it never exceeds ``limit + tolerance``.  Uncapped domains trivially
+        pass.  Used by tests and by the scheduler's compliance audit.
+        """
+        status = self._status(domain)
+        if status.limit_w is None or not status.enabled:
+            return True
+        trace = np.asarray(power_trace_w, dtype=float)
+        if trace.size == 0:
+            return True
+        dt_s = check_positive(dt_s, "dt_s")
+        window_samples = max(1, int(round(status.window_s / dt_s)))
+        if trace.size < window_samples:
+            return bool(trace.mean() <= status.limit_w + tolerance_w)
+        kernel = np.ones(window_samples) / window_samples
+        running = np.convolve(trace, kernel, mode="valid")
+        return bool(running.max() <= status.limit_w + tolerance_w)

@@ -1,0 +1,341 @@
+"""Power-capped execution: the coupled enforcement/throughput fixed point.
+
+The enforcement loops mirror how the real hardware regulates *measured*
+power:
+
+* RAPL keeps the highest processor state whose measured draw fits the cap —
+  so a memory-stalled workload keeps a high clock under a tight CPU cap
+  (that slack is what makes scenario III's "actual CPU power slightly below
+  maximum" come out of the model);
+* the DRAM controller throttles bandwidth only until measured DRAM power
+  fits (throttling a compute-bound workload's bus saves nothing, so the
+  controller goes straight to the memory-bound operating level);
+* GPU firmware regulates one board-level cap and hands whatever the memory
+  does not draw to the SM clock — the *reclaim* behaviour of Section 4.
+
+Each resolver enumerates the (few dozen) hardware states from fastest to
+slowest and takes the first that fits, exactly like a hill-descending
+hardware governor; the CPU/DRAM pair iterates to a joint fixed point with
+cycle detection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConvergenceError, SweepError
+from repro.hardware.component import CappingMechanism
+from repro.hardware.cpu import CpuDomain, CpuOperatingPoint
+from repro.hardware.dram import DramDomain, DramOperatingPoint
+from repro.hardware.gpu import GpuCard
+from repro.hardware.gpu_sm import GpuSmOperatingPoint
+from repro.hardware.rapl import RaplDomainName, RaplInterface
+from repro.perfmodel.metrics import ExecutionResult, PhaseResult
+from repro.perfmodel.phase import Phase
+from repro.util.units import watts
+
+__all__ = ["execute_on_host", "execute_on_gpu"]
+
+#: Enforcement slack in watts: governors regulate to just under the limit.
+_CAP_EPS_W = 1e-6
+
+#: Upper bound on CPU<->DRAM joint-resolution iterations; the state spaces
+#: are tiny and discrete, so convergence or a cycle occurs within a few.
+_MAX_JOINT_ITERS = 16
+
+
+def _cpu_candidates(cpu: CpuDomain) -> list[CpuOperatingPoint]:
+    """All CPU hardware states, fastest first: P-states then T-states."""
+    ops = [
+        CpuOperatingPoint(float(f), 1.0, CappingMechanism.DVFS)
+        for f in cpu.pstates.frequencies_ghz[::-1]
+    ]
+    f_min = cpu.pstates.f_min_ghz
+    if cpu.duty_steps > 1:
+        span = 1.0 - cpu.duty_min
+        step = span / (cpu.duty_steps - 1)
+        duties = cpu.duty_min + step * np.arange(cpu.duty_steps - 2, -1, -1)
+    else:
+        duties = np.array([cpu.duty_min])
+    ops.extend(
+        CpuOperatingPoint(f_min, float(d), CappingMechanism.THROTTLE) for d in duties
+    )
+    return ops
+
+
+def _effective_activity(phase: Phase, utilization: float) -> float:
+    """Power-relevant activity: busy activity while computing, stall activity
+    (MLP machinery, prefetchers, uncore) while waiting on memory."""
+    return phase.activity * utilization + phase.stall_activity * (1.0 - utilization)
+
+
+def _phase_split(
+    phase: Phase,
+    compute_rate: float,
+    mem_rate: float,
+) -> tuple[float, float, float, float, float]:
+    """(time, t_c, t_m, utilization, busy) for one phase at given rates."""
+    t_c = phase.flops / compute_rate if phase.flops > 0.0 else 0.0
+    t_m = phase.bytes_moved / mem_rate if phase.bytes_moved > 0.0 else 0.0
+    t = max(t_c, t_m)
+    return t, t_c, t_m, (t_c / t if t > 0 else 0.0), (t_m / t if t > 0 else 0.0)
+
+
+def _resolve_cpu(
+    cpu: CpuDomain,
+    phase: Phase,
+    cap_w: float,
+    t_m: float,
+) -> tuple[CpuOperatingPoint, float]:
+    """Highest CPU state whose measured power fits the cap, given memory time.
+
+    Returns the operating point (with the mechanism that selected it) and
+    the compute time at that point.
+    """
+    candidates = _cpu_candidates(cpu)
+    for i, op in enumerate(candidates):
+        if phase.flops > 0.0:
+            rate = cpu.compute_rate_flops(op, phase.compute_efficiency)
+            t_c = phase.flops / rate
+        else:
+            t_c = 0.0
+        t = max(t_c, t_m)
+        u = t_c / t if t > 0 else 0.0
+        power = cpu.demand_w(_effective_activity(phase, u), op)
+        if power <= cap_w + _CAP_EPS_W:
+            if i == 0:
+                op = CpuOperatingPoint(op.freq_ghz, op.duty, CappingMechanism.NONE)
+            return op, t_c
+    floor = CpuOperatingPoint(
+        cpu.pstates.f_min_ghz, cpu.duty_min, CappingMechanism.FLOOR
+    )
+    if phase.flops > 0.0:
+        rate = cpu.compute_rate_flops(floor, phase.compute_efficiency)
+        return floor, phase.flops / rate
+    return floor, 0.0
+
+
+def _resolve_dram(
+    dram: DramDomain,
+    phase: Phase,
+    cap_w: float,
+    t_c: float,
+) -> DramOperatingPoint:
+    """Highest DRAM throttle level whose measured power fits the cap.
+
+    While the phase is compute-bound, measured DRAM power is independent of
+    the level (throttling just spreads the same traffic out), so the
+    governor either leaves the bus alone or throttles straight into the
+    memory-bound regime where measured power equals ``bg + level·access``.
+    """
+    if phase.bytes_moved == 0.0:
+        return DramOperatingPoint(1.0, CappingMechanism.NONE)
+    if cap_w >= dram.max_power_w:
+        return DramOperatingPoint(1.0, CappingMechanism.NONE)
+    t_m_full = phase.bytes_moved / (
+        dram.peak_bw_gbps * 1e9 * phase.memory_efficiency
+    )
+    busy_full = 1.0 if t_c <= 0 else min(1.0, t_m_full / max(t_m_full, t_c))
+    measured_full = dram.background_w + busy_full * dram.max_access_w
+    if measured_full <= cap_w + _CAP_EPS_W:
+        return DramOperatingPoint(1.0, CappingMechanism.NONE)
+    level = (cap_w - dram.background_w) / dram.max_access_w
+    if level >= dram.min_level:
+        level = dram.snap_level(min(level, 1.0))
+        return DramOperatingPoint(level, CappingMechanism.BANDWIDTH_THROTTLE)
+    return DramOperatingPoint(dram.min_level, CappingMechanism.FLOOR)
+
+
+def _host_phase(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    phase: Phase,
+    cpu_cap_w: float,
+    dram_cap_w: float,
+) -> PhaseResult:
+    """Jointly resolve both governors for one phase and record the outcome."""
+    dram_op = DramOperatingPoint(1.0, CappingMechanism.NONE)
+    t_c = 0.0
+    seen: list[tuple[float, float, float]] = []
+    cpu_op = CpuOperatingPoint(
+        cpu.pstates.f_nom_ghz, 1.0, CappingMechanism.NONE
+    )
+    for _ in range(_MAX_JOINT_ITERS):
+        if phase.bytes_moved > 0.0:
+            mem_rate = dram.bandwidth_ceiling_gbps(dram_op, phase.memory_efficiency) * 1e9
+            t_m = phase.bytes_moved / mem_rate
+        else:
+            t_m = 0.0
+        cpu_op, t_c = _resolve_cpu(cpu, phase, cpu_cap_w, t_m)
+        new_dram_op = _resolve_dram(dram, phase, dram_cap_w, t_c)
+        state = (cpu_op.freq_ghz, cpu_op.duty, new_dram_op.level)
+        if new_dram_op.level == dram_op.level:
+            dram_op = new_dram_op
+            break
+        if state in seen:
+            # 2-cycle between adjacent discrete levels: keep the lower
+            # (cap-safe) level, like a real governor settling downward.
+            lower = min(dram_op.level, new_dram_op.level)
+            dram_op = new_dram_op if new_dram_op.level == lower else dram_op
+            break
+        seen.append(state)
+        dram_op = new_dram_op
+    else:  # pragma: no cover - discrete state space precludes this
+        raise ConvergenceError(_MAX_JOINT_ITERS, float("nan"))
+
+    if phase.bytes_moved > 0.0:
+        mem_rate = dram.bandwidth_ceiling_gbps(dram_op, phase.memory_efficiency) * 1e9
+    else:
+        mem_rate = float("inf")
+    # Re-resolve the CPU against the settled DRAM level so the recorded
+    # operating point is consistent with the final memory time.
+    t_m_final = phase.bytes_moved / mem_rate if phase.bytes_moved > 0.0 else 0.0
+    cpu_op, t_c = _resolve_cpu(cpu, phase, cpu_cap_w, t_m_final)
+    compute_rate = (
+        cpu.compute_rate_flops(cpu_op, phase.compute_efficiency)
+        if phase.flops > 0.0
+        else float("inf")
+    )
+    t, t_c, t_m, u, busy = _phase_split(phase, compute_rate, mem_rate)
+    return PhaseResult(
+        name=phase.name,
+        time_s=t,
+        t_compute_s=t_c,
+        t_memory_s=t_m,
+        utilization=u,
+        mem_busy=busy,
+        proc_freq_ghz=cpu_op.freq_ghz,
+        proc_duty=cpu_op.duty,
+        mem_throttle=dram_op.level,
+        proc_mechanism=cpu_op.mechanism,
+        mem_mechanism=dram_op.mechanism,
+        proc_power_w=cpu.demand_w(_effective_activity(phase, u), cpu_op),
+        mem_power_w=dram.demand_w(dram_op, busy),
+        board_power_w=0.0,
+        flops=phase.flops,
+        bytes_moved=phase.bytes_moved,
+    )
+
+
+def execute_on_host(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    phases: Sequence[Phase],
+    cpu_cap_w: float,
+    dram_cap_w: float,
+    rapl: RaplInterface | None = None,
+) -> ExecutionResult:
+    """Simulate a workload on a host node under per-domain power caps.
+
+    When ``rapl`` is given, per-domain energy is accumulated into its MSR
+    counters, so meters built on the RAPL interface observe the run the
+    same way the paper's measurements do.
+    """
+    cpu_cap_w = watts(cpu_cap_w, "cpu_cap_w")
+    dram_cap_w = watts(dram_cap_w, "dram_cap_w")
+    if not phases:
+        raise SweepError("cannot execute a workload with no phases")
+    results = tuple(
+        _host_phase(cpu, dram, phase, cpu_cap_w, dram_cap_w) for phase in phases
+    )
+    run = ExecutionResult(results, proc_cap_w=cpu_cap_w, mem_cap_w=dram_cap_w)
+    if rapl is not None:
+        rapl.record_energy(RaplDomainName.PACKAGE, run.proc_energy_j)
+        rapl.record_energy(RaplDomainName.DRAM, run.mem_energy_j)
+    return run
+
+
+def _gpu_phase(
+    card: GpuCard,
+    phase: Phase,
+    cap_w: float,
+    mem_op,
+) -> PhaseResult:
+    """Resolve the board governor for one phase at a fixed memory clock."""
+    sm = card.sm
+    if phase.bytes_moved > 0.0:
+        mem_rate = card.mem.bandwidth_ceiling_gbps(mem_op, phase.memory_efficiency) * 1e9
+    else:
+        mem_rate = float("inf")
+
+    chosen: GpuSmOperatingPoint | None = None
+    freqs = sm.pstates.frequencies_ghz[::-1]
+    final = None
+    for i, f in enumerate(freqs):
+        op = GpuSmOperatingPoint(float(f), CappingMechanism.DVFS)
+        rate = (
+            sm.compute_rate_flops(op, phase.compute_efficiency)
+            if phase.flops > 0.0
+            else float("inf")
+        )
+        t, t_c, t_m, u, busy = _phase_split(phase, rate, mem_rate)
+        sm_power = sm.demand_w(op, _effective_activity(phase, u))
+        mem_power = card.mem.demand_w(mem_op, busy)
+        total = card.total_power_w(sm_power, mem_power)
+        if total <= cap_w + _CAP_EPS_W:
+            mech = CappingMechanism.NONE if i == 0 else CappingMechanism.DVFS
+            chosen = GpuSmOperatingPoint(float(f), mech)
+            final = (t, t_c, t_m, u, busy, sm_power, mem_power)
+            break
+    if chosen is None:
+        op = GpuSmOperatingPoint(sm.pstates.f_min_ghz, CappingMechanism.FLOOR)
+        rate = (
+            sm.compute_rate_flops(op, phase.compute_efficiency)
+            if phase.flops > 0.0
+            else float("inf")
+        )
+        t, t_c, t_m, u, busy = _phase_split(phase, rate, mem_rate)
+        sm_power = sm.demand_w(op, _effective_activity(phase, u))
+        mem_power = card.mem.demand_w(mem_op, busy)
+        chosen = op
+        final = (t, t_c, t_m, u, busy, sm_power, mem_power)
+
+    t, t_c, t_m, u, busy, sm_power, mem_power = final
+    return PhaseResult(
+        name=phase.name,
+        time_s=t,
+        t_compute_s=t_c,
+        t_memory_s=t_m,
+        utilization=u,
+        mem_busy=busy,
+        proc_freq_ghz=chosen.freq_ghz,
+        proc_duty=1.0,
+        mem_throttle=mem_op.freq_mhz / card.mem.nominal_mhz,
+        proc_mechanism=chosen.mechanism,
+        mem_mechanism=mem_op.mechanism,
+        proc_power_w=sm_power,
+        mem_power_w=mem_power,
+        board_power_w=card.board_static_w,
+        flops=phase.flops,
+        bytes_moved=phase.bytes_moved,
+    )
+
+
+def execute_on_gpu(
+    card: GpuCard,
+    phases: Sequence[Phase],
+    cap_w: float,
+    mem_freq_mhz: float | None = None,
+) -> ExecutionResult:
+    """Simulate a workload on a GPU card under a board cap and memory clock.
+
+    ``mem_freq_mhz`` defaults to the nominal clock — the stock Nvidia
+    policy.  The firmware's budget reclaim is implicit: the SM governor
+    checks *total measured board power* against the cap, so memory watts
+    not drawn are available to the SM clock.
+    """
+    cap_w = card.validate_cap(cap_w)
+    if not phases:
+        raise SweepError("cannot execute a workload with no phases")
+    if mem_freq_mhz is None:
+        mem_freq_mhz = card.mem.nominal_mhz
+    mem_op = card.mem.operating_point(mem_freq_mhz)
+    results = tuple(_gpu_phase(card, phase, cap_w, mem_op) for phase in phases)
+    return ExecutionResult(
+        results,
+        proc_cap_w=cap_w,
+        mem_cap_w=card.mem.allocated_power_w(mem_op.freq_mhz),
+        device="gpu",
+    )

@@ -1,0 +1,139 @@
+"""Execution on heterogeneous (big.LITTLE) nodes.
+
+Work within each phase is dynamically balanced across the two clusters in
+proportion to their delivered compute rates (the behaviour of a work-
+stealing or chunk-self-scheduling runtime), and both clusters contend for
+the shared DRAM domain.  A gated cluster contributes nothing and draws
+nothing.
+
+The enforcement per cluster reuses the host governor logic: highest state
+whose measured power fits the cluster's cap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import InfeasibleBudgetError, SweepError
+from repro.hardware.biglittle import BigLittleNode
+from repro.hardware.component import CappingMechanism
+from repro.perfmodel.executor import _effective_activity, _resolve_cpu, _resolve_dram
+from repro.perfmodel.metrics import ExecutionResult, PhaseResult
+from repro.perfmodel.phase import Phase
+from repro.util.units import watts
+
+__all__ = ["execute_on_biglittle"]
+
+
+def _cluster_rate(cluster, phase: Phase, cap_w: float, t_m: float):
+    """(compute rate, operating point, gated) for one cluster under a cap."""
+    if cluster.is_gated(cap_w):
+        return 0.0, None, True
+    op, _ = _resolve_cpu(cluster.domain, phase, cap_w, t_m)
+    rate = (
+        cluster.domain.compute_rate_flops(op, phase.compute_efficiency)
+        if phase.flops > 0.0
+        else 0.0
+    )
+    return rate, op, False
+
+
+def _hetero_phase(
+    node: BigLittleNode,
+    phase: Phase,
+    big_cap_w: float,
+    little_cap_w: float,
+    mem_cap_w: float,
+) -> PhaseResult:
+    dram = node.dram
+    # DRAM governor: same two-regime logic as the homogeneous host; use
+    # the combined compute time for the busy estimate, iterating once.
+    dram_op = _resolve_dram(dram, phase, mem_cap_w, t_c=0.0)
+    for _ in range(4):
+        if phase.bytes_moved > 0.0:
+            mem_rate = dram.bandwidth_ceiling_gbps(dram_op, phase.memory_efficiency) * 1e9
+            t_m = phase.bytes_moved / mem_rate
+        else:
+            mem_rate = float("inf")
+            t_m = 0.0
+        big_rate, big_op, big_gated = _cluster_rate(node.big, phase, big_cap_w, t_m)
+        little_rate, little_op, little_gated = _cluster_rate(
+            node.little, phase, little_cap_w, t_m
+        )
+        combined = big_rate + little_rate
+        if combined <= 0.0 and phase.flops > 0.0:
+            raise InfeasibleBudgetError(
+                "both clusters gated: no compute capacity for phase "
+                f"{phase.name!r}"
+            )
+        t_c = phase.flops / combined if phase.flops > 0.0 else 0.0
+        new_dram_op = _resolve_dram(dram, phase, mem_cap_w, t_c)
+        if new_dram_op.level == dram_op.level:
+            break
+        dram_op = new_dram_op
+
+    t = max(t_c, t_m)
+    u = t_c / t if t > 0 else 0.0
+    busy = t_m / t if t > 0 else 0.0
+    a_eff = _effective_activity(phase, u)
+
+    big_power = (
+        node.big.domain.demand_w(a_eff, big_op) if not big_gated else 0.0
+    )
+    little_power = (
+        node.little.domain.demand_w(a_eff, little_op) if not little_gated else 0.0
+    )
+    mem_power = dram.demand_w(dram_op, busy)
+
+    # Report the big cluster's state as the "processor" state (the faster
+    # cluster dominates); a gated big cluster reports the little one.
+    rep_op = big_op if not big_gated else little_op
+    rep_mech = rep_op.mechanism if rep_op is not None else CappingMechanism.FLOOR
+    return PhaseResult(
+        name=phase.name,
+        time_s=t,
+        t_compute_s=t_c,
+        t_memory_s=t_m,
+        utilization=u,
+        mem_busy=busy,
+        proc_freq_ghz=rep_op.freq_ghz if rep_op is not None else 0.0,
+        proc_duty=rep_op.duty if rep_op is not None else 0.0,
+        mem_throttle=dram_op.level,
+        proc_mechanism=rep_mech,
+        mem_mechanism=dram_op.mechanism,
+        proc_power_w=big_power + little_power,
+        mem_power_w=mem_power,
+        board_power_w=0.0,
+        flops=phase.flops,
+        bytes_moved=phase.bytes_moved,
+    )
+
+
+def execute_on_biglittle(
+    node: BigLittleNode,
+    phases: Sequence[Phase],
+    big_cap_w: float,
+    little_cap_w: float,
+    mem_cap_w: float,
+) -> ExecutionResult:
+    """Simulate a workload on a heterogeneous node under a 3-way allocation.
+
+    Caps below a cluster's gate threshold power it off; the remaining
+    cluster(s) carry the work.  Raises
+    :class:`~repro.errors.InfeasibleBudgetError` when both clusters are
+    gated but the workload needs compute.
+    """
+    big_cap_w = watts(big_cap_w, "big_cap_w")
+    little_cap_w = watts(little_cap_w, "little_cap_w")
+    mem_cap_w = watts(mem_cap_w, "mem_cap_w")
+    if not phases:
+        raise SweepError("cannot execute a workload with no phases")
+    results = tuple(
+        _hetero_phase(node, phase, big_cap_w, little_cap_w, mem_cap_w)
+        for phase in phases
+    )
+    return ExecutionResult(
+        results,
+        proc_cap_w=big_cap_w + little_cap_w,
+        mem_cap_w=mem_cap_w,
+    )

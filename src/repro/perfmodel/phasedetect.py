@@ -1,0 +1,145 @@
+"""Phase-change detection from power-meter signals.
+
+Per-phase adaptive coordination (:mod:`repro.core.adaptive`) needs to know
+*when* the application changes phase.  Instrumenting the application is one
+way; this module provides the non-intrusive alternative the meters already
+enable: detect change points in the sampled per-domain power signals.
+
+The detector is a two-sided CUSUM over the deviation from a running
+baseline — the standard lightweight change-point scheme: robust to noise,
+O(1) per sample, and tunable through exactly two parameters (drift guard
+``slack`` and decision ``threshold``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.power_trace import PowerTrace
+from repro.util.units import check_positive
+
+__all__ = ["CusumDetector", "PhaseChange", "detect_phase_changes"]
+
+
+@dataclass(frozen=True)
+class PhaseChange:
+    """One detected change point."""
+
+    time_s: float
+    sample_index: int
+    direction: str  # "up" or "down"
+    baseline_w: float
+    new_level_w: float
+
+    @property
+    def magnitude_w(self) -> float:
+        return abs(self.new_level_w - self.baseline_w)
+
+
+class CusumDetector:
+    """Two-sided CUSUM change detector over a power signal.
+
+    Parameters
+    ----------
+    slack_w:
+        Deviations below this are treated as noise (no accumulation).
+    threshold_ws:
+        Accumulated deviation (watt·samples) that triggers a detection.
+    warmup_samples:
+        Samples used to (re-)estimate the baseline after each detection.
+    """
+
+    def __init__(
+        self,
+        slack_w: float = 2.0,
+        threshold_ws: float = 12.0,
+        warmup_samples: int = 5,
+    ) -> None:
+        self.slack_w = check_positive(slack_w, "slack_w")
+        self.threshold_ws = check_positive(threshold_ws, "threshold_ws")
+        if warmup_samples < 1:
+            raise ConfigurationError(
+                f"warmup_samples must be >= 1, got {warmup_samples}"
+            )
+        self.warmup_samples = int(warmup_samples)
+        self._reset()
+
+    def _reset(self) -> None:
+        self._baseline: float | None = None
+        self._warmup: list[float] = []
+        self._pos = 0.0
+        self._neg = 0.0
+
+    def update(self, sample_w: float) -> str | None:
+        """Feed one sample; returns ``"up"``/``"down"`` on detection."""
+        if self._baseline is None:
+            self._warmup.append(float(sample_w))
+            if len(self._warmup) >= self.warmup_samples:
+                self._baseline = float(np.mean(self._warmup))
+                self._warmup = []
+            return None
+        deviation = float(sample_w) - self._baseline
+        self._pos = max(0.0, self._pos + deviation - self.slack_w)
+        self._neg = max(0.0, self._neg - deviation - self.slack_w)
+        if self._pos > self.threshold_ws:
+            self._reset()
+            return "up"
+        if self._neg > self.threshold_ws:
+            self._reset()
+            return "down"
+        return None
+
+    @property
+    def baseline_w(self) -> float | None:
+        """Current baseline estimate (None while warming up)."""
+        return self._baseline
+
+
+def detect_phase_changes(
+    trace: PowerTrace,
+    *,
+    channel: str = "proc",
+    slack_w: float = 2.0,
+    threshold_ws: float = 12.0,
+    warmup_samples: int = 5,
+) -> list[PhaseChange]:
+    """Detect phase boundaries in a sampled power trace.
+
+    Returns the change points in time order; the ``new_level_w`` of each
+    is estimated from the post-change warmup window.
+    """
+    signal = {
+        "proc": trace.proc_w,
+        "mem": trace.mem_w,
+        "total": trace.total_w,
+    }.get(channel)
+    if signal is None:
+        raise ConfigurationError(
+            f"channel must be proc/mem/total, got {channel!r}"
+        )
+    detector = CusumDetector(
+        slack_w=slack_w, threshold_ws=threshold_ws, warmup_samples=warmup_samples
+    )
+    changes: list[PhaseChange] = []
+    pending: tuple[int, str, float] | None = None
+    for i, sample in enumerate(signal):
+        baseline_before = detector.baseline_w
+        verdict = detector.update(float(sample))
+        if verdict is not None and baseline_before is not None:
+            pending = (i, verdict, baseline_before)
+        if pending is not None and detector.baseline_w is not None:
+            idx, direction, old_baseline = pending
+            changes.append(
+                PhaseChange(
+                    time_s=idx * trace.dt_s,
+                    sample_index=idx,
+                    direction=direction,
+                    baseline_w=old_baseline,
+                    new_level_w=detector.baseline_w,
+                )
+            )
+            pending = None
+    return changes

@@ -1,0 +1,82 @@
+"""Roofline primitives: attainable performance under compute/memory rooflines.
+
+The execution model is a roofline with power-dependent ceilings: capping the
+processor lowers the compute roof, throttling DRAM lowers the bandwidth
+roof, and the phase's arithmetic intensity decides which roof binds.  These
+helpers are shared by the executor, the balance analysis of Figure 5, and
+several tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.units import check_non_negative, check_positive
+
+__all__ = [
+    "arithmetic_intensity",
+    "attainable_flops",
+    "phase_time_s",
+    "ridge_intensity",
+]
+
+
+def arithmetic_intensity(flops: float, bytes_moved: float) -> float:
+    """FLOPs per byte; ``inf`` for a phase that moves no data."""
+    check_non_negative(flops, "flops")
+    check_non_negative(bytes_moved, "bytes_moved")
+    if bytes_moved == 0.0:
+        return float("inf")
+    return flops / bytes_moved
+
+
+def attainable_flops(
+    intensity: float | np.ndarray,
+    compute_roof_flops: float,
+    mem_roof_bytes_per_s: float,
+) -> float | np.ndarray:
+    """Classic roofline: ``min(compute_roof, intensity · bandwidth_roof)``."""
+    check_positive(compute_roof_flops, "compute_roof_flops")
+    check_positive(mem_roof_bytes_per_s, "mem_roof_bytes_per_s")
+    return np.minimum(compute_roof_flops, np.asarray(intensity) * mem_roof_bytes_per_s)
+
+
+def ridge_intensity(compute_roof_flops: float, mem_roof_bytes_per_s: float) -> float:
+    """The intensity at which the two roofs meet (the balance point).
+
+    A power allocation is *balanced* for a phase exactly when it puts the
+    ridge at the phase's own intensity — the condition Section 3.4.1 shows
+    the optimal allocation satisfies (both utilizations ≈ 100 %).
+    """
+    check_positive(compute_roof_flops, "compute_roof_flops")
+    check_positive(mem_roof_bytes_per_s, "mem_roof_bytes_per_s")
+    return compute_roof_flops / mem_roof_bytes_per_s
+
+
+def phase_time_s(
+    flops: float,
+    bytes_moved: float,
+    compute_rate_flops: float,
+    mem_rate_bytes_per_s: float,
+) -> tuple[float, float, float]:
+    """Execution time of one phase under both rooflines.
+
+    Returns ``(time, t_compute, t_memory)`` where ``time = max(t_c, t_m)``
+    (perfect overlap of compute with memory traffic — the standard roofline
+    assumption, adequate for the steady-state throughput codes studied).
+    """
+    check_non_negative(flops, "flops")
+    check_non_negative(bytes_moved, "bytes_moved")
+    t_c = 0.0
+    t_m = 0.0
+    if flops > 0.0:
+        check_positive(compute_rate_flops, "compute_rate_flops")
+        t_c = flops / compute_rate_flops
+    if bytes_moved > 0.0:
+        check_positive(mem_rate_bytes_per_s, "mem_rate_bytes_per_s")
+        t_m = bytes_moved / mem_rate_bytes_per_s
+    t = max(t_c, t_m)
+    if t <= 0.0:
+        raise ConfigurationError("phase produced zero execution time")
+    return t, t_c, t_m

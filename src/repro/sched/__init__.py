@@ -1,0 +1,43 @@
+"""Power-bounded batch scheduling (extension).
+
+The paper positions node-level coordination as the foundation for
+higher-level power scheduling: nodes request an appropriate budget,
+enforce it with COORD, and return surplus to the upper-level scheduler
+(Sections 5.1 and 8).  This package implements that loop as a miniature
+Slurm-like batch system over simulated nodes:
+
+* :class:`~repro.sched.job.Job` — a workload plus a budget request;
+* :class:`~repro.sched.cluster.Cluster` — nodes sharing one global bound;
+* :class:`~repro.sched.scheduler.PowerBoundedScheduler` — admission via
+  COORD (refusing unproductive budgets), allocation, surplus reclaim, and
+  event-driven completion.
+"""
+
+from repro.sched.job import Job, JobRecord, JobState
+from repro.sched.cluster import Cluster, NodeSlot
+from repro.sched.scheduler import PowerBoundedScheduler, SchedulerStats
+from repro.sched.coschedule import (
+    CoScheduleResult,
+    TenantOutcome,
+    coschedule_pair,
+    partition_host,
+    split_budget,
+)
+from repro.sched.rebalance import RebalanceStats, RebalancingScheduler
+
+__all__ = [
+    "Cluster",
+    "CoScheduleResult",
+    "Job",
+    "JobRecord",
+    "JobState",
+    "NodeSlot",
+    "PowerBoundedScheduler",
+    "RebalanceStats",
+    "RebalancingScheduler",
+    "SchedulerStats",
+    "TenantOutcome",
+    "coschedule_pair",
+    "partition_host",
+    "split_budget",
+]

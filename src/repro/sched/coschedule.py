@@ -1,0 +1,238 @@
+"""Multi-tenant co-scheduling under one node power bound (extension).
+
+The paper's future work points at "multi-task and multi-tenant systems".
+This module implements the natural first step on the node model: space-
+partition the node (cores and memory bandwidth) between two jobs, split the
+node's power budget across the partitions, and coordinate each partition
+with COORD.  A small search over partition fractions picks the best
+combination by *weighted speedup* (each job's throughput normalized to its
+solo run on the whole node at the full budget — the standard co-scheduling
+metric).
+
+Partitioning model: a fraction ``f`` of the node gives a tenant ``f`` of
+the cores, ``f`` of the idle/background power (its share of the fixed
+infrastructure), ``f`` of the dynamic power range, and ``f`` of the memory
+bandwidth and access power — i.e. proportional hardware slicing, the
+behaviour of core pinning plus memory-bandwidth partitioning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.budget import BudgetVerdict, advise_budget
+from repro.core.coord import coord_cpu
+from repro.core.critical import CpuCriticalPowers
+from repro.core.profiler import profile_cpu_workload
+from repro.errors import ConfigurationError, SchedulerError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.perfmodel.executor import execute_on_host
+from repro.util.units import check_fraction, watts
+from repro.workloads.base import Workload
+
+__all__ = [
+    "CoScheduleResult",
+    "TenantOutcome",
+    "coschedule_pair",
+    "partition_host",
+    "split_budget",
+]
+
+
+def partition_host(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    core_fraction: float,
+    bw_fraction: float | None = None,
+) -> tuple[CpuDomain, DramDomain]:
+    """A hardware slice of a host node.
+
+    ``core_fraction`` of the cores (at least one) with proportional power
+    envelopes, and ``bw_fraction`` of the memory system (defaults to the
+    core share).  Asymmetric slices are the whole point of co-scheduling:
+    a compute-bound tenant trades its bandwidth share for the memory-bound
+    tenant's core share, and both run closer to their solo speeds.
+    """
+    check_fraction(core_fraction, "core_fraction")
+    if not 0.0 < core_fraction < 1.0:
+        raise ConfigurationError(
+            f"core_fraction must be in (0, 1), got {core_fraction}"
+        )
+    if bw_fraction is None:
+        bw_fraction = core_fraction
+    check_fraction(bw_fraction, "bw_fraction")
+    if not 0.0 < bw_fraction < 1.0:
+        raise ConfigurationError(f"bw_fraction must be in (0, 1), got {bw_fraction}")
+    n_cores = max(1, round(cpu.n_cores * core_fraction))
+    core_share = n_cores / cpu.n_cores
+    cpu_part = CpuDomain(
+        name=f"{cpu.name}-slice",
+        n_cores=n_cores,
+        pstates=cpu.pstates,
+        idle_power_w=cpu.idle_power_w * core_share,
+        max_dynamic_w=cpu.max_dynamic_w * core_share,
+        duty_min=cpu.duty_min,
+        duty_steps=cpu.duty_steps,
+        flops_per_core_cycle=cpu.flops_per_core_cycle,
+    )
+    dram_part = DramDomain(
+        name=f"{dram.name}-slice",
+        background_w=dram.background_w * bw_fraction,
+        max_access_w=dram.max_access_w * bw_fraction,
+        peak_bw_gbps=dram.peak_bw_gbps * bw_fraction,
+        min_level=dram.min_level,
+        level_steps=dram.level_steps,
+    )
+    return cpu_part, dram_part
+
+
+def split_budget(
+    critical_a: CpuCriticalPowers,
+    critical_b: CpuCriticalPowers,
+    total_w: float,
+) -> tuple[float, float] | None:
+    """Split a node budget between two tenants' partitions.
+
+    Demand-proportional above the productive thresholds: each tenant gets
+    its threshold first, the remainder is split in proportion to the
+    dynamic demand above threshold.  Returns ``None`` when the budget
+    cannot cover both thresholds — the pair should not be co-scheduled.
+    """
+    total_w = watts(total_w, "total_w")
+    thr_a = critical_a.productive_threshold_w
+    thr_b = critical_b.productive_threshold_w
+    if total_w < thr_a + thr_b:
+        return None
+    want_a = max(0.0, critical_a.max_demand_w - thr_a)
+    want_b = max(0.0, critical_b.max_demand_w - thr_b)
+    headroom = total_w - thr_a - thr_b
+    if want_a + want_b <= 0.0:
+        extra_a = headroom / 2.0
+    else:
+        extra_a = headroom * want_a / (want_a + want_b)
+    budget_a = min(thr_a + extra_a, critical_a.max_demand_w)
+    budget_b = min(thr_b + (headroom - extra_a), critical_b.max_demand_w)
+    return budget_a, budget_b
+
+
+@dataclass(frozen=True)
+class TenantOutcome:
+    """One tenant's result inside a co-scheduled configuration."""
+
+    workload_name: str
+    core_fraction: float
+    bw_fraction: float
+    budget_w: float
+    performance: float
+    solo_performance: float
+
+    @property
+    def normalized_progress(self) -> float:
+        """Throughput relative to running alone on the whole node/budget."""
+        return self.performance / self.solo_performance
+
+
+@dataclass(frozen=True)
+class CoScheduleResult:
+    """The best co-scheduled configuration found."""
+
+    tenant_a: TenantOutcome
+    tenant_b: TenantOutcome
+    total_budget_w: float
+
+    @property
+    def weighted_speedup(self) -> float:
+        """Sum of normalized progress — > 1 means co-running beats
+        time-sharing the node between the two jobs."""
+        return (
+            self.tenant_a.normalized_progress + self.tenant_b.normalized_progress
+        )
+
+
+def _solo_performance(
+    cpu: CpuDomain, dram: DramDomain, workload: Workload, budget_w: float
+) -> float:
+    critical = profile_cpu_workload(cpu, dram, workload)
+    decision = coord_cpu(critical, budget_w)
+    alloc = decision.allocation
+    result = execute_on_host(cpu, dram, workload.phases, alloc.proc_w, alloc.mem_w)
+    return workload.performance(result)
+
+
+def coschedule_pair(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload_a: Workload,
+    workload_b: Workload,
+    budget_w: float,
+    *,
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75),
+    bw_fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8),
+) -> CoScheduleResult:
+    """Search core/bandwidth partitions for the best weighted speedup.
+
+    The grid is two-dimensional: core share and bandwidth share are
+    traded independently, so a compute-bound tenant can take most of the
+    cores while leaving the bandwidth to a memory-bound tenant.
+
+    Raises :class:`~repro.errors.SchedulerError` when no partition lets
+    both tenants clear their productive thresholds — the budget only
+    supports one job at a time.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    if not fractions or not bw_fractions:
+        raise ConfigurationError("need at least one partition fraction")
+    solo_a = _solo_performance(cpu, dram, workload_a, budget_w)
+    solo_b = _solo_performance(cpu, dram, workload_b, budget_w)
+
+    best: CoScheduleResult | None = None
+    for fraction, bw_fraction in itertools.product(fractions, bw_fractions):
+        cpu_a, dram_a = partition_host(cpu, dram, fraction, bw_fraction)
+        cpu_b, dram_b = partition_host(cpu, dram, 1.0 - fraction, 1.0 - bw_fraction)
+        crit_a = profile_cpu_workload(cpu_a, dram_a, workload_a)
+        crit_b = profile_cpu_workload(cpu_b, dram_b, workload_b)
+        budgets = split_budget(crit_a, crit_b, budget_w)
+        if budgets is None:
+            continue
+        budget_a, budget_b = budgets
+        if advise_budget(crit_a, budget_a).verdict is BudgetVerdict.REJECT:
+            continue
+        if advise_budget(crit_b, budget_b).verdict is BudgetVerdict.REJECT:
+            continue
+        alloc_a = coord_cpu(crit_a, budget_a).allocation
+        alloc_b = coord_cpu(crit_b, budget_b).allocation
+        result_a = execute_on_host(
+            cpu_a, dram_a, workload_a.phases, alloc_a.proc_w, alloc_a.mem_w
+        )
+        result_b = execute_on_host(
+            cpu_b, dram_b, workload_b.phases, alloc_b.proc_w, alloc_b.mem_w
+        )
+        candidate = CoScheduleResult(
+            tenant_a=TenantOutcome(
+                workload_name=workload_a.name,
+                core_fraction=fraction,
+                bw_fraction=bw_fraction,
+                budget_w=budget_a,
+                performance=workload_a.performance(result_a),
+                solo_performance=solo_a,
+            ),
+            tenant_b=TenantOutcome(
+                workload_name=workload_b.name,
+                core_fraction=1.0 - fraction,
+                bw_fraction=1.0 - bw_fraction,
+                budget_w=budget_b,
+                performance=workload_b.performance(result_b),
+                solo_performance=solo_b,
+            ),
+            total_budget_w=budget_w,
+        )
+        if best is None or candidate.weighted_speedup > best.weighted_speedup:
+            best = candidate
+    if best is None:
+        raise SchedulerError(
+            f"budget {budget_w:.0f} W cannot host both workloads productively; "
+            "run them one at a time"
+        )
+    return best

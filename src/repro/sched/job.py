@@ -1,0 +1,87 @@
+"""Jobs for the power-bounded batch scheduler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.allocation import PowerAllocation
+from repro.errors import ConfigurationError
+from repro.util.units import watts
+from repro.workloads.base import Workload
+
+__all__ = ["Job", "JobRecord", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Job:
+    """A batch job: one workload, one or more nodes, a per-node budget ask.
+
+    ``requested_budget_w`` is the *per-node* budget the user asked for;
+    the scheduler may grant less (down to the workload's productive
+    threshold) or trim the grant to the profiled maximum demand and
+    reclaim the rest.  ``n_nodes`` > 1 models a weak-scaled job: every
+    node runs the same per-node workload under the same per-node grant,
+    so elapsed time matches the single-node run and throughput scales
+    with the node count.
+    """
+
+    job_id: int
+    workload: Workload
+    requested_budget_w: float
+    submit_time_s: float = 0.0
+    n_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        watts(self.requested_budget_w, "requested_budget_w")
+        if self.submit_time_s < 0.0:
+            raise ConfigurationError(
+                f"submit_time_s must be >= 0, got {self.submit_time_s}"
+            )
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+
+
+@dataclass
+class JobRecord:
+    """Mutable scheduling record for one job."""
+
+    job: Job
+    state: JobState = JobState.PENDING
+    node_name: str | None = None
+    slot_indices: list[int] = field(default_factory=list)
+    granted_budget_w: float = 0.0
+    allocation: PowerAllocation | None = None
+    start_time_s: float | None = None
+    finish_time_s: float | None = None
+    performance: float = 0.0
+    energy_j: float = 0.0
+    reject_reason: str | None = None
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def wait_time_s(self) -> float:
+        """Queueing delay (valid once started)."""
+        if self.start_time_s is None:
+            raise ConfigurationError(f"job {self.job.job_id} never started")
+        return self.start_time_s - self.job.submit_time_s
+
+    @property
+    def turnaround_s(self) -> float:
+        """Submit-to-finish latency (valid once finished)."""
+        if self.finish_time_s is None:
+            raise ConfigurationError(f"job {self.job.job_id} never finished")
+        return self.finish_time_s - self.job.submit_time_s
+
+    def log(self, message: str) -> None:
+        """Append an event-trace line (reports, debugging)."""
+        self.events.append(message)

@@ -1,0 +1,303 @@
+"""The power-bounded batch scheduler.
+
+Implements the control loop the paper sketches for higher-level power
+scheduling (Sections 5.1 and 8):
+
+1. jobs arrive with a requested power budget;
+2. admission profiles the workload (cached — profiling is lightweight and
+   application-specific, not per-job) and consults
+   :func:`~repro.core.budget.advise_budget`:
+
+   * grants above the application's maximum demand are *trimmed* and the
+     surplus stays in the global pool ("the unused power should be
+     reclaimed by the system for other uses");
+   * grants below the productive threshold wait for headroom rather than
+     run unproductively, and are rejected outright if no feasible grant
+     could ever satisfy them;
+
+3. COORD distributes the granted budget across the node's domains;
+4. completion events free node and power, unblocking the queue.
+
+Scheduling is FCFS with conservative in-order admission (no backfill), so
+job starvation cannot occur; time advances over simulated execution times
+from the node model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.core.budget import BudgetVerdict, advise_budget
+from repro.core.coord import coord_cpu
+from repro.core.critical import CpuCriticalPowers
+from repro.core.profiler import profile_cpu_workload
+from repro.errors import SchedulerError
+from repro.perfmodel.executor import execute_on_host
+from repro.sched.cluster import Cluster, NodeSlot
+from repro.sched.job import Job, JobRecord, JobState
+
+__all__ = ["PowerBoundedScheduler", "SchedulerStats"]
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Aggregate outcome of a scheduling run."""
+
+    n_completed: int
+    n_rejected: int
+    makespan_s: float
+    total_energy_j: float
+    mean_wait_s: float
+    reclaimed_w_total: float
+    peak_charged_w: float
+
+    @property
+    def throughput_jobs_per_hour(self) -> float:
+        if self.makespan_s <= 0.0:
+            return 0.0
+        return self.n_completed / (self.makespan_s / 3600.0)
+
+
+class PowerBoundedScheduler:
+    """Power-bounded batch scheduler over a simulated cluster.
+
+    ``order`` selects the admission order:
+
+    * ``"fcfs"`` (default) — by submit time; no starvation by construction;
+    * ``"sjf"`` — shortest predicted job first (predicted with one model
+      run per application at its requested budget).  The order is fixed at
+      queue time, so long jobs are delayed but never starved.
+
+    Both orders admit strictly head-first (no backfill), so the power
+    bound and node count are the only things that gate progress.
+    """
+
+    def __init__(self, cluster: Cluster, order: str = "fcfs") -> None:
+        if order not in ("fcfs", "sjf"):
+            raise SchedulerError(f"order must be 'fcfs' or 'sjf', got {order!r}")
+        self.cluster = cluster
+        self.order = order
+        self.records: dict[int, JobRecord] = {}
+        self._profile_cache: dict[str, CpuCriticalPowers] = {}
+        self._predict_cache: dict[tuple, float] = {}
+        self._pending: list[JobRecord] = []
+        self._seq = itertools.count()
+        self.reclaimed_w_total = 0.0
+        self.peak_charged_w = 0.0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> JobRecord:
+        """Queue a job; returns its mutable scheduling record."""
+        if job.workload.device != "cpu":
+            raise SchedulerError(
+                f"job {job.job_id}: the batch scheduler runs host workloads; "
+                f"got device {job.workload.device!r}"
+            )
+        if job.job_id in self.records:
+            raise SchedulerError(f"duplicate job id {job.job_id}")
+        record = JobRecord(job=job)
+        self.records[job.job_id] = record
+        self._pending.append(record)
+        record.log(f"submitted at t={job.submit_time_s:.1f}s requesting "
+                   f"{job.requested_budget_w:.0f} W")
+        return record
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _critical(self, record: JobRecord) -> CpuCriticalPowers:
+        name = record.job.workload.name
+        if name not in self._profile_cache:
+            slot = self.cluster.slots[0]
+            self._profile_cache[name] = profile_cpu_workload(
+                slot.node.cpu, slot.node.dram, record.job.workload
+            )
+        return self._profile_cache[name]
+
+    def _predict_elapsed_s(self, record: JobRecord) -> float:
+        """Model-predicted runtime at the job's requested per-node budget."""
+        wl = record.job.workload
+        key = (wl.name, wl.total_flops, record.job.requested_budget_w)
+        if key not in self._predict_cache:
+            critical = self._critical(record)
+            decision = coord_cpu(critical, record.job.requested_budget_w)
+            if not decision.accepted:
+                self._predict_cache[key] = float("inf")
+            else:
+                node = self.cluster.slots[0].node
+                result = execute_on_host(
+                    node.cpu, node.dram, wl.phases,
+                    decision.allocation.proc_w, decision.allocation.mem_w,
+                )
+                self._predict_cache[key] = result.elapsed_s
+        return self._predict_cache[key]
+
+    def _queue_key(self, record: JobRecord):
+        """Ordering key among currently *available* jobs.
+
+        SJF can starve long jobs under a continuous stream of short ones;
+        FCFS cannot.  The trade-off is the user's via ``order``.
+        """
+        if self.order == "sjf":
+            return (
+                self._predict_elapsed_s(record),
+                record.job.submit_time_s,
+                record.job.job_id,
+            )
+        return (record.job.submit_time_s, record.job.job_id)
+
+    def _try_start(self, record: JobRecord, now_s: float) -> tuple[NodeSlot, float] | None:
+        """Attempt admission; returns (primary slot, finish) or ``None``.
+
+        Multi-node jobs acquire all their nodes atomically with the same
+        per-node grant (weak scaling: identical per-node work, so a single
+        per-node simulation times the whole job).
+        """
+        k = record.job.n_nodes
+        slots = self.cluster.free_slots(k)
+        if slots is None:
+            return None
+        critical = self._critical(record)
+        grant = min(record.job.requested_budget_w, self.cluster.headroom_w / k)
+        advice = advise_budget(critical, grant)
+        if advice.verdict is BudgetVerdict.REJECT:
+            # Could a larger grant ever help?  Only if the request itself
+            # (under an empty cluster) clears the threshold.
+            feasible = min(
+                record.job.requested_budget_w, self.cluster.global_bound_w / k
+            )
+            if feasible < critical.productive_threshold_w:
+                record.state = JobState.REJECTED
+                record.reject_reason = (
+                    f"per-node budget {feasible:.0f} W below productive "
+                    f"threshold {critical.productive_threshold_w:.0f} W"
+                )
+                record.log(record.reject_reason)
+                return None
+            record.log(
+                f"holding at t={now_s:.1f}s: per-node headroom {grant:.0f} W "
+                f"below threshold {critical.productive_threshold_w:.0f} W"
+            )
+            return None
+        if advice.verdict is BudgetVerdict.ACCEPT_WITH_SURPLUS:
+            reclaimed = advice.surplus_w
+            grant -= reclaimed
+            self.reclaimed_w_total += reclaimed * k
+            record.log(f"trimmed per-node grant by surplus {reclaimed:.0f} W")
+
+        decision = coord_cpu(critical, grant)
+        if not decision.accepted:  # pragma: no cover - advice gate precedes
+            raise SchedulerError(f"COORD rejected an advised budget {grant:.0f} W")
+        slot_index = {id(s): i for i, s in enumerate(self.cluster.slots)}
+        for slot in slots:
+            self.cluster.charge(slot, grant, record.job.job_id)
+        self.peak_charged_w = max(self.peak_charged_w, self.cluster.charged_w)
+        primary = slots[0]
+        result = execute_on_host(
+            primary.node.cpu,
+            primary.node.dram,
+            record.job.workload.phases,
+            decision.allocation.proc_w,
+            decision.allocation.mem_w,
+            rapl=primary.node.rapl,
+        )
+        record.state = JobState.RUNNING
+        record.node_name = primary.node.name
+        record.slot_indices = [slot_index[id(s)] for s in slots]
+        record.granted_budget_w = grant
+        record.allocation = decision.allocation
+        record.start_time_s = now_s
+        record.performance = record.job.workload.performance(result) * k
+        record.energy_j = result.energy_j * k
+        finish = now_s + result.elapsed_s
+        record.log(
+            f"started at t={now_s:.1f}s on {k} node(s) with "
+            f"{decision.allocation} per node (finish t={finish:.1f}s)"
+        )
+        return primary, finish
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def run(self) -> SchedulerStats:
+        """Run the cluster until the queue drains; returns aggregate stats."""
+        events: list[tuple[float, int, int]] = []  # (finish, seq, slot index)
+        slot_index = {id(s): i for i, s in enumerate(self.cluster.slots)}
+        self._pending.sort(key=lambda r: (r.job.submit_time_s, r.job.job_id))
+        now = 0.0
+        total_energy = 0.0
+        makespan = 0.0
+
+        def admit_pending() -> None:
+            nonlocal now
+            # Head-first admission among the jobs that have arrived,
+            # ordered by the selected policy; stop at the first that must
+            # wait so the policy order is never bypassed (no backfill).
+            while True:
+                available = [
+                    r for r in self._pending if r.job.submit_time_s <= now
+                ]
+                if not available:
+                    break
+                record = min(available, key=self._queue_key)
+                started = self._try_start(record, now)
+                if record.state is JobState.REJECTED:
+                    self._pending.remove(record)
+                    continue
+                if started is None:
+                    break
+                slot, finish = started
+                heapq.heappush(events, (finish, next(self._seq), slot_index[id(slot)]))
+                self._pending.remove(record)
+
+        while self._pending or events:
+            admit_pending()
+            if not events:
+                if self._pending:
+                    future = [r for r in self._pending
+                              if r.job.submit_time_s > now and r.state is JobState.PENDING]
+                    if not future:
+                        # Head-of-line job can never start: nothing running,
+                        # nothing arriving — treat as rejected to avoid hanging.
+                        head = min(self._pending, key=self._queue_key)
+                        self._pending.remove(head)
+                        head.state = JobState.REJECTED
+                        head.reject_reason = (
+                            "unschedulable: no running job will ever free "
+                            "enough power"
+                        )
+                        head.log(head.reject_reason)
+                        continue
+                    now = min(r.job.submit_time_s for r in future)
+                    continue
+                break
+            finish, _, idx = heapq.heappop(events)
+            now = max(now, finish)
+            slot = self.cluster.slots[idx]
+            job_id = slot.running_job_id
+            assert job_id is not None
+            record = self.records[job_id]
+            record.state = JobState.COMPLETED
+            record.finish_time_s = finish
+            total_energy += record.energy_j
+            makespan = max(makespan, finish)
+            for slot_idx in record.slot_indices:
+                self.cluster.release(self.cluster.slots[slot_idx])
+            record.log(f"completed at t={finish:.1f}s")
+
+        completed = [r for r in self.records.values() if r.state is JobState.COMPLETED]
+        rejected = [r for r in self.records.values() if r.state is JobState.REJECTED]
+        waits = [r.wait_time_s for r in completed]
+        return SchedulerStats(
+            n_completed=len(completed),
+            n_rejected=len(rejected),
+            makespan_s=makespan,
+            total_energy_j=total_energy,
+            mean_wait_s=sum(waits) / len(waits) if waits else 0.0,
+            reclaimed_w_total=self.reclaimed_w_total,
+            peak_charged_w=self.peak_charged_w,
+        )

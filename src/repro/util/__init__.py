@@ -1,0 +1,46 @@
+"""Shared utilities: unit validation, deterministic RNG, and ASCII tables."""
+
+from repro.util.units import (
+    GHZ,
+    GIB,
+    MHZ,
+    WATT,
+    as_gbps,
+    as_ghz,
+    as_watts,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    clamp,
+    ghz_to_hz,
+    hz_to_ghz,
+    joules,
+    watts,
+)
+from repro.util.tables import format_series, format_table
+from repro.util.ascii_plot import block_chart, sparkline
+from repro.util.seeds import derive_seed, spawn_rng
+
+__all__ = [
+    "GHZ",
+    "GIB",
+    "MHZ",
+    "WATT",
+    "as_gbps",
+    "as_ghz",
+    "as_watts",
+    "block_chart",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "clamp",
+    "derive_seed",
+    "format_series",
+    "format_table",
+    "ghz_to_hz",
+    "hz_to_ghz",
+    "joules",
+    "sparkline",
+    "spawn_rng",
+    "watts",
+]

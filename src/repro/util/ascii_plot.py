@@ -1,0 +1,67 @@
+"""Terminal-friendly plotting: sparklines and block charts.
+
+The experiments report their rows/series as tables; these helpers add a
+shape-at-a-glance rendering for terminals (no plotting stack is available
+offline).  Used by the CLI's sweep view and handy in notebooks/logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "block_chart"]
+
+#: Eight-level vertical bar glyphs.
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-line sparkline of a series (▁▂▃▄▅▆▇█).
+
+    ``lo``/``hi`` pin the scale (default: the series' own range); a flat
+    series renders at mid height.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot sparkline an empty series")
+    if not np.all(np.isfinite(data)):
+        raise ConfigurationError("sparkline values must be finite")
+    lo = float(data.min()) if lo is None else float(lo)
+    hi = float(data.max()) if hi is None else float(hi)
+    if hi <= lo:
+        return _BARS[3] * data.size
+    scaled = (data - lo) / (hi - lo)
+    idx = np.clip((scaled * (len(_BARS) - 1)).round().astype(int), 0, len(_BARS) - 1)
+    return "".join(_BARS[i] for i in idx)
+
+
+def block_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart with labels and values, one row per entry."""
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"labels/values length mismatch: {len(labels)} vs {len(values)}"
+        )
+    if not values:
+        raise ConfigurationError("cannot chart an empty series")
+    data = np.asarray(list(values), dtype=float)
+    if not np.all(np.isfinite(data)) or np.any(data < 0):
+        raise ConfigurationError("block chart values must be finite and >= 0")
+    top = float(data.max())
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    for label, value in zip(labels, data):
+        filled = 0 if top == 0 else int(round(width * value / top))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{str(label).rjust(label_w)} |{bar}| {value:.4g}{unit}")
+    return "\n".join(lines)

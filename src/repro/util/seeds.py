@@ -1,0 +1,38 @@
+"""Deterministic random-number management.
+
+Everything stochastic in the library (synthetic workload generation, kernel
+input data, scheduler arrival jitter) flows through :func:`spawn_rng` so that
+every experiment is reproducible from a single integer seed, and independent
+subsystems get independent streams via :func:`derive_seed`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "spawn_rng", "DEFAULT_SEED"]
+
+#: Seed used when callers do not supply one; fixed so repeated runs agree.
+DEFAULT_SEED = 0x5EED_2016
+
+
+def derive_seed(base_seed: int, *labels: str) -> int:
+    """Derive a child seed from ``base_seed`` and a sequence of string labels.
+
+    Uses SHA-256 over the base seed and labels, so distinct label paths give
+    statistically independent, platform-stable streams (unlike ``hash()``,
+    which is salted per process).
+    """
+    h = hashlib.sha256()
+    h.update(int(base_seed).to_bytes(16, "little", signed=False))
+    for label in labels:
+        h.update(b"\x00")
+        h.update(label.encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "little")
+
+
+def spawn_rng(base_seed: int = DEFAULT_SEED, *labels: str) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` for the given seed path."""
+    return np.random.default_rng(derive_seed(base_seed, *labels))

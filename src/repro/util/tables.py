@@ -1,0 +1,70 @@
+"""Plain-text rendering for experiment tables and data series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable in a
+terminal (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: object, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_spec: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Numeric cells are formatted with ``float_spec``; ``None`` renders as ``-``.
+    """
+    rendered = [[_cell(v, float_spec) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    float_spec: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render paired (x, y) samples — one figure series — as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} x vs {len(ys)} y")
+    return format_table(
+        [x_label, y_label], zip(xs, ys), float_spec=float_spec, title=title
+    )

@@ -1,0 +1,123 @@
+"""Physical-unit helpers and validation.
+
+The library works internally in SI-ish engineering units:
+
+* power in **watts** (W)
+* frequency in **gigahertz** (GHz) for CPU/GPU clocks
+* bandwidth in **gigabytes per second** (GB/s, decimal)
+* energy in **joules** (J)
+* time in **seconds** (s)
+
+These helpers centralize validation so that a negative wattage or a NaN clock
+is rejected at the point of construction rather than surfacing as a confusing
+downstream result.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import UnitError
+
+#: One watt, the unit of power used throughout the library.
+WATT = 1.0
+#: One gigahertz, the unit for processor clocks.
+GHZ = 1.0
+#: One megahertz expressed in GHz.
+MHZ = 1.0e-3
+#: One gibibyte in bytes (used for memory sizing).
+GIB = 1024**3
+
+__all__ = [
+    "GHZ",
+    "GIB",
+    "MHZ",
+    "WATT",
+    "as_gbps",
+    "as_ghz",
+    "as_watts",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "clamp",
+    "ghz_to_hz",
+    "hz_to_ghz",
+    "joules",
+    "watts",
+]
+
+
+def _check_finite(value: float, name: str) -> float:
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise UnitError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite, strictly positive float."""
+    value = _check_finite(value, name)
+    if value <= 0.0:
+        raise UnitError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite float >= 0."""
+    value = _check_finite(value, name)
+    if value < 0.0:
+        raise UnitError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = _check_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise UnitError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def watts(value: float, name: str = "power") -> float:
+    """Validate a power value in watts (must be finite and non-negative)."""
+    return check_non_negative(value, name)
+
+
+def joules(value: float, name: str = "energy") -> float:
+    """Validate an energy value in joules (must be finite and non-negative)."""
+    return check_non_negative(value, name)
+
+
+def as_watts(value: float, name: str = "power") -> float:
+    """Alias of :func:`watts` used where intent reads better as a conversion."""
+    return watts(value, name)
+
+
+def as_ghz(value: float, name: str = "frequency") -> float:
+    """Validate a clock frequency in GHz (must be finite and positive)."""
+    return check_positive(value, name)
+
+
+def as_gbps(value: float, name: str = "bandwidth") -> float:
+    """Validate a bandwidth in GB/s (must be finite and non-negative)."""
+    return check_non_negative(value, name)
+
+
+def ghz_to_hz(value_ghz: float) -> float:
+    """Convert GHz to Hz."""
+    return float(value_ghz) * 1.0e9
+
+
+def hz_to_ghz(value_hz: float) -> float:
+    """Convert Hz to GHz."""
+    return float(value_hz) / 1.0e9
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the closed interval ``[lo, hi]``.
+
+    Raises :class:`~repro.errors.UnitError` if the interval is inverted.
+    """
+    if lo > hi:
+        raise UnitError(f"clamp interval inverted: [{lo!r}, {hi!r}]")
+    return min(max(float(value), lo), hi)

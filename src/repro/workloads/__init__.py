@@ -1,0 +1,48 @@
+"""Workloads: the paper's benchmark suites and synthetic generators.
+
+Each benchmark from Table 3 is represented two ways:
+
+* a *characterization* — per-phase flop/byte volumes, activity factors and
+  pattern efficiencies — which is what the power-capped execution model
+  consumes (:mod:`repro.workloads.cpu_suite`,
+  :mod:`repro.workloads.gpu_suite`);
+* where meaningful, an *executable NumPy kernel* with analytic op/byte
+  accounting (:mod:`repro.workloads.kernels`), used to keep the
+  characterized intensities honest (:mod:`repro.workloads.characterize`).
+
+:mod:`repro.workloads.synthetic` generates parametric workloads for
+property-based testing and for exploring the allocation space beyond the
+paper's fixed suite.
+"""
+
+from repro.workloads.base import (
+    MetricKind,
+    Workload,
+    WorkloadClass,
+)
+from repro.workloads.cpu_suite import CPU_WORKLOADS, cpu_workload, list_cpu_workloads
+from repro.workloads.gpu_suite import GPU_WORKLOADS, gpu_workload, list_gpu_workloads
+from repro.workloads.registry import (
+    get_workload,
+    list_workloads,
+    register_workload,
+    unregister_workload,
+)
+from repro.workloads.synthetic import synthetic_workload
+
+__all__ = [
+    "CPU_WORKLOADS",
+    "GPU_WORKLOADS",
+    "MetricKind",
+    "Workload",
+    "WorkloadClass",
+    "cpu_workload",
+    "get_workload",
+    "gpu_workload",
+    "list_cpu_workloads",
+    "list_gpu_workloads",
+    "list_workloads",
+    "register_workload",
+    "synthetic_workload",
+    "unregister_workload",
+]

@@ -1,0 +1,144 @@
+"""Workload abstraction: a named, characterized parallel application.
+
+A :class:`Workload` bundles the phases the execution model simulates with
+the metadata experiments need: which device it targets, its broad
+compute/memory class (used by the GPU COORD heuristic's compute-intensity
+test), and how raw rates map onto the performance metric the paper reports
+(GB/s for STREAM, GFLOPS for DGEMM, GUP/s for RandomAccess, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.metrics import ExecutionResult
+from repro.perfmodel.phase import Phase, total_bytes, total_flops
+
+__all__ = ["MetricKind", "Workload", "WorkloadClass"]
+
+
+class WorkloadClass(enum.Enum):
+    """Broad compute/memory character, as used throughout the paper."""
+
+    COMPUTE_INTENSIVE = "compute-intensive"
+    MEMORY_INTENSIVE = "memory-intensive"
+    MIXED = "compute/memory"
+    RANDOM_ACCESS = "random-access"
+
+
+class MetricKind(enum.Enum):
+    """How a workload's performance metric is derived from simulated rates."""
+
+    #: Giga-FLOP/s (DGEMM, EP, BT, ...).
+    GFLOPS = "GFLOPS"
+    #: Gigabytes/s of delivered memory traffic (STREAM).
+    GBPS = "GB/s"
+    #: Giga-updates/s over ``work_units`` update operations (RandomAccess).
+    GUPS = "GUP/s"
+    #: Millions of work units per second (IS keys ranked, FT points, ...).
+    MOPS = "Mop/s"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A characterized parallel application.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name as used in the paper's Table 3 (lowercase).
+    suite:
+        Origin suite: ``"hpcc"``, ``"npb"``, ``"stream"``, ``"cuda"``,
+        ``"ecp"``.
+    description:
+        The Table 3 one-liner.
+    device:
+        ``"cpu"`` or ``"gpu"``.
+    workload_class:
+        Broad compute/memory character.
+    phases:
+        Execution phases in order.
+    metric:
+        How to report performance.
+    work_units:
+        Number of metric-defining operations (updates for GUPS, keys for
+        MOPS); unused for GFLOPS/GBPS metrics.
+    """
+
+    name: str
+    suite: str
+    description: str
+    device: str
+    workload_class: WorkloadClass
+    phases: tuple[Phase, ...]
+    metric: MetricKind
+    work_units: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.device not in ("cpu", "gpu"):
+            raise ConfigurationError(f"device must be 'cpu' or 'gpu', got {self.device!r}")
+        if not self.phases:
+            raise ConfigurationError(f"workload {self.name!r} has no phases")
+        if self.metric in (MetricKind.GUPS, MetricKind.MOPS) and not self.work_units:
+            raise ConfigurationError(
+                f"workload {self.name!r} uses metric {self.metric.value} "
+                "and must define work_units"
+            )
+
+    # ------------------------------------------------------------------
+    # aggregate characterization
+    # ------------------------------------------------------------------
+    @property
+    def total_flops(self) -> float:
+        return total_flops(self.phases)
+
+    @property
+    def total_bytes(self) -> float:
+        return total_bytes(self.phases)
+
+    @property
+    def intensity(self) -> float:
+        """Aggregate arithmetic intensity (FLOPs per byte)."""
+        b = self.total_bytes
+        return float("inf") if b == 0.0 else self.total_flops / b
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        """The class test the GPU COORD heuristic branches on."""
+        return self.workload_class is WorkloadClass.COMPUTE_INTENSIVE
+
+    # ------------------------------------------------------------------
+    # performance metric
+    # ------------------------------------------------------------------
+    @property
+    def metric_unit(self) -> str:
+        """Unit string for reports."""
+        return self.metric.value
+
+    def performance(self, result: ExecutionResult) -> float:
+        """Convert a simulated run into the paper's metric for this benchmark."""
+        if self.metric is MetricKind.GFLOPS:
+            return result.flops_rate / 1e9
+        if self.metric is MetricKind.GBPS:
+            return result.bytes_rate / 1e9
+        if self.metric is MetricKind.GUPS:
+            assert self.work_units is not None
+            return self.work_units / result.elapsed_s / 1e9
+        if self.metric is MetricKind.MOPS:
+            assert self.work_units is not None
+            return self.work_units / result.elapsed_s / 1e6
+        raise ConfigurationError(f"unhandled metric {self.metric!r}")
+
+    def scaled(self, factor: float) -> "Workload":
+        """A copy with ``factor``× the problem volume (rates are unchanged)."""
+        scaled_units = None if self.work_units is None else self.work_units * factor
+        return replace(
+            self,
+            phases=tuple(p.scaled(factor) for p in self.phases),
+            work_units=scaled_units,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.device}, {self.workload_class.value}]"

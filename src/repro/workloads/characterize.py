@@ -1,0 +1,109 @@
+"""Bridge from executable kernels to execution-model characterizations.
+
+``characterize_kernel`` turns a measured :class:`KernelReport` into a
+:class:`~repro.perfmodel.phase.Phase` using pattern-class defaults for the
+quantities a portable runtime cannot measure (activity, efficiencies), and
+``validate_suite_intensities`` cross-checks the hand-characterized suite
+entries against the analytic kernel accounting — the honesty test the
+suites are held to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownWorkloadError
+from repro.perfmodel.phase import Phase
+from repro.workloads.base import Workload, WorkloadClass
+from repro.workloads.cpu_suite import CPU_WORKLOADS
+from repro.workloads.kernels import KERNELS, KernelReport, run_kernel
+
+__all__ = [
+    "PATTERN_DEFAULTS",
+    "PatternDefaults",
+    "characterize_kernel",
+    "validate_suite_intensities",
+]
+
+
+@dataclass(frozen=True)
+class PatternDefaults:
+    """Per-class defaults for parameters kernels cannot measure portably."""
+
+    activity: float
+    stall_activity: float
+    compute_efficiency: float
+    memory_efficiency: float
+
+
+#: Default activity/efficiency values by broad workload class, matching the
+#: reasoning documented in :mod:`repro.workloads.cpu_suite`.
+PATTERN_DEFAULTS: dict[WorkloadClass, PatternDefaults] = {
+    WorkloadClass.COMPUTE_INTENSIVE: PatternDefaults(0.90, 0.25, 0.50, 0.80),
+    WorkloadClass.MEMORY_INTENSIVE: PatternDefaults(0.45, 0.35, 0.02, 0.80),
+    WorkloadClass.MIXED: PatternDefaults(0.70, 0.40, 0.20, 0.75),
+    WorkloadClass.RANDOM_ACCESS: PatternDefaults(0.55, 0.45, 0.001, 0.10),
+}
+
+
+def characterize_kernel(
+    report: KernelReport,
+    workload_class: WorkloadClass,
+    *,
+    scale: float = 1.0,
+) -> Phase:
+    """Build an execution-model phase from a kernel run.
+
+    Work volumes come from the kernel's analytic accounting (scaled by
+    ``scale`` to reach production problem sizes); activity and efficiency
+    fields use the pattern-class defaults.
+    """
+    defaults = PATTERN_DEFAULTS[workload_class]
+    return Phase(
+        name=report.name,
+        flops=report.flops * scale,
+        bytes_moved=report.bytes_moved * scale,
+        activity=defaults.activity,
+        stall_activity=defaults.stall_activity,
+        compute_efficiency=defaults.compute_efficiency,
+        memory_efficiency=defaults.memory_efficiency,
+    )
+
+
+def kernel_for_workload(workload: Workload) -> str:
+    """The kernel name backing a suite workload, if one exists."""
+    if workload.name in KERNELS:
+        return workload.name
+    raise UnknownWorkloadError(
+        f"workload {workload.name!r} has no executable kernel; "
+        f"kernels exist for: {sorted(KERNELS)}"
+    )
+
+
+def validate_suite_intensities(
+    rel_tolerance: float = 4.0,
+) -> dict[str, tuple[float, float]]:
+    """Compare suite intensities against kernel analytic intensities.
+
+    Returns ``{name: (suite_intensity, kernel_intensity)}`` for every CPU
+    workload with a matching kernel.  Raises ``AssertionError`` if any pair
+    disagrees by more than ``rel_tolerance``× — characterizations are
+    order-of-magnitude statements about access patterns, so the default
+    tolerance is deliberately loose but still catches unit mistakes.
+    """
+    out: dict[str, tuple[float, float]] = {}
+    for name, workload in CPU_WORKLOADS.items():
+        if name not in KERNELS:
+            continue
+        report = run_kernel(name)
+        suite_i = workload.intensity
+        kernel_i = report.intensity
+        out[name] = (suite_i, kernel_i)
+        ratio = suite_i / kernel_i if kernel_i else float("inf")
+        if not (1.0 / rel_tolerance <= ratio <= rel_tolerance):
+            raise AssertionError(
+                f"{name}: suite intensity {suite_i:.4g} vs kernel "
+                f"{kernel_i:.4g} FLOP/B disagree by more than "
+                f"{rel_tolerance}x"
+            )
+    return out

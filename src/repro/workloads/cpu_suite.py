@@ -1,0 +1,396 @@
+"""The 11 CPU benchmarks of the paper's Table 3 (HPCC, NPB, STREAM).
+
+Each benchmark is characterized by per-phase arithmetic intensity, access
+pattern efficiency, and activity factors.  Compute efficiencies are derived
+from the target *compute utilization at full power on the reference
+IvyBridge platform* via :func:`_ceff_for_utilization` — i.e. the same
+balance bookkeeping a profiling run would produce: a benchmark whose
+utilization is 0.85 at full power spends 85 % of a memory-bound phase's
+time issuing work and the rest stalled.
+
+Calibration anchors (paper text):
+
+* RandomAccess draws ≈ 108–112 W on the packages and ≈ 116 W on DRAM at
+  full power; STREAM's node demand lands near the 208 W budget Figure 1
+  uses; DGEMM's near the ≈ 240 W where Figure 2 flattens.
+* DGEMM is compute-intensive (activity ≈ 1), STREAM/SRA memory-intensive,
+  the NPB codes in between, several of them multi-phase (BT, MG, FT) which
+  is what makes their profile curves "less regular" (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownWorkloadError
+from repro.perfmodel.phase import Phase
+from repro.workloads.base import MetricKind, Workload, WorkloadClass
+
+__all__ = ["CPU_WORKLOADS", "REF_PEAK_FLOPS", "REF_PEAK_BW", "cpu_workload", "list_cpu_workloads"]
+
+#: Reference IvyBridge compute roof: 20 cores × 2.5 GHz × 8 FLOP/cycle.
+REF_PEAK_FLOPS = 20 * 2.5e9 * 8.0
+#: Reference IvyBridge bandwidth roof (streaming peak).
+REF_PEAK_BW = 80.0e9
+
+
+def _ceff_for_utilization(
+    intensity: float, memory_efficiency: float, utilization: float
+) -> float:
+    """Compute efficiency that yields ``utilization`` at full reference power.
+
+    For a memory-bound phase, utilization is ``t_c / t_m``; solving the
+    roofline for the compute rate gives
+    ``R_c = intensity · R_m / utilization`` and dividing by the peak
+    compute rate yields the efficiency.
+    """
+    mem_rate = REF_PEAK_BW * memory_efficiency
+    return intensity * mem_rate / (utilization * REF_PEAK_FLOPS)
+
+
+def _w(
+    name: str,
+    description: str,
+    workload_class: WorkloadClass,
+    phases: tuple[Phase, ...],
+    metric: MetricKind,
+    suite: str = "npb",
+    work_units: float | None = None,
+) -> Workload:
+    if metric is MetricKind.MOPS and work_units is None:
+        # NPB reports Mop/s over total operations issued.
+        work_units = sum(p.flops for p in phases)
+    return Workload(
+        name=name,
+        suite=suite,
+        description=description,
+        device="cpu",
+        workload_class=workload_class,
+        phases=phases,
+        metric=metric,
+        work_units=work_units,
+    )
+
+
+def _sra() -> Workload:
+    """HPCC star RandomAccess: 5×10⁸ table updates, 128 B of traffic each."""
+    updates = 5.0e8
+    bytes_moved = updates * 128.0
+    intensity = updates / bytes_moved
+    phase = Phase(
+        name="update",
+        flops=updates,
+        bytes_moved=bytes_moved,
+        activity=0.55,
+        stall_activity=0.48,  # deep MLP keeps miss queues/uncore hot: ~112 W pkg
+        # Utilization 0.75 at full power: the update loop has CPU slack, so
+        # shifting watts CPU->DRAM costs little while DRAM->CPU is brutal —
+        # the paper's 50%-vs-10% +/-24 W asymmetry (Section 3.4.2).
+        compute_efficiency=_ceff_for_utilization(intensity, 0.08, 0.75),
+        memory_efficiency=0.08,  # full cache-line fetch per 8-byte update
+    )
+    return _w(
+        "sra",
+        "Embarrassingly parallel, random memory access",
+        WorkloadClass.RANDOM_ACCESS,
+        (phase,),
+        MetricKind.GUPS,
+        suite="hpcc",
+        work_units=updates,
+    )
+
+
+def _stream() -> Workload:
+    """UVA STREAM triad: 2 FLOPs per 24 bytes, long unit-stride vectors."""
+    bytes_moved = 680.0e9
+    intensity = 2.0 / 24.0
+    phase = Phase(
+        name="triad",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.40,
+        stall_activity=0.30,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.85, 0.80),
+        memory_efficiency=0.85,
+    )
+    return _w(
+        "stream",
+        "Synthetic, measuring memory bandwidth",
+        WorkloadClass.MEMORY_INTENSIVE,
+        (phase,),
+        MetricKind.GBPS,
+        suite="stream",
+    )
+
+
+def _dgemm() -> Workload:
+    """HPCC EP-DGEMM: blocked matrix multiply, ~16 FLOPs per byte of traffic."""
+    flops = 2.88e12
+    phase = Phase(
+        name="gemm",
+        flops=flops,
+        bytes_moved=flops / 16.0,
+        activity=1.00,  # dense AVX FMA streams switch nearly every lane
+        stall_activity=0.25,
+        compute_efficiency=0.72,
+        memory_efficiency=0.80,
+    )
+    return _w(
+        "dgemm",
+        "Matrix multiplication, compute intensive",
+        WorkloadClass.COMPUTE_INTENSIVE,
+        (phase,),
+        MetricKind.GFLOPS,
+        suite="hpcc",
+    )
+
+
+def _bt() -> Workload:
+    """NPB BT: block tri-diagonal solver; heavy solves plus a streaming RHS."""
+    solve = Phase(
+        name="solve",
+        flops=7.2e11,
+        bytes_moved=7.2e11 / 5.0,
+        activity=0.85,
+        stall_activity=0.30,
+        compute_efficiency=0.30,
+        memory_efficiency=0.70,
+    )
+    rhs = Phase(
+        name="rhs",
+        flops=2.4e11,
+        bytes_moved=2.4e11,
+        activity=0.70,
+        stall_activity=0.40,
+        compute_efficiency=_ceff_for_utilization(1.0, 0.75, 0.75),
+        memory_efficiency=0.75,
+    )
+    return _w(
+        "bt",
+        "Block Tri-diagonal solver, compute intensive",
+        WorkloadClass.COMPUTE_INTENSIVE,
+        (solve, rhs),
+        MetricKind.MOPS,
+    )
+
+
+def _sp() -> Workload:
+    """NPB SP: scalar penta-diagonal solver; sweeps plus RHS, mixed character."""
+    sweeps = Phase(
+        name="sweeps",
+        flops=1.4 * 3.2e11,
+        bytes_moved=3.2e11,
+        activity=0.75,
+        stall_activity=0.42,
+        compute_efficiency=_ceff_for_utilization(1.4, 0.80, 0.90),
+        memory_efficiency=0.80,
+    )
+    rhs = Phase(
+        name="rhs",
+        flops=0.7 * 1.9e11,
+        bytes_moved=1.9e11,
+        activity=0.60,
+        stall_activity=0.42,
+        compute_efficiency=_ceff_for_utilization(0.7, 0.80, 0.55),
+        memory_efficiency=0.80,
+    )
+    return _w(
+        "sp",
+        "Scalar Penta-diagonal solver, compute/memory",
+        WorkloadClass.MIXED,
+        (sweeps, rhs),
+        MetricKind.MOPS,
+    )
+
+
+def _lu() -> Workload:
+    """NPB LU: Gauss-Seidel SSOR; dependence-limited solves plus RHS."""
+    ssor = Phase(
+        name="jacld-blts",
+        flops=2.0 * 2.6e11,
+        bytes_moved=2.6e11,
+        activity=0.80,
+        stall_activity=0.40,
+        compute_efficiency=_ceff_for_utilization(2.0, 0.65, 0.95),
+        memory_efficiency=0.65,
+    )
+    rhs = Phase(
+        name="rhs-l2",
+        flops=0.8 * 1.6e11,
+        bytes_moved=1.6e11,
+        activity=0.60,
+        stall_activity=0.40,
+        compute_efficiency=_ceff_for_utilization(0.8, 0.70, 0.60),
+        memory_efficiency=0.70,
+    )
+    return _w(
+        "lu",
+        "Lower-Upper Gauss-Seidel solver, compute/memory",
+        WorkloadClass.MIXED,
+        (ssor, rhs),
+        MetricKind.MOPS,
+    )
+
+
+def _ep() -> Workload:
+    """NPB EP: pseudo-random number generation, almost no memory traffic."""
+    flops = 1.2e12
+    phase = Phase(
+        name="gaussian-pairs",
+        flops=flops,
+        bytes_moved=flops / 200.0,
+        activity=0.85,
+        stall_activity=0.20,
+        compute_efficiency=0.30,  # transcendental-heavy, modest IPC
+        memory_efficiency=0.80,
+    )
+    return _w(
+        "ep",
+        "Embarrassingly Parallel, compute intensive",
+        WorkloadClass.COMPUTE_INTENSIVE,
+        (phase,),
+        MetricKind.MOPS,
+    )
+
+
+def _is() -> Workload:
+    """NPB IS: bucketed integer sort, scatter-dominated memory traffic."""
+    bytes_moved = 2.0e11
+    intensity = 0.04
+    phase = Phase(
+        name="rank",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.50,
+        stall_activity=0.42,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.25, 0.55),
+        memory_efficiency=0.25,
+    )
+    return _w(
+        "is",
+        "Integer Sort, random memory access",
+        WorkloadClass.RANDOM_ACCESS,
+        (phase,),
+        MetricKind.MOPS,
+    )
+
+
+def _cg() -> Workload:
+    """NPB CG: sparse mat-vec with gathers, irregular memory access."""
+    bytes_moved = 2.8e11
+    intensity = 0.30
+    phase = Phase(
+        name="spmv",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.55,
+        stall_activity=0.45,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.35, 0.60),
+        memory_efficiency=0.35,
+    )
+    return _w(
+        "cg",
+        "Conjugate Gradient, irregular memory access",
+        WorkloadClass.RANDOM_ACCESS,
+        (phase,),
+        MetricKind.MOPS,
+    )
+
+
+def _ft() -> Workload:
+    """NPB FT: 3-D FFT; compute-rich butterflies plus an all-to-all transpose."""
+    fft = Phase(
+        name="fft",
+        flops=1.7 * 2.56e11,
+        bytes_moved=2.56e11,
+        activity=0.80,
+        stall_activity=0.35,
+        compute_efficiency=_ceff_for_utilization(1.7, 0.80, 0.90),
+        memory_efficiency=0.80,
+    )
+    transpose = Phase(
+        name="transpose",
+        flops=0.02 * 1.76e11,
+        bytes_moved=1.76e11,
+        activity=0.45,
+        stall_activity=0.40,
+        compute_efficiency=_ceff_for_utilization(0.02, 0.55, 0.25),
+        memory_efficiency=0.55,
+    )
+    return _w(
+        "ft",
+        "Discrete 3D fast Fourier Transform, compute/memory",
+        WorkloadClass.MIXED,
+        (fft, transpose),
+        MetricKind.MOPS,
+    )
+
+
+def _mg() -> Workload:
+    """NPB MG: multigrid V-cycles; bandwidth-hungry smoother and residual."""
+    smooth = Phase(
+        name="smooth",
+        flops=0.28 * 2.2e11,
+        bytes_moved=2.2e11,
+        activity=0.50,
+        stall_activity=0.42,
+        compute_efficiency=_ceff_for_utilization(0.28, 0.70, 0.50),
+        memory_efficiency=0.70,
+    )
+    resid = Phase(
+        name="resid",
+        flops=0.24 * 1.7e11,
+        bytes_moved=1.7e11,
+        activity=0.50,
+        stall_activity=0.42,
+        compute_efficiency=_ceff_for_utilization(0.24, 0.70, 0.45),
+        memory_efficiency=0.70,
+    )
+    transfer = Phase(
+        name="grid-transfer",
+        flops=0.18 * 0.8e11,
+        bytes_moved=0.8e11,
+        activity=0.45,
+        stall_activity=0.40,
+        compute_efficiency=_ceff_for_utilization(0.18, 0.50, 0.40),
+        memory_efficiency=0.50,
+    )
+    return _w(
+        "mg",
+        "Multi-Grid operation, compute/memory",
+        WorkloadClass.MEMORY_INTENSIVE,
+        (smooth, resid, transfer),
+        MetricKind.MOPS,
+    )
+
+
+#: Name → workload for the paper's CPU benchmarks (Table 3, top half).
+CPU_WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _sra(),
+        _stream(),
+        _dgemm(),
+        _bt(),
+        _sp(),
+        _lu(),
+        _ep(),
+        _is(),
+        _cg(),
+        _ft(),
+        _mg(),
+    )
+}
+
+
+def list_cpu_workloads() -> tuple[str, ...]:
+    """Names of the CPU benchmarks, in Table 3 order."""
+    return tuple(CPU_WORKLOADS)
+
+
+def cpu_workload(name: str) -> Workload:
+    """Look up a CPU benchmark by name."""
+    try:
+        return CPU_WORKLOADS[name.lower()]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown CPU workload {name!r}; available: {sorted(CPU_WORKLOADS)}"
+        ) from None

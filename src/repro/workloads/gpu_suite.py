@@ -1,0 +1,228 @@
+"""The 6 GPU benchmarks of the paper's Table 3 (CUDA examples, ECP proxies).
+
+Characterizations follow the same recipe as the CPU suite, referenced to the
+Titan XP card's rooflines.  Utilization targets are chosen so that the
+memory-intensive proxies stay memory-bound on *both* cards (the Titan V has
+~35 % more bandwidth at similar compute, so a workload at utilization 0.70
+on the XP sits near 0.93 on the V — still memory-bound, matching the
+paper's "on Titan V, application performance is generally memory bounded").
+
+Anchors (paper Section 4 / Figure 6):
+
+* SGEMM demands more than the XP's 300 W ceiling (its performance never
+  flattens in the cap range) but saturates near 180 W on the V;
+* MiniFE saturates near 180 W on the XP and is flat in the studied range on
+  the V;
+* per-budget spread across allocations is ≈ 35 % for MiniFE vs ≤ 25 % for
+  SGEMM on the XP.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownWorkloadError
+from repro.perfmodel.phase import Phase
+from repro.workloads.base import MetricKind, Workload, WorkloadClass
+
+__all__ = ["GPU_WORKLOADS", "REF_GPU_PEAK_FLOPS", "REF_GPU_PEAK_BW", "gpu_workload", "list_gpu_workloads"]
+
+#: Reference Titan XP compute roof: 30 SMs × 1.9 GHz × 256 FLOP/cycle.
+REF_GPU_PEAK_FLOPS = 30 * 1.9e9 * 256.0
+#: Reference Titan XP bandwidth roof at the nominal memory clock.
+REF_GPU_PEAK_BW = 480.0e9
+
+
+def _ceff_for_utilization(
+    intensity: float, memory_efficiency: float, utilization: float
+) -> float:
+    """Compute efficiency giving ``utilization`` at full power on the XP."""
+    mem_rate = REF_GPU_PEAK_BW * memory_efficiency
+    return intensity * mem_rate / (utilization * REF_GPU_PEAK_FLOPS)
+
+
+def _w(
+    name: str,
+    description: str,
+    workload_class: WorkloadClass,
+    phases: tuple[Phase, ...],
+    metric: MetricKind,
+    suite: str,
+    work_units: float | None = None,
+) -> Workload:
+    if metric is MetricKind.MOPS and work_units is None:
+        work_units = sum(p.flops for p in phases)
+    return Workload(
+        name=name,
+        suite=suite,
+        description=description,
+        device="gpu",
+        workload_class=workload_class,
+        phases=phases,
+        metric=metric,
+        work_units=work_units,
+    )
+
+
+def _sgemm() -> Workload:
+    """CUBLAS SGEMM: tiled FP32 matrix multiply, ~40 FLOPs per DRAM byte."""
+    flops = 8.75e13
+    phase = Phase(
+        name="gemm",
+        flops=flops,
+        bytes_moved=flops / 40.0,
+        activity=1.00,
+        stall_activity=0.30,
+        compute_efficiency=0.60,
+        memory_efficiency=0.80,
+    )
+    return _w(
+        "sgemm",
+        "Compute intensive, CUBLAS implementation",
+        WorkloadClass.COMPUTE_INTENSIVE,
+        (phase,),
+        MetricKind.GFLOPS,
+        suite="cuda",
+    )
+
+
+def _gpu_stream() -> Workload:
+    """GPU-STREAM triad: coalesced loads/stores saturating the memory bus."""
+    bytes_moved = 4.0e12
+    intensity = 2.0 / 24.0
+    phase = Phase(
+        name="triad",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.35,
+        stall_activity=0.25,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.85, 0.70),
+        memory_efficiency=0.85,
+    )
+    return _w(
+        "gpu-stream",
+        "Memory intensive, CUDA version of STREAM",
+        WorkloadClass.MEMORY_INTENSIVE,
+        (phase,),
+        MetricKind.GBPS,
+        suite="cuda",
+    )
+
+
+def _cufft() -> Workload:
+    """cuFFT batched 3-D transforms: strided passes over device memory."""
+    bytes_moved = 3.6e12
+    intensity = 1.0
+    phase = Phase(
+        name="fft-passes",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.50,
+        stall_activity=0.35,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.75, 0.70),
+        memory_efficiency=0.75,
+    )
+    return _w(
+        "cufft",
+        "Memory intensive, CUDA example",
+        WorkloadClass.MEMORY_INTENSIVE,
+        (phase,),
+        MetricKind.MOPS,
+        suite="cuda",
+    )
+
+
+def _minife() -> Workload:
+    """MiniFE: unstructured implicit FE proxy, sparse CG-dominated."""
+    bytes_moved = 2.64e12
+    intensity = 0.25
+    phase = Phase(
+        name="cg-spmv",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.38,
+        stall_activity=0.30,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.55, 0.70),
+        memory_efficiency=0.55,
+    )
+    return _w(
+        "minife",
+        "Memory intensive, ECP proxy",
+        WorkloadClass.MEMORY_INTENSIVE,
+        (phase,),
+        MetricKind.MOPS,
+        suite="ecp",
+    )
+
+
+def _cloverleaf() -> Workload:
+    """CloverLeaf: structured hydrodynamics, between compute and memory."""
+    bytes_moved = 2.4e12
+    intensity = 1.4
+    phase = Phase(
+        name="hydro",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.60,
+        stall_activity=0.35,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.70, 0.92),
+        memory_efficiency=0.70,
+    )
+    return _w(
+        "cloverleaf",
+        "compute/memory, ECP proxy",
+        WorkloadClass.MIXED,
+        (phase,),
+        MetricKind.MOPS,
+        suite="ecp",
+    )
+
+
+def _hpcg() -> Workload:
+    """HPCG: symmetric Gauss-Seidel + SpMV, bandwidth-bound throughout."""
+    bytes_moved = 2.4e12
+    intensity = 0.26
+    phase = Phase(
+        name="sym-gs",
+        flops=intensity * bytes_moved,
+        bytes_moved=bytes_moved,
+        activity=0.42,
+        stall_activity=0.33,
+        compute_efficiency=_ceff_for_utilization(intensity, 0.50, 0.72),
+        memory_efficiency=0.50,
+    )
+    return _w(
+        "hpcg",
+        "Memory intensive, HPL benchmark",
+        WorkloadClass.MEMORY_INTENSIVE,
+        (phase,),
+        MetricKind.GFLOPS,
+        suite="ecp",
+    )
+
+
+#: Name → workload for the paper's GPU benchmarks (Table 3, bottom half).
+GPU_WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _sgemm(),
+        _gpu_stream(),
+        _cufft(),
+        _minife(),
+        _cloverleaf(),
+        _hpcg(),
+    )
+}
+
+
+def list_gpu_workloads() -> tuple[str, ...]:
+    """Names of the GPU benchmarks, in Table 3 order."""
+    return tuple(GPU_WORKLOADS)
+
+
+def gpu_workload(name: str) -> Workload:
+    """Look up a GPU benchmark by name."""
+    try:
+        return GPU_WORKLOADS[name.lower()]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown GPU workload {name!r}; available: {sorted(GPU_WORKLOADS)}"
+        ) from None

@@ -1,0 +1,82 @@
+"""Unified lookup across the benchmark suites, plus user registration.
+
+The paper's Table 3 suites are fixed; deployments onboard their own
+applications.  :func:`register_workload` adds a characterized workload to
+the registry so the CLI, sweeps, and schedulers can address it by name
+(see ``examples/characterize_and_coordinate.py`` for producing one from a
+real kernel).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, UnknownWorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.cpu_suite import CPU_WORKLOADS
+from repro.workloads.gpu_suite import GPU_WORKLOADS
+
+__all__ = ["get_workload", "list_workloads", "register_workload", "unregister_workload"]
+
+#: User-registered workloads (name -> workload), looked up after the suites.
+_USER_WORKLOADS: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, *, replace: bool = False) -> None:
+    """Add a workload to the registry under its own name.
+
+    Suite names are reserved; user names collide only with themselves and
+    require ``replace=True`` to overwrite.
+    """
+    key = workload.name.lower()
+    if key in CPU_WORKLOADS or key in GPU_WORKLOADS:
+        raise ConfigurationError(
+            f"workload name {workload.name!r} is reserved by the built-in suites"
+        )
+    if key in _USER_WORKLOADS and not replace:
+        raise ConfigurationError(
+            f"workload {workload.name!r} already registered; pass replace=True"
+        )
+    _USER_WORKLOADS[key] = workload
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a user-registered workload (suite entries cannot be removed)."""
+    key = name.lower()
+    if key in CPU_WORKLOADS or key in GPU_WORKLOADS:
+        raise ConfigurationError(
+            f"cannot unregister built-in suite workload {name!r}"
+        )
+    try:
+        del _USER_WORKLOADS[key]
+    except KeyError:
+        raise UnknownWorkloadError(f"no user workload named {name!r}") from None
+
+
+def list_workloads(device: str | None = None) -> tuple[str, ...]:
+    """All registered benchmark names, optionally filtered by device."""
+    if device not in (None, "cpu", "gpu"):
+        raise UnknownWorkloadError(f"unknown device filter {device!r}")
+    names: list[str] = []
+    if device in (None, "cpu"):
+        names.extend(CPU_WORKLOADS)
+    if device in (None, "gpu"):
+        names.extend(GPU_WORKLOADS)
+    names.extend(
+        name for name, wl in _USER_WORKLOADS.items()
+        if device is None or wl.device == device
+    )
+    return tuple(names)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a benchmark by name: suites first, then user registrations."""
+    key = name.lower()
+    if key in CPU_WORKLOADS:
+        return CPU_WORKLOADS[key]
+    if key in GPU_WORKLOADS:
+        return GPU_WORKLOADS[key]
+    if key in _USER_WORKLOADS:
+        return _USER_WORKLOADS[key]
+    raise UnknownWorkloadError(
+        f"unknown workload {name!r}; available: "
+        f"{sorted((*CPU_WORKLOADS, *GPU_WORKLOADS, *_USER_WORKLOADS))}"
+    )

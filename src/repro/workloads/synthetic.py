@@ -1,0 +1,103 @@
+"""Parametric synthetic workloads.
+
+Used by property-based tests (hypothesis draws arbitrary-but-valid
+characterizations and asserts library invariants hold for all of them) and
+by users exploring the allocation space beyond the paper's fixed suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.phase import Phase
+from repro.util.seeds import spawn_rng
+from repro.util.units import check_positive
+from repro.workloads.base import MetricKind, Workload, WorkloadClass
+
+__all__ = ["synthetic_workload", "random_workload"]
+
+
+def _classify(intensity: float, memory_efficiency: float) -> WorkloadClass:
+    if intensity >= 8.0:
+        return WorkloadClass.COMPUTE_INTENSIVE
+    if memory_efficiency <= 0.15:
+        return WorkloadClass.RANDOM_ACCESS
+    if intensity <= 0.5:
+        return WorkloadClass.MEMORY_INTENSIVE
+    return WorkloadClass.MIXED
+
+
+def synthetic_workload(
+    *,
+    name: str = "synthetic",
+    device: str = "cpu",
+    intensity: float = 1.0,
+    bytes_moved: float = 1.0e11,
+    activity: float = 0.6,
+    stall_activity: float = 0.35,
+    compute_efficiency: float = 0.1,
+    memory_efficiency: float = 0.6,
+    n_phases: int = 1,
+    phase_spread: float = 0.0,
+    seed: int | None = None,
+) -> Workload:
+    """Build a single- or multi-phase workload from first-class parameters.
+
+    ``phase_spread`` > 0 perturbs intensity and efficiencies across phases
+    (deterministically from ``seed``) to emulate pseudo-applications like
+    BT/MG whose phases differ; 0 gives ``n_phases`` identical phases.
+    """
+    check_positive(intensity, "intensity")
+    check_positive(bytes_moved, "bytes_moved")
+    if n_phases < 1:
+        raise ConfigurationError(f"n_phases must be >= 1, got {n_phases}")
+    if not 0.0 <= phase_spread < 1.0:
+        raise ConfigurationError(f"phase_spread must be in [0, 1), got {phase_spread}")
+    rng = spawn_rng(seed if seed is not None else 0, "synthetic", name)
+    phases = []
+    per_phase_bytes = bytes_moved / n_phases
+    for i in range(n_phases):
+        jitter = 1.0 + phase_spread * float(rng.uniform(-1.0, 1.0)) if phase_spread else 1.0
+        phase_intensity = intensity * jitter
+        meff = float(np.clip(memory_efficiency * (2.0 - jitter), 0.01, 1.0))
+        ceff = float(np.clip(compute_efficiency * jitter, 1e-6, 1.0))
+        phases.append(
+            Phase(
+                name=f"phase-{i}",
+                flops=phase_intensity * per_phase_bytes,
+                bytes_moved=per_phase_bytes,
+                activity=activity,
+                stall_activity=stall_activity,
+                compute_efficiency=ceff,
+                memory_efficiency=meff,
+            )
+        )
+    return Workload(
+        name=name,
+        suite="synthetic",
+        description=f"synthetic workload (intensity {intensity:g} FLOP/B)",
+        device=device,
+        workload_class=_classify(intensity, memory_efficiency),
+        phases=tuple(phases),
+        metric=MetricKind.GFLOPS,
+    )
+
+
+def random_workload(seed: int, device: str = "cpu") -> Workload:
+    """Draw a random-but-plausible workload (fuzzing and demos)."""
+    rng = spawn_rng(seed, "random-workload", device)
+    intensity = float(10.0 ** rng.uniform(-2.2, 1.5))
+    return synthetic_workload(
+        name=f"random-{seed}",
+        device=device,
+        intensity=intensity,
+        bytes_moved=float(10.0 ** rng.uniform(10.5, 12.0)),
+        activity=float(rng.uniform(0.3, 1.0)),
+        stall_activity=float(rng.uniform(0.1, 0.5)),
+        compute_efficiency=float(10.0 ** rng.uniform(-3.5, -0.3)),
+        memory_efficiency=float(rng.uniform(0.05, 0.9)),
+        n_phases=int(rng.integers(1, 4)),
+        phase_spread=float(rng.uniform(0.0, 0.5)),
+        seed=seed,
+    )

@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Domain models are immutable after construction, so platform fixtures are
+module-scoped for speed; anything stateful (NVML devices, RAPL interfaces,
+clusters) is built fresh per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.platforms import (
+    haswell_node,
+    ivybridge_node,
+    titan_v_card,
+    titan_xp_card,
+)
+from repro.workloads import cpu_workload, gpu_workload
+
+
+@pytest.fixture(scope="module")
+def ivb():
+    """The IvyBridge node (CPU Platform I)."""
+    return ivybridge_node()
+
+
+@pytest.fixture(scope="module")
+def has():
+    """The Haswell node (CPU Platform II)."""
+    return haswell_node()
+
+
+@pytest.fixture(scope="module")
+def xp():
+    """The Titan XP card (GPU Platform I)."""
+    return titan_xp_card()
+
+
+@pytest.fixture(scope="module")
+def tv():
+    """The Titan V card (GPU Platform II)."""
+    return titan_v_card()
+
+
+@pytest.fixture(scope="module")
+def sra():
+    return cpu_workload("sra")
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return cpu_workload("stream")
+
+
+@pytest.fixture(scope="module")
+def dgemm():
+    return cpu_workload("dgemm")
+
+
+@pytest.fixture(scope="module")
+def sgemm():
+    return gpu_workload("sgemm")
+
+
+@pytest.fixture(scope="module")
+def minife():
+    return gpu_workload("minife")
+
+
+@pytest.fixture(scope="module")
+def gpu_stream():
+    return gpu_workload("gpu-stream")

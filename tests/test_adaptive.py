@@ -1,0 +1,84 @@
+"""Per-phase adaptive coordination."""
+
+import pytest
+
+from repro.core.adaptive import (
+    adaptive_coord,
+    adaptive_vs_static,
+    execute_adaptive,
+    profile_phases,
+)
+from repro.workloads import cpu_workload
+
+
+class TestProfilePhases:
+    def test_one_profile_per_phase(self, ivb):
+        bt = cpu_workload("bt")
+        criticals = profile_phases(ivb.cpu, ivb.dram, bt)
+        assert len(criticals) == len(bt.phases)
+
+    def test_phase_demands_differ(self, ivb):
+        # BT's solve phase is compute-hungry, its rhs phase memory-hungry;
+        # their profiled demands must reflect that.
+        bt = cpu_workload("bt")
+        solve, rhs = profile_phases(ivb.cpu, ivb.dram, bt)
+        assert solve.cpu_l1 > rhs.cpu_l1
+        assert rhs.mem_l1 > solve.mem_l1
+
+    def test_single_phase_matches_whole_profile(self, ivb, stream):
+        from repro.core.profiler import profile_cpu_workload
+
+        [per_phase] = profile_phases(ivb.cpu, ivb.dram, stream)
+        whole = profile_cpu_workload(ivb.cpu, ivb.dram, stream)
+        assert per_phase.cpu_l1 == pytest.approx(whole.cpu_l1, abs=1.0)
+        assert per_phase.mem_l1 == pytest.approx(whole.mem_l1, abs=1.0)
+
+
+class TestAdaptiveSchedule:
+    def test_every_phase_allocated(self, ivb):
+        mg = cpu_workload("mg")
+        criticals = profile_phases(ivb.cpu, ivb.dram, mg)
+        schedule = adaptive_coord(criticals, 200.0)
+        assert len(schedule.allocations) == len(mg.phases)
+        assert schedule.accepted
+        for alloc in schedule.allocations:
+            assert alloc.total_w <= 200.0 + 1e-6
+
+    def test_allocations_track_phase_character(self, ivb):
+        bt = cpu_workload("bt")
+        criticals = profile_phases(ivb.cpu, ivb.dram, bt)
+        schedule = adaptive_coord(criticals, 180.0)
+        solve_alloc, rhs_alloc = schedule.allocations
+        # The compute phase gets more CPU watts than the streaming phase.
+        assert solve_alloc.proc_w > rhs_alloc.proc_w
+
+    def test_execute_adaptive_runs_all_phases(self, ivb):
+        ft = cpu_workload("ft")
+        criticals = profile_phases(ivb.cpu, ivb.dram, ft)
+        schedule = adaptive_coord(criticals, 200.0)
+        result = execute_adaptive(ivb.cpu, ivb.dram, ft, schedule)
+        assert len(result.phases) == len(ft.phases)
+        assert result.elapsed_s > 0
+
+
+class TestAdaptiveVsStatic:
+    def test_wins_for_divergent_phases(self, ivb):
+        # BT at a budget below its full demand: per-phase shifting beats
+        # the static compromise.
+        cmp = adaptive_vs_static(ivb.cpu, ivb.dram, cpu_workload("bt"), 200.0)
+        assert cmp.speedup > 1.1
+
+    def test_never_much_worse(self, ivb):
+        for name in ("bt", "sp", "lu", "ft", "mg"):
+            for budget in (160.0, 200.0):
+                cmp = adaptive_vs_static(ivb.cpu, ivb.dram, cpu_workload(name), budget)
+                assert cmp.speedup > 0.90, (name, budget)
+
+    def test_no_gain_for_single_phase(self, ivb, stream):
+        cmp = adaptive_vs_static(ivb.cpu, ivb.dram, stream, 180.0)
+        assert cmp.speedup == pytest.approx(1.0, abs=0.02)
+
+    def test_no_gain_at_ample_budget(self, ivb):
+        # With power for everything, static == adaptive (both case A).
+        cmp = adaptive_vs_static(ivb.cpu, ivb.dram, cpu_workload("mg"), 280.0)
+        assert cmp.speedup == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,152 @@
+"""Analysis: scenario spans, critical components, Table 1, Figure 5."""
+
+import pytest
+
+from repro.core.allocation import PowerAllocation
+from repro.core.analysis import (
+    balance_analysis,
+    critical_component,
+    optimal_intersection,
+    scenario_spans,
+    table1_rows,
+)
+from repro.core.scenario import Scenario
+from repro.core.sweep import sweep_cpu_allocations
+from repro.errors import SweepError
+
+
+@pytest.fixture(scope="module")
+def sweep_240(ivb, sra):
+    return sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 240.0, step_w=4.0)
+
+
+class TestScenarioSpans:
+    def test_all_six_present_at_240(self, sweep_240):
+        spans = scenario_spans(sweep_240)
+        assert set(spans) == set(Scenario)
+
+    def test_spans_ordered_like_figure3(self, sweep_240):
+        spans = scenario_spans(sweep_240)
+        # Along the memory axis: V < III < I < II < IV < VI.
+        order = [Scenario.V, Scenario.III, Scenario.I, Scenario.II, Scenario.IV, Scenario.VI]
+        mids = [sum(spans[s]) / 2 for s in order]
+        assert mids == sorted(mids)
+
+    def test_scenario_i_span_matches_paper(self, sweep_240):
+        lo, hi = scenario_spans(sweep_240)[Scenario.I]
+        # Paper: P_mem in [120, 132] W.
+        assert lo == pytest.approx(120.0, abs=8.0)
+        assert hi == pytest.approx(130.0, abs=8.0)
+
+    def test_low_budget_drops_scenario_i(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 176.0, step_w=4.0)
+        assert Scenario.I not in scenario_spans(sweep)
+
+
+class TestOptimalIntersection:
+    def test_ample_budget_optimum_in_i(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 280.0, step_w=4.0)
+        assert optimal_intersection(sweep) == (Scenario.I,)
+
+    def test_moderate_budget_ii_iii(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 224.0, step_w=4.0)
+        inter = optimal_intersection(sweep)
+        assert Scenario.II in inter and Scenario.III in inter
+
+
+class TestCriticalComponent:
+    def test_dram_critical_at_224(self, ivb, sra):
+        # Paper Section 3.4.2: DRAM is critical for SRA at 224 W.
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 224.0, step_w=4.0)
+        assert critical_component(ivb.cpu, ivb.dram, sra, sweep) == "DRAM"
+
+    def test_cpu_critical_at_150(self, ivb, sra):
+        # Once the budget pushes the optimum to the III|IV intersection,
+        # the CPU becomes the critical component (Table 1, row 3).
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 150.0, step_w=4.0)
+        assert critical_component(ivb.cpu, ivb.dram, sra, sweep) == "CPU"
+
+    def test_none_at_ample_budget(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 290.0, step_w=4.0)
+        assert critical_component(ivb.cpu, ivb.dram, sra, sweep) is None
+
+    def test_asymmetry_matches_paper(self, ivb, sra):
+        # From the paper's 224 W optimum (the plateau's low-memory edge),
+        # shifting 24 W away from DRAM costs far more than shifting 24 W
+        # away from the CPU (paper: 50 % vs 10 %).
+        from repro.core.analysis import _optimal_plateau
+        from repro.perfmodel.executor import execute_on_host
+
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 224.0, step_w=4.0)
+        lo, _ = _optimal_plateau(sweep)
+        opt = sweep.points[lo].allocation
+        base = sweep.perf_max
+        to_cpu = opt.shifted(-24.0)
+        to_mem = opt.shifted(24.0)
+        loss_mem_starved = 1 - sra.performance(
+            execute_on_host(ivb.cpu, ivb.dram, sra.phases, to_cpu.proc_w, to_cpu.mem_w)
+        ) / base
+        loss_cpu_starved = 1 - sra.performance(
+            execute_on_host(ivb.cpu, ivb.dram, sra.phases, to_mem.proc_w, to_mem.mem_w)
+        ) / base
+        assert loss_mem_starved > 2 * loss_cpu_starved
+
+    def test_tiny_sweep_rejected(self, ivb, sra):
+        tiny = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, sra, 40.0, step_w=8.0, mem_min_w=16.0, proc_min_w=8.0
+        )
+        with pytest.raises(SweepError):
+            critical_component(ivb.cpu, ivb.dram, sra, tiny, shift_w=24.0)
+
+
+class TestTable1:
+    def test_regime_progression(self, ivb, sra):
+        rows = table1_rows(ivb.cpu, ivb.dram, sra, [280.0, 224.0, 150.0], step_w=4.0)
+        # Large budget: optimum in I, no critical component.
+        assert Scenario.I in rows[0].intersection
+        assert rows[0].critical is None
+        # Middle: II|III with DRAM critical (paper's row 2).
+        assert set(rows[1].intersection) == {Scenario.II, Scenario.III}
+        assert rows[1].critical == "DRAM"
+        # Small: optimum moves to III|IV.
+        assert Scenario.IV in rows[2].intersection or Scenario.III in rows[2].intersection
+
+    def test_perf_max_decreases_with_budget(self, ivb, sra):
+        rows = table1_rows(ivb.cpu, ivb.dram, sra, [280.0, 200.0, 150.0], step_w=8.0)
+        perfs = [r.perf_max for r in rows]
+        assert perfs == sorted(perfs, reverse=True)
+
+    def test_valid_scenarios_shrink(self, ivb, sra):
+        rows = table1_rows(ivb.cpu, ivb.dram, sra, [280.0, 150.0], step_w=8.0)
+        assert len(rows[1].valid_scenarios) < len(rows[0].valid_scenarios)
+
+
+class TestBalanceAnalysis:
+    def test_optimum_is_balanced(self, ivb, stream):
+        # Figure 5: at the optimum both utilizations approach 100 %.
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, step_w=4.0)
+        opt = sweep.best.allocation
+        [bp] = balance_analysis(ivb.cpu, ivb.dram, stream, [opt])
+        assert bp.compute_utilization > 0.9
+        assert bp.mem_utilization > 0.9
+
+    def test_cpu_starved_allocation_underuses_memory(self, ivb, stream):
+        starved = PowerAllocation(56.0, 152.0)
+        [bp] = balance_analysis(ivb.cpu, ivb.dram, stream, [starved])
+        assert bp.compute_utilization > 0.9  # the bottleneck runs flat out
+        assert bp.mem_utilization < 0.7  # the other capacity idles
+
+    def test_mem_starved_allocation_underuses_compute(self, ivb, dgemm):
+        starved = PowerAllocation(48.0 + 20.0, 208.0 - 68.0)
+        # DGEMM with CPU near its floor: compute is the bottleneck.
+        [bp] = balance_analysis(ivb.cpu, ivb.dram, dgemm, [starved])
+        assert bp.compute_utilization > bp.mem_utilization
+
+    def test_capacity_exceeds_rate(self, ivb, stream):
+        pts = balance_analysis(
+            ivb.cpu, ivb.dram, stream,
+            [PowerAllocation(120.0, 88.0), PowerAllocation(92.0, 116.0)],
+        )
+        for bp in pts:
+            assert bp.compute_rate <= bp.compute_capacity * (1 + 1e-9)
+            assert bp.mem_rate <= bp.mem_capacity * (1 + 1e-9)

@@ -1,0 +1,65 @@
+"""Terminal plotting helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.ascii_plot import block_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 8
+
+    def test_flat_series_mid_height(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_pinned_scale(self):
+        line = sparkline([5.0], lo=0.0, hi=10.0)
+        assert line in "▄▅"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0, float("nan")])
+
+    def test_shape_of_fig2_curve(self, ivb, dgemm):
+        # The budget curve's rising-then-flat shape is visible at a glance.
+        import numpy as np
+
+        from repro.core.sweep import cpu_budget_curve
+
+        curve = cpu_budget_curve(
+            ivb.cpu, ivb.dram, dgemm, np.arange(140.0, 281.0, 20.0), step_w=8.0
+        )
+        line = sparkline(curve.perf_max)
+        assert line[0] == "▁" and line.endswith("██")
+
+
+class TestBlockChart:
+    def test_renders_rows(self):
+        out = block_chart(["a", "bb"], [1.0, 2.0], width=10, unit=" W")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10  # max fills the width
+        assert " W" in lines[0]
+
+    def test_zero_values(self):
+        out = block_chart(["x"], [0.0], width=5)
+        assert "·····" in out
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_chart(["a"], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_chart([], [])

@@ -1,0 +1,113 @@
+"""Baseline allocation strategies."""
+
+import pytest
+
+from repro.core.baselines import (
+    cpu_first_allocation,
+    demand_proportional_allocation,
+    interpolation_allocation,
+    memory_first_allocation,
+    oracle_allocation,
+    uniform_allocation,
+)
+from repro.core.critical import CpuCriticalPowers
+from repro.core.profiler import profile_cpu_workload
+from repro.core.sweep import sweep_cpu_allocations
+from repro.errors import SweepError
+from repro.perfmodel.executor import execute_on_host
+
+
+@pytest.fixture
+def critical():
+    return CpuCriticalPowers(
+        cpu_l1=112.0, cpu_l2=66.0, cpu_l3=50.0, cpu_l4=48.0,
+        mem_l1=116.0, mem_l2=30.0, mem_l3=66.0,
+    )
+
+
+class TestMemoryFirst:
+    def test_memory_gets_demand_when_affordable(self, critical):
+        a = memory_first_allocation(critical, 220.0)
+        assert a.mem_w == pytest.approx(116.0)
+        assert a.proc_w == pytest.approx(104.0)
+
+    def test_cpu_keeps_floor_under_tight_budget(self, critical):
+        a = memory_first_allocation(critical, 150.0)
+        assert a.mem_w == pytest.approx(150.0 - 48.0)
+        assert a.proc_w == pytest.approx(48.0)
+
+    def test_memory_never_below_its_floor(self, critical):
+        a = memory_first_allocation(critical, 110.0)
+        assert a.mem_w >= critical.mem_l3 - 1e-9
+
+    def test_budget_never_exceeded(self, critical):
+        for budget in (120.0, 180.0, 260.0):
+            a = memory_first_allocation(critical, budget)
+            assert a.total_w <= budget + 1e-9
+
+
+class TestCpuFirstAndNaive:
+    def test_cpu_first_mirrors(self, critical):
+        a = cpu_first_allocation(critical, 220.0)
+        assert a.proc_w == pytest.approx(112.0)
+        assert a.mem_w == pytest.approx(108.0)
+
+    def test_uniform(self):
+        a = uniform_allocation(200.0)
+        assert a.proc_w == a.mem_w == 100.0
+
+    def test_demand_proportional(self, critical):
+        a = demand_proportional_allocation(critical, 200.0)
+        frac = 112.0 / 228.0
+        assert a.proc_w == pytest.approx(frac * 200.0)
+        assert a.total_w == pytest.approx(200.0)
+
+
+class TestOracle:
+    def test_matches_sweep_best(self, ivb, sra):
+        a = oracle_allocation(ivb.cpu, ivb.dram, sra, 208.0, step_w=8.0)
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 208.0, step_w=8.0)
+        assert a == sweep.best.allocation
+
+    def test_finer_stepping_never_worse(self, ivb, stream):
+        def perf_of(step):
+            a = oracle_allocation(ivb.cpu, ivb.dram, stream, 200.0, step_w=step)
+            r = execute_on_host(ivb.cpu, ivb.dram, stream.phases, a.proc_w, a.mem_w)
+            return stream.performance(r)
+
+        assert perf_of(2.0) >= perf_of(16.0) - 1e-9
+
+
+class TestInterpolation:
+    def test_within_10pct_of_oracle_for_smooth_workload(self, ivb, stream):
+        budget = 200.0
+        a = interpolation_allocation(ivb.cpu, ivb.dram, stream, budget, n_samples=7)
+        r = execute_on_host(ivb.cpu, ivb.dram, stream.phases, a.proc_w, a.mem_w)
+        best = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, budget, step_w=2.0).perf_max
+        assert stream.performance(r) >= 0.80 * best
+
+    def test_budget_preserved(self, ivb, stream):
+        a = interpolation_allocation(ivb.cpu, ivb.dram, stream, 180.0)
+        assert a.total_w == pytest.approx(180.0)
+
+    def test_too_few_samples_rejected(self, ivb, stream):
+        with pytest.raises(SweepError):
+            interpolation_allocation(ivb.cpu, ivb.dram, stream, 180.0, n_samples=2)
+
+    def test_tiny_budget_rejected(self, ivb, stream):
+        with pytest.raises(SweepError):
+            interpolation_allocation(
+                ivb.cpu, ivb.dram, stream, 20.0, mem_min_w=16.0, proc_min_w=8.0
+            )
+
+
+class TestRelativeQuality:
+    def test_memory_first_conservative_at_small_budgets(self, ivb, sra):
+        # Memory-first starves the CPU at small budgets (paper Figure 9);
+        # the oracle must beat it clearly there.
+        critical = profile_cpu_workload(ivb.cpu, ivb.dram, sra)
+        budget = 150.0
+        mf = memory_first_allocation(critical, budget)
+        r_mf = execute_on_host(ivb.cpu, ivb.dram, sra.phases, mf.proc_w, mf.mem_w)
+        best = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, budget, step_w=4.0).perf_max
+        assert sra.performance(r_mf) < 0.8 * best

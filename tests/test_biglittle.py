@@ -1,0 +1,180 @@
+"""Heterogeneous (big.LITTLE) node: hardware, executor, coordination."""
+
+import pytest
+
+from repro.core.coord_hetero import (
+    HeteroAllocation,
+    coord_biglittle,
+    profile_biglittle,
+    sweep_biglittle,
+)
+from repro.errors import (
+    BudgetTooSmallError,
+    ConfigurationError,
+    InfeasibleBudgetError,
+    SweepError,
+)
+from repro.hardware.biglittle import BigLittleNode, CoreCluster, biglittle_node
+from repro.perfmodel.hetero import execute_on_biglittle
+from repro.workloads import cpu_workload
+
+
+@pytest.fixture(scope="module")
+def node():
+    return biglittle_node()
+
+
+class TestHardware:
+    def test_efficiency_ordering(self, node):
+        # The defining property: little cores deliver more FLOPs per watt.
+        little = node.little.domain
+        big = node.big.domain
+        little_eff = (
+            little.n_cores * little.pstates.f_nom_ghz * little.flops_per_core_cycle
+        ) / little.max_power_w
+        big_eff = (
+            big.n_cores * big.pstates.f_nom_ghz * big.flops_per_core_cycle
+        ) / big.max_power_w
+        assert little_eff > 1.3 * big_eff
+
+    def test_big_faster_in_absolute_terms(self, node):
+        little = node.little.domain
+        big = node.big.domain
+        assert (
+            big.n_cores * big.pstates.f_nom_ghz * big.flops_per_core_cycle
+            > 3 * little.n_cores * little.pstates.f_nom_ghz * little.flops_per_core_cycle
+        )
+
+    def test_gating(self, node):
+        assert node.big.is_gated(0.5)
+        assert not node.big.is_gated(1.5)
+        assert not node.little.is_gated(node.little.gate_threshold_w)
+
+    def test_gate_above_floor_rejected(self, node):
+        with pytest.raises(ConfigurationError):
+            CoreCluster(domain=node.big.domain, gate_threshold_w=5.0)
+
+    def test_negative_gate_rejected(self, node):
+        with pytest.raises(ConfigurationError):
+            CoreCluster(domain=node.big.domain, gate_threshold_w=-1.0)
+
+    def test_node_bounds(self, node):
+        assert node.min_productive_power_w < 1.0
+        assert node.max_power_w < 12.0
+
+
+class TestHeteroExecutor:
+    def test_full_power_uses_both_clusters(self, node):
+        wl = cpu_workload("dgemm")
+        both = execute_on_biglittle(node, wl.phases, 10.0, 2.0, 2.0)
+        little_only = execute_on_biglittle(node, wl.phases, 0.0, 2.0, 2.0)
+        big_only = execute_on_biglittle(node, wl.phases, 10.0, 0.0, 2.0)
+        assert both.flops_rate > big_only.flops_rate > little_only.flops_rate
+
+    def test_gated_cluster_draws_nothing(self, node):
+        wl = cpu_workload("dgemm")
+        little_only = execute_on_biglittle(node, wl.phases, 0.0, 2.0, 2.0)
+        # Processor power is the little cluster alone: below its max.
+        assert little_only.proc_power_w <= node.little.domain.max_power_w + 1e-9
+
+    def test_both_gated_raises(self, node):
+        wl = cpu_workload("dgemm")
+        with pytest.raises(InfeasibleBudgetError):
+            execute_on_biglittle(node, wl.phases, 0.0, 0.0, 2.0)
+
+    def test_empty_phases_rejected(self, node):
+        with pytest.raises(SweepError):
+            execute_on_biglittle(node, (), 2.0, 1.0, 1.0)
+
+    def test_caps_respected(self, node):
+        wl = cpu_workload("mg")
+        r = execute_on_biglittle(node, wl.phases, 2.0, 0.4, 1.2)
+        assert r.proc_power_w <= 2.4 + 1e-6
+        assert r.mem_power_w <= 1.2 + 1e-6
+
+    def test_memory_throttling_applies(self, node):
+        wl = cpu_workload("stream")
+        free = execute_on_biglittle(node, wl.phases, 5.0, 1.0, 3.0)
+        tight = execute_on_biglittle(node, wl.phases, 5.0, 1.0, 0.8)
+        assert tight.bytes_rate < free.bytes_rate
+
+
+class TestProfiling:
+    def test_demand_ordering(self, node):
+        crit = profile_biglittle(node, cpu_workload("dgemm"))
+        assert crit.big_l1 > crit.little_l1
+        assert crit.mem_l1 >= crit.mem_floor
+
+    def test_memory_hungry_workload(self, node):
+        stream = profile_biglittle(node, cpu_workload("stream"))
+        dgemm = profile_biglittle(node, cpu_workload("dgemm"))
+        assert stream.mem_l1 > dgemm.mem_l1
+
+
+class TestCoordination:
+    def test_below_threshold(self, node):
+        crit = profile_biglittle(node, cpu_workload("stream"))
+        with pytest.raises(BudgetTooSmallError):
+            coord_biglittle(node, crit, 0.2, strict=True)
+        fallback = coord_biglittle(node, crit, 0.2)
+        assert fallback.big_w == 0.0
+
+    def test_tiny_budget_gates_big(self, node):
+        wl = cpu_workload("mg")
+        crit = profile_biglittle(node, wl)
+        alloc = coord_biglittle(node, crit, 1.2, workload=wl)
+        assert alloc.big_w < node.big.gate_threshold_w
+
+    def test_large_budget_wakes_big(self, node):
+        wl = cpu_workload("dgemm")
+        crit = profile_biglittle(node, wl)
+        alloc = coord_biglittle(node, crit, 8.0, workload=wl)
+        assert alloc.big_w >= node.big.gate_threshold_w
+
+    def test_budget_respected(self, node):
+        wl = cpu_workload("cg")
+        crit = profile_biglittle(node, wl)
+        for budget in (1.0, 2.5, 5.0, 9.0):
+            alloc = coord_biglittle(node, crit, budget, workload=wl)
+            assert alloc.total_w <= budget + 1e-6
+
+    @pytest.mark.parametrize("name", ["dgemm", "stream", "mg", "cg"])
+    def test_near_oracle_outside_crossover(self, node, name):
+        wl = cpu_workload(name)
+        crit = profile_biglittle(node, wl)
+        for budget in (5.0, 7.0, 9.5):
+            points = sweep_biglittle(node, wl, budget, step_w=0.25)
+            best = max(p.performance for p in points)
+            alloc = coord_biglittle(node, crit, budget, workload=wl)
+            r = execute_on_biglittle(
+                node, wl.phases, alloc.big_w, alloc.little_w, alloc.mem_w
+            )
+            assert wl.performance(r) >= 0.90 * best, (name, budget)
+
+    def test_static_mode_works_without_workload(self, node):
+        crit = profile_biglittle(node, cpu_workload("dgemm"))
+        alloc = coord_biglittle(node, crit, 6.0)
+        assert isinstance(alloc, HeteroAllocation)
+        assert alloc.total_w <= 6.0 + 1e-9
+
+
+class TestSweep:
+    def test_oracle_gates_big_at_tiny_budget(self, node):
+        wl = cpu_workload("cg")
+        points = sweep_biglittle(node, wl, 1.0, step_w=0.25)
+        best = max(points, key=lambda p: p.performance)
+        assert best.allocation.big_w < node.big.gate_threshold_w
+
+    def test_oracle_wakes_big_at_large_budget(self, node):
+        wl = cpu_workload("dgemm")
+        points = sweep_biglittle(node, wl, 8.0, step_w=0.5)
+        best = max(points, key=lambda p: p.performance)
+        assert best.allocation.big_w >= node.big.gate_threshold_w
+
+    def test_bad_step_rejected(self, node):
+        with pytest.raises(SweepError):
+            sweep_biglittle(node, cpu_workload("cg"), 2.0, step_w=0.0)
+
+    def test_infeasible_budget_rejected(self, node):
+        with pytest.raises(SweepError):
+            sweep_biglittle(node, cpu_workload("cg"), 0.2, step_w=0.1)

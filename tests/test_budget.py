@@ -1,0 +1,56 @@
+"""Budget advice for higher-level schedulers."""
+
+import pytest
+
+from repro.core.budget import BudgetVerdict, advise_budget
+from repro.core.critical import CpuCriticalPowers
+
+
+@pytest.fixture
+def critical():
+    return CpuCriticalPowers(
+        cpu_l1=112.0, cpu_l2=66.0, cpu_l3=50.0, cpu_l4=48.0,
+        mem_l1=116.0, mem_l2=30.0, mem_l3=66.0,
+    )
+
+
+class TestVerdicts:
+    def test_below_threshold_rejected(self, critical):
+        advice = advise_budget(critical, 90.0)
+        assert advice.verdict is BudgetVerdict.REJECT
+        assert advice.reclaimable_w == 90.0
+
+    def test_productive_band_accepted(self, critical):
+        advice = advise_budget(critical, 180.0)
+        assert advice.verdict is BudgetVerdict.ACCEPT
+        assert advice.surplus_w == 0.0
+        assert advice.reclaimable_w == 0.0
+
+    def test_above_demand_surplus(self, critical):
+        advice = advise_budget(critical, 260.0)
+        assert advice.verdict is BudgetVerdict.ACCEPT_WITH_SURPLUS
+        assert advice.surplus_w == pytest.approx(32.0)
+        assert advice.reclaimable_w == pytest.approx(32.0)
+
+    def test_boundaries(self, critical):
+        assert advise_budget(critical, 96.0).verdict is BudgetVerdict.ACCEPT
+        assert advise_budget(critical, 95.99).verdict is BudgetVerdict.REJECT
+        assert advise_budget(critical, 228.0).verdict is BudgetVerdict.ACCEPT
+
+    def test_productive_band_reported(self, critical):
+        advice = advise_budget(critical, 150.0)
+        assert advice.productive_band_w == (pytest.approx(96.0), pytest.approx(228.0))
+
+
+class TestEndToEnd:
+    def test_advice_consistent_with_coord(self, ivb, sra):
+        from repro.core.coord import coord_cpu
+        from repro.core.profiler import profile_cpu_workload
+
+        critical = profile_cpu_workload(ivb.cpu, ivb.dram, sra)
+        for budget in (80.0, 120.0, 200.0, 300.0):
+            advice = advise_budget(critical, budget)
+            decision = coord_cpu(critical, budget)
+            assert decision.accepted == (advice.verdict is not BudgetVerdict.REJECT)
+            if advice.verdict is BudgetVerdict.ACCEPT_WITH_SURPLUS:
+                assert decision.surplus_w == pytest.approx(advice.surplus_w)

@@ -1,0 +1,104 @@
+"""Calibration anchors: the numbers the paper states explicitly.
+
+These tests pin the model to the paper's measured values (DESIGN.md §5).
+They are deliberately tolerance-banded: the goal is the *shape* of the
+paper's results, with headline quantities in the right neighbourhood.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import profile_cpu_workload
+from repro.core.sweep import (
+    cpu_budget_curve,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+
+
+class TestIvyBridgeAnchors:
+    def test_randomaccess_component_powers(self, ivb, sra):
+        # Paper Figure 3: actual powers ~112 W (CPU) and ~116 W (DRAM).
+        r = execute_on_host(ivb.cpu, ivb.dram, sra.phases, 1000.0, 1000.0)
+        assert r.proc_power_w == pytest.approx(112.0, abs=6.0)
+        assert r.mem_power_w == pytest.approx(116.0, abs=2.0)
+
+    def test_cpu_hardware_floor_48w(self, ivb, sra):
+        # Paper scenario VI: "a minimum hardware determined power of 48 W".
+        r = execute_on_host(ivb.cpu, ivb.dram, sra.phases, 5.0, 1000.0)
+        assert r.proc_power_w == pytest.approx(48.0, abs=3.0)
+
+    def test_dram_floor_near_68w(self, ivb, sra):
+        # Paper scenario V begins below a DRAM cap of ~68 W.
+        assert ivb.dram.floor_power_w == pytest.approx(68.0, abs=3.0)
+
+    def test_scenario_ii_boundary_near_66w(self, ivb, sra):
+        c = profile_cpu_workload(ivb.cpu, ivb.dram, sra)
+        # Paper scenario IV/II boundary: P_cpu ~ 66-68 W for RandomAccess.
+        assert c.cpu_l2 == pytest.approx(66.0, abs=4.0)
+
+    def test_stream_30x_spread_at_208w(self, ivb, stream):
+        # Paper Figure 1(a): up to 30x between allocations at 208 W.
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, step_w=4.0)
+        assert 15.0 <= sweep.perf_spread <= 60.0
+
+    def test_dgemm_flattens_near_240w(self, ivb, dgemm):
+        budgets = np.arange(140.0, 301.0, 10.0)
+        curve = cpu_budget_curve(ivb.cpu, ivb.dram, dgemm, budgets, step_w=4.0)
+        assert curve.saturation_budget_w == pytest.approx(235.0, abs=25.0)
+
+    def test_sra_optimal_at_224_matches_paper(self, ivb, sra):
+        # Paper: optimal (P_cpu=108, P_mem=116) for SRA at 224 W — the
+        # low-memory edge of the optimal plateau.
+        from repro.core.analysis import _optimal_plateau
+
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 224.0, step_w=4.0)
+        lo, _ = _optimal_plateau(sweep)
+        edge = sweep.points[lo].allocation
+        assert edge.proc_w == pytest.approx(108.0, abs=8.0)
+        assert edge.mem_w == pytest.approx(116.0, abs=8.0)
+
+
+class TestHaswellAnchors:
+    def test_similar_power_at_max_performance(self, ivb, has, dgemm):
+        # Paper: "the two systems consume similar power when performance
+        # reaches the maximum".
+        budgets = np.arange(160.0, 301.0, 10.0)
+        sat_i = cpu_budget_curve(ivb.cpu, ivb.dram, dgemm, budgets, step_w=6.0).saturation_budget_w
+        sat_h = cpu_budget_curve(has.cpu, has.dram, dgemm, budgets, step_w=6.0).saturation_budget_w
+        assert sat_h == pytest.approx(sat_i, abs=40.0)
+
+    def test_haswell_faster_at_every_budget(self, has, ivb, dgemm):
+        for budget in (120.0, 180.0, 240.0):
+            s_h = sweep_cpu_allocations(has.cpu, has.dram, dgemm, budget, step_w=8.0)
+            s_i = sweep_cpu_allocations(ivb.cpu, ivb.dram, dgemm, budget, step_w=8.0)
+            assert s_h.perf_max > s_i.perf_max
+
+
+class TestTitanAnchors:
+    def test_xp_default_cap_and_range(self, xp):
+        assert xp.default_cap_w == 250.0
+        assert xp.max_cap_w == 300.0
+
+    def test_xp_sgemm_demand_exceeds_300(self, xp, sgemm):
+        # The cap still binds at the 300 W maximum (to within one SM
+        # DVFS bin of slack under the limit).
+        r = execute_on_gpu(xp, sgemm.phases, 300.0)
+        assert r.total_power_w == pytest.approx(300.0, abs=12.0)
+        assert r.phases[0].proc_freq_ghz < xp.sm.pstates.f_nom_ghz
+
+    def test_xp_minife_spread_around_35pct(self, xp, minife):
+        sweep = sweep_gpu_allocations(xp, minife, 250.0, freq_stride=1)
+        assert sweep.perf_spread - 1.0 == pytest.approx(0.35, abs=0.12)
+
+    def test_xp_sgemm_spread_at_most_25pct(self, xp, sgemm):
+        for cap in (170.0, 210.0, 250.0, 290.0):
+            sweep = sweep_gpu_allocations(xp, sgemm, cap, freq_stride=1)
+            assert sweep.perf_spread <= 1.27, cap
+
+    def test_v_stream_uses_hbm2_bandwidth(self, tv, gpu_stream):
+        r = execute_on_gpu(tv, gpu_stream.phases, 250.0)
+        # More bandwidth than the XP's GDDR5X can deliver.
+        xp_peak = 480.0 * 0.85
+        assert gpu_stream.performance(r) > xp_peak

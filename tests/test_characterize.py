@@ -1,0 +1,48 @@
+"""Kernel → execution-model characterization bridge."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads import WorkloadClass, cpu_workload
+from repro.workloads.characterize import (
+    PATTERN_DEFAULTS,
+    characterize_kernel,
+    kernel_for_workload,
+)
+from repro.workloads.kernels import run_kernel
+
+
+class TestCharacterizeKernel:
+    def test_builds_phase_from_report(self):
+        report = run_kernel("stream")
+        phase = characterize_kernel(report, WorkloadClass.MEMORY_INTENSIVE)
+        assert phase.name == "stream"
+        assert phase.flops == report.flops
+        defaults = PATTERN_DEFAULTS[WorkloadClass.MEMORY_INTENSIVE]
+        assert phase.activity == defaults.activity
+
+    def test_scale_applied_to_volumes_only(self):
+        report = run_kernel("dgemm")
+        phase = characterize_kernel(report, WorkloadClass.COMPUTE_INTENSIVE, scale=100.0)
+        assert phase.flops == pytest.approx(report.flops * 100.0)
+        assert phase.intensity == pytest.approx(report.intensity)
+
+    def test_characterized_phase_is_executable(self, ivb):
+        from repro.perfmodel.executor import execute_on_host
+
+        report = run_kernel("cg")
+        phase = characterize_kernel(report, WorkloadClass.RANDOM_ACCESS, scale=1e4)
+        result = execute_on_host(ivb.cpu, ivb.dram, (phase,), 1000.0, 1000.0)
+        assert result.elapsed_s > 0
+
+    def test_all_classes_have_defaults(self):
+        assert set(PATTERN_DEFAULTS) == set(WorkloadClass)
+
+
+class TestKernelForWorkload:
+    def test_known(self):
+        assert kernel_for_workload(cpu_workload("dgemm")) == "dgemm"
+
+    def test_unknown(self):
+        with pytest.raises(UnknownWorkloadError):
+            kernel_for_workload(cpu_workload("bt"))

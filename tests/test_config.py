@@ -1,0 +1,75 @@
+"""Serialization round trips."""
+
+import pytest
+
+from repro.config import from_dict, from_json, to_dict, to_json
+from repro.core.allocation import PowerAllocation
+from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
+from repro.errors import ConfigurationError
+from repro.workloads import cpu_workload, gpu_workload
+
+
+class TestRoundTrips:
+    def test_phase(self):
+        phase = cpu_workload("stream").phases[0]
+        assert from_dict(to_dict(phase)) == phase
+
+    def test_workload_cpu(self):
+        wl = cpu_workload("mg")  # multi-phase, MOPS metric
+        assert from_dict(to_dict(wl)) == wl
+
+    def test_workload_gpu(self):
+        wl = gpu_workload("sgemm")
+        assert from_json(to_json(wl)) == wl
+
+    def test_every_registered_workload(self):
+        from repro.workloads import get_workload, list_workloads
+
+        for name in list_workloads():
+            wl = get_workload(name)
+            assert from_json(to_json(wl)) == wl, name
+
+    def test_cpu_critical_powers(self, ivb, sra):
+        from repro.core.profiler import profile_cpu_workload
+
+        critical = profile_cpu_workload(ivb.cpu, ivb.dram, sra)
+        assert from_json(to_json(critical)) == critical
+
+    def test_gpu_critical_powers(self):
+        g = GpuCriticalPowers(
+            tot_max=290.0, tot_ref=180.0, tot_min=150.0, mem_min=45.0, mem_max=70.0
+        )
+        assert from_dict(to_dict(g)) == g
+
+    def test_power_allocation(self):
+        a = PowerAllocation(108.0, 116.0)
+        assert from_json(to_json(a)) == a
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(ConfigurationError, match="cannot serialize"):
+            to_dict(object())
+
+    def test_untagged_payload(self):
+        with pytest.raises(ConfigurationError, match="self-describing"):
+            from_dict({"proc_w": 1.0})
+
+    def test_unknown_tag(self):
+        with pytest.raises(ConfigurationError, match="unknown payload"):
+            from_dict({"type": "martian"})
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            from_json("{nope")
+
+    def test_validation_still_applies(self):
+        # Deserialization goes through the same constructors, so corrupt
+        # payloads are rejected, not silently accepted.
+        blob = to_dict(CpuCriticalPowers(
+            cpu_l1=112.0, cpu_l2=66.0, cpu_l3=50.0, cpu_l4=48.0,
+            mem_l1=116.0, mem_l2=30.0, mem_l3=66.0,
+        ))
+        blob["cpu_l2"] = 400.0  # violates the ordering invariant
+        with pytest.raises(ConfigurationError):
+            from_dict(blob)

@@ -1,0 +1,143 @@
+"""COORD for CPU computing (Algorithm 1)."""
+
+import pytest
+
+from repro.core.coord import CoordStatus, coord_cpu
+from repro.core.critical import CpuCriticalPowers
+from repro.core.profiler import profile_cpu_workload
+from repro.errors import BudgetTooSmallError
+from repro.perfmodel.executor import execute_on_host
+from repro.workloads import cpu_workload, list_cpu_workloads
+
+
+@pytest.fixture
+def critical():
+    return CpuCriticalPowers(
+        cpu_l1=112.0, cpu_l2=66.0, cpu_l3=50.0, cpu_l4=48.0,
+        mem_l1=116.0, mem_l2=30.0, mem_l3=66.0,
+    )
+
+
+class TestCaseA:
+    """P_b >= L1c + L1m: adequate power for both."""
+
+    def test_full_demand_allocated(self, critical):
+        d = coord_cpu(critical, 260.0)
+        assert d.status is CoordStatus.SURPLUS
+        assert d.allocation.proc_w == pytest.approx(112.0)
+        assert d.allocation.mem_w == pytest.approx(116.0)
+
+    def test_surplus_reported(self, critical):
+        d = coord_cpu(critical, 260.0)
+        assert d.surplus_w == pytest.approx(260.0 - 228.0)
+
+    def test_boundary_exact(self, critical):
+        d = coord_cpu(critical, 228.0)
+        assert d.status is CoordStatus.SURPLUS
+        assert d.surplus_w == pytest.approx(0.0)
+
+
+class TestCaseB:
+    """L2c + L1m <= P_b < L1c + L1m: memory first."""
+
+    def test_memory_gets_full_demand(self, critical):
+        d = coord_cpu(critical, 200.0)
+        assert d.status is CoordStatus.SUCCESS
+        assert d.allocation.mem_w == pytest.approx(116.0)
+        assert d.allocation.proc_w == pytest.approx(84.0)
+
+    def test_budget_fully_distributed(self, critical):
+        d = coord_cpu(critical, 190.0)
+        assert d.allocation.total_w == pytest.approx(190.0)
+
+
+class TestCaseC:
+    """L2c + L2m <= P_b < L2c + L1m: proportional split above the floors."""
+
+    def test_proportional_split(self, critical):
+        budget = 150.0
+        d = coord_cpu(critical, budget)
+        assert d.status is CoordStatus.SUCCESS
+        d_cpu = 112.0 - 66.0
+        d_mem = 116.0 - 30.0
+        pct = d_cpu / (d_cpu + d_mem)
+        headroom = budget - 96.0
+        assert d.allocation.proc_w == pytest.approx(66.0 + pct * headroom)
+        assert d.allocation.total_w == pytest.approx(budget)
+
+    def test_both_above_l2_floors(self, critical):
+        d = coord_cpu(critical, 100.0)
+        assert d.allocation.proc_w >= 66.0 - 1e-9
+        assert d.allocation.mem_w >= 30.0 - 1e-9
+
+    def test_degenerate_zero_ranges(self):
+        # With L1 == L2 on both domains, case C collapses: any budget at
+        # the threshold is already case A (full demand) with surplus.
+        c = CpuCriticalPowers(
+            cpu_l1=66.0, cpu_l2=66.0, cpu_l3=50.0, cpu_l4=48.0,
+            mem_l1=30.0, mem_l2=30.0, mem_l3=20.0,
+        )
+        d = coord_cpu(c, 98.0)
+        assert d.status is CoordStatus.SURPLUS
+        assert d.allocation.total_w == pytest.approx(96.0)
+        assert d.surplus_w == pytest.approx(2.0)
+
+
+class TestCaseD:
+    """P_b < L2c + L2m: rejected."""
+
+    def test_rejected_status(self, critical):
+        d = coord_cpu(critical, 90.0)
+        assert d.status is CoordStatus.REJECTED
+        assert not d.accepted
+
+    def test_rejected_allocation_pins_floors(self, critical):
+        d = coord_cpu(critical, 90.0)
+        assert d.allocation.proc_w == pytest.approx(48.0)
+        assert d.allocation.mem_w == pytest.approx(66.0)
+
+    def test_strict_raises(self, critical):
+        with pytest.raises(BudgetTooSmallError) as exc_info:
+            coord_cpu(critical, 90.0, strict=True)
+        assert exc_info.value.threshold_w == pytest.approx(96.0)
+
+    def test_threshold_boundary(self, critical):
+        assert coord_cpu(critical, 96.0).accepted
+        assert not coord_cpu(critical, 95.9).accepted
+
+
+class TestAgainstOracle:
+    """End-to-end accuracy claims of Section 6.3."""
+
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_large_cap_accuracy(self, ivb, name):
+        # COORD within ~5% of the sweep oracle for large power caps.
+        from repro.core.sweep import sweep_cpu_allocations
+
+        wl = cpu_workload(name)
+        critical = profile_cpu_workload(ivb.cpu, ivb.dram, wl)
+        budget = 240.0
+        d = coord_cpu(critical, budget)
+        assert d.accepted
+        r = execute_on_host(
+            ivb.cpu, ivb.dram, wl.phases, d.allocation.proc_w, d.allocation.mem_w
+        )
+        best = sweep_cpu_allocations(ivb.cpu, ivb.dram, wl, budget, step_w=4.0).perf_max
+        assert wl.performance(r) >= 0.90 * best, name
+
+    def test_allocation_never_exceeds_budget(self, ivb, sra):
+        critical = profile_cpu_workload(ivb.cpu, ivb.dram, sra)
+        for budget in (100.0, 150.0, 200.0, 250.0, 300.0):
+            d = coord_cpu(critical, budget)
+            if d.accepted:
+                assert d.allocation.within(budget, tolerance_w=1e-6)
+
+    def test_execution_respects_coordinated_caps(self, ivb, stream):
+        critical = profile_cpu_workload(ivb.cpu, ivb.dram, stream)
+        d = coord_cpu(critical, 180.0)
+        r = execute_on_host(
+            ivb.cpu, ivb.dram, stream.phases,
+            d.allocation.proc_w, d.allocation.mem_w,
+        )
+        assert r.respects_bound
+        assert r.total_power_w <= 180.0 + 1e-6

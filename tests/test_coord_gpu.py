@@ -1,0 +1,130 @@
+"""COORD for GPU computing (Algorithm 2)."""
+
+import pytest
+
+from repro.core.coord import CoordStatus
+from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
+from repro.core.critical import GpuCriticalPowers
+from repro.core.profiler import profile_gpu_workload
+from repro.errors import ConfigurationError
+from repro.hardware.nvml import NvmlDevice
+from repro.perfmodel.executor import execute_on_gpu
+
+
+@pytest.fixture
+def mem_intensive():
+    return GpuCriticalPowers(
+        tot_max=190.0, tot_ref=160.0, tot_min=130.0, mem_min=45.0, mem_max=70.0
+    )
+
+
+@pytest.fixture
+def compute_intensive():
+    return GpuCriticalPowers(
+        tot_max=295.0, tot_ref=180.0, tot_min=150.0, mem_min=45.0, mem_max=70.0
+    )
+
+
+class TestBranches:
+    def test_compute_intensive_minimizes_memory(self, compute_intensive):
+        d = coord_gpu(compute_intensive, 250.0, hardware_max_w=300.0)
+        assert d.allocation.mem_w == pytest.approx(45.0)
+        assert d.allocation.proc_w == pytest.approx(205.0)
+
+    def test_memory_intensive_large_budget_maximizes_memory(self, mem_intensive):
+        d = coord_gpu(mem_intensive, 200.0, hardware_max_w=300.0)
+        assert d.allocation.mem_w == pytest.approx(70.0)
+
+    def test_memory_intensive_small_budget_balances(self, mem_intensive):
+        budget = 150.0  # below tot_ref
+        d = coord_gpu(mem_intensive, budget, hardware_max_w=300.0)
+        expected = 45.0 + 0.5 * (budget - 130.0)
+        assert d.allocation.mem_w == pytest.approx(expected)
+        assert d.allocation.total_w == pytest.approx(budget)
+
+    def test_balanced_branch_clamps_to_mem_range(self, mem_intensive):
+        d = coord_gpu(mem_intensive, 145.0, hardware_max_w=300.0, gamma=1.0)
+        assert 45.0 <= d.allocation.mem_w <= 70.0
+
+    def test_surplus_reported(self, mem_intensive):
+        d = coord_gpu(mem_intensive, 250.0, hardware_max_w=300.0)
+        assert d.status is CoordStatus.SURPLUS
+        assert d.surplus_w == pytest.approx(60.0)
+
+    def test_gamma_validated(self, mem_intensive):
+        with pytest.raises(ConfigurationError):
+            coord_gpu(mem_intensive, 200.0, hardware_max_w=300.0, gamma=1.5)
+
+    def test_gamma_zero_pins_memory_at_min(self, mem_intensive):
+        d = coord_gpu(mem_intensive, 150.0, hardware_max_w=300.0, gamma=0.0)
+        assert d.allocation.mem_w == pytest.approx(45.0)
+
+
+class TestApplyDecision:
+    def test_programs_cap_and_clock(self, xp, minife):
+        device = NvmlDevice(xp)
+        critical = profile_gpu_workload(xp, minife)
+        d = coord_gpu(critical, 150.0, hardware_max_w=xp.max_cap_w)
+        op = apply_gpu_decision(device, d, 150.0)
+        assert device.power_limit_w == pytest.approx(150.0)
+        assert xp.mem.allocated_power_w(op.freq_mhz) <= d.allocation.mem_w + 1e-9
+
+    def test_cap_clamped_to_driver_range(self, xp, minife):
+        device = NvmlDevice(xp)
+        critical = profile_gpu_workload(xp, minife)
+        d = coord_gpu(critical, 100.0, hardware_max_w=xp.max_cap_w)
+        apply_gpu_decision(device, d, 100.0)
+        assert device.power_limit_w == pytest.approx(xp.min_cap_w)
+
+
+class TestAgainstOracleAndDefault:
+    @pytest.mark.parametrize(
+        "wl_name", ["sgemm", "gpu-stream", "minife", "cloverleaf", "cufft", "hpcg"]
+    )
+    def test_close_to_best_at_large_caps(self, xp, wl_name):
+        from repro.core.sweep import sweep_gpu_allocations
+        from repro.workloads import gpu_workload
+
+        wl = gpu_workload(wl_name)
+        device = NvmlDevice(xp)
+        critical = profile_gpu_workload(xp, wl)
+        cap = 250.0
+        d = coord_gpu(critical, cap, hardware_max_w=xp.max_cap_w)
+        op = apply_gpu_decision(device, d, cap)
+        perf = wl.performance(execute_on_gpu(xp, wl.phases, cap, op.freq_mhz))
+        best = sweep_gpu_allocations(xp, wl, cap, freq_stride=1).perf_max
+        assert perf >= 0.95 * best, wl_name
+
+    def test_beats_default_for_starved_stream(self, xp, gpu_stream):
+        # The balance branch engages below tot_ref (~127 W for stream on
+        # the XP); at the driver's minimum cap COORD downclocks memory and
+        # reclaims the watts for the SMs, beating the oblivious default.
+        device = NvmlDevice(xp)
+        critical = profile_gpu_workload(xp, gpu_stream)
+        cap = xp.min_cap_w
+        assert cap < critical.tot_ref
+        d = coord_gpu(critical, cap, hardware_max_w=xp.max_cap_w)
+        op = apply_gpu_decision(device, d, cap)
+        coord_perf = gpu_stream.performance(
+            execute_on_gpu(xp, gpu_stream.phases, cap, op.freq_mhz)
+        )
+        default_perf = gpu_stream.performance(
+            execute_on_gpu(xp, gpu_stream.phases, cap, None)
+        )
+        assert coord_perf > default_perf * 1.05
+
+    def test_never_worse_than_default_significantly(self, xp):
+        from repro.workloads import list_gpu_workloads, gpu_workload
+
+        device = NvmlDevice(xp)
+        for name in list_gpu_workloads():
+            wl = gpu_workload(name)
+            critical = profile_gpu_workload(xp, wl)
+            for cap in (130.0, 190.0, 250.0):
+                d = coord_gpu(critical, cap, hardware_max_w=xp.max_cap_w)
+                op = apply_gpu_decision(device, d, cap)
+                coord_perf = wl.performance(
+                    execute_on_gpu(xp, wl.phases, cap, op.freq_mhz)
+                )
+                default_perf = wl.performance(execute_on_gpu(xp, wl.phases, cap, None))
+                assert coord_perf >= 0.92 * default_perf, (name, cap)

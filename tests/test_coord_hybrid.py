@@ -1,0 +1,129 @@
+"""Hybrid CPU+GPU coordination."""
+
+import pytest
+
+from repro.core.coord_hybrid import (
+    HybridStep,
+    HybridWorkload,
+    coord_hybrid,
+    execute_hybrid,
+    offload_workload,
+)
+from repro.errors import ConfigurationError, InfeasibleBudgetError
+from repro.hardware.platforms import get_platform, ivybridge_node
+from repro.perfmodel.phase import Phase
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_platform("titan-xp-host")
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return offload_workload()
+
+
+def simple_phase():
+    return Phase(
+        name="p", flops=1e9, bytes_moved=1e10, activity=0.5,
+        compute_efficiency=0.05, memory_efficiency=0.5,
+    )
+
+
+class TestHybridWorkload:
+    def test_views_partition_steps(self, wl):
+        host = wl.host_view()
+        gpu = wl.gpu_view()
+        assert len(host.phases) + len(gpu.phases) == len(wl.steps)
+        assert host.device == "cpu" and gpu.device == "gpu"
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridStep("tpu", simple_phase())
+
+    def test_gpu_free_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="never uses the GPU"):
+            HybridWorkload(name="x", steps=(HybridStep("cpu", simple_phase()),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridWorkload(name="x", steps=())
+
+
+class TestCoordination:
+    def test_decision_structure(self, node, wl):
+        decision = coord_hybrid(node, wl, 400.0)
+        assert decision.host.accepted
+        card = node.gpu(0)
+        assert card.min_cap_w <= decision.gpu_cap_w <= card.max_cap_w
+        assert card.mem.min_mhz <= decision.gpu_mem_freq_mhz <= card.mem.nominal_mhz
+
+    def test_budget_shifts_to_active_side(self, node, wl):
+        # The GPU cap exceeds a static half-split because the host is
+        # idle during device steps.
+        decision = coord_hybrid(node, wl, 400.0)
+        assert decision.gpu_cap_w > 200.0
+
+    def test_infeasible_budget(self, node, wl):
+        with pytest.raises(InfeasibleBudgetError):
+            coord_hybrid(node, wl, 150.0)
+
+    def test_gpuless_node_rejected(self, wl):
+        with pytest.raises(ConfigurationError, match="no GPU"):
+            coord_hybrid(ivybridge_node(), wl, 400.0)
+
+
+class TestExecution:
+    def test_peak_power_respects_bound(self, node, wl):
+        budget = 400.0
+        decision = coord_hybrid(node, wl, budget)
+        result = execute_hybrid(node, wl, decision)
+        assert result.peak_node_power_w <= budget + 1e-6
+
+    def test_times_partition(self, node, wl):
+        decision = coord_hybrid(node, wl, 420.0)
+        result = execute_hybrid(node, wl, decision)
+        assert result.elapsed_s == pytest.approx(
+            result.host_time_s + result.gpu_time_s
+        )
+        assert result.gpu_time_s > 0 and result.host_time_s > 0
+
+    def test_performance_improves_with_budget(self, node, wl):
+        lo = execute_hybrid(node, wl, coord_hybrid(node, wl, 330.0))
+        hi = execute_hybrid(node, wl, coord_hybrid(node, wl, 450.0))
+        assert hi.performance_gflops >= lo.performance_gflops
+
+    def test_beats_static_split(self, node, wl):
+        # The shifting coordinator beats a static half/half division of
+        # the node budget at a tight bound.
+        from repro.core.coord import coord_cpu
+        from repro.core.coord_gpu import coord_gpu
+        from repro.core.coord_hybrid import HybridDecision
+        from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
+        from repro.util.units import clamp
+
+        budget = 360.0
+        card = node.gpu(0)
+        dynamic = execute_hybrid(node, wl, coord_hybrid(node, wl, budget))
+
+        host_critical = profile_cpu_workload(node.cpu, node.dram, wl.host_view())
+        gpu_critical = profile_gpu_workload(card, wl.gpu_view())
+        half = budget / 2.0
+        static = HybridDecision(
+            host=coord_cpu(host_critical, half),
+            gpu=coord_gpu(gpu_critical, clamp(half, card.min_cap_w, card.max_cap_w),
+                          hardware_max_w=card.max_cap_w),
+            gpu_cap_w=clamp(half, card.min_cap_w, card.max_cap_w),
+            gpu_mem_freq_mhz=card.mem.nominal_mhz,
+        )
+        static_result = execute_hybrid(node, wl, static)
+        assert dynamic.performance_gflops > static_result.performance_gflops
+        # Static also pays its worst-case concurrent peak for nothing.
+        assert static_result.peak_node_power_w <= budget + 1e-6
+
+    def test_energy_accounting(self, node, wl):
+        decision = coord_hybrid(node, wl, 400.0)
+        result = execute_hybrid(node, wl, decision)
+        assert result.energy_j > 0
+        assert result.energy_j <= result.peak_node_power_w * result.elapsed_s + 1e-6

@@ -1,0 +1,108 @@
+"""Multi-tenant co-scheduling."""
+
+import pytest
+
+from repro.core.critical import CpuCriticalPowers
+from repro.errors import ConfigurationError, SchedulerError
+from repro.perfmodel.executor import execute_on_host
+from repro.sched.coschedule import (
+    coschedule_pair,
+    partition_host,
+    split_budget,
+)
+from repro.workloads import cpu_workload
+
+
+class TestPartitionHost:
+    def test_proportional_slice(self, ivb):
+        cpu_half, dram_half = partition_host(ivb.cpu, ivb.dram, 0.5)
+        assert cpu_half.n_cores == ivb.cpu.n_cores // 2
+        assert cpu_half.idle_power_w == pytest.approx(ivb.cpu.idle_power_w / 2)
+        assert dram_half.peak_bw_gbps == pytest.approx(ivb.dram.peak_bw_gbps / 2)
+
+    def test_asymmetric_slice(self, ivb):
+        cpu_part, dram_part = partition_host(ivb.cpu, ivb.dram, 0.75, 0.25)
+        assert cpu_part.n_cores == 15
+        assert dram_part.peak_bw_gbps == pytest.approx(20.0)
+
+    def test_complementary_slices_cover_node(self, ivb):
+        a_cpu, a_dram = partition_host(ivb.cpu, ivb.dram, 0.25, 0.6)
+        b_cpu, b_dram = partition_host(ivb.cpu, ivb.dram, 0.75, 0.4)
+        assert a_cpu.n_cores + b_cpu.n_cores == ivb.cpu.n_cores
+        assert a_dram.peak_bw_gbps + b_dram.peak_bw_gbps == pytest.approx(
+            ivb.dram.peak_bw_gbps
+        )
+
+    def test_at_least_one_core(self, ivb):
+        cpu_tiny, _ = partition_host(ivb.cpu, ivb.dram, 0.01)
+        assert cpu_tiny.n_cores == 1
+
+    def test_invalid_fractions(self, ivb):
+        with pytest.raises(ConfigurationError):
+            partition_host(ivb.cpu, ivb.dram, 0.0)
+        with pytest.raises(ConfigurationError):
+            partition_host(ivb.cpu, ivb.dram, 0.5, 1.0)
+
+    def test_slice_is_executable(self, ivb, stream):
+        cpu_part, dram_part = partition_host(ivb.cpu, ivb.dram, 0.5)
+        r = execute_on_host(cpu_part, dram_part, stream.phases, 100.0, 70.0)
+        assert stream.performance(r) > 0
+
+
+class TestSplitBudget:
+    def make(self, thr_cpu, demand_cpu, thr_mem, demand_mem):
+        return CpuCriticalPowers(
+            cpu_l1=demand_cpu, cpu_l2=thr_cpu, cpu_l3=thr_cpu * 0.8,
+            cpu_l4=thr_cpu * 0.7, mem_l1=demand_mem, mem_l2=thr_mem,
+            mem_l3=thr_mem,
+        )
+
+    def test_covers_thresholds_first(self):
+        a = self.make(40.0, 80.0, 20.0, 50.0)
+        b = self.make(30.0, 60.0, 15.0, 40.0)
+        budgets = split_budget(a, b, 200.0)
+        assert budgets is not None
+        ba, bb = budgets
+        assert ba >= a.productive_threshold_w
+        assert bb >= b.productive_threshold_w
+        assert ba + bb <= 200.0 + 1e-9
+
+    def test_infeasible_returns_none(self):
+        a = self.make(60.0, 80.0, 40.0, 50.0)
+        b = self.make(60.0, 80.0, 40.0, 50.0)
+        assert split_budget(a, b, 150.0) is None
+
+    def test_demand_capped(self):
+        a = self.make(40.0, 50.0, 20.0, 25.0)
+        b = self.make(40.0, 50.0, 20.0, 25.0)
+        ba, bb = split_budget(a, b, 500.0)
+        assert ba <= a.max_demand_w + 1e-9
+        assert bb <= b.max_demand_w + 1e-9
+
+
+class TestCoschedulePair:
+    def test_complementary_pair_beats_timesharing(self, ivb, dgemm, stream):
+        result = coschedule_pair(ivb.cpu, ivb.dram, dgemm, stream, 260.0)
+        assert result.weighted_speedup > 1.0
+        # The compute-bound tenant traded bandwidth for cores.
+        assert result.tenant_a.bw_fraction < result.tenant_a.core_fraction
+
+    def test_progress_fractions_sane(self, ivb, dgemm, stream):
+        result = coschedule_pair(ivb.cpu, ivb.dram, dgemm, stream, 260.0)
+        for tenant in (result.tenant_a, result.tenant_b):
+            assert 0.0 < tenant.normalized_progress < 1.0
+
+    def test_starved_budget_raises(self, ivb, dgemm, sra):
+        # Partition floors scale with the slice share, so moderate budgets
+        # still host two tenants; below the summed slice thresholds the
+        # search must refuse.
+        with pytest.raises(SchedulerError):
+            coschedule_pair(ivb.cpu, ivb.dram, dgemm, sra, 60.0)
+
+    def test_moderate_budget_feasible_on_slices(self, ivb, dgemm, sra):
+        result = coschedule_pair(ivb.cpu, ivb.dram, dgemm, sra, 120.0)
+        assert result.tenant_a.budget_w + result.tenant_b.budget_w <= 120.0 + 1e-9
+
+    def test_empty_grid_rejected(self, ivb, dgemm, stream):
+        with pytest.raises(ConfigurationError):
+            coschedule_pair(ivb.cpu, ivb.dram, dgemm, stream, 260.0, fractions=())

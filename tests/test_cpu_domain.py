@@ -1,0 +1,162 @@
+"""CPU package domain: demand model and cap enforcement mechanisms."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnitError
+from repro.hardware.component import CappingMechanism
+from repro.hardware.cpu import CpuDomain, CpuOperatingPoint
+from repro.hardware.pstate import PStateTable
+
+
+@pytest.fixture
+def cpu():
+    return CpuDomain(
+        n_cores=20,
+        pstates=PStateTable(f_min_ghz=1.2, f_nom_ghz=2.5, step_ghz=0.1, v_min_ratio=0.75),
+        idle_power_w=48.0,
+        max_dynamic_w=125.0,
+        duty_min=0.0625,
+        duty_steps=16,
+        flops_per_core_cycle=8.0,
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            CpuDomain(
+                n_cores=0,
+                pstates=PStateTable(f_min_ghz=1.0, f_nom_ghz=2.0),
+                idle_power_w=10.0,
+                max_dynamic_w=50.0,
+            )
+
+    def test_rejects_zero_duty_min(self):
+        with pytest.raises(ConfigurationError):
+            CpuDomain(
+                n_cores=4,
+                pstates=PStateTable(f_min_ghz=1.0, f_nom_ghz=2.0),
+                idle_power_w=10.0,
+                max_dynamic_w=50.0,
+                duty_min=0.0,
+            )
+
+    def test_rejects_negative_dynamic(self):
+        with pytest.raises(UnitError):
+            CpuDomain(
+                n_cores=4,
+                pstates=PStateTable(f_min_ghz=1.0, f_nom_ghz=2.0),
+                idle_power_w=10.0,
+                max_dynamic_w=-5.0,
+            )
+
+    def test_demand_bounds(self, cpu):
+        assert cpu.floor_power_w == 48.0
+        assert cpu.max_power_w == pytest.approx(173.0)
+
+
+class TestPowerModel:
+    def test_idle_at_zero_activity(self, cpu):
+        op = CpuOperatingPoint(2.5, 1.0, CappingMechanism.NONE)
+        assert cpu.demand_w(0.0, op) == pytest.approx(48.0)
+
+    def test_full_power_at_nominal(self, cpu):
+        op = CpuOperatingPoint(2.5, 1.0, CappingMechanism.NONE)
+        assert cpu.demand_w(1.0, op) == pytest.approx(173.0)
+
+    def test_power_scales_with_duty(self, cpu):
+        full = cpu.demand_w(1.0, CpuOperatingPoint(1.2, 1.0, CappingMechanism.NONE))
+        half = cpu.demand_w(1.0, CpuOperatingPoint(1.2, 0.5, CappingMechanism.NONE))
+        assert (half - 48.0) == pytest.approx((full - 48.0) * 0.5)
+
+    def test_power_monotone_in_frequency(self, cpu):
+        powers = [
+            cpu.demand_w(0.7, CpuOperatingPoint(float(f), 1.0, CappingMechanism.NONE))
+            for f in cpu.pstates.frequencies_ghz
+        ]
+        assert powers == sorted(powers)
+
+    def test_pstate_power_helper_agrees(self, cpu):
+        op = CpuOperatingPoint(1.8, 1.0, CappingMechanism.NONE)
+        assert cpu.pstate_power_w(1.8, 0.6) == pytest.approx(cpu.demand_w(0.6, op))
+
+    def test_min_throttled_power_close_to_idle(self, cpu):
+        p = cpu.min_throttled_power_w(0.5)
+        assert 48.0 < p < 52.0
+
+
+class TestEnforcement:
+    def test_generous_cap_no_mechanism(self, cpu):
+        op = cpu.operating_point(500.0, 0.8)
+        assert op.mechanism is CappingMechanism.NONE
+        assert op.freq_ghz == pytest.approx(2.5)
+        assert op.duty == 1.0
+
+    def test_cap_in_pstate_range_uses_dvfs(self, cpu):
+        demand_nom = cpu.pstate_power_w(2.5, 0.8)
+        demand_min = cpu.pstate_power_w(1.2, 0.8)
+        cap = (demand_nom + demand_min) / 2
+        op = cpu.operating_point(cap, 0.8)
+        assert op.mechanism is CappingMechanism.DVFS
+        assert 1.2 <= op.freq_ghz < 2.5
+        assert cpu.demand_w(0.8, op) <= cap + 1e-6
+
+    def test_cap_below_pstates_uses_tstates(self, cpu):
+        cap = cpu.pstate_power_w(1.2, 0.8) - 3.0
+        op = cpu.operating_point(cap, 0.8)
+        assert op.mechanism is CappingMechanism.THROTTLE
+        assert op.freq_ghz == pytest.approx(1.2)
+        assert op.duty < 1.0
+        assert cpu.demand_w(0.8, op) <= cap + 1e-6
+
+    def test_cap_below_floor_hits_floor(self, cpu):
+        op = cpu.operating_point(10.0, 0.8)
+        assert op.mechanism is CappingMechanism.FLOOR
+        assert op.duty == pytest.approx(0.0625)
+        # The floor mechanism does NOT respect the cap.
+        assert cpu.demand_w(0.8, op) > 10.0
+        assert not op.mechanism.respects_cap
+
+    def test_dvfs_picks_highest_feasible(self, cpu):
+        cap = cpu.pstate_power_w(2.0, 0.8) + 0.01
+        op = cpu.operating_point(cap, 0.8)
+        assert op.freq_ghz == pytest.approx(2.0)
+
+    def test_zero_activity_is_unconstrained(self, cpu):
+        op = cpu.operating_point(48.0, 0.0)
+        assert op.mechanism is CappingMechanism.NONE
+
+    def test_zero_activity_below_idle_is_floor(self, cpu):
+        op = cpu.operating_point(20.0, 0.0)
+        assert op.mechanism is CappingMechanism.FLOOR
+
+    def test_higher_activity_forces_lower_frequency(self, cpu):
+        cap = 100.0
+        f_light = cpu.operating_point(cap, 0.3).freq_ghz
+        f_heavy = cpu.operating_point(cap, 1.0).freq_ghz
+        assert f_heavy < f_light
+
+    def test_duty_snaps_down_to_grid(self, cpu):
+        cap = cpu.min_throttled_power_w(0.8) + 2.0
+        op = cpu.operating_point(cap, 0.8)
+        span = 1.0 - cpu.duty_min
+        step = span / (cpu.duty_steps - 1)
+        k = (op.duty - cpu.duty_min) / step
+        assert abs(k - round(k)) < 1e-9
+
+
+class TestRates:
+    def test_compute_rate_at_nominal(self, cpu):
+        op = CpuOperatingPoint(2.5, 1.0, CappingMechanism.NONE)
+        assert cpu.compute_rate_flops(op, 1.0) == pytest.approx(20 * 2.5e9 * 8)
+
+    def test_compute_rate_scales_with_duty(self, cpu):
+        op_full = CpuOperatingPoint(1.2, 1.0, CappingMechanism.NONE)
+        op_half = CpuOperatingPoint(1.2, 0.5, CappingMechanism.NONE)
+        assert cpu.compute_rate_flops(op_half, 0.5) == pytest.approx(
+            cpu.compute_rate_flops(op_full, 0.5) * 0.5
+        )
+
+    def test_effective_frequency(self):
+        op = CpuOperatingPoint(2.0, 0.25, CappingMechanism.THROTTLE)
+        assert op.effective_freq_ghz == pytest.approx(0.5)

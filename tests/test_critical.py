@@ -1,0 +1,77 @@
+"""Critical power value containers."""
+
+import pytest
+
+from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
+from repro.errors import ConfigurationError
+
+
+def cpu_values(**overrides):
+    base = dict(
+        cpu_l1=112.0, cpu_l2=66.0, cpu_l3=50.0, cpu_l4=48.0,
+        mem_l1=116.0, mem_l2=30.0, mem_l3=66.0,
+    )
+    base.update(overrides)
+    return CpuCriticalPowers(**base)
+
+
+class TestCpuCriticalPowers:
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigurationError, match="ordered"):
+            cpu_values(cpu_l2=120.0)
+
+    def test_positive_memory_values(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            cpu_values(mem_l2=0.0)
+
+    def test_mem_l1_below_floor_setting_allowed(self):
+        # Compute-bound apps demand less than the hardware floor setting.
+        c = cpu_values(mem_l1=50.0, mem_l3=66.0)
+        assert c.mem_l1 == 50.0
+
+    def test_max_demand(self):
+        assert cpu_values().max_demand_w == pytest.approx(228.0)
+
+    def test_productive_threshold(self):
+        assert cpu_values().productive_threshold_w == pytest.approx(96.0)
+
+    def test_as_dict_roundtrip(self):
+        c = cpu_values()
+        d = c.as_dict()
+        assert CpuCriticalPowers(**d) == c
+        assert set(d) == {
+            "cpu_l1", "cpu_l2", "cpu_l3", "cpu_l4", "mem_l1", "mem_l2", "mem_l3",
+        }
+
+
+def gpu_values(**overrides):
+    base = dict(tot_max=290.0, tot_ref=180.0, tot_min=150.0, mem_min=45.0, mem_max=70.0)
+    base.update(overrides)
+    return GpuCriticalPowers(**base)
+
+
+class TestGpuCriticalPowers:
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigurationError, match="ordered"):
+            gpu_values(tot_ref=300.0)
+
+    def test_mem_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            gpu_values(mem_min=80.0)
+
+    def test_compute_intensity_test(self):
+        g = gpu_values(tot_max=295.0)
+        assert g.is_compute_intensive(300.0)
+        assert not gpu_values(tot_max=200.0).is_compute_intensive(300.0)
+
+    def test_compute_intensity_threshold_param(self):
+        g = gpu_values(tot_max=250.0)
+        assert g.is_compute_intensive(300.0, threshold=0.8)
+
+    def test_compute_intensity_bad_hw_max(self):
+        with pytest.raises(ConfigurationError):
+            gpu_values().is_compute_intensive(0.0)
+
+    def test_as_dict_roundtrip(self):
+        g = gpu_values()
+        assert GpuCriticalPowers(**g.as_dict()) == g

@@ -1,0 +1,98 @@
+"""DRAM domain: bandwidth throttling, power floor, busy-coupled power."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.component import CappingMechanism
+from repro.hardware.dram import DramDomain, DramOperatingPoint
+
+
+@pytest.fixture
+def dram():
+    return DramDomain(
+        background_w=26.0,
+        max_access_w=90.0,
+        peak_bw_gbps=80.0,
+        min_level=0.45,
+        level_steps=32,
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_min_level(self):
+        with pytest.raises(ConfigurationError):
+            DramDomain(background_w=10.0, max_access_w=50.0, peak_bw_gbps=60.0, min_level=0.0)
+
+    def test_rejects_bad_level_steps(self):
+        with pytest.raises(ConfigurationError):
+            DramDomain(
+                background_w=10.0, max_access_w=50.0, peak_bw_gbps=60.0, level_steps=0
+            )
+
+    def test_demand_bounds(self, dram):
+        assert dram.max_power_w == pytest.approx(116.0)
+        assert dram.floor_power_w == pytest.approx(26.0 + 0.45 * 90.0)
+
+
+class TestEnforcement:
+    def test_generous_cap_unthrottled(self, dram):
+        op = dram.operating_point(200.0)
+        assert op.level == 1.0
+        assert op.mechanism is CappingMechanism.NONE
+
+    def test_cap_at_max_power_unthrottled(self, dram):
+        op = dram.operating_point(116.0)
+        assert op.level == 1.0
+
+    def test_cap_in_range_throttles(self, dram):
+        op = dram.operating_point(80.0)
+        assert op.mechanism is CappingMechanism.BANDWIDTH_THROTTLE
+        assert dram.min_level <= op.level < 1.0
+        # Worst-case (busy bus) power at the chosen level fits the cap.
+        assert dram.demand_w(op, 1.0) <= 80.0 + 1e-9
+
+    def test_cap_below_floor_is_disregarded(self, dram):
+        op = dram.operating_point(30.0)
+        assert op.mechanism is CappingMechanism.FLOOR
+        assert op.level == pytest.approx(0.45)
+        assert dram.demand_w(op, 1.0) > 30.0
+
+    def test_level_monotone_in_cap(self, dram):
+        levels = [dram.operating_point(c).level for c in (70, 80, 90, 100, 110)]
+        assert levels == sorted(levels)
+
+    def test_snap_is_downward(self, dram):
+        for cap in (71.3, 84.7, 99.9):
+            op = dram.operating_point(cap)
+            assert dram.background_w + op.level * dram.max_access_w <= cap + 1e-9
+
+
+class TestPowerAndBandwidth:
+    def test_idle_bus_draws_background(self, dram):
+        op = DramOperatingPoint(1.0, CappingMechanism.NONE)
+        assert dram.demand_w(op, 0.0) == pytest.approx(26.0)
+
+    def test_busy_scales_linearly(self, dram):
+        op = DramOperatingPoint(0.8, CappingMechanism.BANDWIDTH_THROTTLE)
+        p_half = dram.demand_w(op, 0.5)
+        p_full = dram.demand_w(op, 1.0)
+        assert (p_half - 26.0) == pytest.approx((p_full - 26.0) / 2)
+
+    def test_bandwidth_ceiling_scales_with_level(self, dram):
+        hi = dram.bandwidth_ceiling_gbps(DramOperatingPoint(1.0, CappingMechanism.NONE), 0.85)
+        lo = dram.bandwidth_ceiling_gbps(DramOperatingPoint(0.5, CappingMechanism.NONE), 0.85)
+        assert lo == pytest.approx(hi / 2)
+
+    def test_bandwidth_ceiling_pattern_efficiency(self, dram):
+        op = DramOperatingPoint(1.0, CappingMechanism.NONE)
+        stream = dram.bandwidth_ceiling_gbps(op, 0.85)
+        random = dram.bandwidth_ceiling_gbps(op, 0.08)
+        assert stream / random == pytest.approx(0.85 / 0.08)
+
+    def test_snap_level_grid(self, dram):
+        lvl = dram.snap_level(0.731)
+        span = 1.0 - dram.min_level
+        step = span / (dram.level_steps - 1)
+        k = (lvl - dram.min_level) / step
+        assert abs(k - round(k)) < 1e-9
+        assert lvl <= 0.731

@@ -1,0 +1,69 @@
+"""Energy-efficiency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.efficiency import efficiency_curve, sweep_efficiency
+from repro.core.sweep import sweep_cpu_allocations
+from repro.errors import SweepError
+from repro.workloads import cpu_workload
+
+
+@pytest.fixture(scope="module")
+def sra_curve(ivb, sra):
+    return efficiency_curve(
+        ivb.cpu, ivb.dram, sra, np.arange(130.0, 281.0, 15.0), step_w=8.0
+    )
+
+
+class TestEfficiencyCurve:
+    def test_point_metrics(self, sra_curve):
+        p = sra_curve.points[0]
+        assert p.perf_per_watt == pytest.approx(p.performance / p.actual_power_w)
+        assert p.energy_delay_product == pytest.approx(p.energy_j * p.elapsed_s)
+
+    def test_small_budgets_inefficient(self, sra_curve):
+        # Section 3.1: low budgets give low performance AND low efficiency.
+        eff = sra_curve.perf_per_watt
+        assert eff[0] < eff.max()
+
+    def test_overprovision_inefficient(self, ivb, dgemm):
+        # Power beyond demand cannot raise perf/W above the peak.
+        curve = efficiency_curve(
+            ivb.cpu, ivb.dram, dgemm, np.arange(150.0, 301.0, 25.0), step_w=8.0
+        )
+        assert curve.peak_efficiency_budget_w < 300.0
+
+    def test_peak_inside_band(self, sra_curve):
+        lo, hi = sra_curve.efficient_band_w()
+        assert lo <= sra_curve.peak_efficiency_budget_w <= hi
+
+    def test_band_widens_with_tolerance(self, sra_curve):
+        tight_lo, tight_hi = sra_curve.efficient_band_w(tolerance=0.98)
+        loose_lo, loose_hi = sra_curve.efficient_band_w(tolerance=0.7)
+        assert loose_lo <= tight_lo and loose_hi >= tight_hi
+
+    def test_edp_improves_with_budget_until_saturation(self, sra_curve):
+        # Energy-delay product strictly favours faster execution here
+        # because time enters twice.
+        edp = sra_curve.edp
+        assert edp[0] > edp[-1]
+
+    def test_empty_budgets_rejected(self, ivb, sra):
+        with pytest.raises(SweepError):
+            efficiency_curve(ivb.cpu, ivb.dram, sra, [])
+
+
+class TestSweepEfficiency:
+    def test_poor_allocations_doubly_bad(self, ivb, sra):
+        # The best allocation also has (near-)best perf/W within a budget:
+        # poor allocations waste watts on top of losing performance.
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 208.0, step_w=8.0)
+        eff = sweep_efficiency(sweep)
+        best_idx = sweep.points.index(sweep.best)
+        assert eff[best_idx] >= 0.9 * eff.max()
+        assert eff.min() < 0.4 * eff.max()
+
+    def test_shape_matches_points(self, ivb, stream):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, step_w=16.0)
+        assert sweep_efficiency(sweep).shape == (len(sweep.points),)

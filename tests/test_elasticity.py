@@ -1,0 +1,100 @@
+"""Power elasticity and elasticity-ordered boosting."""
+
+import pytest
+
+from repro.core.elasticity import power_elasticity, rank_by_elasticity
+from repro.core.profiler import profile_cpu_workload
+from repro.errors import ConfigurationError, SchedulerError
+from repro.hardware.platforms import ivybridge_node
+from repro.sched import Cluster, Job
+from repro.sched.rebalance import RebalancingScheduler
+from repro.workloads import cpu_workload
+
+
+@pytest.fixture(scope="module")
+def profiles(ivb):
+    return {
+        name: profile_cpu_workload(ivb.cpu, ivb.dram, cpu_workload(name))
+        for name in ("sra", "stream", "dgemm")
+    }
+
+
+class TestPowerElasticity:
+    def test_starved_job_elastic(self, ivb, profiles):
+        wl = cpu_workload("stream")
+        est = power_elasticity(ivb.cpu, ivb.dram, wl, profiles["stream"], 150.0)
+        assert est.per_watt > 0.001
+
+    def test_saturated_job_inelastic(self, ivb, profiles):
+        wl = cpu_workload("stream")
+        est = power_elasticity(ivb.cpu, ivb.dram, wl, profiles["stream"], 260.0)
+        assert est.per_watt == pytest.approx(0.0, abs=1e-6)
+
+    def test_elasticity_decreases_with_budget(self, ivb, profiles):
+        wl = cpu_workload("sra")
+        estimates = [
+            power_elasticity(ivb.cpu, ivb.dram, wl, profiles["sra"], b).per_watt
+            for b in (130.0, 170.0, 210.0, 250.0)
+        ]
+        assert estimates[0] > estimates[-1]
+
+    def test_inadmissible_budget_infinitely_elastic(self, ivb, profiles):
+        wl = cpu_workload("dgemm")
+        threshold = profiles["dgemm"].productive_threshold_w
+        est = power_elasticity(
+            ivb.cpu, ivb.dram, wl, profiles["dgemm"], threshold - 5.0, delta_w=10.0
+        )
+        assert est.base_performance == 0.0
+        assert est.per_watt == float("inf")
+
+    def test_delta_validated(self, ivb, profiles):
+        with pytest.raises(Exception):
+            power_elasticity(
+                ivb.cpu, ivb.dram, cpu_workload("sra"), profiles["sra"], 200.0,
+                delta_w=0.0,
+            )
+
+
+class TestRanking:
+    def test_starved_ranks_above_saturated(self, ivb, profiles):
+        candidates = [
+            (cpu_workload("stream"), profiles["stream"], 260.0),  # saturated
+            (cpu_workload("sra"), profiles["sra"], 140.0),        # starved
+        ]
+        ranked = rank_by_elasticity(ivb.cpu, ivb.dram, candidates)
+        assert ranked[0][0] == 1
+
+    def test_empty_rejected(self, ivb):
+        with pytest.raises(ConfigurationError):
+            rank_by_elasticity(ivb.cpu, ivb.dram, [])
+
+
+class TestElasticityBoosting:
+    def make(self, boost_order):
+        cluster = Cluster(
+            node_factory=ivybridge_node, n_nodes=2, global_bound_w=330.0
+        )
+        return RebalancingScheduler(cluster, boost_order=boost_order)
+
+    def test_invalid_boost_order(self):
+        with pytest.raises(SchedulerError):
+            self.make("random")
+
+    def test_elasticity_boosting_completes_queue(self):
+        sched = self.make("elasticity")
+        sched.submit(Job(0, cpu_workload("stream").scaled(0.3), 220.0))
+        sched.submit(Job(1, cpu_workload("dgemm"), 240.0))
+        stats = sched.run()
+        assert stats.n_completed == 2
+        assert stats.peak_charged_w <= 330.0 + 1e-9
+
+    def test_elasticity_matches_or_beats_fcfs_boosting(self):
+        results = {}
+        for order in ("fcfs", "elasticity"):
+            sched = self.make(order)
+            sched.submit(Job(0, cpu_workload("stream").scaled(0.3), 220.0))
+            sched.submit(Job(1, cpu_workload("sra"), 240.0))
+            sched.submit(Job(2, cpu_workload("dgemm"), 240.0, submit_time_s=1.0))
+            results[order] = sched.run()
+        assert results["elasticity"].n_completed == results["fcfs"].n_completed
+        assert results["elasticity"].makespan_s <= results["fcfs"].makespan_s * 1.05

@@ -1,0 +1,54 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+import repro.errors as errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ConfigurationError",
+            "UnitError",
+            "PowerBoundError",
+            "InfeasibleBudgetError",
+            "BudgetTooSmallError",
+            "UnknownWorkloadError",
+            "UnknownPlatformError",
+            "ProfilingError",
+            "SweepError",
+            "ConvergenceError",
+            "SchedulerError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+    def test_unit_error_is_configuration_error(self):
+        assert issubclass(errors.UnitError, errors.ConfigurationError)
+
+    def test_unknown_lookups_are_key_errors(self):
+        assert issubclass(errors.UnknownWorkloadError, KeyError)
+        assert issubclass(errors.UnknownPlatformError, KeyError)
+
+    def test_infeasible_budget_is_power_bound_error(self):
+        assert issubclass(errors.InfeasibleBudgetError, errors.PowerBoundError)
+
+
+class TestBudgetTooSmall:
+    def test_carries_values(self):
+        exc = errors.BudgetTooSmallError(90.0, 120.0)
+        assert exc.budget_w == 90.0
+        assert exc.threshold_w == 120.0
+        assert "90.0 W" in str(exc)
+        assert "Algorithm 1" in str(exc)
+
+
+class TestConvergenceError:
+    def test_carries_diagnostics(self):
+        exc = errors.ConvergenceError(16, 0.125)
+        assert exc.iterations == 16
+        assert exc.residual == 0.125
+        assert "16" in str(exc)

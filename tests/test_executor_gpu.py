@@ -1,0 +1,91 @@
+"""GPU executor: board-level cap with budget reclaim."""
+
+import pytest
+
+from repro.errors import PowerBoundError, SweepError
+from repro.hardware.component import CappingMechanism
+from repro.perfmodel.executor import execute_on_gpu
+
+
+class TestCapEnforcement:
+    def test_total_power_respects_cap(self, xp, sgemm):
+        for cap in (130.0, 170.0, 210.0, 250.0, 290.0):
+            r = execute_on_gpu(xp, sgemm.phases, cap)
+            if r.respects_bound:
+                assert r.total_power_w <= cap + 1e-6
+
+    def test_out_of_range_cap_rejected(self, xp, sgemm):
+        with pytest.raises(PowerBoundError):
+            execute_on_gpu(xp, sgemm.phases, 80.0)
+
+    def test_empty_phases_rejected(self, xp):
+        with pytest.raises(SweepError):
+            execute_on_gpu(xp, (), 250.0)
+
+    def test_sgemm_unsaturated_at_300(self, xp, sgemm):
+        # SGEMM demands more than 300 W: the cap binds even at the max.
+        r = execute_on_gpu(xp, sgemm.phases, 300.0)
+        assert r.phases[0].proc_mechanism in (
+            CappingMechanism.DVFS,
+            CappingMechanism.FLOOR,
+        )
+
+    def test_perf_monotone_in_cap(self, xp, sgemm):
+        perfs = [
+            execute_on_gpu(xp, sgemm.phases, cap).flops_rate
+            for cap in (150.0, 200.0, 250.0, 300.0)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(perfs, perfs[1:]))
+
+
+class TestMemoryClock:
+    def test_default_clock_is_nominal(self, xp, gpu_stream):
+        r = execute_on_gpu(xp, gpu_stream.phases, 250.0)
+        assert r.phases[0].mem_throttle == pytest.approx(1.0)
+
+    def test_downclock_reduces_stream_bandwidth(self, xp, gpu_stream):
+        nominal = execute_on_gpu(xp, gpu_stream.phases, 250.0)
+        low = execute_on_gpu(xp, gpu_stream.phases, 250.0, xp.mem.min_mhz)
+        assert low.bytes_rate < nominal.bytes_rate
+
+    def test_reclaim_boosts_sm_clock_at_tight_cap(self, xp, gpu_stream):
+        # At a starved cap, downclocking memory frees watts for the SMs.
+        nominal = execute_on_gpu(xp, gpu_stream.phases, 130.0)
+        low = execute_on_gpu(xp, gpu_stream.phases, 130.0, 4700.0)
+        assert low.phases[0].proc_freq_ghz > nominal.phases[0].proc_freq_ghz
+
+    def test_compute_app_insensitive_to_memory_clock_at_high_cap(self, xp, sgemm):
+        a = execute_on_gpu(xp, sgemm.phases, 300.0)
+        b = execute_on_gpu(xp, sgemm.phases, 300.0, 5000.0)
+        # Downclocking memory never *hurts* SGEMM at a binding cap (it
+        # reclaims watts) and bandwidth is not the bottleneck.
+        assert b.flops_rate >= a.flops_rate - 1e-6
+
+
+class TestResultShape:
+    def test_board_power_accounted(self, xp, minife):
+        r = execute_on_gpu(xp, minife.phases, 250.0)
+        assert r.board_power_w == pytest.approx(xp.board_static_w)
+        assert r.total_power_w == pytest.approx(
+            r.proc_power_w + r.mem_power_w + xp.board_static_w
+        )
+
+    def test_mem_cap_records_allocation_estimate(self, xp, minife):
+        r = execute_on_gpu(xp, minife.phases, 250.0, 5000.0)
+        op = xp.mem.operating_point(5000.0)
+        assert r.mem_cap_w == pytest.approx(xp.mem.allocated_power_w(op.freq_mhz))
+
+    def test_duty_always_one_on_gpu(self, xp, minife):
+        r = execute_on_gpu(xp, minife.phases, 150.0)
+        assert all(p.proc_duty == 1.0 for p in r.phases)
+
+
+class TestTitanV:
+    def test_memory_bound_suite_on_v(self, tv, minife):
+        r = execute_on_gpu(tv, minife.phases, 250.0)
+        assert r.mem_busy > r.utilization  # memory bound on the V too
+
+    def test_v_saturates_within_range(self, tv, sgemm):
+        lo = execute_on_gpu(tv, sgemm.phases, 210.0).flops_rate
+        hi = execute_on_gpu(tv, sgemm.phases, 290.0).flops_rate
+        assert hi == pytest.approx(lo, rel=1e-6)  # flat: demand < 210 W

@@ -1,0 +1,170 @@
+"""Host executor: the coupled CPU/DRAM governor fixed point.
+
+These tests pin down the behaviours Section 3 of the paper attributes to
+the capping hardware — the same behaviours the scenario classifier and
+COORD rely on.
+"""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.hardware.component import CappingMechanism
+from repro.hardware.rapl import RaplDomainName
+from repro.perfmodel.executor import execute_on_host
+from repro.perfmodel.phase import Phase
+
+
+UNCAPPED = 1000.0
+
+
+def run(ivb, wl, cpu_cap, mem_cap):
+    return execute_on_host(ivb.cpu, ivb.dram, wl.phases, cpu_cap, mem_cap)
+
+
+class TestUncappedExecution:
+    def test_runs_at_nominal(self, ivb, sra):
+        r = run(ivb, sra, UNCAPPED, UNCAPPED)
+        ph = r.phases[0]
+        assert ph.proc_freq_ghz == pytest.approx(2.5)
+        assert ph.proc_duty == 1.0
+        assert ph.mem_throttle == 1.0
+        assert ph.proc_mechanism is CappingMechanism.NONE
+        assert ph.mem_mechanism is CappingMechanism.NONE
+
+    def test_memory_bound_workload_busy_one(self, ivb, sra):
+        r = run(ivb, sra, UNCAPPED, UNCAPPED)
+        assert r.mem_busy == pytest.approx(1.0)
+        assert r.utilization < 1.0
+
+    def test_compute_bound_workload_util_one(self, ivb, dgemm):
+        r = run(ivb, dgemm, UNCAPPED, UNCAPPED)
+        assert r.utilization == pytest.approx(1.0)
+        assert r.mem_busy < 1.0
+
+    def test_empty_phases_rejected(self, ivb):
+        with pytest.raises(SweepError):
+            execute_on_host(ivb.cpu, ivb.dram, (), UNCAPPED, UNCAPPED)
+
+
+class TestCpuCapMechanisms:
+    def test_light_cap_engages_dvfs(self, ivb, dgemm):
+        demand = run(ivb, dgemm, UNCAPPED, UNCAPPED).proc_power_w
+        r = run(ivb, dgemm, demand - 20.0, UNCAPPED)
+        ph = r.phases[0]
+        assert ph.proc_mechanism is CappingMechanism.DVFS
+        assert ph.proc_freq_ghz < 2.5
+        assert r.proc_power_w <= demand - 20.0 + 1e-6
+
+    def test_heavy_cap_engages_tstates(self, ivb, dgemm):
+        r = run(ivb, dgemm, 60.0, UNCAPPED)
+        ph = r.phases[0]
+        assert ph.proc_mechanism is CappingMechanism.THROTTLE
+        assert ph.proc_duty < 1.0
+        assert r.proc_power_w <= 60.0 + 1e-6
+
+    def test_cap_below_floor_violated(self, ivb, dgemm):
+        r = run(ivb, dgemm, 40.0, UNCAPPED)
+        assert r.phases[0].proc_mechanism is CappingMechanism.FLOOR
+        assert r.proc_power_w > 40.0
+        assert not r.respects_bound
+
+    def test_perf_monotone_in_cpu_cap(self, ivb, dgemm):
+        perfs = [
+            run(ivb, dgemm, cap, UNCAPPED).flops_rate
+            for cap in (60.0, 90.0, 120.0, 150.0, 180.0)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(perfs, perfs[1:]))
+
+    def test_memory_bound_keeps_high_clock_under_cap(self, ivb, stream):
+        # RAPL regulates measured power: a stalled workload fits a tight
+        # cap without downclocking (scenario III's signature).
+        demand = run(ivb, stream, UNCAPPED, UNCAPPED).proc_power_w
+        r = run(ivb, stream, demand - 5.0, UNCAPPED)
+        assert r.phases[0].proc_freq_ghz > ivb.cpu.pstates.f_min_ghz
+
+
+class TestDramCapMechanisms:
+    def test_cap_throttles_bandwidth(self, ivb, stream):
+        r = run(ivb, stream, UNCAPPED, 80.0)
+        ph = r.phases[0]
+        assert ph.mem_mechanism is CappingMechanism.BANDWIDTH_THROTTLE
+        assert ph.mem_throttle < 1.0
+        assert r.mem_power_w <= 80.0 + 1e-6
+
+    def test_perf_proportional_to_throttle_level(self, ivb, stream):
+        r1 = run(ivb, stream, UNCAPPED, 80.0)
+        r2 = run(ivb, stream, UNCAPPED, 100.0)
+        ratio_perf = r2.bytes_rate / r1.bytes_rate
+        ratio_level = r2.phases[0].mem_throttle / r1.phases[0].mem_throttle
+        assert ratio_perf == pytest.approx(ratio_level, rel=1e-6)
+
+    def test_cap_below_floor_disregarded(self, ivb, stream):
+        r = run(ivb, stream, UNCAPPED, 30.0)
+        ph = r.phases[0]
+        assert ph.mem_mechanism is CappingMechanism.FLOOR
+        assert ph.mem_throttle == pytest.approx(ivb.dram.min_level)
+
+    def test_compute_bound_ignores_moderate_mem_cap(self, ivb, dgemm):
+        # DGEMM's bus is mostly idle; a moderate cap needs no throttling.
+        uncapped = run(ivb, dgemm, UNCAPPED, UNCAPPED)
+        capped = run(ivb, dgemm, UNCAPPED, uncapped.mem_power_w + 2.0)
+        assert capped.phases[0].mem_mechanism is CappingMechanism.NONE
+        assert capped.flops_rate == pytest.approx(uncapped.flops_rate)
+
+
+class TestCoupling:
+    def test_throttled_cpu_starves_memory(self, ivb, sra):
+        # Scenario IV: memory consumes much less than its allocation.
+        r = run(ivb, sra, 55.0, 150.0)
+        assert r.mem_power_w < 0.5 * 150.0
+
+    def test_throttled_memory_lowers_cpu_power(self, ivb, sra):
+        # Scenario III: actual CPU power slightly below the maximum.
+        free = run(ivb, sra, UNCAPPED, UNCAPPED)
+        throttled = run(ivb, sra, UNCAPPED, 80.0)
+        assert throttled.proc_power_w <= free.proc_power_w + 1e-9
+
+    def test_rapl_counters_accumulate(self, ivb, stream):
+        node = ivb
+        before_pkg = node.rapl.read_energy_raw(RaplDomainName.PACKAGE)
+        r = execute_on_host(
+            node.cpu, node.dram, stream.phases, UNCAPPED, UNCAPPED, rapl=node.rapl
+        )
+        after_pkg = node.rapl.read_energy_raw(RaplDomainName.PACKAGE)
+        assert after_pkg != before_pkg
+        assert r.energy_j > 0
+
+    def test_caps_recorded_on_result(self, ivb, stream):
+        r = run(ivb, stream, 120.0, 90.0)
+        assert r.proc_cap_w == 120.0
+        assert r.mem_cap_w == 90.0
+
+
+class TestMultiPhase:
+    def test_phases_reported_in_order(self, ivb):
+        from repro.workloads import cpu_workload
+
+        mg = cpu_workload("mg")
+        r = run(ivb, mg, UNCAPPED, UNCAPPED)
+        assert [p.name for p in r.phases] == [p.name for p in mg.phases]
+
+    def test_elapsed_is_sum_of_phases(self, ivb):
+        from repro.workloads import cpu_workload
+
+        bt = cpu_workload("bt")
+        r = run(ivb, bt, UNCAPPED, UNCAPPED)
+        assert r.elapsed_s == pytest.approx(sum(p.time_s for p in r.phases))
+
+    def test_phase_mechanisms_can_differ(self, ivb):
+        from repro.workloads import cpu_workload
+
+        # BT's solve phase draws far more CPU power than its rhs phase; a
+        # cap between the two demands constrains only the solve phase.
+        bt = cpu_workload("bt")
+        free = run(ivb, bt, UNCAPPED, UNCAPPED)
+        demands = [p.proc_power_w for p in free.phases]
+        cap = (max(demands) + min(demands)) / 2
+        r = run(ivb, bt, cap, UNCAPPED)
+        mechs = {p.proc_mechanism for p in r.phases}
+        assert CappingMechanism.DVFS in mechs
+        assert CappingMechanism.NONE in mechs

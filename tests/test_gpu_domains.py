@@ -1,0 +1,193 @@
+"""GPU SM / memory domains and card-level reclaim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PowerBoundError
+from repro.hardware.component import CappingMechanism
+from repro.hardware.gpu import GpuCard
+from repro.hardware.gpu_mem import GpuMemDomain, GpuMemOperatingPoint
+from repro.hardware.gpu_sm import GpuSmDomain, GpuSmOperatingPoint
+from repro.hardware.platforms import titan_xp_card
+from repro.hardware.pstate import PStateTable
+
+
+@pytest.fixture
+def sm():
+    return GpuSmDomain(
+        n_sm=30,
+        pstates=PStateTable(f_min_ghz=1.0, f_nom_ghz=1.9, step_ghz=0.05, v_min_ratio=0.80),
+        idle_power_w=20.0,
+        max_dynamic_w=230.0,
+        flops_per_sm_cycle=256.0,
+    )
+
+
+@pytest.fixture
+def mem():
+    return GpuMemDomain(
+        nominal_mhz=5705.0,
+        min_mhz=4200.0,
+        step_mhz=50.0,
+        idle_power_w=10.0,
+        clock_power_w=32.0,
+        access_power_w=28.0,
+        peak_bw_gbps=480.0,
+    )
+
+
+class TestSmDomain:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigurationError):
+            GpuSmDomain(
+                n_sm=0,
+                pstates=PStateTable(f_min_ghz=1.0, f_nom_ghz=1.5),
+                idle_power_w=10.0,
+                max_dynamic_w=100.0,
+            )
+
+    def test_generous_budget_top_clock(self, sm):
+        op = sm.operating_point(400.0, 1.0)
+        assert op.mechanism is CappingMechanism.NONE
+        assert op.freq_ghz == pytest.approx(1.9)
+
+    def test_tight_budget_dvfs(self, sm):
+        op = sm.operating_point(120.0, 1.0)
+        assert op.mechanism is CappingMechanism.DVFS
+        assert op.freq_ghz < 1.9
+        assert sm.demand_w(op, 1.0) <= 120.0 + 1e-6
+
+    def test_budget_below_min_clock_is_floor(self, sm):
+        op = sm.operating_point(30.0, 1.0)
+        assert op.mechanism is CappingMechanism.FLOOR
+        assert op.freq_ghz == pytest.approx(1.0)
+
+    def test_no_duty_cycling_on_gpus(self, sm):
+        # SMs never throttle below f_min: the floor keeps the minimum clock.
+        op = sm.operating_point(0.0, 1.0)
+        assert op.freq_ghz == pytest.approx(sm.pstates.f_min_ghz)
+
+    def test_floor_power_at_min_clock(self, sm):
+        expected = 20.0 + float(sm.pstates.power_weight(1.0)) * 230.0
+        assert sm.floor_power_w == pytest.approx(expected)
+
+    def test_compute_rate(self, sm):
+        op = GpuSmOperatingPoint(1.9, CappingMechanism.NONE)
+        assert sm.compute_rate_flops(op, 1.0) == pytest.approx(30 * 1.9e9 * 256)
+
+    def test_zero_activity_budget_at_idle(self, sm):
+        assert sm.operating_point(20.0, 0.0).mechanism is CappingMechanism.NONE
+        assert sm.operating_point(19.0, 0.0).mechanism is CappingMechanism.FLOOR
+
+
+class TestMemDomain:
+    def test_min_above_nominal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpuMemDomain(
+                nominal_mhz=800.0, min_mhz=900.0, idle_power_w=5.0,
+                clock_power_w=10.0, access_power_w=10.0, peak_bw_gbps=100.0,
+            )
+
+    def test_frequency_grid_endpoints(self, mem):
+        freqs = mem.frequencies_mhz
+        assert freqs[0] == pytest.approx(4200.0)
+        assert freqs[-1] == pytest.approx(5705.0)
+
+    def test_allocated_power_at_nominal(self, mem):
+        assert mem.allocated_power_w(5705.0) == pytest.approx(10 + 32 + 28)
+
+    def test_allocated_power_monotone(self, mem):
+        powers = [mem.allocated_power_w(float(f)) for f in mem.frequencies_mhz]
+        assert powers == sorted(powers)
+
+    def test_clock_term_drawn_even_idle(self, mem):
+        op = mem.operating_point(5705.0)
+        idle_draw = mem.demand_w(op, 0.0)
+        assert idle_draw == pytest.approx(10 + 32)
+        # Downclocking saves clock-static watts even with no traffic.
+        op_lo = mem.operating_point(4200.0)
+        assert mem.demand_w(op_lo, 0.0) < idle_draw
+
+    def test_operating_point_snaps(self, mem):
+        op = mem.operating_point(5000.0)
+        assert op.freq_mhz in mem.frequencies_mhz
+
+    def test_operating_point_out_of_range(self, mem):
+        with pytest.raises(PowerBoundError):
+            mem.operating_point(3000.0)
+        with pytest.raises(PowerBoundError):
+            mem.operating_point(6000.0)
+
+    def test_nominal_mechanism_none(self, mem):
+        assert mem.operating_point(5705.0).mechanism is CappingMechanism.NONE
+        assert mem.operating_point(4800.0).mechanism is CappingMechanism.DVFS
+
+    def test_power_target_inversion(self, mem):
+        target = 55.0
+        op = mem.operating_point_for_power(target)
+        assert mem.allocated_power_w(op.freq_mhz) <= target + 1e-9
+        # The next-higher grid clock would overshoot the target.
+        idx = int(np.where(mem.frequencies_mhz == op.freq_mhz)[0][0])
+        if idx + 1 < mem.frequencies_mhz.size:
+            above = float(mem.frequencies_mhz[idx + 1])
+            assert mem.allocated_power_w(above) > target
+
+    def test_power_target_below_floor_clamps(self, mem):
+        op = mem.operating_point_for_power(5.0)
+        assert op.freq_mhz == pytest.approx(4200.0)
+        assert op.mechanism is CappingMechanism.FLOOR
+
+    def test_power_target_above_max_gives_nominal(self, mem):
+        op = mem.operating_point_for_power(500.0)
+        assert op.freq_mhz == pytest.approx(5705.0)
+        assert op.mechanism is CappingMechanism.NONE
+
+    def test_bandwidth_scales_with_clock(self, mem):
+        nom = mem.bandwidth_ceiling_gbps(mem.operating_point(5705.0), 0.85)
+        low = mem.bandwidth_ceiling_gbps(mem.operating_point(4200.0), 0.85)
+        assert low / nom == pytest.approx(4200.0 / 5705.0, rel=1e-6)
+
+    def test_offset_roundtrip(self, mem):
+        op = GpuMemOperatingPoint(5205.0, CappingMechanism.DVFS)
+        assert op.offset_mhz(5705.0) == pytest.approx(-500.0)
+
+
+class TestGpuCard:
+    def test_default_cap_within_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            card = titan_xp_card()
+            GpuCard(
+                name="bad", sm=card.sm, mem=card.mem, board_static_w=10.0,
+                min_cap_w=100.0, max_cap_w=200.0, default_cap_w=250.0,
+            )
+
+    def test_validate_cap_range(self):
+        card = titan_xp_card()
+        assert card.validate_cap(250.0) == 250.0
+        with pytest.raises(PowerBoundError):
+            card.validate_cap(100.0)
+        with pytest.raises(PowerBoundError):
+            card.validate_cap(350.0)
+
+    def test_reclaim_grows_sm_budget_when_memory_idle(self):
+        card = titan_xp_card()
+        op = card.mem.operating_point(card.mem.nominal_mhz)
+        busy_budget = card.sm_budget_w(250.0, op, 1.0)
+        idle_budget = card.sm_budget_w(250.0, op, 0.1)
+        assert idle_budget > busy_budget
+        assert idle_budget - busy_budget == pytest.approx(0.9 * card.mem.access_power_w)
+
+    def test_reclaim_grows_sm_budget_when_memory_downclocked(self):
+        card = titan_xp_card()
+        nominal = card.sm_budget_w(250.0, card.mem.operating_point(card.mem.nominal_mhz), 1.0)
+        low = card.sm_budget_w(250.0, card.mem.operating_point(card.mem.min_mhz), 1.0)
+        assert low > nominal
+
+    def test_sm_budget_never_negative(self):
+        card = titan_xp_card()
+        op = card.mem.operating_point(card.mem.nominal_mhz)
+        assert card.sm_budget_w(0.0, op, 1.0) == 0.0
+
+    def test_power_bounds(self):
+        card = titan_xp_card()
+        assert card.floor_power_w < card.default_cap_w < card.max_power_w

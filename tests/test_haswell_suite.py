@@ -1,0 +1,61 @@
+"""Haswell (CPU Platform II) coverage across the full CPU suite.
+
+The characterizations are derived against the IvyBridge reference; these
+tests check they transfer to the second platform the way the paper's
+measurements do.
+"""
+
+import pytest
+
+from repro.core.coord import coord_cpu
+from repro.core.profiler import profile_cpu_workload
+from repro.core.scenario import Scenario
+from repro.core.sweep import sweep_cpu_allocations
+from repro.perfmodel.executor import execute_on_host
+from repro.workloads import cpu_workload, list_cpu_workloads
+
+
+class TestSuiteOnHaswell:
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_executes_and_respects_caps(self, has, name):
+        wl = cpu_workload(name)
+        r = execute_on_host(has.cpu, has.dram, wl.phases, 140.0, 70.0)
+        if r.respects_bound:
+            assert r.proc_power_w <= 140.0 + 1e-6
+            assert r.mem_power_w <= 70.0 + 1e-6
+        assert wl.performance(r) > 0
+
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_profiling_orderings_hold(self, has, name):
+        c = profile_cpu_workload(has.cpu, has.dram, cpu_workload(name))
+        assert c.cpu_l1 >= c.cpu_l2 >= c.cpu_l3 >= c.cpu_l4 > 0
+        assert c.cpu_l4 == pytest.approx(has.cpu.floor_power_w)
+
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_coord_accuracy_at_large_cap(self, has, name):
+        wl = cpu_workload(name)
+        critical = profile_cpu_workload(has.cpu, has.dram, wl)
+        budget = 230.0
+        decision = coord_cpu(critical, budget)
+        assert decision.accepted
+        r = execute_on_host(
+            has.cpu, has.dram, wl.phases,
+            decision.allocation.proc_w, decision.allocation.mem_w,
+        )
+        best = sweep_cpu_allocations(has.cpu, has.dram, wl, budget, step_w=4.0).perf_max
+        assert wl.performance(r) >= 0.88 * best, name
+
+    def test_six_categories_appear_on_haswell(self, has, sra):
+        sweep = sweep_cpu_allocations(has.cpu, has.dram, sra, 210.0, step_w=4.0)
+        cats = set(sweep.scenarios)
+        # Haswell's smaller DRAM envelope shifts spans, but the taxonomy
+        # persists (Figure 8's "universal patterns").
+        assert {Scenario.II, Scenario.III, Scenario.IV, Scenario.VI} <= cats
+
+    @pytest.mark.parametrize("name", ["stream", "mg", "dgemm", "sra"])
+    def test_haswell_outperforms_ivybridge_per_budget(self, has, ivb, name):
+        wl = cpu_workload(name)
+        for budget in (140.0, 200.0):
+            s_h = sweep_cpu_allocations(has.cpu, has.dram, wl, budget, step_w=8.0)
+            s_i = sweep_cpu_allocations(ivb.cpu, ivb.dram, wl, budget, step_w=8.0)
+            assert s_h.perf_max >= s_i.perf_max, (name, budget)

@@ -1,0 +1,155 @@
+"""End-to-end flows across packages — the library's intended usage paths."""
+
+import pytest
+
+from repro import (
+    Cluster,
+    Job,
+    PowerBoundedScheduler,
+    Scenario,
+    advise_budget,
+    classify_cpu,
+    coord_cpu,
+    coord_gpu,
+    cpu_workload,
+    execute_on_gpu,
+    execute_on_host,
+    get_platform,
+    gpu_workload,
+    ivybridge_node,
+    memory_first_allocation,
+    oracle_allocation,
+    profile_cpu_workload,
+    profile_gpu_workload,
+    sweep_cpu_allocations,
+    titan_xp_card,
+)
+from repro.core.budget import BudgetVerdict
+from repro.core.coord_gpu import apply_gpu_decision
+from repro.hardware.nvml import NvmlDevice
+from repro.hardware.rapl import RaplDomainName
+
+
+class TestCpuWorkflow:
+    """Profile → coordinate → enforce → execute → verify, on the host."""
+
+    def test_full_pipeline(self):
+        node = ivybridge_node()
+        workload = cpu_workload("mg")
+
+        critical = profile_cpu_workload(node.cpu, node.dram, workload)
+        budget = 200.0
+        advice = advise_budget(critical, budget)
+        assert advice.verdict is not BudgetVerdict.REJECT
+
+        decision = coord_cpu(critical, budget)
+        node.rapl.set_power_limit(RaplDomainName.PACKAGE, decision.allocation.proc_w)
+        node.rapl.set_power_limit(RaplDomainName.DRAM, decision.allocation.mem_w)
+
+        result = execute_on_host(
+            node.cpu, node.dram, workload.phases,
+            node.rapl.power_limit_w(RaplDomainName.PACKAGE),
+            node.rapl.power_limit_w(RaplDomainName.DRAM),
+            rapl=node.rapl,
+        )
+        assert result.respects_bound
+        assert result.total_power_w <= budget + 1e-6
+        assert node.rapl.read_energy_joules(RaplDomainName.PACKAGE) > 0
+
+        # COORD lands within 12% of the (bound-respecting) sweep oracle.
+        sweep = sweep_cpu_allocations(node.cpu, node.dram, workload, budget, step_w=4.0)
+        assert workload.performance(result) >= 0.88 * sweep.perf_max
+
+    def test_scenario_classification_consistent_with_powers(self):
+        node = ivybridge_node()
+        wl = cpu_workload("sra")
+        r = execute_on_host(node.cpu, node.dram, wl.phases, 90.0, 150.0)
+        scenario = classify_cpu(r)
+        assert scenario is Scenario.II  # CPU lightly constrained
+        # Scenario II signature: actual CPU power tracks its cap.
+        assert r.proc_power_w == pytest.approx(90.0, abs=10.0)
+
+    def test_memory_first_vs_coord_story(self):
+        # The paper's Figure 9 narrative in one test: at a small budget
+        # COORD balances while memory-first starves the CPU.
+        node = ivybridge_node()
+        wl = cpu_workload("sra")
+        critical = profile_cpu_workload(node.cpu, node.dram, wl)
+        budget = 160.0
+        coord_alloc = coord_cpu(critical, budget).allocation
+        mf_alloc = memory_first_allocation(critical, budget)
+        assert coord_alloc.proc_w > mf_alloc.proc_w
+        perf = {}
+        for name, alloc in (("coord", coord_alloc), ("mf", mf_alloc)):
+            r = execute_on_host(node.cpu, node.dram, wl.phases, alloc.proc_w, alloc.mem_w)
+            perf[name] = wl.performance(r)
+        assert perf["coord"] > perf["mf"]
+
+
+class TestGpuWorkflow:
+    def test_full_pipeline(self):
+        card = titan_xp_card()
+        device = NvmlDevice(card)
+        workload = gpu_workload("cloverleaf")
+        critical = profile_gpu_workload(card, workload)
+        cap = 170.0
+        decision = coord_gpu(critical, cap, hardware_max_w=card.max_cap_w)
+        mem_op = apply_gpu_decision(device, decision, cap)
+        result = execute_on_gpu(card, workload.phases, device.power_limit_w, mem_op.freq_mhz)
+        assert result.respects_bound
+        assert result.total_power_w <= cap + 1e-6
+
+        # Beats (or at least matches) the application-oblivious default.
+        device.apply_default_policy(cap_w=cap)
+        default = execute_on_gpu(
+            card, workload.phases, device.power_limit_w,
+            device.mem_operating_point.freq_mhz,
+        )
+        assert workload.performance(result) >= 0.98 * workload.performance(default)
+
+    def test_host_node_with_gpu(self):
+        node = get_platform("titan-xp-host")
+        wl = gpu_workload("minife")
+        r = execute_on_gpu(node.gpu(0), wl.phases, 200.0)
+        assert wl.performance(r) > 0
+
+
+class TestSchedulerWorkflow:
+    def test_mixed_queue_with_reclaim_and_rejection(self):
+        cluster = Cluster(node_factory=ivybridge_node, n_nodes=3, global_bound_w=650.0)
+        sched = PowerBoundedScheduler(cluster)
+        jobs = [
+            Job(0, cpu_workload("dgemm"), 300.0, submit_time_s=0.0),   # surplus
+            Job(1, cpu_workload("stream"), 220.0, submit_time_s=0.0),
+            Job(2, cpu_workload("sra"), 230.0, submit_time_s=2.0),
+            Job(3, cpu_workload("ep"), 70.0, submit_time_s=3.0),       # too small
+            Job(4, cpu_workload("mg"), 200.0, submit_time_s=4.0),
+        ]
+        for job in jobs:
+            sched.submit(job)
+        stats = sched.run()
+        assert stats.n_completed == 4
+        assert stats.n_rejected == 1
+        assert stats.reclaimed_w_total > 0  # DGEMM's request was trimmed
+        assert stats.peak_charged_w <= 650.0 + 1e-9
+        # Every completed job ran under a COORD allocation within its grant.
+        for record in sched.records.values():
+            if record.allocation is not None:
+                assert record.allocation.total_w <= record.granted_budget_w + 1e-9
+
+    def test_oracle_agrees_with_coord_at_ample_budget(self):
+        node = ivybridge_node()
+        wl = cpu_workload("stream")
+        critical = profile_cpu_workload(node.cpu, node.dram, wl)
+        budget = 250.0
+        coord_alloc = coord_cpu(critical, budget).allocation
+        oracle = oracle_allocation(node.cpu, node.dram, wl, budget, step_w=4.0)
+        r_coord = execute_on_host(
+            node.cpu, node.dram, wl.phases, coord_alloc.proc_w, coord_alloc.mem_w
+        )
+        r_oracle = execute_on_host(
+            node.cpu, node.dram, wl.phases, oracle.proc_w, oracle.mem_w
+        )
+        assert wl.performance(r_coord) == pytest.approx(
+            wl.performance(r_oracle), rel=0.02
+        )

@@ -1,0 +1,113 @@
+"""Executable NumPy kernels and their analytic accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.kernels import (
+    KERNELS,
+    dgemm_kernel,
+    ep_kernel,
+    fft_kernel,
+    integer_sort_kernel,
+    random_access_kernel,
+    run_kernel,
+    spmv_kernel,
+    stream_triad_kernel,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_checksum_stable_across_runs(self, name):
+        a = run_kernel(name)
+        b = run_kernel(name)
+        assert a.checksum == b.checksum
+
+    def test_seed_changes_checksum(self):
+        a = stream_triad_kernel(n=10_000, seed=0)
+        b = stream_triad_kernel(n=10_000, seed=1)
+        assert a.checksum != b.checksum
+
+
+class TestAccounting:
+    def test_stream_intensity(self):
+        r = stream_triad_kernel(n=10_000)
+        assert r.intensity == pytest.approx(2.0 / 24.0)
+        assert r.flops == 2.0 * 10_000
+
+    def test_dgemm_flops(self):
+        n = 64
+        r = dgemm_kernel(n=n)
+        assert r.flops == 2.0 * n**3
+
+    def test_dgemm_blocked_intensity(self):
+        r = dgemm_kernel(n=256)
+        assert r.intensity == pytest.approx(16.0)
+
+    def test_dgemm_small_matrix_compulsory_traffic(self):
+        # For tiny matrices the 3n^2 footprint dominates the blocked model.
+        n = 8
+        r = dgemm_kernel(n=n)
+        assert r.bytes_moved == pytest.approx(3 * 8.0 * n * n)
+
+    def test_random_access_traffic(self):
+        r = random_access_kernel(table_exp=12, n_updates=1000)
+        assert r.bytes_moved == 128.0 * 1000
+        assert r.flops == 1000.0
+
+    def test_random_access_bad_table(self):
+        with pytest.raises(ConfigurationError):
+            random_access_kernel(table_exp=2)
+
+    def test_spmv_low_intensity(self):
+        r = spmv_kernel(n_rows=1000, nnz_per_row=8)
+        assert r.intensity < 0.2
+
+    def test_ep_high_intensity(self):
+        r = ep_kernel(n=10_000)
+        assert r.intensity == pytest.approx(200.0)
+
+    def test_fft_accounting(self):
+        r = fft_kernel(n=1 << 12)
+        assert r.flops == pytest.approx(5.0 * (1 << 12) * 12)
+
+    def test_is_accounting(self):
+        r = integer_sort_kernel(n=10_000)
+        assert r.flops == 2.0 * 10_000
+        assert r.elapsed_s > 0
+
+    def test_stencil_accounting(self):
+        from repro.workloads.kernels import stencil_kernel
+
+        n, iters = 32, 3
+        r = stencil_kernel(n=n, iterations=iters)
+        points = (n - 2) ** 3 * iters
+        assert r.flops == pytest.approx(8.0 * points)
+        assert r.intensity == pytest.approx(0.5)
+
+    def test_multigrid_low_intensity(self):
+        from repro.workloads.kernels import multigrid_kernel
+
+        r = multigrid_kernel(n=32)
+        assert 0.1 < r.intensity < 0.5
+
+    def test_multigrid_shapes_compose(self):
+        # The V-cycle fragment needs an even grid; make sure the default
+        # restrict/prolong round trip preserves the fine resolution.
+        from repro.workloads.kernels import multigrid_kernel
+
+        r = multigrid_kernel(n=16)
+        assert r.checksum != 0.0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            run_kernel("hpl")
+
+
+class TestAgainstSuite:
+    def test_suite_intensities_match_kernels(self):
+        from repro.workloads.characterize import validate_suite_intensities
+
+        pairs = validate_suite_intensities(rel_tolerance=4.0)
+        # Every CPU workload with a kernel is covered.
+        assert set(pairs) == set(KERNELS)

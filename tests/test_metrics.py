@@ -1,0 +1,113 @@
+"""ExecutionResult aggregates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.component import CappingMechanism
+from repro.perfmodel.metrics import ExecutionResult, PhaseResult
+
+
+def phase_result(name="p", time_s=1.0, proc_w=100.0, mem_w=50.0, board_w=0.0,
+                 flops=1e9, bytes_moved=1e9, proc_mech=CappingMechanism.NONE,
+                 mem_mech=CappingMechanism.NONE, util=0.5, busy=0.5):
+    return PhaseResult(
+        name=name, time_s=time_s, t_compute_s=util * time_s,
+        t_memory_s=busy * time_s, utilization=util, mem_busy=busy,
+        proc_freq_ghz=2.5, proc_duty=1.0, mem_throttle=1.0,
+        proc_mechanism=proc_mech, mem_mechanism=mem_mech,
+        proc_power_w=proc_w, mem_power_w=mem_w, board_power_w=board_w,
+        flops=flops, bytes_moved=bytes_moved,
+    )
+
+
+class TestPhaseResult:
+    def test_total_power(self):
+        p = phase_result(proc_w=100.0, mem_w=50.0, board_w=10.0)
+        assert p.total_power_w == 160.0
+
+    def test_energy(self):
+        p = phase_result(time_s=2.0, proc_w=100.0, mem_w=50.0)
+        assert p.energy_j == pytest.approx(300.0)
+
+    def test_rates(self):
+        p = phase_result(time_s=2.0, flops=4e9, bytes_moved=2e9)
+        assert p.achieved_flops_rate == pytest.approx(2e9)
+        assert p.achieved_bytes_rate == pytest.approx(1e9)
+
+
+class TestExecutionResult:
+    def test_requires_phases(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionResult((), proc_cap_w=None, mem_cap_w=None)
+
+    def test_time_weighted_power(self):
+        r = ExecutionResult(
+            (
+                phase_result(time_s=1.0, proc_w=100.0),
+                phase_result(time_s=3.0, proc_w=200.0),
+            ),
+            proc_cap_w=None,
+            mem_cap_w=None,
+        )
+        assert r.proc_power_w == pytest.approx((100 + 3 * 200) / 4)
+
+    def test_totals(self):
+        r = ExecutionResult(
+            (phase_result(flops=1e9), phase_result(flops=3e9)),
+            proc_cap_w=None, mem_cap_w=None,
+        )
+        assert r.total_flops == pytest.approx(4e9)
+        assert r.elapsed_s == pytest.approx(2.0)
+        assert r.flops_rate == pytest.approx(2e9)
+
+    def test_dominant_mechanism_by_time(self):
+        r = ExecutionResult(
+            (
+                phase_result(time_s=1.0, proc_mech=CappingMechanism.NONE),
+                phase_result(time_s=5.0, proc_mech=CappingMechanism.DVFS),
+            ),
+            proc_cap_w=None, mem_cap_w=None,
+        )
+        assert r.proc_mechanism is CappingMechanism.DVFS
+
+    def test_respects_bound_is_power_based(self):
+        # A floored domain violates the bound only if it actually draws
+        # more than its cap.
+        over = ExecutionResult(
+            (phase_result(proc_w=100.0, proc_mech=CappingMechanism.FLOOR),),
+            proc_cap_w=80.0, mem_cap_w=None,
+        )
+        assert not over.respects_bound
+        under = ExecutionResult(
+            (phase_result(mem_w=30.0, mem_mech=CappingMechanism.FLOOR),),
+            proc_cap_w=None, mem_cap_w=40.0,
+        )
+        assert under.respects_bound
+
+    def test_respects_bound_gpu_checks_board_total(self):
+        r = ExecutionResult(
+            (phase_result(proc_w=150.0, mem_w=60.0, board_w=20.0),),
+            proc_cap_w=220.0, mem_cap_w=70.0, device="gpu",
+        )
+        assert not r.respects_bound  # 230 W board > 220 W cap
+        r2 = ExecutionResult(
+            (phase_result(proc_w=150.0, mem_w=60.0, board_w=20.0),),
+            proc_cap_w=240.0, mem_cap_w=70.0, device="gpu",
+        )
+        assert r2.respects_bound
+
+    def test_uncapped_always_respects(self):
+        r = ExecutionResult(
+            (phase_result(proc_mech=CappingMechanism.FLOOR),),
+            proc_cap_w=None, mem_cap_w=None,
+        )
+        assert r.respects_bound
+
+    def test_energy_sums_domains(self):
+        r = ExecutionResult(
+            (phase_result(time_s=2.0, proc_w=100.0, mem_w=40.0, board_w=10.0),),
+            proc_cap_w=None, mem_cap_w=None,
+        )
+        assert r.proc_energy_j == pytest.approx(200.0)
+        assert r.mem_energy_j == pytest.approx(80.0)
+        assert r.energy_j == pytest.approx(300.0)

@@ -1,0 +1,92 @@
+"""Multi-node (weak-scaled) jobs in the batch scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.platforms import ivybridge_node
+from repro.sched import Cluster, Job, JobState, PowerBoundedScheduler
+from repro.sched.rebalance import RebalancingScheduler
+from repro.workloads import cpu_workload
+
+
+def make_sched(n_nodes=4, bound=900.0, cls=PowerBoundedScheduler):
+    cluster = Cluster(
+        node_factory=ivybridge_node, n_nodes=n_nodes, global_bound_w=bound
+    )
+    return cls(cluster)
+
+
+class TestMultiNodeJobs:
+    def test_n_nodes_validated(self):
+        with pytest.raises(ConfigurationError):
+            Job(0, cpu_workload("stream"), 200.0, n_nodes=0)
+
+    def test_wide_job_takes_all_its_nodes(self):
+        sched = make_sched()
+        sched.submit(Job(0, cpu_workload("stream"), 220.0, n_nodes=3))
+        stats = sched.run()
+        assert stats.n_completed == 1
+        record = sched.records[0]
+        assert len(record.slot_indices) == 3
+        # Throughput aggregates across nodes (weak scaling).
+        single = make_sched()
+        single.submit(Job(0, cpu_workload("stream"), 220.0, n_nodes=1))
+        single.run()
+        assert record.performance == pytest.approx(
+            3 * single.records[0].performance
+        )
+
+    def test_power_charged_per_node(self):
+        sched = make_sched(bound=900.0)
+        sched.submit(Job(0, cpu_workload("stream"), 220.0, n_nodes=3))
+        stats = sched.run()
+        record = sched.records[0]
+        # Peak charge is k x per-node grant.
+        assert stats.peak_charged_w == pytest.approx(3 * record.granted_budget_w)
+
+    def test_wide_job_waits_for_enough_nodes(self):
+        sched = make_sched(n_nodes=2, bound=900.0)
+        sched.submit(Job(0, cpu_workload("dgemm"), 240.0, n_nodes=1))
+        sched.submit(Job(1, cpu_workload("stream"), 220.0, n_nodes=2))
+        sched.run()
+        r0, r1 = sched.records[0], sched.records[1]
+        assert r1.start_time_s >= r0.finish_time_s - 1e-9
+
+    def test_too_wide_per_node_budget_rejected(self):
+        # Global bound split across 4 nodes leaves each below threshold.
+        sched = make_sched(n_nodes=4, bound=250.0)
+        sched.submit(Job(0, cpu_workload("dgemm"), 240.0, n_nodes=4))
+        stats = sched.run()
+        assert stats.n_rejected == 1
+        assert "per-node budget" in sched.records[0].reject_reason
+
+    def test_all_nodes_released_on_completion(self):
+        sched = make_sched()
+        sched.submit(Job(0, cpu_workload("stream"), 220.0, n_nodes=4))
+        sched.submit(Job(1, cpu_workload("mg"), 220.0, n_nodes=4, submit_time_s=0.5))
+        stats = sched.run()
+        assert stats.n_completed == 2
+        assert all(not s.busy for s in sched.cluster.slots)
+        assert sched.cluster.charged_w == 0.0
+
+    def test_surplus_reclaim_scales_with_width(self):
+        sched = make_sched(bound=1200.0)
+        sched.submit(Job(0, cpu_workload("stream"), 300.0, n_nodes=2))
+        sched.run()
+        single = make_sched(bound=1200.0)
+        single.submit(Job(0, cpu_workload("stream"), 300.0, n_nodes=1))
+        single.run()
+        assert sched.reclaimed_w_total == pytest.approx(
+            2 * single.reclaimed_w_total
+        )
+
+    def test_rebalancer_handles_mixed_widths(self):
+        sched = make_sched(n_nodes=3, bound=500.0, cls=RebalancingScheduler)
+        sched.submit(Job(0, cpu_workload("stream").scaled(0.3), 220.0, n_nodes=2))
+        sched.submit(Job(1, cpu_workload("dgemm"), 240.0, n_nodes=1))
+        stats = sched.run()
+        assert stats.n_completed == 2
+        assert stats.peak_charged_w <= 500.0 + 1e-9
+        assert all(
+            r.state is JobState.COMPLETED for r in sched.records.values()
+        )

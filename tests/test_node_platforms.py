@@ -1,0 +1,94 @@
+"""Node composition and the Table 2 platform presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownPlatformError
+from repro.hardware.node import ComputeNode
+from repro.hardware.platforms import (
+    PLATFORMS,
+    get_platform,
+    haswell_node,
+    ivybridge_node,
+    list_platforms,
+    titan_v_card,
+    titan_xp_card,
+)
+
+
+class TestNode:
+    def test_empty_name_rejected(self, ivb):
+        with pytest.raises(ConfigurationError):
+            ComputeNode(name="", cpu=ivb.cpu, dram=ivb.dram)
+
+    def test_host_bounds(self, ivb):
+        assert ivb.host_floor_power_w == pytest.approx(
+            ivb.cpu.floor_power_w + ivb.dram.floor_power_w
+        )
+        assert ivb.host_max_power_w > ivb.host_floor_power_w
+
+    def test_gpu_accessor_out_of_range(self, ivb):
+        with pytest.raises(ConfigurationError):
+            ivb.gpu(0)
+        with pytest.raises(ConfigurationError):
+            ivb.nvml_device(0)
+
+    def test_gpu_host_node_has_nvml(self):
+        node = get_platform("titan-xp-host")
+        assert node.gpu(0).name == "titan-xp"
+        assert node.nvml_device(0).card is node.gpu(0)
+
+    def test_nodes_have_rapl(self, ivb):
+        assert ivb.rapl.domains()
+
+
+class TestRegistry:
+    def test_all_table2_platforms_present(self):
+        for name in ("ivybridge", "haswell", "titan-xp", "titan-v"):
+            assert name in list_platforms()
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(UnknownPlatformError):
+            get_platform("knl")
+
+    def test_factories_return_fresh_instances(self):
+        assert get_platform("ivybridge") is not get_platform("ivybridge")
+
+    def test_registry_names_match(self):
+        assert set(list_platforms()) == set(PLATFORMS)
+
+
+class TestPresetParameters:
+    def test_ivybridge_table2(self):
+        node = ivybridge_node()
+        assert node.cpu.n_cores == 20  # 2 x 10-core
+        assert node.cpu.pstates.f_min_ghz == pytest.approx(1.2)
+        assert node.cpu.pstates.f_nom_ghz == pytest.approx(2.5)
+
+    def test_haswell_table2(self):
+        node = haswell_node()
+        assert node.cpu.n_cores == 24  # 2 x 12-core
+        assert node.cpu.pstates.f_nom_ghz == pytest.approx(2.3)
+
+    def test_ddr4_more_efficient_than_ddr3(self):
+        ddr3 = ivybridge_node().dram
+        ddr4 = haswell_node().dram
+        # DDR4: more bandwidth for less power (paper Section 3.1).
+        assert ddr4.peak_bw_gbps > ddr3.peak_bw_gbps
+        assert ddr4.max_power_w < ddr3.max_power_w
+
+    def test_gpu_cap_ranges(self):
+        xp = titan_xp_card()
+        assert xp.default_cap_w == 250.0  # thermal spec
+        assert xp.max_cap_w == 300.0  # user-settable maximum
+
+    def test_titan_v_smaller_power_ranges(self):
+        xp, tv = titan_xp_card(), titan_v_card()
+        # HBM2 gives a smaller DRAM power range than GDDR5X (Section 4).
+        xp_range = xp.mem.max_power_w - xp.mem.min_power_w
+        tv_range = tv.mem.max_power_w - tv.mem.min_power_w
+        assert tv_range < xp_range
+        assert tv.max_power_w < xp.max_power_w
+
+    def test_cpu_floor_is_48w_on_ivybridge(self):
+        # Paper: "a minimum hardware determined power of 48 Watts".
+        assert ivybridge_node().cpu.floor_power_w == pytest.approx(48.0)

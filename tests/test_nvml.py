@@ -1,0 +1,64 @@
+"""NVML-style driver handle behaviour."""
+
+import pytest
+
+from repro.errors import PowerBoundError
+from repro.hardware.nvml import NvmlDevice
+from repro.hardware.platforms import titan_xp_card
+
+
+@pytest.fixture
+def device():
+    return NvmlDevice(titan_xp_card())
+
+
+class TestPowerLimit:
+    def test_default_is_factory_cap(self, device):
+        assert device.power_limit_w == 250.0
+
+    def test_set_within_range(self, device):
+        assert device.set_power_limit(180.0) == 180.0
+        assert device.power_limit_w == 180.0
+
+    def test_out_of_range_rejected(self, device):
+        with pytest.raises(PowerBoundError):
+            device.set_power_limit(80.0)
+        assert device.power_limit_w == 250.0  # unchanged after failure
+
+    def test_reset_restores_default(self, device):
+        device.set_power_limit(300.0)
+        assert device.reset_power_limit() == 250.0
+
+
+class TestMemClock:
+    def test_starts_at_nominal(self, device):
+        assert device.mem_operating_point.freq_mhz == pytest.approx(5705.0)
+        assert device.mem_clock_offset_mhz == pytest.approx(0.0)
+
+    def test_negative_offset(self, device):
+        op = device.set_mem_clock_offset(-500.0)
+        # The driver snaps onto its offset grid; within half a step.
+        assert op.freq_mhz == pytest.approx(5205.0, abs=device.card.mem.step_mhz / 2)
+        assert op.freq_mhz in device.card.mem.frequencies_mhz
+        assert device.mem_clock_offset_mhz == pytest.approx(
+            -500.0, abs=device.card.mem.step_mhz / 2
+        )
+
+    def test_offset_below_driver_range_rejected(self, device):
+        with pytest.raises(PowerBoundError):
+            device.set_mem_clock_offset(-3000.0)
+
+    def test_power_target_steering(self, device):
+        op = device.set_mem_power_target(50.0)
+        assert device.card.mem.allocated_power_w(op.freq_mhz) <= 50.0 + 1e-9
+
+
+class TestDefaultPolicy:
+    def test_resets_memory_to_nominal(self, device):
+        device.set_mem_clock_offset(-1000.0)
+        device.apply_default_policy()
+        assert device.mem_operating_point.freq_mhz == pytest.approx(5705.0)
+
+    def test_optionally_sets_cap(self, device):
+        device.apply_default_policy(cap_w=200.0)
+        assert device.power_limit_w == 200.0

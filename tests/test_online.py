@@ -1,0 +1,62 @@
+"""Online feedback power shifting."""
+
+import pytest
+
+from repro.core.online import online_power_shift
+from repro.core.sweep import sweep_cpu_allocations
+from repro.errors import ConfigurationError
+from repro.workloads import cpu_workload, list_cpu_workloads
+
+
+class TestConvergence:
+    def test_memory_bound_converges_toward_memory(self, ivb, stream):
+        result = online_power_shift(ivb.cpu, ivb.dram, stream, 180.0)
+        # The controller shifted watts toward memory relative to the
+        # uniform start.
+        assert result.allocation.mem_w > 90.0
+        assert result.epochs <= 40
+
+    def test_compute_bound_converges_toward_cpu(self, ivb, dgemm):
+        result = online_power_shift(ivb.cpu, ivb.dram, dgemm, 180.0)
+        assert result.allocation.proc_w > 90.0
+
+    def test_clamp_stall_terminates_early(self, ivb, dgemm):
+        # DGEMM pushes to the memory floor; the controller must notice the
+        # clamp and stop rather than burning all epochs.
+        result = online_power_shift(ivb.cpu, ivb.dram, dgemm, 180.0, max_epochs=40)
+        assert result.epochs < 40
+
+    def test_trajectory_recorded(self, ivb, stream):
+        result = online_power_shift(ivb.cpu, ivb.dram, stream, 180.0)
+        assert len(result.trajectory) >= 1
+        assert result.trajectory[0].mem_w == pytest.approx(90.0)
+        assert result.search_cost_epochs == result.epochs
+
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_near_oracle_for_whole_suite(self, ivb, name):
+        wl = cpu_workload(name)
+        budget = 200.0
+        result = online_power_shift(ivb.cpu, ivb.dram, wl, budget)
+        best = sweep_cpu_allocations(ivb.cpu, ivb.dram, wl, budget, step_w=4.0).perf_max
+        assert result.performance >= 0.55 * best, name
+
+    def test_budget_respected(self, ivb, stream):
+        result = online_power_shift(ivb.cpu, ivb.dram, stream, 160.0)
+        assert result.allocation.total_w <= 160.0 + 1e-9
+
+
+class TestValidation:
+    def test_bad_fraction(self, ivb, stream):
+        with pytest.raises(ConfigurationError):
+            online_power_shift(
+                ivb.cpu, ivb.dram, stream, 180.0, initial_mem_fraction=1.0
+            )
+
+    def test_bad_epochs(self, ivb, stream):
+        with pytest.raises(ConfigurationError):
+            online_power_shift(ivb.cpu, ivb.dram, stream, 180.0, max_epochs=0)
+
+    def test_single_epoch_budget(self, ivb, stream):
+        result = online_power_shift(ivb.cpu, ivb.dram, stream, 180.0, max_epochs=1)
+        assert result.epochs == 1
+        assert result.performance > 0

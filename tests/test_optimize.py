@@ -1,0 +1,55 @@
+"""Golden-section optimum search vs the exhaustive sweep oracle."""
+
+import pytest
+
+from repro.core.optimize import golden_section_optimal
+from repro.core.sweep import sweep_cpu_allocations
+from repro.errors import SweepError
+from repro.workloads import cpu_workload, list_cpu_workloads
+
+
+class TestGoldenSection:
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_matches_sweep_across_suite(self, ivb, name):
+        # Also validates the unimodality assumption workload by workload.
+        wl = cpu_workload(name)
+        for budget in (176.0, 208.0, 240.0):
+            gs = golden_section_optimal(ivb.cpu, ivb.dram, wl, budget, tol_w=2.0)
+            sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, wl, budget, step_w=2.0)
+            assert gs.performance >= 0.97 * sweep.perf_max, (name, budget)
+
+    def test_cheaper_than_sweep(self, ivb, sra):
+        gs = golden_section_optimal(ivb.cpu, ivb.dram, sra, 208.0, tol_w=2.0)
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 208.0, step_w=2.0)
+        assert gs.evaluations < len(sweep.points) / 3
+
+    def test_budget_respected(self, ivb, stream):
+        gs = golden_section_optimal(ivb.cpu, ivb.dram, stream, 190.0)
+        assert gs.allocation.total_w <= 190.0 + 1e-9
+
+    def test_prefers_bound_respecting_points(self, ivb, dgemm):
+        # At a budget where scenario-V cheating would win on raw perf, the
+        # returned optimum must still respect the bound.
+        from repro.perfmodel.executor import execute_on_host
+
+        gs = golden_section_optimal(ivb.cpu, ivb.dram, dgemm, 200.0)
+        r = execute_on_host(
+            ivb.cpu, ivb.dram, dgemm.phases,
+            gs.allocation.proc_w, gs.allocation.mem_w,
+        )
+        assert r.respects_bound
+
+    def test_tiny_range_rejected(self, ivb, sra):
+        with pytest.raises(SweepError):
+            golden_section_optimal(
+                ivb.cpu, ivb.dram, sra, 20.0, mem_min_w=16.0, proc_min_w=8.0
+            )
+
+    def test_bad_tolerance_rejected(self, ivb, sra):
+        with pytest.raises(SweepError):
+            golden_section_optimal(ivb.cpu, ivb.dram, sra, 200.0, tol_w=0.0)
+
+    def test_search_cost_reported(self, ivb, mg_wl=None):
+        wl = cpu_workload("mg")
+        gs = golden_section_optimal(ivb.cpu, ivb.dram, wl, 208.0)
+        assert gs.search_cost_runs == gs.evaluations >= 4

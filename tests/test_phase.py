@@ -1,0 +1,82 @@
+"""Phase characterization validation and scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnitError
+from repro.perfmodel.phase import Phase, scale_phases, total_bytes, total_flops
+
+
+def make_phase(**overrides):
+    base = dict(
+        name="p",
+        flops=1e9,
+        bytes_moved=1e10,
+        activity=0.5,
+        stall_activity=0.3,
+        compute_efficiency=0.1,
+        memory_efficiency=0.6,
+    )
+    base.update(overrides)
+    return Phase(**base)
+
+
+class TestValidation:
+    def test_valid_phase(self):
+        p = make_phase()
+        assert p.intensity == pytest.approx(0.1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_phase(name="")
+
+    def test_no_work_rejected(self):
+        with pytest.raises(ConfigurationError, match="no work"):
+            make_phase(flops=0.0, bytes_moved=0.0)
+
+    def test_flops_without_compute_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError, match="compute efficiency"):
+            make_phase(compute_efficiency=0.0)
+
+    def test_bytes_without_memory_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError, match="memory efficiency"):
+            make_phase(memory_efficiency=0.0)
+
+    def test_activity_bounds(self):
+        with pytest.raises(UnitError):
+            make_phase(activity=1.5)
+        with pytest.raises(UnitError):
+            make_phase(stall_activity=-0.1)
+
+    def test_compute_only_phase_allowed(self):
+        p = make_phase(bytes_moved=0.0, memory_efficiency=0.0)
+        assert p.intensity == float("inf")
+
+    def test_memory_only_phase_allowed(self):
+        p = make_phase(flops=0.0, compute_efficiency=0.0)
+        assert p.intensity == 0.0
+
+    def test_default_stall_activity_zero(self):
+        p = Phase(
+            name="p", flops=1.0, bytes_moved=1.0, activity=0.5,
+            compute_efficiency=0.1, memory_efficiency=0.5,
+        )
+        assert p.stall_activity == 0.0
+
+
+class TestScaling:
+    def test_scaled_preserves_intensity(self):
+        p = make_phase()
+        q = p.scaled(3.0)
+        assert q.flops == pytest.approx(3e9)
+        assert q.intensity == pytest.approx(p.intensity)
+        assert q.activity == p.activity
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            make_phase().scaled(0.0)
+
+    def test_scale_phases_and_totals(self):
+        phases = (make_phase(), make_phase(name="q", flops=2e9))
+        scaled = scale_phases(phases, 2.0)
+        assert total_flops(scaled) == pytest.approx(2 * total_flops(phases))
+        assert total_bytes(scaled) == pytest.approx(2 * total_bytes(phases))

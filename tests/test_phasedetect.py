@@ -1,0 +1,108 @@
+"""Phase-change detection from power traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.executor import execute_on_host
+from repro.perfmodel.phasedetect import CusumDetector, detect_phase_changes
+from repro.perfmodel.power_trace import PowerTrace, sample_power_trace
+from repro.workloads import cpu_workload
+
+
+def synthetic_trace(levels, samples_per_level=50, noise=0.5, seed=3, dt=0.01):
+    rng = np.random.default_rng(seed)
+    sig = np.concatenate(
+        [level + noise * rng.standard_normal(samples_per_level) for level in levels]
+    )
+    zeros = np.zeros_like(sig)
+    return PowerTrace(dt_s=dt, proc_w=sig, mem_w=zeros, board_w=zeros)
+
+
+class TestCusumDetector:
+    def test_flat_signal_no_detection(self):
+        det = CusumDetector()
+        assert all(det.update(100.0) is None for _ in range(200))
+
+    def test_step_up_detected(self):
+        det = CusumDetector()
+        for _ in range(20):
+            det.update(100.0)
+        verdicts = [det.update(120.0) for _ in range(20)]
+        assert "up" in verdicts
+
+    def test_step_down_detected(self):
+        det = CusumDetector()
+        for _ in range(20):
+            det.update(100.0)
+        verdicts = [det.update(80.0) for _ in range(20)]
+        assert "down" in verdicts
+
+    def test_small_wobble_ignored(self):
+        det = CusumDetector(slack_w=3.0)
+        for _ in range(20):
+            det.update(100.0)
+        verdicts = [det.update(101.5) for _ in range(100)]
+        assert all(v is None for v in verdicts)
+
+    def test_baseline_reestimated_after_detection(self):
+        det = CusumDetector(warmup_samples=3)
+        for _ in range(10):
+            det.update(100.0)
+        for _ in range(20):
+            if det.update(130.0):
+                break
+        for _ in range(5):
+            det.update(130.0)
+        assert det.baseline_w == pytest.approx(130.0, abs=2.0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            CusumDetector(slack_w=0.0)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(warmup_samples=0)
+
+
+class TestDetectPhaseChanges:
+    def test_synthetic_two_levels(self):
+        trace = synthetic_trace([100.0, 130.0])
+        changes = detect_phase_changes(trace)
+        assert len(changes) == 1
+        change = changes[0]
+        assert change.direction == "up"
+        assert change.baseline_w == pytest.approx(100.0, abs=2.0)
+        assert change.new_level_w == pytest.approx(130.0, abs=2.0)
+        assert change.magnitude_w == pytest.approx(30.0, abs=4.0)
+        # Located near the actual boundary (sample 50).
+        assert 45 <= change.sample_index <= 60
+
+    def test_synthetic_three_levels(self):
+        trace = synthetic_trace([100.0, 130.0, 90.0])
+        changes = detect_phase_changes(trace)
+        assert [c.direction for c in changes] == ["up", "down"]
+
+    def test_flat_trace_clean(self):
+        trace = synthetic_trace([100.0])
+        assert detect_phase_changes(trace) == []
+
+    def test_bad_channel(self):
+        trace = synthetic_trace([100.0])
+        with pytest.raises(ConfigurationError):
+            detect_phase_changes(trace, channel="gpu")
+
+    def test_real_multiphase_workload(self, ivb):
+        # BT's solve and rhs phases draw visibly different CPU power; the
+        # detector must find the boundary without instrumentation.
+        bt = cpu_workload("bt")
+        result = execute_on_host(ivb.cpu, ivb.dram, bt.phases, 1000.0, 1000.0)
+        trace = sample_power_trace(result, dt_s=0.02)
+        changes = detect_phase_changes(trace, slack_w=1.0, threshold_ws=6.0)
+        assert len(changes) >= 1
+        # The detected boundary is near the true phase boundary.
+        true_boundary = result.phases[0].time_s
+        assert min(abs(c.time_s - true_boundary) for c in changes) < 0.5
+
+    def test_single_phase_workload_clean(self, ivb, stream):
+        result = execute_on_host(ivb.cpu, ivb.dram, stream.phases, 1000.0, 1000.0)
+        trace = sample_power_trace(result, dt_s=0.02)
+        assert detect_phase_changes(trace) == []

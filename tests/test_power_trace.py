@@ -1,0 +1,56 @@
+"""Power-trace sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnitError
+from repro.perfmodel.executor import execute_on_host
+from repro.perfmodel.power_trace import sample_power_trace
+from repro.workloads import cpu_workload
+
+
+@pytest.fixture(scope="module")
+def result(ivb):
+    bt = cpu_workload("bt")
+    return execute_on_host(ivb.cpu, ivb.dram, bt.phases, 1000.0, 1000.0)
+
+
+class TestSampling:
+    def test_covers_run(self, result):
+        trace = sample_power_trace(result, dt_s=0.05)
+        assert trace.duration_s >= result.elapsed_s - 1e-9
+
+    def test_energy_close_to_result(self, result):
+        trace = sample_power_trace(result, dt_s=0.01)
+        assert trace.energy_j() == pytest.approx(result.energy_j, rel=0.02)
+
+    def test_total_is_sum_of_domains(self, result):
+        trace = sample_power_trace(result, dt_s=0.05)
+        assert np.allclose(trace.total_w, trace.proc_w + trace.mem_w + trace.board_w)
+
+    def test_phase_transition_visible(self, result):
+        # BT's two phases draw different powers; both must appear.
+        trace = sample_power_trace(result, dt_s=0.01)
+        assert np.unique(trace.proc_w.round(6)).size >= 2
+
+    def test_timestamps(self, result):
+        trace = sample_power_trace(result, dt_s=0.5)
+        times = trace.times_s
+        assert times[0] == 0.0
+        assert np.all(np.diff(times) == pytest.approx(0.5))
+
+    def test_rejects_bad_dt(self, result):
+        with pytest.raises(UnitError):
+            sample_power_trace(result, dt_s=0.0)
+
+    def test_running_average_compliance_integration(self, ivb):
+        from repro.hardware.rapl import RaplDomainName
+
+        stream = cpu_workload("stream")
+        caps = (100.0, 90.0)
+        r = execute_on_host(ivb.cpu, ivb.dram, stream.phases, caps[0], caps[1])
+        trace = sample_power_trace(r, dt_s=0.01)
+        ivb.rapl.set_power_limit(RaplDomainName.PACKAGE, caps[0])
+        ivb.rapl.set_power_limit(RaplDomainName.DRAM, caps[1])
+        assert ivb.rapl.check_running_average(RaplDomainName.PACKAGE, trace.proc_w, 0.01)
+        assert ivb.rapl.check_running_average(RaplDomainName.DRAM, trace.mem_w, 0.01)

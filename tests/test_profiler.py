@@ -1,0 +1,90 @@
+"""Lightweight profiling (Section 5's critical power extraction)."""
+
+import pytest
+
+from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
+from repro.errors import ProfilingError
+from repro.perfmodel.executor import execute_on_host
+from repro.workloads import cpu_workload, gpu_workload, list_cpu_workloads
+
+
+class TestCpuProfiling:
+    def test_rejects_gpu_workload(self, ivb, sgemm):
+        with pytest.raises(ProfilingError):
+            profile_cpu_workload(ivb.cpu, ivb.dram, sgemm)
+
+    def test_sra_anchors(self, ivb, sra):
+        # Paper's Figure 3 numbers for RandomAccess on IvyBridge.
+        c = profile_cpu_workload(ivb.cpu, ivb.dram, sra)
+        assert c.cpu_l1 == pytest.approx(112.0, abs=6.0)
+        assert c.mem_l1 == pytest.approx(116.0, abs=3.0)
+        assert c.cpu_l2 == pytest.approx(66.0, abs=4.0)
+        assert c.cpu_l4 == pytest.approx(48.0)
+
+    def test_hardware_constants_shared_across_apps(self, ivb):
+        values = [
+            profile_cpu_workload(ivb.cpu, ivb.dram, cpu_workload(n))
+            for n in ("sra", "dgemm", "mg")
+        ]
+        # L4 and mem L3 are "the same across all applications".
+        assert len({v.cpu_l4 for v in values}) == 1
+        assert len({v.mem_l3 for v in values}) == 1
+
+    def test_dgemm_demands_more_cpu_than_stream(self, ivb, dgemm, stream):
+        c_d = profile_cpu_workload(ivb.cpu, ivb.dram, dgemm)
+        c_s = profile_cpu_workload(ivb.cpu, ivb.dram, stream)
+        assert c_d.cpu_l1 > c_s.cpu_l1
+        assert c_d.max_demand_w > c_s.max_demand_w
+
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_ordering_holds_for_whole_suite(self, ivb, name):
+        c = profile_cpu_workload(ivb.cpu, ivb.dram, cpu_workload(name))
+        assert c.cpu_l1 >= c.cpu_l2 >= c.cpu_l3 >= c.cpu_l4 > 0
+
+    def test_l2_is_the_throttle_boundary(self, ivb, sra):
+        # Capping slightly above L2 keeps full duty; slightly below engages
+        # clock throttling.
+        c = profile_cpu_workload(ivb.cpu, ivb.dram, sra)
+        above = execute_on_host(ivb.cpu, ivb.dram, sra.phases, c.cpu_l2 + 1.0, 1000.0)
+        below = execute_on_host(ivb.cpu, ivb.dram, sra.phases, c.cpu_l2 - 2.0, 1000.0)
+        assert all(p.proc_duty == 1.0 for p in above.phases)
+        assert any(p.proc_duty < 1.0 for p in below.phases)
+
+    def test_multi_phase_uses_max_demand(self, ivb):
+        bt = cpu_workload("bt")
+        c = profile_cpu_workload(ivb.cpu, ivb.dram, bt)
+        free = execute_on_host(ivb.cpu, ivb.dram, bt.phases, 1000.0, 1000.0)
+        assert c.cpu_l1 == pytest.approx(max(p.proc_power_w for p in free.phases))
+        assert c.cpu_l1 > free.proc_power_w  # exceeds the time average
+
+
+class TestGpuProfiling:
+    def test_rejects_cpu_workload(self, xp, stream):
+        with pytest.raises(ProfilingError):
+            profile_gpu_workload(xp, stream)
+
+    def test_sgemm_demands_hardware_max(self, xp, sgemm):
+        g = profile_gpu_workload(xp, sgemm)
+        # "SGEMM demands more than 300 W" -> tot_max pegged at the cap.
+        assert g.tot_max == pytest.approx(xp.max_cap_w)
+        assert g.is_compute_intensive(xp.max_cap_w)
+
+    def test_minife_saturates_below_max(self, xp, minife):
+        g = profile_gpu_workload(xp, minife)
+        assert g.tot_max < 0.8 * xp.max_cap_w
+        assert not g.is_compute_intensive(xp.max_cap_w)
+
+    def test_ordering(self, xp):
+        for name in ("sgemm", "minife", "gpu-stream", "cloverleaf", "cufft", "hpcg"):
+            g = profile_gpu_workload(xp, gpu_workload(name))
+            assert g.tot_max >= g.tot_ref >= g.tot_min > 0, name
+
+    def test_card_constants(self, xp, minife):
+        g = profile_gpu_workload(xp, minife)
+        assert g.mem_min == pytest.approx(xp.mem.floor_power_w)
+        assert g.mem_max == pytest.approx(xp.mem.max_power_w)
+
+    def test_titan_v_sgemm_not_compute_intensive_by_total(self, tv, sgemm):
+        # On the V, SGEMM saturates near 180 W - well below the 300 W cap.
+        g = profile_gpu_workload(tv, sgemm)
+        assert g.tot_max < 0.8 * tv.max_cap_w

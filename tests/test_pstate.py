@@ -1,0 +1,94 @@
+"""P-state table: grid construction and the voltage/frequency power model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnitError
+from repro.hardware.pstate import PStateTable
+
+
+@pytest.fixture
+def table():
+    return PStateTable(f_min_ghz=1.2, f_nom_ghz=2.5, step_ghz=0.1, v_min_ratio=0.75)
+
+
+class TestGrid:
+    def test_endpoints_included(self, table):
+        freqs = table.frequencies_ghz
+        assert freqs[0] == pytest.approx(1.2)
+        assert freqs[-1] == pytest.approx(2.5)
+
+    def test_grid_size(self, table):
+        assert len(table) == 14  # 1.2 .. 2.5 in 0.1 steps
+
+    def test_grid_ascending(self, table):
+        assert np.all(np.diff(table.frequencies_ghz) > 0)
+
+    def test_grid_is_readonly(self, table):
+        with pytest.raises(ValueError):
+            table.frequencies_ghz[0] = 9.9
+
+    def test_single_state_table(self):
+        t = PStateTable(f_min_ghz=2.0, f_nom_ghz=2.0, step_ghz=0.1)
+        assert len(t) == 1
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            PStateTable(f_min_ghz=3.0, f_nom_ghz=2.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(UnitError):
+            PStateTable(f_min_ghz=-1.0, f_nom_ghz=2.0)
+
+
+class TestVoltageModel:
+    def test_voltage_at_endpoints(self, table):
+        assert table.voltage_ratio(1.2) == pytest.approx(0.75)
+        assert table.voltage_ratio(2.5) == pytest.approx(1.0)
+
+    def test_voltage_linear_midpoint(self, table):
+        mid = (1.2 + 2.5) / 2
+        assert table.voltage_ratio(mid) == pytest.approx((0.75 + 1.0) / 2)
+
+    def test_power_weight_at_nominal_is_one(self, table):
+        assert table.power_weight(2.5) == pytest.approx(1.0)
+
+    def test_power_weight_strictly_increasing(self, table):
+        w = table.power_weight(table.frequencies_ghz)
+        assert np.all(np.diff(w) > 0)
+
+    def test_power_weight_cubic_ish(self, table):
+        # w(f_min) = (f_min/f_nom) * v_min^2, well below the linear ratio.
+        w_min = float(table.power_weight(1.2))
+        assert w_min == pytest.approx((1.2 / 2.5) * 0.75**2)
+        assert w_min < 1.2 / 2.5
+
+    def test_degenerate_table_voltage(self):
+        t = PStateTable(f_min_ghz=2.0, f_nom_ghz=2.0)
+        assert float(t.voltage_ratio(2.0)) == pytest.approx(1.0)
+
+
+class TestSelection:
+    def test_nearest_snaps(self, table):
+        assert table.nearest(1.234) == pytest.approx(1.2)
+        assert table.nearest(1.26) == pytest.approx(1.3)
+
+    def test_nearest_clamps(self, table):
+        assert table.nearest(0.5) == pytest.approx(1.2)
+        assert table.nearest(9.0) == pytest.approx(2.5)
+
+    def test_highest_under_weight_full(self, table):
+        assert table.highest_under_weight(1.0) == pytest.approx(2.5)
+
+    def test_highest_under_weight_partial(self, table):
+        f = table.highest_under_weight(0.5)
+        assert f is not None
+        assert f < 2.5
+        assert float(table.power_weight(f)) <= 0.5 + 1e-9
+
+    def test_highest_under_weight_infeasible(self, table):
+        assert table.highest_under_weight(1e-6) is None
+
+    def test_highest_under_weight_exact_boundary(self, table):
+        w = float(table.power_weight(1.8))
+        assert table.highest_under_weight(w) == pytest.approx(1.8)

@@ -1,0 +1,81 @@
+"""Public API surface: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.hardware",
+    "repro.perfmodel",
+    "repro.workloads",
+    "repro.sched",
+    "repro.experiments",
+    "repro.util",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), package
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_sorted(self, package):
+        module = importlib.import_module(package)
+        assert list(module.__all__) == sorted(module.__all__), package
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, package
+
+    def test_public_callables_documented(self):
+        # Every public function/class reachable from the top level has a
+        # docstring.
+        import repro
+
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not getattr(obj, "__doc__", None):
+                undocumented.append(name)
+        assert not undocumented, undocumented
+
+    def test_version_present(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestExamplesRun:
+    """Every shipped example executes cleanly (smoke integration)."""
+
+    @pytest.mark.parametrize(
+        "example, argv",
+        [
+            ("quickstart", ["208"]),
+            ("scenario_atlas", ["sra", "224"]),
+            ("gpu_power_steering", ["minife"]),
+            ("cluster_scheduling", ["650"]),
+            ("characterize_and_coordinate", ["cg"]),
+            ("biglittle_crossover", ["cg"]),
+            ("hybrid_offload", []),
+            ("adaptive_phases", ["mg", "200"]),
+        ],
+    )
+    def test_example(self, example, argv, capsys, monkeypatch):
+        import runpy
+        import sys
+        from pathlib import Path
+
+        script = Path(__file__).parent.parent / "examples" / f"{example}.py"
+        assert script.exists(), script
+        monkeypatch.setattr(sys, "argv", [str(script), *argv])
+        runpy.run_path(str(script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report

@@ -1,0 +1,132 @@
+"""RAPL control plane: limits, MSR counters, running-average compliance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PowerBoundError
+from repro.hardware.rapl import (
+    ENERGY_UNIT_J,
+    MsrEnergyCounter,
+    RaplDomainName,
+    RaplInterface,
+)
+
+
+class TestMsrEnergyCounter:
+    def test_starts_at_zero(self):
+        assert MsrEnergyCounter().read_raw() == 0
+
+    def test_accumulates_in_units(self):
+        c = MsrEnergyCounter()
+        c.accumulate(1.0)
+        assert c.read_joules() == pytest.approx(1.0, abs=ENERGY_UNIT_J)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ConfigurationError):
+            MsrEnergyCounter().accumulate(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            MsrEnergyCounter().accumulate(float("nan"))
+
+    def test_wraps_at_32_bits(self):
+        c = MsrEnergyCounter()
+        # 2^32 units of energy is 2^16 J; push just past the wrap.
+        c.accumulate(2**16 - 1.0)
+        before = c.read_raw()
+        c.accumulate(2.0)
+        after = c.read_raw()
+        assert after < before  # wrapped
+
+    def test_delta_handles_single_wrap(self):
+        c = MsrEnergyCounter()
+        c.accumulate(2**16 - 1.0)
+        first = c.read_raw()
+        c.accumulate(5.0)
+        second = c.read_raw()
+        delta = MsrEnergyCounter.delta_joules(first, second)
+        assert delta == pytest.approx(5.0, abs=2 * ENERGY_UNIT_J)
+
+    def test_delta_without_wrap(self):
+        assert MsrEnergyCounter.delta_joules(100, 300) == pytest.approx(
+            200 * ENERGY_UNIT_J
+        )
+
+
+class TestRaplInterface:
+    def test_default_domains(self):
+        rapl = RaplInterface()
+        assert RaplDomainName.PACKAGE in rapl.domains()
+        assert RaplDomainName.DRAM in rapl.domains()
+
+    def test_needs_a_domain(self):
+        with pytest.raises(ConfigurationError):
+            RaplInterface(domains=())
+
+    def test_set_and_read_limit(self):
+        rapl = RaplInterface()
+        rapl.set_power_limit(RaplDomainName.PACKAGE, 120.0, window_s=0.05)
+        assert rapl.power_limit_w(RaplDomainName.PACKAGE) == 120.0
+
+    def test_clear_limit(self):
+        rapl = RaplInterface()
+        rapl.set_power_limit(RaplDomainName.DRAM, 80.0)
+        rapl.clear_power_limit(RaplDomainName.DRAM)
+        assert rapl.power_limit_w(RaplDomainName.DRAM) is None
+
+    def test_unknown_domain_rejected(self):
+        rapl = RaplInterface()
+        with pytest.raises(PowerBoundError):
+            rapl.set_power_limit("gpu", 100.0)  # type: ignore[arg-type]
+
+    def test_string_domain_coerces(self):
+        rapl = RaplInterface()
+        rapl.set_power_limit("package", 100.0)  # type: ignore[arg-type]
+        assert rapl.power_limit_w(RaplDomainName.PACKAGE) == 100.0
+
+    def test_energy_recording(self):
+        rapl = RaplInterface()
+        rapl.record_energy(RaplDomainName.PACKAGE, 50.0)
+        assert rapl.read_energy_joules(RaplDomainName.PACKAGE) == pytest.approx(
+            50.0, abs=ENERGY_UNIT_J
+        )
+        assert rapl.read_energy_raw(RaplDomainName.DRAM) == 0
+
+
+class TestRunningAverage:
+    def test_uncapped_domain_passes(self):
+        rapl = RaplInterface()
+        trace = np.full(100, 500.0)
+        assert rapl.check_running_average(RaplDomainName.PACKAGE, trace, 0.01)
+
+    def test_compliant_trace_passes(self):
+        rapl = RaplInterface()
+        rapl.set_power_limit(RaplDomainName.PACKAGE, 100.0, window_s=0.1)
+        trace = np.full(100, 99.0)
+        assert rapl.check_running_average(RaplDomainName.PACKAGE, trace, 0.01)
+
+    def test_violating_trace_fails(self):
+        rapl = RaplInterface()
+        rapl.set_power_limit(RaplDomainName.PACKAGE, 100.0, window_s=0.1)
+        trace = np.full(100, 120.0)
+        assert not rapl.check_running_average(RaplDomainName.PACKAGE, trace, 0.01)
+
+    def test_short_spike_within_window_average_passes(self):
+        # A 1-sample spike is fine if the window average stays under.
+        rapl = RaplInterface()
+        rapl.set_power_limit(RaplDomainName.PACKAGE, 100.0, window_s=0.1)
+        trace = np.full(100, 95.0)
+        trace[50] = 130.0
+        assert rapl.check_running_average(RaplDomainName.PACKAGE, trace, 0.01)
+
+    def test_trace_shorter_than_window(self):
+        rapl = RaplInterface()
+        rapl.set_power_limit(RaplDomainName.PACKAGE, 100.0, window_s=10.0)
+        assert rapl.check_running_average(
+            RaplDomainName.PACKAGE, np.array([99.0, 101.0]), 0.01
+        )
+
+    def test_empty_trace_passes(self):
+        rapl = RaplInterface()
+        rapl.set_power_limit(RaplDomainName.PACKAGE, 100.0)
+        assert rapl.check_running_average(RaplDomainName.PACKAGE, np.array([]), 0.01)

@@ -1,0 +1,72 @@
+"""User workload registration."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownWorkloadError
+from repro.workloads import (
+    get_workload,
+    list_workloads,
+    register_workload,
+    synthetic_workload,
+    unregister_workload,
+)
+
+
+@pytest.fixture
+def custom():
+    wl = synthetic_workload(name="my-app", intensity=2.0)
+    register_workload(wl)
+    yield wl
+    try:
+        unregister_workload("my-app")
+    except UnknownWorkloadError:
+        pass
+
+
+class TestRegistration:
+    def test_registered_workload_resolvable(self, custom):
+        assert get_workload("my-app") == custom
+        assert "my-app" in list_workloads()
+        assert "my-app" in list_workloads("cpu")
+        assert "my-app" not in list_workloads("gpu")
+
+    def test_reserved_names_rejected(self):
+        wl = synthetic_workload(name="dgemm")
+        with pytest.raises(ConfigurationError, match="reserved"):
+            register_workload(wl)
+
+    def test_double_registration_needs_replace(self, custom):
+        with pytest.raises(ConfigurationError, match="replace=True"):
+            register_workload(synthetic_workload(name="my-app"))
+        replacement = synthetic_workload(name="my-app", intensity=9.0)
+        register_workload(replacement, replace=True)
+        assert get_workload("my-app") == replacement
+
+    def test_unregister(self, custom):
+        unregister_workload("my-app")
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("my-app")
+
+    def test_cannot_unregister_builtin(self):
+        with pytest.raises(ConfigurationError):
+            unregister_workload("stream")
+
+    def test_unregister_unknown(self):
+        with pytest.raises(UnknownWorkloadError):
+            unregister_workload("never-registered")
+
+    def test_case_insensitive(self, custom):
+        assert get_workload("MY-APP") == custom
+
+    def test_usable_end_to_end(self, custom, ivb):
+        from repro.core.coord import coord_cpu
+        from repro.core.profiler import profile_cpu_workload
+        from repro.perfmodel.executor import execute_on_host
+
+        critical = profile_cpu_workload(ivb.cpu, ivb.dram, get_workload("my-app"))
+        decision = coord_cpu(critical, 180.0)
+        r = execute_on_host(
+            ivb.cpu, ivb.dram, custom.phases,
+            decision.allocation.proc_w, decision.allocation.mem_w,
+        )
+        assert custom.performance(r) > 0

@@ -1,0 +1,71 @@
+"""Roofline primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnitError
+from repro.perfmodel.roofline import (
+    arithmetic_intensity,
+    attainable_flops,
+    phase_time_s,
+    ridge_intensity,
+)
+
+
+class TestIntensity:
+    def test_basic(self):
+        assert arithmetic_intensity(100.0, 50.0) == 2.0
+
+    def test_compute_only_is_inf(self):
+        assert arithmetic_intensity(100.0, 0.0) == float("inf")
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            arithmetic_intensity(-1.0, 10.0)
+
+
+class TestAttainable:
+    def test_memory_bound_region(self):
+        # Below the ridge, performance = intensity * bandwidth.
+        assert attainable_flops(0.5, 100e9, 80e9) == pytest.approx(40e9)
+
+    def test_compute_bound_region(self):
+        assert attainable_flops(10.0, 100e9, 80e9) == pytest.approx(100e9)
+
+    def test_vectorized(self):
+        out = attainable_flops(np.array([0.1, 100.0]), 100e9, 80e9)
+        assert out[0] == pytest.approx(8e9)
+        assert out[1] == pytest.approx(100e9)
+
+    def test_ridge_is_crossover(self):
+        ridge = ridge_intensity(100e9, 80e9)
+        below = attainable_flops(ridge * 0.99, 100e9, 80e9)
+        at = attainable_flops(ridge, 100e9, 80e9)
+        assert below < at
+        assert at == pytest.approx(100e9)
+
+
+class TestPhaseTime:
+    def test_max_of_both(self):
+        t, t_c, t_m = phase_time_s(100.0, 1000.0, 10.0, 50.0)
+        assert t_c == pytest.approx(10.0)
+        assert t_m == pytest.approx(20.0)
+        assert t == pytest.approx(20.0)
+
+    def test_compute_only(self):
+        t, t_c, t_m = phase_time_s(100.0, 0.0, 10.0, 1.0)
+        assert t == t_c == pytest.approx(10.0)
+        assert t_m == 0.0
+
+    def test_memory_only(self):
+        t, t_c, t_m = phase_time_s(0.0, 100.0, 1.0, 10.0)
+        assert t == t_m == pytest.approx(10.0)
+        assert t_c == 0.0
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(UnitError):
+            phase_time_s(100.0, 0.0, 0.0, 1.0)
+
+    def test_no_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            phase_time_s(0.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,104 @@
+"""Scenario taxonomy and classification (paper Section 3.2 / Figure 3)."""
+
+import pytest
+
+from repro.core.scenario import (
+    CPU_SCENARIOS,
+    GPU_SCENARIOS,
+    Scenario,
+    classify_cpu,
+    classify_gpu,
+)
+from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+
+
+class TestEnum:
+    def test_six_categories(self):
+        assert len(CPU_SCENARIOS) == 6
+        assert [s.roman for s in CPU_SCENARIOS] == ["I", "II", "III", "IV", "V", "VI"]
+
+    def test_gpu_reduced_taxonomy(self):
+        assert GPU_SCENARIOS == (Scenario.I, Scenario.II, Scenario.III)
+
+    def test_only_vi_violates_bound(self):
+        assert not Scenario.VI.respects_bound
+        assert all(s.respects_bound for s in CPU_SCENARIOS if s is not Scenario.VI)
+
+    def test_descriptions_match_paper(self):
+        assert "adequate power for both" in Scenario.I.description
+        assert "lightly constrained" in Scenario.II.description
+        assert "seriously constrained" in Scenario.IV.description
+
+
+class TestClassifyCpu:
+    """Classification against the paper's Figure 3 layout (SRA @ 240 W)."""
+
+    BUDGET = 240.0
+
+    def classify_at(self, ivb, sra, mem_w):
+        r = execute_on_host(ivb.cpu, ivb.dram, sra.phases, self.BUDGET - mem_w, mem_w)
+        return classify_cpu(r)
+
+    def test_scenario_i_region(self, ivb, sra):
+        # Paper: P_mem in [120, 132] W.
+        assert self.classify_at(ivb, sra, 124.0) is Scenario.I
+
+    def test_scenario_ii_region(self, ivb, sra):
+        # Paper: P_mem in [132, 172] W (CPU in the DVFS range).
+        assert self.classify_at(ivb, sra, 152.0) is Scenario.II
+
+    def test_scenario_iii_region(self, ivb, sra):
+        # Paper: P_mem in [68, 120] W (DRAM throttled).
+        assert self.classify_at(ivb, sra, 90.0) is Scenario.III
+
+    def test_scenario_iv_region(self, ivb, sra):
+        # Paper: P_cpu in [40, 66] W -> P_mem around 176-188 W.
+        assert self.classify_at(ivb, sra, 180.0) is Scenario.IV
+
+    def test_scenario_v_region(self, ivb, sra):
+        # Paper: P_mem below ~68 W (the DRAM floor).
+        assert self.classify_at(ivb, sra, 50.0) is Scenario.V
+
+    def test_scenario_vi_region(self, ivb, sra):
+        # Paper: P_mem above ~200 W (CPU at its hardware floor).
+        assert self.classify_at(ivb, sra, 210.0) is Scenario.VI
+
+    def test_every_sweep_point_classified(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 240.0, step_w=8.0)
+        assert all(isinstance(s, Scenario) for s in sweep.scenarios)
+
+    def test_spans_are_contiguous(self, ivb, sra):
+        # Along the memory axis each category forms one contiguous run —
+        # the visual structure of Figure 3.
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 240.0, step_w=4.0)
+        seen_runs: dict[Scenario, int] = {}
+        prev = None
+        for s in sweep.scenarios:
+            if s is not prev:
+                seen_runs[s] = seen_runs.get(s, 0) + 1
+            prev = s
+        assert all(count == 1 for count in seen_runs.values()), seen_runs
+
+
+class TestClassifyGpu:
+    def test_only_reduced_categories_appear(self, xp):
+        from repro.workloads import gpu_workload
+
+        for wl_name in ("sgemm", "gpu-stream", "minife", "cloverleaf"):
+            wl = gpu_workload(wl_name)
+            for cap in (130.0, 190.0, 250.0):
+                sweep = sweep_gpu_allocations(xp, wl, cap, freq_stride=4)
+                assert set(sweep.scenarios) <= set(GPU_SCENARIOS), wl_name
+
+    def test_memory_bound_is_iii(self, xp, minife):
+        r = execute_on_gpu(xp, minife.phases, 250.0)
+        assert classify_gpu(r) is Scenario.III
+
+    def test_compute_app_capped_is_ii(self, xp, sgemm):
+        r = execute_on_gpu(xp, sgemm.phases, 200.0)
+        assert classify_gpu(r) is Scenario.II
+
+    def test_compute_app_uncapped_on_v_is_i(self, tv, sgemm):
+        r = execute_on_gpu(tv, sgemm.phases, 290.0)
+        assert classify_gpu(r) is Scenario.I

@@ -1,0 +1,109 @@
+"""Property-based tests on the batch schedulers (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.platforms import ivybridge_node
+from repro.sched import Cluster, Job, JobState, PowerBoundedScheduler
+from repro.sched.rebalance import RebalancingScheduler
+from repro.workloads import cpu_workload, list_cpu_workloads
+
+WORKLOAD_NAMES = list(list_cpu_workloads())
+
+# Profiles are per (workload, platform) and deterministic: compute them
+# once for the whole module instead of once per generated scheduler.
+_NODE = ivybridge_node()
+_PROFILES: dict = {}
+
+
+def _profiles():
+    if not _PROFILES:
+        from repro.core.profiler import profile_cpu_workload
+
+        for name in WORKLOAD_NAMES:
+            _PROFILES[name] = profile_cpu_workload(
+                _NODE.cpu, _NODE.dram, cpu_workload(name)
+            )
+    return _PROFILES
+
+
+@st.composite
+def job_mixes(draw):
+    n = draw(st.integers(1, 6))
+    jobs = []
+    for i in range(n):
+        name = draw(st.sampled_from(WORKLOAD_NAMES))
+        request = draw(st.floats(60.0, 320.0))
+        submit = draw(st.floats(0.0, 20.0))
+        jobs.append(Job(i, cpu_workload(name), request, submit_time_s=submit))
+    return jobs
+
+
+def run_mix(scheduler_cls, jobs, n_nodes, bound):
+    cluster = Cluster(
+        node_factory=ivybridge_node, n_nodes=n_nodes, global_bound_w=bound
+    )
+    sched = scheduler_cls(cluster)
+    sched._profile_cache.update(_profiles())
+    for job in jobs:
+        sched.submit(job)
+    stats = sched.run()
+    return sched, stats
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(jobs=job_mixes(), n_nodes=st.integers(1, 4), bound=st.floats(150.0, 900.0))
+    def test_no_job_lost(self, jobs, n_nodes, bound):
+        sched, stats = run_mix(PowerBoundedScheduler, jobs, n_nodes, bound)
+        assert stats.n_completed + stats.n_rejected == len(jobs)
+        terminal = {JobState.COMPLETED, JobState.REJECTED}
+        assert all(r.state in terminal for r in sched.records.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(jobs=job_mixes(), n_nodes=st.integers(1, 4), bound=st.floats(150.0, 900.0))
+    def test_global_bound_never_exceeded(self, jobs, n_nodes, bound):
+        _, stats = run_mix(PowerBoundedScheduler, jobs, n_nodes, bound)
+        assert stats.peak_charged_w <= bound + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(jobs=job_mixes(), n_nodes=st.integers(1, 4), bound=st.floats(150.0, 900.0))
+    def test_completed_jobs_have_consistent_times(self, jobs, n_nodes, bound):
+        sched, stats = run_mix(PowerBoundedScheduler, jobs, n_nodes, bound)
+        for record in sched.records.values():
+            if record.state is JobState.COMPLETED:
+                assert record.start_time_s >= record.job.submit_time_s - 1e-9
+                assert record.finish_time_s > record.start_time_s
+                assert record.finish_time_s <= stats.makespan_s + 1e-9
+                assert record.granted_budget_w <= record.job.requested_budget_w + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(jobs=job_mixes(), n_nodes=st.integers(1, 3), bound=st.floats(200.0, 700.0))
+    def test_rebalancer_never_slower_and_never_over_bound(self, jobs, n_nodes, bound):
+        def clone(js):
+            return [
+                Job(j.job_id, j.workload, j.requested_budget_w, j.submit_time_s)
+                for j in js
+            ]
+
+        _, base = run_mix(PowerBoundedScheduler, clone(jobs), n_nodes, bound)
+        _, dyn = run_mix(RebalancingScheduler, clone(jobs), n_nodes, bound)
+        assert dyn.n_completed == base.n_completed
+        assert dyn.peak_charged_w <= bound + 1e-6
+        # Boosts are non-preemptive: a held boost can delay a *later*
+        # arrival slightly, so the guarantee is "never more than a few
+        # percent slower" rather than strictly never slower.
+        if base.n_completed and base.makespan_s > 0:
+            assert dyn.makespan_s <= base.makespan_s * 1.05 + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(jobs=job_mixes(), bound=st.floats(250.0, 900.0))
+    def test_fcfs_start_order(self, jobs, bound):
+        sched, _ = run_mix(PowerBoundedScheduler, jobs, 2, bound)
+        started = [
+            r for r in sched.records.values() if r.state is JobState.COMPLETED
+        ]
+        started.sort(key=lambda r: (r.job.submit_time_s, r.job.job_id))
+        starts = [r.start_time_s for r in started]
+        assert starts == sorted(starts)

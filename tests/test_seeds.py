@@ -1,0 +1,40 @@
+"""Deterministic RNG management."""
+
+import numpy as np
+
+from repro.util.seeds import DEFAULT_SEED, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_boundary_is_unambiguous(self):
+        # ("ab", "c") must differ from ("a", "bc") — separator matters.
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(2**120, "x") < 2**64
+
+
+class TestSpawnRng:
+    def test_same_path_same_stream(self):
+        a = spawn_rng(7, "x").random(8)
+        b = spawn_rng(7, "x").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_paths_diverge(self):
+        a = spawn_rng(7, "x").random(8)
+        b = spawn_rng(7, "y").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_default_seed_used(self):
+        a = spawn_rng().random(4)
+        b = spawn_rng(DEFAULT_SEED).random(4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,80 @@
+"""SJF admission ordering."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hardware.platforms import ivybridge_node
+from repro.sched import Cluster, Job, PowerBoundedScheduler
+from repro.workloads import cpu_workload
+
+
+def make_sched(order="fcfs", n_nodes=1, bound=300.0):
+    cluster = Cluster(
+        node_factory=ivybridge_node, n_nodes=n_nodes, global_bound_w=bound
+    )
+    return PowerBoundedScheduler(cluster, order=order)
+
+
+def short_and_long():
+    """One long job submitted just before several short ones."""
+    jobs = [Job(0, cpu_workload("dgemm").scaled(3.0), 250.0, submit_time_s=0.0)]
+    for i in range(1, 4):
+        jobs.append(
+            Job(i, cpu_workload("stream").scaled(0.2), 220.0, submit_time_s=0.0)
+        )
+    return jobs
+
+
+class TestSjf:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_sched(order="lifo")
+
+    def test_sjf_runs_short_jobs_first(self):
+        sched = make_sched(order="sjf")
+        for job in short_and_long():
+            sched.submit(job)
+        sched.run()
+        long_start = sched.records[0].start_time_s
+        short_starts = [sched.records[i].start_time_s for i in (1, 2, 3)]
+        assert all(s < long_start for s in short_starts)
+
+    def test_fcfs_runs_in_submit_order(self):
+        sched = make_sched(order="fcfs")
+        for job in short_and_long():
+            sched.submit(job)
+        sched.run()
+        assert sched.records[0].start_time_s <= sched.records[1].start_time_s
+
+    def test_sjf_improves_mean_wait(self):
+        waits = {}
+        for order in ("fcfs", "sjf"):
+            sched = make_sched(order=order)
+            for job in short_and_long():
+                sched.submit(job)
+            waits[order] = sched.run().mean_wait_s
+        assert waits["sjf"] < waits["fcfs"]
+
+    def test_same_work_completed_either_way(self):
+        outcomes = {}
+        for order in ("fcfs", "sjf"):
+            sched = make_sched(order=order)
+            for job in short_and_long():
+                sched.submit(job)
+            outcomes[order] = sched.run()
+        assert outcomes["sjf"].n_completed == outcomes["fcfs"].n_completed == 4
+
+    def test_arrival_times_still_respected(self):
+        sched = make_sched(order="sjf")
+        sched.submit(Job(0, cpu_workload("dgemm").scaled(2.0), 250.0, submit_time_s=0.0))
+        # A shorter job arriving later cannot time-travel before its submit.
+        sched.submit(Job(1, cpu_workload("stream").scaled(0.1), 220.0, submit_time_s=5.0))
+        sched.run()
+        assert sched.records[1].start_time_s >= 5.0
+
+    def test_prediction_cached_per_workload(self):
+        sched = make_sched(order="sjf", bound=600.0, n_nodes=2)
+        for i in range(4):
+            sched.submit(Job(i, cpu_workload("stream"), 220.0))
+        sched.run()
+        assert len(sched._predict_cache) == 1

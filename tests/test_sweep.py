@@ -1,0 +1,119 @@
+"""Allocation sweeps and budget curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import Scenario
+from repro.core.sweep import (
+    cpu_budget_curve,
+    gpu_budget_curve,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.errors import SweepError
+
+
+class TestCpuSweep:
+    def test_budget_preserved_across_points(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 208.0, step_w=8.0)
+        assert all(
+            p.allocation.total_w == pytest.approx(208.0) for p in sweep.points
+        )
+
+    def test_array_views_consistent(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 208.0, step_w=8.0)
+        n = len(sweep.points)
+        assert sweep.mem_alloc_w.shape == (n,)
+        assert sweep.performances.shape == (n,)
+        assert np.allclose(sweep.mem_alloc_w + sweep.proc_alloc_w, 208.0)
+
+    def test_best_and_worst(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 208.0, step_w=8.0)
+        assert sweep.best.performance == sweep.performances.max()
+        assert sweep.worst.performance == sweep.performances.min()
+        assert sweep.perf_spread >= 1.0
+
+    def test_best_is_mid_plateau(self, ivb, sra):
+        # At an ample budget the optimum plateau spans scenario I; the
+        # reported best must sit strictly inside it, not at an edge.
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 280.0, step_w=4.0)
+        perfs = sweep.performances
+        best_idx = sweep.points.index(sweep.best)
+        top = perfs.max()
+        assert perfs[best_idx] == top
+        assert best_idx > 0 and best_idx < len(perfs) - 1
+        assert perfs[best_idx - 1] == top or perfs[best_idx + 1] == top
+
+    def test_actual_power_under_budget_except_floor(self, ivb, stream):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, step_w=8.0)
+        for p in sweep.points:
+            if p.result.respects_bound:
+                assert p.actual_total_w <= 208.0 + 1e-6
+
+    def test_scenarios_align_with_points(self, ivb, sra):
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 240.0, step_w=8.0)
+        assert len(sweep.scenarios) == len(sweep.points)
+
+
+class TestCpuBudgetCurve:
+    def test_monotone_nondecreasing(self, ivb, dgemm):
+        budgets = np.arange(120.0, 281.0, 20.0)
+        curve = cpu_budget_curve(ivb.cpu, ivb.dram, dgemm, budgets, step_w=8.0)
+        assert np.all(np.diff(curve.perf_max) >= -1e-9)
+
+    def test_saturation_detection(self, ivb, sra):
+        budgets = np.arange(140.0, 301.0, 20.0)
+        curve = cpu_budget_curve(ivb.cpu, ivb.dram, sra, budgets, step_w=8.0)
+        sat = curve.saturation_budget_w
+        # SRA's node demand is ~225 W.
+        assert 200.0 <= sat <= 245.0
+
+    def test_empty_budgets_rejected(self, ivb, sra):
+        with pytest.raises(SweepError):
+            cpu_budget_curve(ivb.cpu, ivb.dram, sra, [])
+
+
+class TestGpuSweep:
+    def test_covers_clock_grid(self, xp, minife):
+        sweep = sweep_gpu_allocations(xp, minife, 200.0, freq_stride=1)
+        assert sweep.mem_freqs_mhz[0] == pytest.approx(xp.mem.min_mhz)
+        assert sweep.mem_freqs_mhz[-1] == pytest.approx(xp.mem.nominal_mhz)
+
+    def test_stride_keeps_nominal(self, xp, minife):
+        sweep = sweep_gpu_allocations(xp, minife, 200.0, freq_stride=7)
+        assert sweep.mem_freqs_mhz[-1] == pytest.approx(xp.mem.nominal_mhz)
+
+    def test_bad_stride_rejected(self, xp, minife):
+        with pytest.raises(SweepError):
+            sweep_gpu_allocations(xp, minife, 200.0, freq_stride=0)
+
+    def test_alloc_axis_is_empirical_estimate(self, xp, minife):
+        sweep = sweep_gpu_allocations(xp, minife, 200.0, freq_stride=2)
+        for f, alloc in zip(sweep.mem_freqs_mhz, sweep.mem_alloc_w):
+            assert alloc == pytest.approx(xp.mem.allocated_power_w(float(f)))
+
+    def test_memory_intensive_prefers_high_clock_at_large_cap(self, xp, minife):
+        sweep = sweep_gpu_allocations(xp, minife, 260.0, freq_stride=1)
+        assert sweep.best.result.phases[0].mem_throttle == pytest.approx(1.0)
+
+    def test_compute_intensive_prefers_low_clock_under_binding_cap(self, xp, sgemm):
+        sweep = sweep_gpu_allocations(xp, sgemm, 200.0, freq_stride=1)
+        assert sweep.best.result.phases[0].mem_throttle < 1.0
+
+
+class TestGpuBudgetCurve:
+    def test_monotone(self, xp, sgemm):
+        caps = np.arange(130.0, 301.0, 20.0)
+        curve = gpu_budget_curve(xp, sgemm, caps, freq_stride=2)
+        assert np.all(np.diff(curve.perf_max) >= -1e-9)
+
+    def test_sgemm_unsaturated_on_xp(self, xp, sgemm):
+        caps = np.arange(130.0, 301.0, 10.0)
+        curve = gpu_budget_curve(xp, sgemm, caps, freq_stride=2)
+        # Still rising at the top of the range (paper: demands > 300 W).
+        assert curve.perf_max[-1] > curve.perf_max[-3]
+
+    def test_minife_saturates_on_xp(self, xp, minife):
+        caps = np.arange(130.0, 301.0, 10.0)
+        curve = gpu_budget_curve(xp, minife, caps, freq_stride=2)
+        assert curve.saturation_budget_w <= 200.0

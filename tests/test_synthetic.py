@@ -1,0 +1,63 @@
+"""Synthetic workload generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.executor import execute_on_host
+from repro.workloads import WorkloadClass, synthetic_workload
+from repro.workloads.synthetic import random_workload
+
+
+class TestSyntheticWorkload:
+    def test_defaults_valid(self):
+        wl = synthetic_workload()
+        assert wl.device == "cpu"
+        assert len(wl.phases) == 1
+
+    def test_classification_by_intensity(self):
+        assert (
+            synthetic_workload(intensity=20.0).workload_class
+            is WorkloadClass.COMPUTE_INTENSIVE
+        )
+        assert (
+            synthetic_workload(intensity=0.1).workload_class
+            is WorkloadClass.MEMORY_INTENSIVE
+        )
+        assert (
+            synthetic_workload(intensity=0.1, memory_efficiency=0.08).workload_class
+            is WorkloadClass.RANDOM_ACCESS
+        )
+        assert synthetic_workload(intensity=2.0).workload_class is WorkloadClass.MIXED
+
+    def test_multi_phase_spread_deterministic(self):
+        a = synthetic_workload(n_phases=3, phase_spread=0.4, seed=5)
+        b = synthetic_workload(n_phases=3, phase_spread=0.4, seed=5)
+        assert [p.flops for p in a.phases] == [p.flops for p in b.phases]
+
+    def test_zero_spread_gives_identical_phases(self):
+        wl = synthetic_workload(n_phases=3, phase_spread=0.0)
+        intensities = {p.intensity for p in wl.phases}
+        assert len(intensities) == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_workload(n_phases=0)
+        with pytest.raises(ConfigurationError):
+            synthetic_workload(phase_spread=1.0)
+
+    def test_executable(self, ivb):
+        wl = synthetic_workload(n_phases=2, phase_spread=0.3, seed=1)
+        r = execute_on_host(ivb.cpu, ivb.dram, wl.phases, 150.0, 90.0)
+        assert r.elapsed_s > 0
+        assert wl.performance(r) > 0
+
+
+class TestRandomWorkload:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_always_valid_and_executable(self, ivb, seed):
+        wl = random_workload(seed)
+        r = execute_on_host(ivb.cpu, ivb.dram, wl.phases, 180.0, 100.0)
+        assert r.elapsed_s > 0
+
+    def test_seed_determinism(self):
+        assert random_workload(9).total_flops == random_workload(9).total_flops

@@ -1,0 +1,48 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"], [("a", 1.0), ("bb", 22.5)])
+        lines = out.splitlines()
+        assert lines[0].endswith("value")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_spec_applied(self):
+        out = format_table(["v"], [(3.14159,)], float_spec=".2f")
+        assert "3.14" in out and "3.142" not in out
+
+    def test_none_renders_dash(self):
+        out = format_table(["v"], [(None,)])
+        assert out.splitlines()[-1].strip() == "-"
+
+    def test_bool_not_formatted_as_float(self):
+        out = format_table(["v"], [(True,)])
+        assert "True" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_string_cells_untouched(self):
+        out = format_table(["s"], [("I/II",)])
+        assert "I/II" in out
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        out = format_series("x", "y", [1, 2], [10.0, 20.0])
+        assert "10.000" in out and "20.000" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            format_series("x", "y", [1, 2], [1.0])

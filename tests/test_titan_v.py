@@ -1,0 +1,61 @@
+"""Titan V (GPU Platform II) coverage across the full GPU suite."""
+
+import pytest
+
+from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
+from repro.core.profiler import profile_gpu_workload
+from repro.core.scenario import GPU_SCENARIOS, Scenario
+from repro.core.sweep import sweep_gpu_allocations
+from repro.hardware.nvml import NvmlDevice
+from repro.perfmodel.executor import execute_on_gpu
+from repro.workloads import gpu_workload, list_gpu_workloads
+
+
+class TestSuiteOnTitanV:
+    @pytest.mark.parametrize("name", list_gpu_workloads())
+    def test_executes_and_respects_caps(self, tv, name):
+        wl = gpu_workload(name)
+        for cap in (110.0, 180.0, 250.0):
+            r = execute_on_gpu(tv, wl.phases, cap)
+            if r.respects_bound:
+                assert r.total_power_w <= cap + 1e-6
+            assert wl.performance(r) > 0
+
+    @pytest.mark.parametrize("name", list_gpu_workloads())
+    def test_reduced_taxonomy_holds(self, tv, name):
+        wl = gpu_workload(name)
+        sweep = sweep_gpu_allocations(tv, wl, 200.0, freq_stride=2)
+        assert set(sweep.scenarios) <= set(GPU_SCENARIOS)
+
+    @pytest.mark.parametrize("name", ["gpu-stream", "minife", "cufft", "hpcg"])
+    def test_memory_intensive_prefers_max_clock(self, tv, name):
+        # Section 4: "On Titan V, application performance is generally
+        # memory bounded, and increases with memory power allocation."
+        wl = gpu_workload(name)
+        sweep = sweep_gpu_allocations(tv, wl, 250.0, freq_stride=1)
+        assert sweep.best.result.phases[0].mem_throttle == pytest.approx(1.0)
+        assert sweep.performances[-1] >= sweep.performances[0]
+
+    @pytest.mark.parametrize("name", list_gpu_workloads())
+    def test_coord_accuracy_on_v(self, tv, name):
+        wl = gpu_workload(name)
+        device = NvmlDevice(tv)
+        critical = profile_gpu_workload(tv, wl)
+        for cap in (120.0, 180.0, 250.0):
+            decision = coord_gpu(critical, cap, hardware_max_w=tv.max_cap_w)
+            mem_op = apply_gpu_decision(device, decision, cap)
+            perf = wl.performance(execute_on_gpu(tv, wl.phases, cap, mem_op.freq_mhz))
+            best = sweep_gpu_allocations(tv, wl, cap, freq_stride=1).perf_max
+            assert perf >= 0.90 * best, (name, cap)
+
+    def test_hbm2_memory_power_span_small(self, tv, xp):
+        # The V's entire memory-clock sweep spans fewer watts than the XP's.
+        v_span = tv.mem.max_power_w - tv.mem.floor_power_w
+        xp_span = xp.mem.max_power_w - xp.mem.floor_power_w
+        assert v_span < 0.6 * xp_span
+
+    def test_category_iii_dominates_on_v(self, tv, minife):
+        r = execute_on_gpu(tv, minife.phases, 250.0)
+        from repro.core.scenario import classify_gpu
+
+        assert classify_gpu(r) is Scenario.III

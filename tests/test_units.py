@@ -1,0 +1,115 @@
+"""Unit-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitError
+from repro.util.units import (
+    as_gbps,
+    as_ghz,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    clamp,
+    ghz_to_hz,
+    hz_to_ghz,
+    joules,
+    watts,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(UnitError, match="must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(UnitError, match="finite"):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(UnitError, match="finite"):
+            check_positive(float("inf"), "x")
+
+    def test_error_names_the_quantity(self):
+        with pytest.raises(UnitError, match="frequency"):
+            check_positive(-3.0, "frequency")
+
+    def test_coerces_int(self):
+        out = check_positive(3, "x")
+        assert isinstance(out, float) and out == 3.0
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError, match=">= 0"):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_fraction(value, "x") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(UnitError):
+            check_fraction(value, "x")
+
+
+class TestDomainAliases:
+    def test_watts_validates(self):
+        assert watts(30.0) == 30.0
+        with pytest.raises(UnitError):
+            watts(-1.0)
+
+    def test_joules_validates(self):
+        assert joules(1e6) == 1e6
+        with pytest.raises(UnitError):
+            joules(float("nan"))
+
+    def test_as_ghz_requires_positive(self):
+        assert as_ghz(1.2) == 1.2
+        with pytest.raises(UnitError):
+            as_ghz(0.0)
+
+    def test_as_gbps_allows_zero(self):
+        assert as_gbps(0.0) == 0.0
+
+
+class TestConversions:
+    def test_ghz_roundtrip(self):
+        assert hz_to_ghz(ghz_to_hz(2.5)) == pytest.approx(2.5)
+
+    def test_ghz_to_hz_scale(self):
+        assert ghz_to_hz(1.0) == 1.0e9
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below(self):
+        assert clamp(-5.0, 0.0, 10.0) == 0.0
+
+    def test_above(self):
+        assert clamp(15.0, 0.0, 10.0) == 10.0
+
+    def test_inverted_interval_raises(self):
+        with pytest.raises(UnitError, match="inverted"):
+            clamp(1.0, 10.0, 0.0)
+
+    def test_boundary_exact(self):
+        assert clamp(10.0, 0.0, 10.0) == 10.0
+        assert math.copysign(1.0, clamp(0.0, 0.0, 10.0)) == 1.0

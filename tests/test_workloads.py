@@ -1,0 +1,168 @@
+"""Workload abstraction, suites, and registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownWorkloadError
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+from repro.perfmodel.phase import Phase
+from repro.workloads import (
+    MetricKind,
+    Workload,
+    WorkloadClass,
+    cpu_workload,
+    get_workload,
+    gpu_workload,
+    list_cpu_workloads,
+    list_gpu_workloads,
+    list_workloads,
+)
+
+
+def simple_phase():
+    return Phase(
+        name="p", flops=1e9, bytes_moved=1e10, activity=0.5,
+        compute_efficiency=0.1, memory_efficiency=0.6,
+    )
+
+
+class TestWorkloadValidation:
+    def test_bad_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Workload(
+                name="x", suite="s", description="d", device="tpu",
+                workload_class=WorkloadClass.MIXED, phases=(simple_phase(),),
+                metric=MetricKind.GFLOPS,
+            )
+
+    def test_no_phases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Workload(
+                name="x", suite="s", description="d", device="cpu",
+                workload_class=WorkloadClass.MIXED, phases=(),
+                metric=MetricKind.GFLOPS,
+            )
+
+    def test_gups_requires_work_units(self):
+        with pytest.raises(ConfigurationError, match="work_units"):
+            Workload(
+                name="x", suite="s", description="d", device="cpu",
+                workload_class=WorkloadClass.MIXED, phases=(simple_phase(),),
+                metric=MetricKind.GUPS,
+            )
+
+    def test_scaled_workload(self):
+        wl = cpu_workload("sra").scaled(2.0)
+        assert wl.work_units == pytest.approx(cpu_workload("sra").work_units * 2)
+        assert wl.total_bytes == pytest.approx(cpu_workload("sra").total_bytes * 2)
+
+    def test_scaling_preserves_performance(self, ivb):
+        wl = cpu_workload("stream")
+        r1 = execute_on_host(ivb.cpu, ivb.dram, wl.phases, 1000.0, 1000.0)
+        wl2 = wl.scaled(3.0)
+        r2 = execute_on_host(ivb.cpu, ivb.dram, wl2.phases, 1000.0, 1000.0)
+        assert wl.performance(r1) == pytest.approx(wl2.performance(r2))
+
+
+class TestTable3Suites:
+    def test_cpu_suite_complete(self):
+        # Table 3, top half: the 11 CPU benchmarks.
+        assert set(list_cpu_workloads()) == {
+            "sra", "stream", "dgemm", "bt", "sp", "lu", "ep", "is", "cg", "ft", "mg",
+        }
+
+    def test_gpu_suite_complete(self):
+        # Table 3, bottom half: the 6 GPU benchmarks.
+        assert set(list_gpu_workloads()) == {
+            "sgemm", "gpu-stream", "cufft", "minife", "cloverleaf", "hpcg",
+        }
+
+    def test_devices_consistent(self):
+        for name in list_cpu_workloads():
+            assert cpu_workload(name).device == "cpu"
+        for name in list_gpu_workloads():
+            assert gpu_workload(name).device == "gpu"
+
+    def test_class_assignments_from_table3(self):
+        assert cpu_workload("dgemm").workload_class is WorkloadClass.COMPUTE_INTENSIVE
+        assert cpu_workload("stream").workload_class is WorkloadClass.MEMORY_INTENSIVE
+        assert cpu_workload("sra").workload_class is WorkloadClass.RANDOM_ACCESS
+        assert cpu_workload("sp").workload_class is WorkloadClass.MIXED
+        assert gpu_workload("sgemm").workload_class is WorkloadClass.COMPUTE_INTENSIVE
+        assert gpu_workload("minife").workload_class is WorkloadClass.MEMORY_INTENSIVE
+
+    def test_intensity_ordering(self):
+        # Compute-intensive codes have far higher FLOP/byte than random ones.
+        assert cpu_workload("dgemm").intensity > 10.0
+        assert cpu_workload("ep").intensity > cpu_workload("dgemm").intensity
+        assert cpu_workload("stream").intensity < 0.1
+        assert cpu_workload("sra").intensity < 0.01
+
+    def test_multi_phase_pseudo_applications(self):
+        for name in ("bt", "sp", "lu", "ft", "mg"):
+            assert len(cpu_workload(name).phases) >= 2, name
+
+    def test_kernel_benchmarks_single_phase(self):
+        for name in ("sra", "stream", "dgemm", "ep"):
+            assert len(cpu_workload(name).phases) == 1, name
+
+    def test_lookup_case_insensitive(self):
+        assert cpu_workload("DGEMM").name == "dgemm"
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(UnknownWorkloadError):
+            cpu_workload("linpack")
+        with pytest.raises(UnknownWorkloadError):
+            gpu_workload("dgemm")
+
+
+class TestRegistry:
+    def test_union(self):
+        assert set(list_workloads()) == set(list_cpu_workloads()) | set(
+            list_gpu_workloads()
+        )
+
+    def test_device_filter(self):
+        assert set(list_workloads("cpu")) == set(list_cpu_workloads())
+        assert set(list_workloads("gpu")) == set(list_gpu_workloads())
+
+    def test_bad_filter(self):
+        with pytest.raises(UnknownWorkloadError):
+            list_workloads("fpga")
+
+    def test_get_workload_spans_suites(self):
+        assert get_workload("mg").device == "cpu"
+        assert get_workload("hpcg").device == "gpu"
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("nope")
+
+
+class TestMetrics:
+    def test_stream_reports_gbps(self, ivb):
+        wl = cpu_workload("stream")
+        r = execute_on_host(ivb.cpu, ivb.dram, wl.phases, 1000.0, 1000.0)
+        assert wl.performance(r) == pytest.approx(r.bytes_rate / 1e9)
+        assert wl.metric_unit == "GB/s"
+
+    def test_dgemm_reports_gflops(self, ivb):
+        wl = cpu_workload("dgemm")
+        r = execute_on_host(ivb.cpu, ivb.dram, wl.phases, 1000.0, 1000.0)
+        assert wl.performance(r) == pytest.approx(r.flops_rate / 1e9)
+
+    def test_sra_reports_gups(self, ivb):
+        wl = cpu_workload("sra")
+        r = execute_on_host(ivb.cpu, ivb.dram, wl.phases, 1000.0, 1000.0)
+        assert wl.performance(r) == pytest.approx(wl.work_units / r.elapsed_s / 1e9)
+        assert wl.metric_unit == "GUP/s"
+
+    def test_npb_reports_mops(self, ivb):
+        wl = cpu_workload("mg")
+        r = execute_on_host(ivb.cpu, ivb.dram, wl.phases, 1000.0, 1000.0)
+        assert wl.performance(r) == pytest.approx(wl.total_flops / r.elapsed_s / 1e6)
+
+    def test_gpu_stream_reasonable_bandwidth(self, xp):
+        wl = gpu_workload("gpu-stream")
+        r = execute_on_gpu(xp, wl.phases, 300.0)
+        # Near the card's efficient streaming bandwidth, not above peak.
+        assert 300.0 < wl.performance(r) <= 480.0
