@@ -1,0 +1,23 @@
+# Developer entry points. The package is laid out src/-style, so every
+# target exports PYTHONPATH=src rather than requiring an install.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-slow test-all bench
+
+# Tier-1: the trimmed suite (pyproject addopts deselect `slow`).
+test:
+	$(PYTEST) -x -q
+
+# The exhaustive matrix: every registered workload through the
+# serial-vs-parallel equivalence harness (and any other slow tests).
+test-slow:
+	$(PYTEST) -x -q -m slow
+
+test-all: test test-slow
+
+# Artifact benchmarks (pytest-benchmark) + the parallel engine report.
+bench:
+	$(PYTEST) -q benchmarks/ --benchmark-only
+	$(PYTEST) -q -s benchmarks/bench_parallel.py

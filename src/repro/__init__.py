@@ -92,6 +92,8 @@ from repro.core import (
     coord_gpu,
     cpu_budget_curve,
     gpu_budget_curve,
+    SweepEngine,
+    use_engine,
     memory_first_allocation,
     oracle_allocation,
     profile_cpu_workload,
@@ -130,6 +132,7 @@ __all__ = [
     "ReproError",
     "Scenario",
     "SchedulerError",
+    "SweepEngine",
     "SweepError",
     "UnitError",
     "UnknownPlatformError",
@@ -167,4 +170,5 @@ __all__ = [
     "synthetic_workload",
     "titan_v_card",
     "titan_xp_card",
+    "use_engine",
 ]

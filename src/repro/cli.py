@@ -19,6 +19,7 @@ import sys
 from repro import __version__
 from repro.config import to_json
 from repro.core.coord import coord_cpu
+from repro.core.parallel import SweepEngine
 from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
 from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
 from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
@@ -63,10 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("budget", type=float)
     p.add_argument("--platform", default=None)
     p.add_argument("--step", type=float, default=8.0)
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
+    )
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("artifact", help="fig1..fig9, table1, ablation, or 'all'")
     p.add_argument("--fast", action="store_true", help="coarser sweeps")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
+    )
     return parser
 
 
@@ -149,9 +158,11 @@ def _cmd_coord(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workload, platform = _resolve(args.workload, args.platform)
+    engine = SweepEngine(n_jobs=args.jobs) if args.jobs is not None else None
     if workload.device == "cpu":
         sweep = sweep_cpu_allocations(
-            platform.cpu, platform.dram, workload, args.budget, step_w=args.step
+            platform.cpu, platform.dram, workload, args.budget, step_w=args.step,
+            engine=engine,
         )
         rows = [
             (p.allocation.mem_w, p.allocation.proc_w, p.performance,
@@ -161,7 +172,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         headers = ["P_mem (W)", "P_cpu (W)", f"perf ({workload.metric_unit})",
                    "actual (W)", "cat."]
     else:
-        sweep = sweep_gpu_allocations(platform, workload, args.budget)
+        sweep = sweep_gpu_allocations(platform, workload, args.budget, engine=engine)
         rows = [
             (f, a, p, r.actual_total_w, r.scenario.roman)
             for f, a, p, r in zip(
@@ -182,8 +193,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     artifacts = list_experiments() if args.artifact == "all" else [args.artifact]
+    # One engine across artifacts so 'all' shares the memo cache.
+    engine = SweepEngine(n_jobs=args.jobs) if args.jobs is not None else None
     for artifact in artifacts:
-        report = run_experiment(artifact, fast=args.fast)
+        report = run_experiment(artifact, fast=args.fast, engine=engine)
         print(report.render())
         print()
     return 0

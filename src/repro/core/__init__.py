@@ -18,6 +18,15 @@ hardware and execution substrates:
 """
 
 from repro.core.allocation import PowerAllocation, allocation_grid
+from repro.core.parallel import (
+    CacheStats,
+    MemoCache,
+    SweepEngine,
+    default_engine,
+    fingerprint,
+    set_default_engine,
+    use_engine,
+)
 from repro.core.scenario import Scenario, classify_cpu, classify_gpu
 from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
 from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
@@ -87,6 +96,7 @@ __all__ = [
     "BalancePoint",
     "BudgetAdvice",
     "BudgetVerdict",
+    "CacheStats",
     "CoordDecision",
     "CoordStatus",
     "CpuCriticalPowers",
@@ -100,9 +110,11 @@ __all__ = [
     "HybridResult",
     "HybridStep",
     "HybridWorkload",
+    "MemoCache",
     "OnlineShiftResult",
     "PowerAllocation",
     "Scenario",
+    "SweepEngine",
     "adaptive_coord",
     "adaptive_vs_static",
     "advise_budget",
@@ -118,9 +130,11 @@ __all__ = [
     "cpu_budget_curve",
     "cpu_first_allocation",
     "critical_component",
+    "default_engine",
     "demand_proportional_allocation",
     "efficiency_curve",
     "execute_hybrid",
+    "fingerprint",
     "golden_section_optimal",
     "gpu_budget_curve",
     "interpolation_allocation",
@@ -136,10 +150,12 @@ __all__ = [
     "profile_phases",
     "rank_by_elasticity",
     "scenario_spans",
+    "set_default_engine",
     "sweep_biglittle",
     "sweep_cpu_allocations",
     "sweep_efficiency",
     "sweep_gpu_allocations",
     "table1_rows",
     "uniform_allocation",
+    "use_engine",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.allocation import PowerAllocation
 from repro.core.scenario import Scenario
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import AllocationSweep, optimal_plateau, sweep_cpu_allocations
 from repro.errors import SweepError
 from repro.hardware.cpu import CpuDomain
@@ -139,11 +140,14 @@ def table1_rows(
     *,
     step_w: float = 4.0,
     shift_w: float = 24.0,
+    engine: "SweepEngine | None" = None,
 ) -> list[Table1Row]:
     """Derive Table 1 (optimal allocation & critical component vs budget)."""
     rows = []
     for budget in budgets_w:
-        sweep = sweep_cpu_allocations(cpu, dram, workload, budget, step_w=step_w)
+        sweep = sweep_cpu_allocations(
+            cpu, dram, workload, budget, step_w=step_w, engine=engine
+        )
         best = sweep.best
         rows.append(
             Table1Row(

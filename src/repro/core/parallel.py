@@ -1,0 +1,477 @@
+"""Parallel sweep execution with bounded, thread-safe memoization.
+
+Every figure and experiment walks the allocation grid through
+:func:`~repro.perfmodel.executor.execute_on_host` /
+:func:`~repro.perfmodel.executor.execute_on_gpu`, one point at a time.
+The points are independent — the model is a pure function of
+``(platform, phases, caps)`` — so two orthogonal speedups apply:
+
+* **fan-out** — a sweep's points dispatch onto a ``concurrent.futures``
+  pool (thread- or process-backed), sized from ``REPRO_JOBS`` or the host
+  core count, with a serial fast path when ``n_jobs == 1``;
+* **memoization** — ``(platform, phases, allocation) → ExecutionResult``
+  is cached in a bounded LRU shared by sweeps, budget curves, COORD
+  probing, and the cluster scheduler, so the repeated budgets in budget
+  curves and the scheduler's per-application predictions never re-execute
+  an identical point.
+
+Determinism is unconditional: results are assembled by *input* order and
+cache key, never by completion order, so the parallel engine is
+bit-for-bit equivalent to the serial oracle
+(``tests/test_parallel_equivalence.py`` locks this down differentially).
+
+Cache keys are *content fingerprints*, not object identities: a workload
+whose characterization changes (e.g. via :meth:`Workload.scaled`) can
+never be served a stale result recorded for its previous phases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from collections.abc import Callable, Hashable, Sequence
+from contextlib import contextmanager
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import PowerAllocation
+from repro.errors import SweepError
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+from repro.perfmodel.metrics import ExecutionResult
+from repro.perfmodel.phase import Phase
+
+__all__ = [
+    "CacheStats",
+    "JOBS_ENV_VAR",
+    "MemoCache",
+    "SweepEngine",
+    "default_engine",
+    "fingerprint",
+    "freeze",
+    "resolve_jobs",
+    "set_default_engine",
+    "use_engine",
+]
+
+#: Environment override for the pool size (``1`` forces the serial path).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Auto-sizing never exceeds this many workers — sweeps have a few dozen
+#: points, so wider pools only add dispatch overhead.
+_MAX_AUTO_JOBS = 8
+
+#: Default bound on the shared execution cache (entries, LRU-evicted).
+DEFAULT_CACHE_SIZE = 4096
+
+
+# ---------------------------------------------------------------------------
+# content fingerprints
+# ---------------------------------------------------------------------------
+
+def freeze(obj: object) -> Hashable:
+    """Recursively convert ``obj`` into a hashable content snapshot.
+
+    Handles the model's vocabulary: frozen dataclasses (phases, workloads,
+    operating points), plain domain objects (``CpuDomain``, ``GpuCard`` —
+    snapshotted via their instance dict), numpy arrays, enums, and the
+    usual scalars/containers.  Two objects freeze equal iff their visible
+    state is equal, regardless of identity.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", obj.dtype.str, obj.shape, obj.tobytes())
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, enum.Enum):
+        return (type(obj).__name__, obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (type(obj).__name__,) + tuple(
+            (f.name, freeze(getattr(obj, f.name))) for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, (tuple, list)):
+        return tuple(freeze(x) for x in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set",) + tuple(sorted(map(repr, obj)))
+    if isinstance(obj, dict):
+        return tuple(sorted((str(k), freeze(v)) for k, v in obj.items()))
+    if hasattr(obj, "__dict__"):
+        return (type(obj).__name__,) + tuple(
+            (k, freeze(v)) for k, v in sorted(vars(obj).items())
+        )
+    raise TypeError(f"cannot fingerprint {type(obj).__name__!r} for the sweep cache")
+
+
+#: Fingerprint memo for immutable model objects (platforms, phase tuples).
+#: Weak keys: the memo never keeps a platform alive.
+_FP_MEMO: "weakref.WeakKeyDictionary[object, str]" = weakref.WeakKeyDictionary()
+_FP_LOCK = threading.Lock()
+
+
+def fingerprint(obj: object) -> str:
+    """Stable hex digest of an object's frozen content.
+
+    Compact enough to embed in typed cache keys (scheduler predictions,
+    sweep points) while still changing whenever the underlying
+    characterization changes.
+    """
+    try:
+        with _FP_LOCK:
+            cached = _FP_MEMO.get(obj)
+        if cached is not None:
+            return cached
+        memoizable = True
+    except TypeError:  # unhashable/unweakrefable → compute directly
+        memoizable = False
+    digest = hashlib.sha1(repr(freeze(obj)).encode()).hexdigest()
+    if memoizable:
+        try:
+            with _FP_LOCK:
+                _FP_MEMO[obj] = digest
+        except TypeError:
+            pass
+    return digest
+
+
+# ---------------------------------------------------------------------------
+# bounded thread-safe memoization
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of a :class:`MemoCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MemoCache:
+    """A bounded, thread-safe LRU map from hashable keys to results.
+
+    All mutation happens under one re-entrant lock, so concurrent sweep
+    workers (and parallel scheduler callers) never race on dict writes.
+    Values are expected to be immutable (frozen dataclasses), which makes
+    sharing a cached :class:`ExecutionResult` across callers safe.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise SweepError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def lookup(self, key: Hashable) -> tuple[bool, object | None]:
+        """``(hit, value)`` for ``key``; counts the lookup either way."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._hits += 1
+                return True, self._data[key]
+            self._misses += 1
+            return False, None
+
+    def store(self, key: Hashable, value: object) -> None:
+        """Insert ``key``, evicting least-recently-used entries past the bound."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], object]) -> object:
+        """Cached value for ``key``, computing and storing it on a miss.
+
+        ``compute`` runs outside the lock: a concurrent miss on the same
+        key may compute twice, but the model is deterministic so both
+        computations store the same value — correctness is unaffected.
+        """
+        hit, value = self.lookup(key)
+        if hit:
+            return value
+        value = compute()
+        self.store(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self._maxsize,
+            )
+
+
+# ---------------------------------------------------------------------------
+# pool workers (top level so the process backend can pickle them)
+# ---------------------------------------------------------------------------
+
+def _host_task(args: tuple) -> ExecutionResult:
+    cpu, dram, phases, proc_w, mem_w = args
+    return execute_on_host(cpu, dram, phases, proc_w, mem_w)
+
+
+def _gpu_task(args: tuple) -> ExecutionResult:
+    card, phases, cap_w, mem_freq_mhz = args
+    return execute_on_gpu(card, phases, cap_w, mem_freq_mhz)
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """Resolve a worker count: explicit > ``REPRO_JOBS`` > host auto-size."""
+    if n_jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env is not None and env.strip():
+            try:
+                n_jobs = int(env)
+            except ValueError:
+                raise SweepError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            n_jobs = min(os.cpu_count() or 1, _MAX_AUTO_JOBS)
+    n_jobs = int(n_jobs)
+    if n_jobs < 1:
+        raise SweepError(f"n_jobs must be >= 1, got {n_jobs}")
+    return n_jobs
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+class SweepEngine:
+    """Memoized, optionally parallel executor of sweep points.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count; ``None`` resolves via :func:`resolve_jobs`
+        (``REPRO_JOBS`` env override, else host core count).  ``1``
+        selects a serial fast path with no pool at all.
+    backend:
+        ``"thread"`` (default — the model releases no GIL but threads
+        avoid pickling and share the cache directly) or ``"process"``
+        (true parallelism; platforms/phases are pickled per task and the
+        cache stays in the parent, which checks it before dispatch).
+    cache_size:
+        LRU bound of the engine's :class:`MemoCache`; ignored if an
+        explicit ``cache`` instance is shared in.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int | None = None,
+        *,
+        backend: str = "thread",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache: MemoCache | None = None,
+    ) -> None:
+        if backend not in ("thread", "process"):
+            raise SweepError(f"backend must be 'thread' or 'process', got {backend!r}")
+        self.n_jobs = resolve_jobs(n_jobs)
+        self.backend = backend
+        self.cache = cache if cache is not None else MemoCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # cache keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _host_base(cpu, dram, phases: Sequence[Phase]) -> tuple:
+        return ("host", fingerprint(cpu), fingerprint(dram), fingerprint(tuple(phases)))
+
+    @staticmethod
+    def _gpu_base(card, phases: Sequence[Phase]) -> tuple:
+        return ("gpu", fingerprint(card), fingerprint(tuple(phases)))
+
+    # ------------------------------------------------------------------
+    # single points (memoized; used by schedulers and COORD probing)
+    # ------------------------------------------------------------------
+    def execute_host(
+        self, cpu, dram, phases: Sequence[Phase], proc_w: float, mem_w: float
+    ) -> ExecutionResult:
+        """Memoized :func:`execute_on_host` (never re-runs an identical point)."""
+        key = self._host_base(cpu, dram, phases) + (float(proc_w), float(mem_w))
+        return self.cache.get_or_compute(
+            key, lambda: execute_on_host(cpu, dram, phases, proc_w, mem_w)
+        )
+
+    def execute_gpu(
+        self, card, phases: Sequence[Phase], cap_w: float, mem_freq_mhz: float | None
+    ) -> ExecutionResult:
+        """Memoized :func:`execute_on_gpu`."""
+        freq = None if mem_freq_mhz is None else float(mem_freq_mhz)
+        key = self._gpu_base(card, phases) + (float(cap_w), freq)
+        return self.cache.get_or_compute(
+            key, lambda: execute_on_gpu(card, phases, cap_w, mem_freq_mhz)
+        )
+
+    # ------------------------------------------------------------------
+    # batched fan-out (order-preserving)
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self, task: Callable[[tuple], ExecutionResult], keyed: list[tuple[tuple, tuple]]
+    ) -> dict[tuple, ExecutionResult]:
+        """Execute ``(key, task_args)`` pairs, returning ``key → result``.
+
+        The dict is keyed — not positional — so assembly in the caller is
+        independent of completion order, which is what makes process/thread
+        scheduling invisible in the results.
+        """
+        resolved: dict[tuple, ExecutionResult] = {}
+        if not keyed:
+            return resolved
+        if self.n_jobs == 1 or len(keyed) == 1:
+            for key, args in keyed:
+                resolved[key] = task(args)
+            return resolved
+        workers = min(self.n_jobs, len(keyed))
+        pool_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            for (key, _), result in zip(keyed, pool.map(task, (a for _, a in keyed))):
+                resolved[key] = result
+        return resolved
+
+    def _map(
+        self,
+        task: Callable[[tuple], ExecutionResult],
+        keys: list[tuple],
+        args_for: Callable[[int], tuple],
+    ) -> list[ExecutionResult]:
+        """Resolve ``keys`` in input order, fanning cache misses onto the pool."""
+        resolved: dict[tuple, ExecutionResult | None] = {}
+        missing: list[tuple[tuple, tuple]] = []
+        for i, key in enumerate(keys):
+            if key in resolved:
+                continue  # duplicate within the batch: one lookup, one execution
+            hit, value = self.cache.lookup(key)
+            if hit:
+                resolved[key] = value  # type: ignore[assignment]
+            else:
+                resolved[key] = None
+                missing.append((key, args_for(i)))
+        for key, result in self._run_batch(task, missing).items():
+            self.cache.store(key, result)
+            resolved[key] = result
+        return [resolved[key] for key in keys]  # type: ignore[return-value]
+
+    def map_host(
+        self,
+        cpu,
+        dram,
+        phases: Sequence[Phase],
+        allocations: Sequence[PowerAllocation],
+    ) -> list[ExecutionResult]:
+        """Results for all ``allocations``, in input order."""
+        base = self._host_base(cpu, dram, phases)
+        keys = [base + (float(a.proc_w), float(a.mem_w)) for a in allocations]
+        return self._map(
+            _host_task,
+            keys,
+            lambda i: (cpu, dram, tuple(phases),
+                       allocations[i].proc_w, allocations[i].mem_w),
+        )
+
+    def map_gpu(
+        self,
+        card,
+        phases: Sequence[Phase],
+        cap_w: float,
+        mem_freqs_mhz: Sequence[float],
+    ) -> list[ExecutionResult]:
+        """Results for all memory clocks under one board cap, in input order."""
+        base = self._gpu_base(card, phases) + (float(cap_w),)
+        keys = [base + (float(f),) for f in mem_freqs_mhz]
+        return self._map(
+            _gpu_task,
+            keys,
+            lambda i: (card, tuple(phases), cap_w, float(mem_freqs_mhz[i])),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Counters of the engine's execution cache."""
+        return self.cache.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SweepEngine(n_jobs={self.n_jobs}, backend={self.backend!r}, "
+            f"cache={self.stats})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# process-wide default engine
+# ---------------------------------------------------------------------------
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_ENGINE: SweepEngine | None = None
+
+
+def default_engine() -> SweepEngine:
+    """The process-wide engine sweeps use when none is passed explicitly.
+
+    Created lazily with auto-sized workers (``REPRO_JOBS`` respected) and
+    the default cache bound; replace it with :func:`set_default_engine`
+    or scope a replacement with :func:`use_engine`.
+    """
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = SweepEngine()
+        return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: SweepEngine | None) -> SweepEngine | None:
+    """Install ``engine`` as the process default; returns the previous one."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT_ENGINE
+        _DEFAULT_ENGINE = engine
+        return previous
+
+
+@contextmanager
+def use_engine(engine: SweepEngine):
+    """Scope ``engine`` as the default for a ``with`` block (tests, CLI)."""
+    previous = set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)

@@ -5,6 +5,12 @@ the memory share in fixed steps, run the workload at each allocation, and
 record performance, actual powers, and scenario category.  Budget curves
 take the per-budget maximum (``perf_max``) across allocations — the upper
 performance bound of Figures 1, 2 and 6.
+
+Execution is routed through a :class:`~repro.core.parallel.SweepEngine`
+(the process-wide default unless one is passed): allocation points fan out
+across its worker pool and memoize into its shared cache, while point
+ordering, plateau selection, and scenario classification stay exactly as
+the serial oracle computes them.
 """
 
 from __future__ import annotations
@@ -14,12 +20,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.allocation import PowerAllocation, allocation_grid
+from repro.core.parallel import SweepEngine, default_engine
 from repro.core.scenario import Scenario, classify_cpu, classify_gpu
 from repro.errors import SweepError
 from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
 from repro.hardware.gpu import GpuCard
-from repro.perfmodel.executor import execute_on_gpu, execute_on_host
 from repro.perfmodel.metrics import ExecutionResult
 from repro.workloads.base import Workload
 
@@ -186,21 +192,23 @@ def sweep_cpu_allocations(
     step_w: float = 4.0,
     mem_min_w: float = 16.0,
     proc_min_w: float = 8.0,
+    engine: SweepEngine | None = None,
 ) -> AllocationSweep:
     """Sweep a host budget across processor/memory splits."""
-    points = []
-    for alloc in allocation_grid(
+    engine = engine if engine is not None else default_engine()
+    allocations = allocation_grid(
         budget_w, mem_min_w=mem_min_w, proc_min_w=proc_min_w, step_w=step_w
-    ):
-        result = execute_on_host(cpu, dram, workload.phases, alloc.proc_w, alloc.mem_w)
-        points.append(
-            SweepPoint(
-                allocation=alloc,
-                result=result,
-                performance=workload.performance(result),
-                scenario=classify_cpu(result),
-            )
+    )
+    results = engine.map_host(cpu, dram, workload.phases, allocations)
+    points = [
+        SweepPoint(
+            allocation=alloc,
+            result=result,
+            performance=workload.performance(result),
+            scenario=classify_cpu(result),
         )
+        for alloc, result in zip(allocations, results)
+    ]
     return AllocationSweep(
         workload_name=workload.name,
         metric_unit=workload.metric_unit,
@@ -216,15 +224,21 @@ def cpu_budget_curve(
     budgets_w: np.ndarray | list[float],
     *,
     step_w: float = 4.0,
+    engine: SweepEngine | None = None,
 ) -> BudgetCurve:
-    """``perf_max`` over a range of host budgets."""
+    """``perf_max`` over a range of host budgets.
+
+    Repeated budgets hit the engine's cache instead of re-sweeping.
+    """
     budgets = np.asarray(budgets_w, dtype=float)
     if budgets.size == 0:
         raise SweepError("budget curve needs at least one budget")
     perf = np.empty_like(budgets)
     opt_mem = np.empty_like(budgets)
     for i, b in enumerate(budgets):
-        sweep = sweep_cpu_allocations(cpu, dram, workload, float(b), step_w=step_w)
+        sweep = sweep_cpu_allocations(
+            cpu, dram, workload, float(b), step_w=step_w, engine=engine
+        )
         perf[i] = sweep.perf_max
         opt_mem[i] = sweep.best.allocation.mem_w
     return BudgetCurve(
@@ -282,6 +296,7 @@ def sweep_gpu_allocations(
     cap_w: float,
     *,
     freq_stride: int = 1,
+    engine: SweepEngine | None = None,
 ) -> GpuSweep:
     """Sweep memory clocks under a fixed board cap.
 
@@ -290,12 +305,13 @@ def sweep_gpu_allocations(
     """
     if freq_stride < 1:
         raise SweepError(f"freq_stride must be >= 1, got {freq_stride}")
+    engine = engine if engine is not None else default_engine()
     freqs = card.mem.frequencies_mhz[::freq_stride]
     if freqs[-1] != card.mem.nominal_mhz:
         freqs = np.append(freqs, card.mem.nominal_mhz)
+    results = engine.map_gpu(card, workload.phases, cap_w, [float(f) for f in freqs])
     points = []
-    for f in freqs:
-        result = execute_on_gpu(card, workload.phases, cap_w, float(f))
+    for f, result in zip(freqs, results):
         alloc = PowerAllocation(
             max(0.0, cap_w - card.mem.allocated_power_w(float(f))),
             card.mem.allocated_power_w(float(f)),
@@ -325,6 +341,7 @@ def gpu_budget_curve(
     caps_w: np.ndarray | list[float],
     *,
     freq_stride: int = 1,
+    engine: SweepEngine | None = None,
 ) -> BudgetCurve:
     """``perf_max`` over a range of GPU board caps (Figure 6)."""
     caps = np.asarray(caps_w, dtype=float)
@@ -333,7 +350,9 @@ def gpu_budget_curve(
     perf = np.empty_like(caps)
     opt_mem = np.empty_like(caps)
     for i, cap in enumerate(caps):
-        sweep = sweep_gpu_allocations(card, workload, float(cap), freq_stride=freq_stride)
+        sweep = sweep_gpu_allocations(
+            card, workload, float(cap), freq_stride=freq_stride, engine=engine
+        )
         perf[i] = sweep.perf_max
         opt_mem[i] = sweep.best.allocation.mem_w
     return BudgetCurve(

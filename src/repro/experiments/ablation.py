@@ -27,6 +27,7 @@ from repro.core.baselines import memory_first_allocation
 from repro.core.coord import coord_cpu
 from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
 from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
 from repro.experiments.report import ExperimentReport
 from repro.hardware.nvml import NvmlDevice
@@ -43,7 +44,9 @@ GAMMAS = (0.0, 0.25, 0.5, 0.75, 1.0)
 STEPPINGS_W = (2.0, 4.0, 8.0, 16.0, 32.0)
 
 
-def _gamma_study(report: ExperimentReport, fast: bool) -> None:
+def _gamma_study(
+    report: ExperimentReport, fast: bool, engine: SweepEngine | None = None
+) -> None:
     card = titan_xp_card()
     device = NvmlDevice(card)
     caps = (130.0, 150.0, 170.0)
@@ -54,7 +57,7 @@ def _gamma_study(report: ExperimentReport, fast: bool) -> None:
         critical = profile_gpu_workload(card, wl)
         for cap in caps:
             best = sweep_gpu_allocations(
-                card, wl, cap, freq_stride=4 if fast else 1
+                card, wl, cap, freq_stride=4 if fast else 1, engine=engine
             ).perf_max
             for gamma in GAMMAS:
                 decision = coord_gpu(
@@ -77,7 +80,9 @@ def _gamma_study(report: ExperimentReport, fast: bool) -> None:
     report.data["gamma"] = data
 
 
-def _stepping_study(report: ExperimentReport, fast: bool) -> None:
+def _stepping_study(
+    report: ExperimentReport, fast: bool, engine: SweepEngine | None = None
+) -> None:
     node = ivybridge_node()
     rows = []
     data = {}
@@ -85,9 +90,13 @@ def _stepping_study(report: ExperimentReport, fast: bool) -> None:
     for wl_name in ("sra", "mg", "dgemm"):
         wl = cpu_workload(wl_name)
         for budget in budgets:
-            reference = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=1.0)
+            reference = sweep_cpu_allocations(
+                node.cpu, node.dram, wl, budget, step_w=1.0, engine=engine
+            )
             for step in STEPPINGS_W if not fast else STEPPINGS_W[1::2]:
-                sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=step)
+                sweep = sweep_cpu_allocations(
+                    node.cpu, node.dram, wl, budget, step_w=step, engine=engine
+                )
                 loss = 1.0 - sweep.perf_max / reference.perf_max
                 rows.append(
                     (wl_name, budget, step, len(sweep.points), f"{loss * 100:.2f}%")
@@ -143,7 +152,9 @@ def _memory_first_study(report: ExperimentReport, fast: bool) -> None:
     report.data["memory_first"] = data
 
 
-def _noise_study(report: ExperimentReport, fast: bool) -> None:
+def _noise_study(
+    report: ExperimentReport, fast: bool, engine: SweepEngine | None = None
+) -> None:
     from repro.util.seeds import spawn_rng
 
     node = ivybridge_node()
@@ -156,7 +167,8 @@ def _noise_study(report: ExperimentReport, fast: bool) -> None:
         clean = profile_cpu_workload(node.cpu, node.dram, wl)
         for budget in (176.0, 208.0):
             best = sweep_cpu_allocations(
-                node.cpu, node.dram, wl, budget, step_w=8.0 if fast else 4.0
+                node.cpu, node.dram, wl, budget, step_w=8.0 if fast else 4.0,
+                engine=engine,
             ).perf_max
             for noise in noise_levels:
                 rng = spawn_rng(0, "noise", wl_name, str(budget), str(noise))
@@ -191,7 +203,9 @@ def _noise_study(report: ExperimentReport, fast: bool) -> None:
     report.data["noise"] = data
 
 
-def _search_cost_study(report: ExperimentReport, fast: bool) -> None:
+def _search_cost_study(
+    report: ExperimentReport, fast: bool, engine: SweepEngine | None = None
+) -> None:
     from repro.core.baselines import interpolation_allocation
     from repro.core.online import online_power_shift
     from repro.core.optimize import golden_section_optimal
@@ -206,7 +220,8 @@ def _search_cost_study(report: ExperimentReport, fast: bool) -> None:
     for wl_name in ("sra", "stream", "mg", "dgemm"):
         wl = cpu_workload(wl_name)
         reference = sweep_cpu_allocations(
-            node.cpu, node.dram, wl, budget, step_w=1.0 if not fast else 4.0
+            node.cpu, node.dram, wl, budget, step_w=1.0 if not fast else 4.0,
+            engine=engine,
         )
         best = reference.perf_max
 
@@ -218,7 +233,9 @@ def _search_cost_study(report: ExperimentReport, fast: bool) -> None:
         )
         entries = [("COORD (profiled)", profile_cost, wl.performance(r))]
 
-        coarse = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=8.0)
+        coarse = sweep_cpu_allocations(
+            node.cpu, node.dram, wl, budget, step_w=8.0, engine=engine
+        )
         entries.append(("sweep @ 8 W", len(coarse.points), coarse.perf_max))
 
         gs = golden_section_optimal(node.cpu, node.dram, wl, budget, tol_w=2.0)
@@ -251,15 +268,15 @@ def _search_cost_study(report: ExperimentReport, fast: bool) -> None:
     report.data["search_cost"] = data
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Run all five ablation studies."""
     report = ExperimentReport(
         "ablation",
         "Design-choice ablations (gamma, stepping, memory-first, noise, search cost)",
     )
-    _gamma_study(report, fast)
-    _stepping_study(report, fast)
+    _gamma_study(report, fast, engine)
+    _stepping_study(report, fast, engine)
     _memory_first_study(report, fast)
-    _noise_study(report, fast)
-    _search_cost_study(report, fast)
+    _noise_study(report, fast, engine)
+    _search_cost_study(report, fast, engine)
     return report

@@ -18,6 +18,7 @@ from repro.core.coord_hetero import (
     profile_biglittle,
     sweep_biglittle,
 )
+from repro.core.parallel import SweepEngine
 from repro.experiments.report import ExperimentReport
 from repro.hardware.biglittle import biglittle_node
 from repro.perfmodel.hetero import execute_on_biglittle
@@ -32,7 +33,7 @@ BUDGETS_W = (1.0, 1.8, 2.6, 3.5, 5.0, 7.0, 9.5)
 WORKLOADS = ("dgemm", "stream", "mg", "cg")
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: "SweepEngine | None" = None) -> ExperimentReport:
     """Regenerate the heterogeneous-node study."""
     report = ExperimentReport(
         "biglittle", "Three-way power coordination on a big.LITTLE node"

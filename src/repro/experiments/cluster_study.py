@@ -13,6 +13,7 @@ coordination machinery buys at the cluster level:
 
 from __future__ import annotations
 
+from repro.core.parallel import SweepEngine
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import ivybridge_node
 from repro.sched import Cluster, Job, PowerBoundedScheduler
@@ -45,7 +46,7 @@ def _job_mix(n_jobs: int, seed: int = 7) -> list[Job]:
     return jobs
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: "SweepEngine | None" = None) -> ExperimentReport:
     """Run the cluster-level scheduling comparison."""
     report = ExperimentReport(
         "cluster", "Power-bounded batch scheduling: FCFS grants vs rebalancing"
@@ -61,7 +62,7 @@ def run(fast: bool = False) -> ExperimentReport:
             cluster = Cluster(
                 node_factory=ivybridge_node, n_nodes=N_NODES, global_bound_w=bound
             )
-            sched = cls(cluster)
+            sched = cls(cluster, engine=engine)
             for job in _job_mix(n_jobs):
                 sched.submit(job)
             outcomes[label] = sched.run()

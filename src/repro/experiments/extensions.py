@@ -28,6 +28,7 @@ from repro.core.efficiency import efficiency_curve
 from repro.core.online import online_power_shift
 from repro.core.profiler import profile_cpu_workload
 from repro.errors import SchedulerError
+from repro.core.parallel import SweepEngine
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import ivybridge_node
 from repro.perfmodel.executor import execute_on_host
@@ -224,7 +225,7 @@ def _hybrid_study(report: ExperimentReport, fast: bool) -> None:
     report.data["hybrid"] = data
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: "SweepEngine | None" = None) -> ExperimentReport:
     """Run the five extension studies."""
     report = ExperimentReport(
         "extensions",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import (
     cpu_budget_curve,
     gpu_budget_curve,
@@ -29,7 +30,7 @@ CPU_FIXED_BUDGET_W = 208.0
 GPU_FIXED_BUDGET_W = 140.0
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 1's four panels."""
     report = ExperimentReport(
         "fig1",
@@ -44,7 +45,9 @@ def run(fast: bool = False) -> ExperimentReport:
 
     # (a) left: CPU perf_max ~ P_b, per-core GB/s.
     budgets = np.arange(120.0, 292.0, 24.0 if fast else 12.0)
-    curve = cpu_budget_curve(node.cpu, node.dram, stream, budgets, step_w=step)
+    curve = cpu_budget_curve(
+        node.cpu, node.dram, stream, budgets, step_w=step, engine=engine
+    )
     per_core = curve.perf_max / n_cores
     report.add_table(
         format_series(
@@ -55,7 +58,9 @@ def run(fast: bool = False) -> ExperimentReport:
     report.data["cpu_curve"] = {"budgets_w": budgets, "perf": per_core}
 
     # (a) right: CPU allocations at 208 W.
-    sweep = sweep_cpu_allocations(node.cpu, node.dram, stream, CPU_FIXED_BUDGET_W, step_w=step)
+    sweep = sweep_cpu_allocations(
+        node.cpu, node.dram, stream, CPU_FIXED_BUDGET_W, step_w=step, engine=engine
+    )
     report.add_table(
         format_table(
             ["P_mem (W)", "P_cpu (W)", "GB/s per core", "actual total (W)"],
@@ -71,7 +76,9 @@ def run(fast: bool = False) -> ExperimentReport:
 
     # (b) left: GPU perf_max ~ cap.
     caps = np.arange(130.0, 301.0, 20.0 if fast else 10.0)
-    gcurve = gpu_budget_curve(card, gstream, caps, freq_stride=4 if fast else 1)
+    gcurve = gpu_budget_curve(
+        card, gstream, caps, freq_stride=4 if fast else 1, engine=engine
+    )
     report.add_table(
         format_series(
             "cap (W)", "GB/s", caps, gcurve.perf_max,
@@ -82,7 +89,7 @@ def run(fast: bool = False) -> ExperimentReport:
 
     # (b) right: GPU allocations at 140 W.
     gsweep = sweep_gpu_allocations(
-        card, gstream, GPU_FIXED_BUDGET_W, freq_stride=4 if fast else 1
+        card, gstream, GPU_FIXED_BUDGET_W, freq_stride=4 if fast else 1, engine=engine
     )
     report.add_table(
         format_table(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import cpu_budget_curve
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import haswell_node, ivybridge_node
@@ -21,7 +22,7 @@ from repro.workloads import cpu_workload
 __all__ = ["run"]
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 2's four curves."""
     report = ExperimentReport(
         "fig2", "Upper performance bound perf_max varies with P_b"
@@ -37,7 +38,7 @@ def run(fast: bool = False) -> ExperimentReport:
         curves = {}
         for plat_name, node in platforms.items():
             curves[plat_name] = cpu_budget_curve(
-                node.cpu, node.dram, wl, budgets, step_w=step
+                node.cpu, node.dram, wl, budgets, step_w=step, engine=engine
             )
         rows = [
             (

@@ -10,6 +10,7 @@ each category occupies, mirroring the shaded regions of the figure.
 from __future__ import annotations
 
 from repro.core.analysis import scenario_spans
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import sweep_cpu_allocations
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import ivybridge_node
@@ -22,7 +23,7 @@ __all__ = ["run", "BUDGET_W"]
 BUDGET_W = 240.0
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 3's two panels and the category spans."""
     report = ExperimentReport(
         "fig3", "Categorization of power allocation scenarios (SRA @ 240 W, IvyBridge)"
@@ -30,7 +31,7 @@ def run(fast: bool = False) -> ExperimentReport:
     node = ivybridge_node()
     wl = cpu_workload("sra")
     sweep = sweep_cpu_allocations(
-        node.cpu, node.dram, wl, BUDGET_W, step_w=8.0 if fast else 4.0
+        node.cpu, node.dram, wl, BUDGET_W, step_w=8.0 if fast else 4.0, engine=engine
     )
     report.add_table(
         format_table(

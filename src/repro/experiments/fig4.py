@@ -10,6 +10,7 @@ ones (scenario I, then the II/III intersection region).
 from __future__ import annotations
 
 from repro.core.analysis import scenario_spans
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import sweep_cpu_allocations
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import ivybridge_node
@@ -22,7 +23,7 @@ __all__ = ["run", "BUDGETS_W"]
 BUDGETS_W = (176.0, 192.0, 208.0, 224.0, 240.0)
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 4's per-budget performance curves."""
     report = ExperimentReport(
         "fig4", "Patterns of cross-component allocation impact vs total budget"
@@ -34,7 +35,9 @@ def run(fast: bool = False) -> ExperimentReport:
         sweeps = {}
         rows = []
         for budget in BUDGETS_W:
-            sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=step)
+            sweep = sweep_cpu_allocations(
+                node.cpu, node.dram, wl, budget, step_w=step, engine=engine
+            )
             sweeps[budget] = sweep
             spans = scenario_spans(sweep)
             rows.append(

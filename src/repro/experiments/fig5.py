@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.allocation import allocation_grid
 from repro.core.analysis import balance_analysis
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import sweep_cpu_allocations
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import ivybridge_node
@@ -23,7 +24,7 @@ __all__ = ["run", "BUDGET_W"]
 BUDGET_W = 208.0
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 5's capacity/utilization bars."""
     report = ExperimentReport(
         "fig5", "Balanced compute and memory access for P_b = 208 W (IvyBridge)"
@@ -36,7 +37,9 @@ def run(fast: bool = False) -> ExperimentReport:
             allocation_grid(BUDGET_W, mem_min_w=28.0, proc_min_w=40.0, step_w=step)
         )
         points = balance_analysis(node.cpu, node.dram, wl, allocations)
-        sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, BUDGET_W, step_w=step)
+        sweep = sweep_cpu_allocations(
+            node.cpu, node.dram, wl, BUDGET_W, step_w=step, engine=engine
+        )
         best_mem = sweep.best.allocation.mem_w
         report.add_table(
             format_table(

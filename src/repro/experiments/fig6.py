@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import gpu_budget_curve
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import titan_v_card, titan_xp_card
@@ -22,7 +23,7 @@ from repro.workloads import gpu_workload
 __all__ = ["run"]
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 6's four curves."""
     report = ExperimentReport(
         "fig6", "Upper performance bound vs power cap (Titan XP and Titan V)"
@@ -33,7 +34,7 @@ def run(fast: bool = False) -> ExperimentReport:
         caps = np.arange(card.min_cap_w + 5.0, card.max_cap_w + 1.0, 25.0 if fast else 10.0)
         for wl_name in ("sgemm", "minife"):
             wl = gpu_workload(wl_name)
-            curve = gpu_budget_curve(card, wl, caps, freq_stride=stride)
+            curve = gpu_budget_curve(card, wl, caps, freq_stride=stride, engine=engine)
             default_perf = np.array(
                 [
                     wl.performance(execute_on_gpu(card, wl.phases, float(c), None))

@@ -17,6 +17,7 @@ On the Titan V everything is memory-bound (category III).
 
 from __future__ import annotations
 
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import sweep_gpu_allocations
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import titan_v_card, titan_xp_card
@@ -31,7 +32,7 @@ CAPS_W = (140.0, 170.0, 200.0, 230.0, 260.0)
 WORKLOADS = ("sgemm", "gpu-stream", "minife", "cloverleaf")
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 7's per-cap performance-vs-memory-power series."""
     report = ExperimentReport(
         "fig7", "Performance trends as memory power allocation increases"
@@ -45,7 +46,9 @@ def run(fast: bool = False) -> ExperimentReport:
             sweeps = {}
             rows = []
             for cap in caps:
-                sweep = sweep_gpu_allocations(card, wl, cap, freq_stride=stride)
+                sweep = sweep_gpu_allocations(
+                    card, wl, cap, freq_stride=stride, engine=engine
+                )
                 sweeps[cap] = sweep
                 for alloc, perf, scen in zip(
                     sweep.mem_alloc_w, sweep.performances, sweep.scenarios

@@ -11,6 +11,7 @@ patterns with workload-specific features" the section argues.
 from __future__ import annotations
 
 from repro.core.analysis import scenario_spans
+from repro.core.parallel import SweepEngine
 from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import haswell_node, ivybridge_node, titan_xp_card
@@ -25,7 +26,7 @@ CPU_BUDGETS_W = (176.0, 208.0, 240.0)
 GPU_CAPS_W = (140.0, 180.0, 220.0, 260.0)
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 8's per-benchmark profile summaries."""
     report = ExperimentReport(
         "fig8", "Performance profiles of all benchmarks on the three platforms"
@@ -40,7 +41,9 @@ def run(fast: bool = False) -> ExperimentReport:
         for name in list_cpu_workloads():
             wl = get_workload(name)
             for budget in cpu_budgets:
-                sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=step)
+                sweep = sweep_cpu_allocations(
+                    node.cpu, node.dram, wl, budget, step_w=step, engine=engine
+                )
                 spans = scenario_spans(sweep)
                 rows.append(
                     (
@@ -71,7 +74,7 @@ def run(fast: bool = False) -> ExperimentReport:
     for name in list_gpu_workloads():
         wl = get_workload(name)
         for cap in gpu_caps:
-            sweep = sweep_gpu_allocations(card, wl, cap, freq_stride=stride)
+            sweep = sweep_gpu_allocations(card, wl, cap, freq_stride=stride, engine=engine)
             rows.append(
                 (
                     name,

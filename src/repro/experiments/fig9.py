@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.baselines import memory_first_allocation
 from repro.core.coord import coord_cpu
 from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
+from repro.core.parallel import SweepEngine
 from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
 from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
 from repro.experiments.report import ExperimentReport
@@ -35,7 +36,7 @@ CPU_BUDGETS_W = (144.0, 176.0, 208.0, 240.0)
 GPU_CAPS_W = (130.0, 150.0, 190.0, 250.0)
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Figure 9's COORD-vs-baselines comparison."""
     report = ExperimentReport(
         "fig9", "COORD vs best-found and baseline strategies"
@@ -50,7 +51,9 @@ def run(fast: bool = False) -> ExperimentReport:
         wl = get_workload(name)
         critical = profile_cpu_workload(node.cpu, node.dram, wl)
         for budget in budgets:
-            sweep = sweep_cpu_allocations(node.cpu, node.dram, wl, budget, step_w=step)
+            sweep = sweep_cpu_allocations(
+                node.cpu, node.dram, wl, budget, step_w=step, engine=engine
+            )
             best = sweep.perf_max
             decision = coord_cpu(critical, budget)
             if decision.accepted:
@@ -96,7 +99,9 @@ def run(fast: bool = False) -> ExperimentReport:
             wl = get_workload(name)
             critical = profile_gpu_workload(card, wl)
             for cap in caps:
-                sweep = sweep_gpu_allocations(card, wl, cap, freq_stride=stride)
+                sweep = sweep_gpu_allocations(
+                    card, wl, cap, freq_stride=stride, engine=engine
+                )
                 best = sweep.perf_max
                 decision = coord_gpu(critical, cap, hardware_max_w=card.max_cap_w)
                 mem_op = apply_gpu_decision(device, decision, cap)

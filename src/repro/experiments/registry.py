@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.core.parallel import SweepEngine
 from repro.errors import ReproError
 from repro.experiments import (
     ablation,
@@ -50,12 +51,26 @@ def list_experiments() -> tuple[str, ...]:
     return tuple(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentReport:
-    """Run one experiment by artifact id."""
+def run_experiment(
+    experiment_id: str,
+    fast: bool = False,
+    *,
+    jobs: int | None = None,
+    engine: SweepEngine | None = None,
+) -> ExperimentReport:
+    """Run one experiment by artifact id.
+
+    ``engine`` routes the experiment's sweeps through an explicit
+    :class:`SweepEngine` (pool + memo cache); ``jobs`` is shorthand that
+    builds one with that worker count.  With neither, sweeps fall back to
+    the process-wide default engine.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ReproError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(fast=fast)
+    if engine is None and jobs is not None:
+        engine = SweepEngine(n_jobs=jobs)
+    return runner(fast=fast, engine=engine)

@@ -11,6 +11,7 @@ I → II|III → III|IV → IV|VI is visible.
 from __future__ import annotations
 
 from repro.core.analysis import table1_rows
+from repro.core.parallel import SweepEngine
 from repro.experiments.report import ExperimentReport
 from repro.hardware.platforms import ivybridge_node
 from repro.util.tables import format_table
@@ -22,7 +23,7 @@ __all__ = ["run", "BUDGETS_W"]
 BUDGETS_W = (280.0, 224.0, 176.0, 150.0, 132.0)
 
 
-def run(fast: bool = False) -> ExperimentReport:
+def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentReport:
     """Regenerate Table 1 for RandomAccess on IvyBridge."""
     report = ExperimentReport(
         "table1", "Optimal allocation and critical component vs power budget (SRA)"
@@ -30,7 +31,8 @@ def run(fast: bool = False) -> ExperimentReport:
     node = ivybridge_node()
     wl = cpu_workload("sra")
     rows = table1_rows(
-        node.cpu, node.dram, wl, list(BUDGETS_W), step_w=8.0 if fast else 4.0
+        node.cpu, node.dram, wl, list(BUDGETS_W), step_w=8.0 if fast else 4.0,
+        engine=engine,
     )
     report.add_table(
         format_table(

@@ -15,7 +15,7 @@ Slurm-like batch system over simulated nodes:
 
 from repro.sched.job import Job, JobRecord, JobState
 from repro.sched.cluster import Cluster, NodeSlot
-from repro.sched.scheduler import PowerBoundedScheduler, SchedulerStats
+from repro.sched.scheduler import PowerBoundedScheduler, PredictKey, SchedulerStats
 from repro.sched.coschedule import (
     CoScheduleResult,
     TenantOutcome,
@@ -33,6 +33,7 @@ __all__ = [
     "JobState",
     "NodeSlot",
     "PowerBoundedScheduler",
+    "PredictKey",
     "RebalanceStats",
     "RebalancingScheduler",
     "SchedulerStats",

@@ -58,8 +58,10 @@ class RebalancingScheduler(PowerBoundedScheduler):
       highest (throughput; see :mod:`repro.core.elasticity`).
     """
 
-    def __init__(self, cluster, order: str = "fcfs", boost_order: str = "fcfs") -> None:
-        super().__init__(cluster, order=order)
+    def __init__(
+        self, cluster, order: str = "fcfs", boost_order: str = "fcfs", engine=None
+    ) -> None:
+        super().__init__(cluster, order=order, engine=engine)
         if boost_order not in ("fcfs", "elasticity"):
             raise SchedulerError(
                 f"boost_order must be 'fcfs' or 'elasticity', got {boost_order!r}"

@@ -32,13 +32,30 @@ from dataclasses import dataclass
 from repro.core.budget import BudgetVerdict, advise_budget
 from repro.core.coord import coord_cpu
 from repro.core.critical import CpuCriticalPowers
+from repro.core.parallel import MemoCache, SweepEngine, default_engine, fingerprint
 from repro.core.profiler import profile_cpu_workload
 from repro.errors import SchedulerError
 from repro.perfmodel.executor import execute_on_host
 from repro.sched.cluster import Cluster, NodeSlot
 from repro.sched.job import Job, JobRecord, JobState
 
-__all__ = ["PowerBoundedScheduler", "SchedulerStats"]
+__all__ = ["PowerBoundedScheduler", "PredictKey", "SchedulerStats"]
+
+
+@dataclass(frozen=True)
+class PredictKey:
+    """Typed cache key for runtime predictions.
+
+    Keyed on the workload's *characterization fingerprint*, not its object
+    identity or name alone: two jobs submitting same-named workloads with
+    different phase characterizations (e.g. scaled problem sizes) predict
+    independently, and a mutated characterization can never be served a
+    stale prediction.
+    """
+
+    workload_name: str
+    workload_fp: str
+    budget_w: float
 
 
 @dataclass(frozen=True)
@@ -74,14 +91,22 @@ class PowerBoundedScheduler:
     bound and node count are the only things that gate progress.
     """
 
-    def __init__(self, cluster: Cluster, order: str = "fcfs") -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        order: str = "fcfs",
+        engine: SweepEngine | None = None,
+    ) -> None:
         if order not in ("fcfs", "sjf"):
             raise SchedulerError(f"order must be 'fcfs' or 'sjf', got {order!r}")
         self.cluster = cluster
         self.order = order
         self.records: dict[int, JobRecord] = {}
+        self._engine = engine if engine is not None else default_engine()
         self._profile_cache: dict[str, CpuCriticalPowers] = {}
-        self._predict_cache: dict[tuple, float] = {}
+        # Thread-safe typed-key map so parallel callers never race on dict
+        # writes; the model runs behind it memoize into the shared engine.
+        self._predict_cache: MemoCache = MemoCache(maxsize=1024)
         self._pending: list[JobRecord] = []
         self._seq = itertools.count()
         self.reclaimed_w_total = 0.0
@@ -121,20 +146,25 @@ class PowerBoundedScheduler:
     def _predict_elapsed_s(self, record: JobRecord) -> float:
         """Model-predicted runtime at the job's requested per-node budget."""
         wl = record.job.workload
-        key = (wl.name, wl.total_flops, record.job.requested_budget_w)
-        if key not in self._predict_cache:
+        key = PredictKey(
+            workload_name=wl.name,
+            workload_fp=fingerprint(wl.phases),
+            budget_w=float(record.job.requested_budget_w),
+        )
+
+        def compute() -> float:
             critical = self._critical(record)
             decision = coord_cpu(critical, record.job.requested_budget_w)
             if not decision.accepted:
-                self._predict_cache[key] = float("inf")
-            else:
-                node = self.cluster.slots[0].node
-                result = execute_on_host(
-                    node.cpu, node.dram, wl.phases,
-                    decision.allocation.proc_w, decision.allocation.mem_w,
-                )
-                self._predict_cache[key] = result.elapsed_s
-        return self._predict_cache[key]
+                return float("inf")
+            node = self.cluster.slots[0].node
+            result = self._engine.execute_host(
+                node.cpu, node.dram, wl.phases,
+                decision.allocation.proc_w, decision.allocation.mem_w,
+            )
+            return result.elapsed_s
+
+        return self._predict_cache.get_or_compute(key, compute)  # type: ignore[return-value]
 
     def _queue_key(self, record: JobRecord):
         """Ordering key among currently *available* jobs.

@@ -1,14 +1,23 @@
-"""Shared fixtures.
+"""Shared fixtures and differential-testing helpers.
 
 Domain models are immutable after construction, so platform fixtures are
 module-scoped for speed; anything stateful (NVML devices, RAPL interfaces,
 clusters) is built fresh per test.
+
+The module-level helpers (:func:`sweep_signature`, :func:`plateau_span`,
+:func:`seeded_rng`) are importable as ``from tests.conftest import ...``
+and back the parallel-vs-serial equivalence harness: they canonicalize a
+sweep into plain comparable data and give deterministic randomness for
+the fuzzing tests.
 """
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.core.sweep import optimal_plateau
 from repro.hardware.platforms import (
     haswell_node,
     ivybridge_node,
@@ -16,6 +25,41 @@ from repro.hardware.platforms import (
     titan_xp_card,
 )
 from repro.workloads import cpu_workload, gpu_workload
+
+
+# ---------------------------------------------------------------------------
+# differential-harness helpers (plain functions, importable from tests)
+# ---------------------------------------------------------------------------
+
+def sweep_signature(sweep) -> tuple:
+    """Canonical, order-sensitive snapshot of a sweep's observable outcome.
+
+    Two sweeps are equivalent iff their signatures compare equal: every
+    allocation, every per-phase execution record, every performance value,
+    and every scenario label — exact float equality, no tolerances, since
+    the parallel engine promises bit-for-bit identity with the serial
+    oracle.
+    """
+    return tuple(
+        (
+            point.allocation.proc_w,
+            point.allocation.mem_w,
+            point.performance,
+            point.scenario,
+            point.result,
+        )
+        for point in sweep.points
+    )
+
+
+def plateau_span(sweep) -> tuple[int, int]:
+    """The sweep's optimal-plateau index span (serial-oracle definition)."""
+    return optimal_plateau(sweep.points)
+
+
+def seeded_rng(*seed_parts) -> random.Random:
+    """A deterministic PRNG derived from ``seed_parts`` (for fuzz tests)."""
+    return random.Random(repr(seed_parts))
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,386 @@
+"""Differential harness: the parallel sweep engine vs the serial oracle.
+
+The contract under test (:mod:`repro.core.parallel`) is that fan-out and
+memoization are *invisible*: a sweep run through a pooled, cached engine
+must be bit-for-bit identical to the serial oracle — same ``SweepPoint``
+tuples, same plateau spans, same scenario classifications — for every
+registered workload, at any budget, in any submission order.
+
+Fast representatives run in tier-1; the exhaustive
+every-workload-every-budget matrix is ``@pytest.mark.slow`` (run with
+``make test-slow`` / ``pytest -m slow``).  Property-based tests
+(hypothesis, derandomized) fuzz grid steps and budgets, and check cache
+statistics: hits monotone over repeats, misses frozen, mutation-safe keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.core.allocation import allocation_grid
+from repro.core.parallel import (
+    JOBS_ENV_VAR,
+    MemoCache,
+    SweepEngine,
+    default_engine,
+    fingerprint,
+    freeze,
+    resolve_jobs,
+    set_default_engine,
+    use_engine,
+)
+from repro.core.sweep import (
+    cpu_budget_curve,
+    gpu_budget_curve,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.errors import SweepError
+from repro.perfmodel.executor import execute_on_host
+from repro.workloads import (
+    cpu_workload,
+    gpu_workload,
+    list_cpu_workloads,
+    list_gpu_workloads,
+)
+from tests.conftest import plateau_span, seeded_rng, sweep_signature
+
+# Trimmed representative matrix for tier-1: one compute-bound, one
+# memory-bound, one balanced CPU workload; a compute- and a memory-leaning
+# GPU workload.  The full registry runs under ``-m slow``.
+CPU_FAST = ("dgemm", "stream", "sra")
+CPU_BUDGETS_FAST = (144.0, 208.0)
+GPU_FAST = ("sgemm", "minife")
+GPU_CAPS_FAST = (150.0, 200.0)
+
+CPU_BUDGETS_FULL = (144.0, 176.0, 208.0, 240.0, 280.0)
+GPU_CAPS_FULL = (150.0, 200.0, 250.0)  # within both cards' driver ranges
+
+
+def serial_engine() -> SweepEngine:
+    """The oracle: no pool, cache too small to ever serve a sweep hit."""
+    return SweepEngine(n_jobs=1, cache_size=1)
+
+
+def assert_sweeps_identical(serial, parallel) -> None:
+    """Full observable equivalence — exact, no tolerances."""
+    assert sweep_signature(parallel) == sweep_signature(serial)
+    assert parallel.points == serial.points
+    assert plateau_span(parallel) == plateau_span(serial)
+    assert parallel.scenarios == serial.scenarios
+    assert parallel.best == serial.best
+
+
+# ---------------------------------------------------------------------------
+# tier-1 equivalence: representative workloads, thread and process backends
+# ---------------------------------------------------------------------------
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("name", CPU_FAST)
+    @pytest.mark.parametrize("budget", CPU_BUDGETS_FAST)
+    def test_cpu_thread_backend(self, ivb, name, budget):
+        wl = cpu_workload(name)
+        serial = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, wl, budget, engine=serial_engine()
+        )
+        parallel = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, wl, budget, engine=SweepEngine(n_jobs=4)
+        )
+        assert_sweeps_identical(serial, parallel)
+
+    @pytest.mark.parametrize("name", GPU_FAST)
+    @pytest.mark.parametrize("cap", GPU_CAPS_FAST)
+    def test_gpu_thread_backend(self, xp, name, cap):
+        wl = gpu_workload(name)
+        serial = sweep_gpu_allocations(xp, wl, cap, engine=serial_engine())
+        parallel = sweep_gpu_allocations(xp, wl, cap, engine=SweepEngine(n_jobs=4))
+        assert_sweeps_identical(serial, parallel)
+        assert np.array_equal(parallel.mem_freqs_mhz, serial.mem_freqs_mhz)
+        assert np.array_equal(parallel.performances, serial.performances)
+
+    def test_cpu_process_backend(self, ivb, stream):
+        serial = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, stream, 208.0, engine=serial_engine()
+        )
+        parallel = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, stream, 208.0,
+            engine=SweepEngine(n_jobs=2, backend="process"),
+        )
+        assert_sweeps_identical(serial, parallel)
+
+    def test_gpu_process_backend(self, tv, sgemm):
+        serial = sweep_gpu_allocations(tv, sgemm, 200.0, engine=serial_engine())
+        parallel = sweep_gpu_allocations(
+            tv, sgemm, 200.0, engine=SweepEngine(n_jobs=2, backend="process")
+        )
+        assert_sweeps_identical(serial, parallel)
+
+    def test_cpu_budget_curve(self, has, dgemm):
+        budgets = [150.0, 200.0, 250.0]
+        serial = cpu_budget_curve(
+            has.cpu, has.dram, dgemm, budgets, engine=serial_engine()
+        )
+        parallel = cpu_budget_curve(
+            has.cpu, has.dram, dgemm, budgets, engine=SweepEngine(n_jobs=4)
+        )
+        assert np.array_equal(parallel.perf_max, serial.perf_max)
+        assert np.array_equal(parallel.optimal_mem_w, serial.optimal_mem_w)
+        assert parallel.saturation_budget_w == serial.saturation_budget_w
+
+    def test_gpu_budget_curve(self, xp, minife):
+        caps = [150.0, 200.0]
+        serial = gpu_budget_curve(xp, minife, caps, engine=serial_engine())
+        parallel = gpu_budget_curve(xp, minife, caps, engine=SweepEngine(n_jobs=4))
+        assert np.array_equal(parallel.perf_max, serial.perf_max)
+        assert np.array_equal(parallel.optimal_mem_w, serial.optimal_mem_w)
+
+    def test_default_engine_matches_explicit_serial(self, ivb, sra):
+        """The process-wide default (whatever its pool size) is the oracle too."""
+        serial = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, sra, 176.0, engine=serial_engine()
+        )
+        with use_engine(SweepEngine(n_jobs=4)):
+            parallel = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 176.0)
+        assert_sweeps_identical(serial, parallel)
+
+
+# ---------------------------------------------------------------------------
+# exhaustive matrix: every registered workload, both platforms per device
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestFullRegistryEquivalence:
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    @pytest.mark.parametrize("platform_fixture", ["ivb", "has"])
+    def test_cpu(self, request, platform_fixture, name):
+        node = request.getfixturevalue(platform_fixture)
+        wl = cpu_workload(name)
+        parallel = SweepEngine(n_jobs=4)
+        for budget in CPU_BUDGETS_FULL:
+            ser = sweep_cpu_allocations(
+                node.cpu, node.dram, wl, budget, engine=serial_engine()
+            )
+            par = sweep_cpu_allocations(
+                node.cpu, node.dram, wl, budget, engine=parallel
+            )
+            assert_sweeps_identical(ser, par)
+
+    @pytest.mark.parametrize("name", list_gpu_workloads())
+    @pytest.mark.parametrize("platform_fixture", ["xp", "tv"])
+    def test_gpu(self, request, platform_fixture, name):
+        card = request.getfixturevalue(platform_fixture)
+        wl = gpu_workload(name)
+        parallel = SweepEngine(n_jobs=4)
+        for cap in GPU_CAPS_FULL:
+            ser = sweep_gpu_allocations(card, wl, cap, engine=serial_engine())
+            par = sweep_gpu_allocations(card, wl, cap, engine=parallel)
+            assert_sweeps_identical(ser, par)
+
+
+# ---------------------------------------------------------------------------
+# property-based: fuzzed grids/budgets, cache statistics, order independence
+# ---------------------------------------------------------------------------
+
+class TestProperties:
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    @given(
+        budget=st.integers(min_value=25, max_value=70).map(lambda k: 4.0 * k),
+        step=st.sampled_from([2.0, 3.0, 4.0, 8.0, 12.0]),
+        name=st.sampled_from(CPU_FAST),
+    )
+    def test_fuzzed_grids_are_equivalent(self, ivb, budget, step, name):
+        node = ivb
+        wl = cpu_workload(name)
+        ser = sweep_cpu_allocations(
+            node.cpu, node.dram, wl, budget, step_w=step, engine=serial_engine()
+        )
+        par = sweep_cpu_allocations(
+            node.cpu, node.dram, wl, budget, step_w=step, engine=SweepEngine(n_jobs=4)
+        )
+        assert_sweeps_identical(ser, par)
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        budget=st.integers(min_value=30, max_value=70).map(lambda k: 4.0 * k),
+        repeats=st.integers(min_value=2, max_value=4),
+    )
+    def test_cache_hits_monotone_over_repeats(self, ivb, stream, budget, repeats):
+        """Repeating an identical sweep only ever adds hits, never misses."""
+        engine = SweepEngine(n_jobs=2)
+        first = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, stream, budget, engine=engine
+        )
+        baseline = engine.stats
+        assert baseline.misses == len(first.points)
+        assert baseline.hits == 0
+        prior_hits = baseline.hits
+        for _ in range(repeats):
+            again = sweep_cpu_allocations(
+                ivb.cpu, ivb.dram, stream, budget, engine=engine
+            )
+            assert again.points == first.points
+            stats = engine.stats
+            assert stats.misses == baseline.misses  # nothing re-executed
+            assert stats.hits == prior_hits + len(first.points)
+            prior_hits = stats.hits
+        assert engine.stats.hit_ratio >= 0.5
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        budget=st.integers(min_value=30, max_value=70).map(lambda k: 4.0 * k),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_submission_order_is_invisible(self, ivb, dgemm, budget, seed):
+        """Shuffled allocations map to the same per-allocation results."""
+        allocations = allocation_grid(budget, mem_min_w=16.0, proc_min_w=8.0,
+                                      step_w=4.0)
+        shuffled = list(allocations)
+        seeded_rng("order", seed).shuffle(shuffled)
+        straight = SweepEngine(n_jobs=4).map_host(
+            ivb.cpu, ivb.dram, dgemm.phases, allocations
+        )
+        permuted = SweepEngine(n_jobs=4).map_host(
+            ivb.cpu, ivb.dram, dgemm.phases, shuffled
+        )
+        by_alloc = {(a.proc_w, a.mem_w): r for a, r in zip(shuffled, permuted)}
+        for alloc, result in zip(allocations, straight):
+            assert by_alloc[(alloc.proc_w, alloc.mem_w)] == result
+
+    def test_duplicate_allocations_execute_once(self, ivb, stream):
+        engine = SweepEngine(n_jobs=4)
+        allocations = list(allocation_grid(208.0, mem_min_w=16.0,
+                                           proc_min_w=8.0, step_w=8.0))
+        results = engine.map_host(
+            ivb.cpu, ivb.dram, stream.phases, allocations * 3
+        )
+        assert engine.stats.misses == len(allocations)
+        assert results[: len(allocations)] * 3 == results
+
+
+# ---------------------------------------------------------------------------
+# mutation safety: content keys, not identity keys
+# ---------------------------------------------------------------------------
+
+class TestCacheMutationSafety:
+    def test_scaled_workload_never_served_stale(self, ivb, stream):
+        """A workload whose phases change must re-execute, not hit the cache.
+
+        ``Workload.scaled`` keeps the name but rewrites the phases; keys
+        are phase-content fingerprints, so the second sweep must be all
+        misses and its execution times must differ.
+        """
+        engine = SweepEngine(n_jobs=2)
+        before = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, stream, 208.0, engine=engine
+        )
+        stats_before = engine.stats
+        mutated = stream.scaled(2.0)
+        assert mutated.name == stream.name
+        after = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, mutated, 208.0, engine=engine
+        )
+        stats_after = engine.stats
+        assert stats_after.hits == stats_before.hits  # zero stale hits
+        assert stats_after.misses == stats_before.misses + len(after.points)
+        for b, a in zip(before.points, after.points):
+            assert a.result.elapsed_s != b.result.elapsed_s
+
+    def test_fingerprint_tracks_content(self, stream):
+        assert fingerprint(stream.phases) == fingerprint(tuple(stream.phases))
+        assert fingerprint(stream.phases) != fingerprint(stream.scaled(2.0).phases)
+
+    def test_freeze_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            freeze(object())
+
+
+# ---------------------------------------------------------------------------
+# engine plumbing: job resolution, backends, cache bounds, default scoping
+# ---------------------------------------------------------------------------
+
+class TestEnginePlumbing:
+    def test_resolve_jobs_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_resolve_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs() == 5
+
+    def test_resolve_jobs_auto_is_positive(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert 1 <= resolve_jobs() <= 8
+
+    def test_resolve_jobs_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(SweepError):
+            resolve_jobs()
+
+    def test_resolve_jobs_rejects_nonpositive(self):
+        with pytest.raises(SweepError):
+            resolve_jobs(0)
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SweepError):
+            SweepEngine(n_jobs=1, backend="mpi")
+
+    def test_cache_bound_enforced(self):
+        with pytest.raises(SweepError):
+            MemoCache(maxsize=0)
+
+    def test_cache_evicts_lru(self):
+        cache = MemoCache(maxsize=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == (True, 1)  # refresh 'a'
+        cache.store("c", 3)  # evicts 'b'
+        assert cache.lookup("b") == (False, None)
+        assert cache.lookup("a") == (True, 1)
+        stats = cache.stats
+        assert stats.evictions == 1
+        assert stats.size == 2
+
+    def test_engine_respects_shared_cache(self, ivb, sra):
+        shared = MemoCache(maxsize=512)
+        sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, sra, 176.0,
+            engine=SweepEngine(n_jobs=1, cache=shared),
+        )
+        misses = shared.stats.misses
+        sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, sra, 176.0,
+            engine=SweepEngine(n_jobs=4, cache=shared),
+        )
+        assert shared.stats.misses == misses  # second engine fully served
+
+    def test_memoized_single_point_matches_direct(self, ivb, minife, sgemm):
+        engine = SweepEngine(n_jobs=1)
+        direct = execute_on_host(ivb.cpu, ivb.dram, sgemm.phases, 120.0, 40.0)
+        assert engine.execute_host(
+            ivb.cpu, ivb.dram, sgemm.phases, 120.0, 40.0
+        ) == direct
+        assert engine.execute_host(
+            ivb.cpu, ivb.dram, sgemm.phases, 120.0, 40.0
+        ) == direct
+        assert engine.stats.hits == 1
+
+    def test_use_engine_restores_previous_default(self):
+        original = default_engine()
+        scoped = SweepEngine(n_jobs=1)
+        with use_engine(scoped) as active:
+            assert active is scoped
+            assert default_engine() is scoped
+        assert default_engine() is original
+
+    def test_set_default_engine_returns_previous(self):
+        original = default_engine()
+        replacement = SweepEngine(n_jobs=1)
+        assert set_default_engine(replacement) is original
+        try:
+            assert default_engine() is replacement
+        finally:
+            set_default_engine(original)

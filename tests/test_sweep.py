@@ -3,14 +3,19 @@
 import numpy as np
 import pytest
 
+from repro.core.allocation import PowerAllocation
 from repro.core.scenario import Scenario
 from repro.core.sweep import (
+    SweepPoint,
     cpu_budget_curve,
     gpu_budget_curve,
+    optimal_plateau,
     sweep_cpu_allocations,
     sweep_gpu_allocations,
 )
 from repro.errors import SweepError
+from repro.hardware.component import CappingMechanism
+from repro.perfmodel.metrics import ExecutionResult, PhaseResult
 
 
 class TestCpuSweep:
@@ -117,3 +122,106 @@ class TestGpuBudgetCurve:
         caps = np.arange(130.0, 301.0, 10.0)
         curve = gpu_budget_curve(xp, minife, caps, freq_stride=2)
         assert curve.saturation_budget_w <= 200.0
+
+
+def _fake_point(performance: float, *, overdrawn: bool = False) -> SweepPoint:
+    """A synthetic sweep point whose bound compliance is set directly.
+
+    ``overdrawn`` makes the processor domain draw past its cap, which is
+    exactly what ``respects_bound`` checks on hosts.
+    """
+    proc_cap = 100.0
+    phase = PhaseResult(
+        name="synthetic",
+        time_s=1.0,
+        t_compute_s=0.6,
+        t_memory_s=0.4,
+        utilization=0.6,
+        mem_busy=0.4,
+        proc_freq_ghz=2.0,
+        proc_duty=1.0,
+        mem_throttle=1.0,
+        proc_mechanism=CappingMechanism.NONE,
+        mem_mechanism=CappingMechanism.NONE,
+        proc_power_w=proc_cap + 25.0 if overdrawn else proc_cap - 25.0,
+        mem_power_w=20.0,
+        board_power_w=0.0,
+        flops=1e9,
+        bytes_moved=1e8,
+    )
+    result = ExecutionResult(phases=(phase,), proc_cap_w=proc_cap, mem_cap_w=30.0)
+    assert result.respects_bound is (not overdrawn)
+    return SweepPoint(
+        allocation=PowerAllocation(proc_cap, 30.0),
+        result=result,
+        performance=performance,
+        scenario=Scenario.I,
+    )
+
+
+class TestOptimalPlateau:
+    """Edge cases of the plateau picker on hand-built point sequences."""
+
+    def test_single_point_grid(self, ivb, sra):
+        # Budget 24 W leaves exactly one grid point (16 W mem floor +
+        # 8 W proc floor); the plateau degenerates to that point.
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 24.0, step_w=4.0)
+        assert len(sweep.points) == 1
+        assert optimal_plateau(sweep.points) == (0, 0)
+        assert sweep.best is sweep.points[0]
+
+    def test_single_synthetic_point(self):
+        assert optimal_plateau((_fake_point(1.0),)) == (0, 0)
+        assert optimal_plateau((_fake_point(1.0, overdrawn=True),)) == (0, 0)
+
+    def test_all_points_overdrawn_falls_back_to_all_eligible(self, ivb, sra):
+        # At starvation budgets every point overdraws (DRAM floor alone
+        # exceeds its share); the plateau must still be well-defined over
+        # the full index range rather than raising.
+        for budget in (40.0, 60.0, 80.0):
+            sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, budget,
+                                          step_w=4.0)
+            assert all(not p.result.respects_bound for p in sweep.points)
+            lo, hi = optimal_plateau(sweep.points)
+            assert 0 <= lo <= hi < len(sweep.points)
+            assert sweep.best in sweep.points
+
+    def test_all_synthetic_overdrawn_picks_top_performer(self):
+        points = tuple(
+            _fake_point(perf, overdrawn=True) for perf in (1.0, 3.0, 2.0)
+        )
+        assert optimal_plateau(points) == (1, 1)
+
+    def test_overdrawn_points_excluded_when_compliant_exist(self):
+        # The overdrawn point performs best but is not a legitimate
+        # choice; the plateau forms over the compliant runner-up.
+        points = (
+            _fake_point(5.0, overdrawn=True),
+            _fake_point(2.0),
+            _fake_point(1.0),
+        )
+        assert optimal_plateau(points) == (1, 1)
+
+    def test_tie_within_tolerance_extends_plateau(self):
+        # tol = 1e-9 * top; a 5e-10 relative dip still counts as the top.
+        points = (_fake_point(1.0), _fake_point(1.0 - 5e-10), _fake_point(0.5))
+        assert optimal_plateau(points) == (0, 1)
+
+    def test_gap_just_past_tolerance_breaks_plateau(self):
+        points = (_fake_point(1.0), _fake_point(1.0 - 2e-9), _fake_point(0.5))
+        assert optimal_plateau(points) == (0, 0)
+
+    def test_plateau_does_not_bridge_noncompliant_gap(self):
+        # Equal performance on both sides of an overdrawn point: the
+        # plateau is contiguous *eligible* indices, so it stops at the gap.
+        points = (
+            _fake_point(1.0),
+            _fake_point(1.0, overdrawn=True),
+            _fake_point(1.0),
+        )
+        lo, hi = optimal_plateau(points)
+        assert (lo, hi) in ((0, 0), (2, 2))
+
+    def test_mid_plateau_best_on_ties(self):
+        points = tuple(_fake_point(2.0) for _ in range(5))
+        assert optimal_plateau(points) == (0, 4)
