@@ -4,10 +4,11 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-slow test-all bench
+.PHONY: test test-slow test-all bench lint typecheck check
 
-# Tier-1: the trimmed suite (pyproject addopts deselect `slow`).
-test:
+# Tier-1: the invariant linter, then the trimmed suite (pyproject
+# addopts deselect `slow`).
+test: lint
 	$(PYTEST) -x -q
 
 # The exhaustive matrix: every registered workload through the
@@ -16,6 +17,23 @@ test-slow:
 	$(PYTEST) -x -q -m slow
 
 test-all: test test-slow
+
+# Static invariant checks (RPL001-RPL005) over the whole tree.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
+
+# mypy --strict over repro.core and repro.lint (configured in
+# pyproject.toml).  Gated: the target skips with a notice when mypy is
+# not installed so offline environments keep a working `make test`.
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PYTHON) -m mypy; \
+	else \
+		echo "mypy is not installed; skipping typecheck (pip install mypy)"; \
+	fi
+
+# Everything the CI gate runs.
+check: lint typecheck test
 
 # Artifact benchmarks (pytest-benchmark) + the parallel engine report.
 bench:

@@ -29,6 +29,7 @@ from repro.hardware.gpu import GpuCard
 from repro.hardware.node import ComputeNode
 from repro.hardware.nvml import NvmlDevice
 from repro.hardware.platforms import get_platform, list_platforms
+from repro.lint.cli import add_lint_arguments, run_from_args as run_lint_from_args
 from repro.perfmodel.executor import execute_on_gpu, execute_on_host
 from repro.util.ascii_plot import sparkline
 from repro.util.tables import format_table
@@ -68,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
     )
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repro invariant linter (RPL001-RPL005)",
+        description="AST-based invariant checks over the repro codebase",
+    )
+    add_lint_arguments(p)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("artifact", help="fig1..fig9, table1, ablation, or 'all'")
@@ -215,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_coord(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "lint":
+            return run_lint_from_args(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover

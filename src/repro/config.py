@@ -64,7 +64,9 @@ def to_dict(obj: Any) -> dict:
     if isinstance(obj, GpuCriticalPowers):
         return {"type": "gpu-critical-powers", **obj.as_dict()}
     if isinstance(obj, PowerAllocation):
-        return {"type": "power-allocation", "proc_w": obj.proc_w, "mem_w": obj.mem_w}
+        return {  # repro-lint: disable=RPL004 -- JSON snapshot of an already-validated PowerAllocation
+            "type": "power-allocation", "proc_w": obj.proc_w, "mem_w": obj.mem_w,
+        }
     raise ConfigurationError(
         f"cannot serialize objects of type {type(obj).__name__}"
     )

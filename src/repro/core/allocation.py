@@ -11,10 +11,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import SweepError
+from repro.errors import PowerBoundError, SweepError
 from repro.util.units import watts
 
-__all__ = ["PowerAllocation", "allocation_grid"]
+__all__ = ["PowerAllocation", "allocation_grid", "bounded_allocation"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,31 @@ class PowerAllocation:
 
     def __str__(self) -> str:
         return f"(P_proc={self.proc_w:.1f} W, P_mem={self.mem_w:.1f} W)"
+
+
+def bounded_allocation(
+    proc_w: float,
+    mem_w: float,
+    budget_w: float,
+    *,
+    tolerance_w: float = 1e-9,
+) -> PowerAllocation:
+    """The blessed budget-conserving constructor: asserts ``P_cpu + P_mem ≤ P_b``.
+
+    Controllers that hand out allocations under a node budget must build
+    them here (or via :func:`allocation_grid`) so the paper's central
+    invariant is checked at construction time rather than trusted; the
+    RPL004 lint rule enforces that raw dict/tuple allocations never
+    bypass this assertion.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    allocation = PowerAllocation(proc_w, mem_w)
+    if not allocation.within(budget_w, tolerance_w):
+        raise PowerBoundError(
+            f"allocation {allocation} overdraws the budget: "
+            f"{allocation.total_w:.3f} W > {budget_w:.3f} W"
+        )
+    return allocation
 
 
 def allocation_grid(

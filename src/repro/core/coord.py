@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.core.allocation import PowerAllocation
+from repro.core.allocation import PowerAllocation, bounded_allocation
 from repro.core.critical import CpuCriticalPowers
 from repro.errors import BudgetTooSmallError
 from repro.util.units import watts
@@ -84,7 +84,7 @@ def coord_cpu(
 
     if budget_w >= c.cpu_l1 + c.mem_l1:
         # Case A: adequate power for both; report the reclaimable surplus.
-        allocation = PowerAllocation(c.cpu_l1, c.mem_l1)
+        allocation = bounded_allocation(c.cpu_l1, c.mem_l1, budget_w)
         return CoordDecision(
             allocation,
             CoordStatus.SURPLUS,
@@ -95,7 +95,9 @@ def coord_cpu(
         # Case B: memory first — it is the performance-critical component
         # in this regime (scenario II beats scenario III).
         mem = c.mem_l1
-        return CoordDecision(PowerAllocation(budget_w - mem, mem), CoordStatus.SUCCESS)
+        return CoordDecision(
+            bounded_allocation(budget_w - mem, mem, budget_w), CoordStatus.SUCCESS
+        )
 
     if budget_w >= c.cpu_l2 + c.mem_l2:
         # Case C: split the budget above the (L2) floors proportionally to
@@ -109,12 +111,15 @@ def coord_cpu(
         headroom = budget_w - (c.cpu_l2 + c.mem_l2)
         cpu_w = c.cpu_l2 + percent_cpu * headroom
         return CoordDecision(
-            PowerAllocation(cpu_w, budget_w - cpu_w), CoordStatus.SUCCESS
+            bounded_allocation(cpu_w, budget_w - cpu_w, budget_w), CoordStatus.SUCCESS
         )
 
     # Case D: refuse — the node would run in the throttled/floor regime.
     if strict:
         raise BudgetTooSmallError(budget_w, c.productive_threshold_w)
+    # The rejected fallback deliberately pins the hardware floors, which
+    # may overdraw the refused budget — so it stays on the raw
+    # (validated, but unbounded) constructor.
     return CoordDecision(
         PowerAllocation(c.cpu_l4, c.mem_l3),
         CoordStatus.REJECTED,

@@ -89,7 +89,7 @@ def online_power_shift(
     step = initial_step_w
     prev_sign = 0
     best_alloc = PowerAllocation(budget_w - mem_w, mem_w)
-    best_perf = float("-inf")
+    best_perf: float | None = None
     trajectory: list[PowerAllocation] = []
 
     epochs = 0
@@ -103,7 +103,7 @@ def online_power_shift(
             cpu, dram, workload.phases, alloc.proc_w, alloc.mem_w
         )
         perf = workload.performance(result)
-        if perf > best_perf and result.respects_bound:
+        if (best_perf is None or perf > best_perf) and result.respects_bound:
             best_perf, best_alloc = perf, alloc
 
         signal = _bottleneck_signal(result.utilization, result.mem_busy)
@@ -117,7 +117,7 @@ def online_power_shift(
         prev_sign = sign
         mem_w += sign * step
 
-    if best_perf == float("-inf"):
+    if best_perf is None:
         # No bound-respecting epoch (degenerately small budget): fall back
         # to the last allocation visited.
         best_alloc = trajectory[-1]

@@ -43,6 +43,9 @@ import numpy as np
 
 from repro.core.allocation import PowerAllocation
 from repro.errors import SweepError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.hardware.gpu import GpuCard
 from repro.perfmodel.executor import execute_on_gpu, execute_on_host
 from repro.perfmodel.metrics import ExecutionResult
 from repro.perfmodel.phase import Phase
@@ -240,12 +243,20 @@ class MemoCache:
 # pool workers (top level so the process backend can pickle them)
 # ---------------------------------------------------------------------------
 
-def _host_task(args: tuple) -> ExecutionResult:
+_HostTaskArgs = "tuple[CpuDomain, DramDomain, tuple[Phase, ...], float, float]"
+_GpuTaskArgs = "tuple[GpuCard, tuple[Phase, ...], float, float | None]"
+
+
+def _host_task(
+    args: tuple[CpuDomain, DramDomain, tuple[Phase, ...], float, float],
+) -> ExecutionResult:
     cpu, dram, phases, proc_w, mem_w = args
     return execute_on_host(cpu, dram, phases, proc_w, mem_w)
 
 
-def _gpu_task(args: tuple) -> ExecutionResult:
+def _gpu_task(
+    args: tuple[GpuCard, tuple[Phase, ...], float, float | None],
+) -> ExecutionResult:
     card, phases, cap_w, mem_freq_mhz = args
     return execute_on_gpu(card, phases, cap_w, mem_freq_mhz)
 
@@ -310,18 +321,25 @@ class SweepEngine:
     # cache keys
     # ------------------------------------------------------------------
     @staticmethod
-    def _host_base(cpu, dram, phases: Sequence[Phase]) -> tuple:
+    def _host_base(
+        cpu: CpuDomain, dram: DramDomain, phases: Sequence[Phase]
+    ) -> tuple[object, ...]:
         return ("host", fingerprint(cpu), fingerprint(dram), fingerprint(tuple(phases)))
 
     @staticmethod
-    def _gpu_base(card, phases: Sequence[Phase]) -> tuple:
+    def _gpu_base(card: GpuCard, phases: Sequence[Phase]) -> tuple[object, ...]:
         return ("gpu", fingerprint(card), fingerprint(tuple(phases)))
 
     # ------------------------------------------------------------------
     # single points (memoized; used by schedulers and COORD probing)
     # ------------------------------------------------------------------
     def execute_host(
-        self, cpu, dram, phases: Sequence[Phase], proc_w: float, mem_w: float
+        self,
+        cpu: CpuDomain,
+        dram: DramDomain,
+        phases: Sequence[Phase],
+        proc_w: float,
+        mem_w: float,
     ) -> ExecutionResult:
         """Memoized :func:`execute_on_host` (never re-runs an identical point)."""
         key = self._host_base(cpu, dram, phases) + (float(proc_w), float(mem_w))
@@ -330,7 +348,11 @@ class SweepEngine:
         )
 
     def execute_gpu(
-        self, card, phases: Sequence[Phase], cap_w: float, mem_freq_mhz: float | None
+        self,
+        card: GpuCard,
+        phases: Sequence[Phase],
+        cap_w: float,
+        mem_freq_mhz: float | None,
     ) -> ExecutionResult:
         """Memoized :func:`execute_on_gpu`."""
         freq = None if mem_freq_mhz is None else float(mem_freq_mhz)
@@ -390,8 +412,8 @@ class SweepEngine:
 
     def map_host(
         self,
-        cpu,
-        dram,
+        cpu: CpuDomain,
+        dram: DramDomain,
         phases: Sequence[Phase],
         allocations: Sequence[PowerAllocation],
     ) -> list[ExecutionResult]:
@@ -407,7 +429,7 @@ class SweepEngine:
 
     def map_gpu(
         self,
-        card,
+        card: GpuCard,
         phases: Sequence[Phase],
         cap_w: float,
         mem_freqs_mhz: Sequence[float],

@@ -27,6 +27,7 @@ from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
 from repro.hardware.gpu import GpuCard
 from repro.perfmodel.metrics import ExecutionResult
+from repro.util.units import approx_equal
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -307,7 +308,7 @@ def sweep_gpu_allocations(
         raise SweepError(f"freq_stride must be >= 1, got {freq_stride}")
     engine = engine if engine is not None else default_engine()
     freqs = card.mem.frequencies_mhz[::freq_stride]
-    if freqs[-1] != card.mem.nominal_mhz:
+    if not approx_equal(float(freqs[-1]), card.mem.nominal_mhz):
         freqs = np.append(freqs, card.mem.nominal_mhz)
     results = engine.map_gpu(card, workload.phases, cap_w, [float(f) for f in freqs])
     points = []

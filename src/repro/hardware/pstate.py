@@ -70,7 +70,7 @@ class PStateTable:
 
     def voltage_ratio(self, f_ghz: float | np.ndarray) -> float | np.ndarray:
         """Relative core voltage ``V(f)/V_nom`` (linear V-f interpolation)."""
-        if self.f_nom_ghz == self.f_min_ghz:
+        if self.f_nom_ghz == self.f_min_ghz:  # repro-lint: disable=RPL003 -- exact degenerate-grid sentinel guarding a zero span
             return np.ones_like(np.asarray(f_ghz, dtype=float)) + 0.0
         span = self.f_nom_ghz - self.f_min_ghz
         frac = (np.asarray(f_ghz, dtype=float) - self.f_min_ghz) / span

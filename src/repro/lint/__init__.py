@@ -1,0 +1,37 @@
+"""``repro.lint`` — AST-based invariant checks for the repro codebase.
+
+The linter mechanically enforces the contracts the power model and the
+parallel sweep engine rely on but Python cannot express in types:
+
+========  ==================================================================
+RPL001    purity of functions reachable from SweepEngine-memoized entries
+RPL002    lock discipline for cross-thread module state
+RPL003    no exact float equality on power/performance quantities
+RPL004    budget conservation via blessed allocation constructors
+RPL005    determinism of experiment figure modules
+========  ==================================================================
+
+Run it as ``python -m repro.lint [paths]`` or ``repro lint``; see
+``docs/static_analysis.md`` for the rules and the suppression grammar.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, Severity, render_human, render_json
+from repro.lint.engine import LintConfig, LintError, Project, SourceFile, run_lint
+from repro.lint.rules import ALL_RULE_CLASSES, all_rules, rule_catalog
+
+__all__ = [
+    "ALL_RULE_CLASSES",
+    "Diagnostic",
+    "LintConfig",
+    "LintError",
+    "Project",
+    "Severity",
+    "SourceFile",
+    "all_rules",
+    "render_human",
+    "render_json",
+    "rule_catalog",
+    "run_lint",
+]

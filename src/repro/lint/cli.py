@@ -1,0 +1,95 @@
+"""Command-line interface for the repro linter.
+
+``python -m repro.lint [paths ...]`` (and the ``repro lint`` subcommand,
+which shares this implementation) lints the given files/directories —
+defaulting to the installed ``repro`` package tree — and exits 0 when
+clean, 1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.diagnostics import render_human, render_json
+from repro.lint.engine import LintConfig, LintError, run_lint
+from repro.lint.rules import rule_catalog
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run_from_args"]
+
+
+def default_target() -> Path:
+    """The ``repro`` package source tree (what a bare invocation lints)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the linter's arguments (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--purity-entry",
+        action="append",
+        default=[],
+        metavar="MODULE.FUNC",
+        help="extra RPL001 call-graph entry point (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checks for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    if args.list_rules:
+        for rule_id, description in sorted(rule_catalog().items()):
+            print(f"{rule_id}  {description}")
+        return 0
+    paths = [Path(p) for p in args.paths] or [default_target()]
+    select = (
+        frozenset(s.strip() for s in args.select.split(",") if s.strip())
+        if args.select
+        else None
+    )
+    config = LintConfig(select=select, purity_entries=tuple(args.purity_entry))
+    try:
+        diagnostics = run_lint(paths, config)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_human(diagnostics))
+    return 1 if diagnostics else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_from_args(build_parser().parse_args(argv))

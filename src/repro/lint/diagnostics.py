@@ -1,0 +1,74 @@
+"""Diagnostic records and rendering for the repro linter.
+
+A :class:`Diagnostic` is one finding: a rule identifier, a location, a
+severity, and a human-readable message.  The linter's two output formats
+(human ``file:line:col`` lines and a JSON document) both render from the
+same records, so tooling and humans always agree on what fired.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Diagnostic", "Severity", "render_human", "render_json"]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings break an invariant the codebase relies on (budget
+    conservation, parallel/serial equivalence); ``WARNING`` findings are
+    suspicious but may be legitimate with a justified suppression.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One linter finding, ordered by location for stable output."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE severity: message`` — the human line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+def render_human(diagnostics: list[Diagnostic]) -> str:
+    """Render findings one per line plus a summary, like a compiler."""
+    lines = [d.format() for d in diagnostics]
+    n = len(diagnostics)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    """Render findings as a JSON document (``findings`` + ``count``)."""
+    doc = {
+        "findings": [d.as_dict() for d in diagnostics],
+        "count": len(diagnostics),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,31 @@
+"""Rule registry: every checker the linter knows about, by rule id."""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.budget import BudgetConservationRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.floatcmp import FloatEqualityRule
+from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.purity import PurityRule
+
+__all__ = ["ALL_RULE_CLASSES", "Rule", "all_rules", "rule_catalog"]
+
+#: Registered rule classes, in rule-id order.
+ALL_RULE_CLASSES: tuple[type[Rule], ...] = (
+    PurityRule,
+    LockDisciplineRule,
+    FloatEqualityRule,
+    BudgetConservationRule,
+    DeterminismRule,
+)
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every registered rule, in rule-id order."""
+    return tuple(cls() for cls in ALL_RULE_CLASSES)
+
+
+def rule_catalog() -> dict[str, str]:
+    """``rule id -> one-line description`` for ``--list-rules`` and docs."""
+    return {cls.rule_id: cls.description for cls in ALL_RULE_CLASSES}

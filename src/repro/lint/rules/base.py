@@ -1,0 +1,74 @@
+"""Shared machinery for lint rules."""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import LintConfig, Project, SourceFile
+
+__all__ = ["Rule", "iter_with_ancestry", "terminal_name"]
+
+
+class Rule(ABC):
+    """One checker: a rule id, metadata, and a ``check`` pass."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    @abstractmethod
+    def check(self, project: Project, config: LintConfig) -> Iterator[Diagnostic]:
+        """Yield diagnostics for the whole project."""
+
+    def diagnostic(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=source.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The identifier a value expression ultimately names, if any.
+
+    ``proc_w`` -> ``proc_w``; ``card.mem.nominal_mhz`` -> ``nominal_mhz``;
+    ``freqs[-1]`` -> ``freqs``; calls and literals -> ``None``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return terminal_name(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return terminal_name(node.operand)
+    if isinstance(node, ast.Starred):
+        return terminal_name(node.value)
+    return None
+
+
+def iter_with_ancestry(root: ast.AST) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+    """Depth-first ``(node, ancestors)`` pairs below ``root``.
+
+    ``ancestors`` is ordered outermost-first and excludes ``root`` itself,
+    letting rules ask questions like "is this mutation inside a
+    ``with <lock>`` block?".
+    """
+    stack: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [
+        (child, ()) for child in reversed(list(ast.iter_child_nodes(root)))
+    ]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestry = ancestors + (node,)
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, child_ancestry))

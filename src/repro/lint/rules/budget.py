@@ -1,0 +1,119 @@
+"""RPL004 — budget conservation through blessed allocation constructors.
+
+The central invariant of the paper's power-bounded model is
+``P_cpu + P_mem <= P_b``: every allocation a controller hands out must
+conserve the node budget.  The repo encodes the invariant in
+``repro.core.allocation`` (``PowerAllocation`` validates its domains,
+``bounded_allocation`` additionally asserts conservation against the
+budget).  Building an allocation as a raw ``{"proc_w": ..., "mem_w":
+...}`` dict or a bare ``(proc, mem)`` tuple bypasses that assertion and
+lets a budget-overdrawing pair flow silently into sweeps and schedulers
+— exactly the class of bug FastCap and CompPow warn capping controllers
+about.
+
+The rule flags:
+
+* dict literals (and ``dict(...)`` calls) carrying both a processor
+  power key and a memory power key;
+* tuple/list literals of two non-constructor expressions assigned to an
+  allocation-named target.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintConfig, Project, SourceFile
+from repro.lint.rules.base import Rule, terminal_name
+
+__all__ = ["BudgetConservationRule"]
+
+_PROC_KEYS = frozenset({"proc_w", "cpu_w", "sm_w", "p_cpu", "p_proc", "p_sm"})
+_MEM_KEYS = frozenset({"mem_w", "dram_w", "p_mem", "p_dram"})
+
+_ALLOC_TARGET = re.compile(r"(^|_)alloc(ation)?s?$")
+
+_BLESSED = (
+    "construct allocations through repro.core.allocation "
+    "(PowerAllocation / bounded_allocation), which enforce the paper's "
+    "P_cpu + P_mem <= P_b budget conservation"
+)
+
+
+def _key_families(keys: Iterator[str]) -> tuple[bool, bool]:
+    has_proc = has_mem = False
+    for key in keys:
+        k = key.lower()
+        if k in _PROC_KEYS:
+            has_proc = True
+        if k in _MEM_KEYS:
+            has_mem = True
+    return has_proc, has_mem
+
+
+class BudgetConservationRule(Rule):
+    rule_id = "RPL004"
+    name = "budget-conservation"
+    description = (
+        "allocations must be built via the blessed constructors in "
+        "repro.core.allocation, never as raw dicts/tuples"
+    )
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Diagnostic]:
+        for source in project.files:
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Diagnostic]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Dict):
+                keys = (
+                    k.value
+                    for k in node.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                )
+                has_proc, has_mem = _key_families(keys)
+                if has_proc and has_mem:
+                    yield self.diagnostic(
+                        source,
+                        node,
+                        f"raw dict allocation with processor and memory "
+                        f"power keys; {_BLESSED}",
+                    )
+            elif isinstance(node, ast.Call):
+                if terminal_name(node.func) == "dict":
+                    has_proc, has_mem = _key_families(
+                        kw.arg for kw in node.keywords if kw.arg is not None
+                    )
+                    if has_proc and has_mem:
+                        yield self.diagnostic(
+                            source,
+                            node,
+                            f"raw dict(...) allocation with processor and "
+                            f"memory power keys; {_BLESSED}",
+                        )
+            elif isinstance(node, ast.Assign):
+                yield from self._check_assign(source, node)
+
+    def _check_assign(
+        self, source: SourceFile, node: ast.Assign
+    ) -> Iterator[Diagnostic]:
+        value = node.value
+        if not isinstance(value, (ast.Tuple, ast.List)) or len(value.elts) != 2:
+            return
+        # A pair whose elements come from a constructor call is assumed
+        # blessed; only raw numeric/name pairs are flagged.
+        if any(isinstance(elt, ast.Call) for elt in value.elts):
+            return
+        for target in node.targets:
+            name = terminal_name(target)
+            if name is not None and _ALLOC_TARGET.search(name.lower()):
+                yield self.diagnostic(
+                    source,
+                    node,
+                    f"raw 2-element {type(value).__name__.lower()} bound to "
+                    f"allocation-named target {name!r}; {_BLESSED}",
+                )
+                return

@@ -1,0 +1,137 @@
+"""RPL005 — determinism of experiment figure modules.
+
+Every figure and table in the repo is a deterministic artifact: two runs
+of ``repro experiment fig3`` on any machine must render identical
+output, or the equivalence harness cannot diff artifacts across
+serial/parallel engines and releases.  Inside experiment modules
+(``repro.experiments.*`` by path, or any file carrying a
+``# repro-lint: figure-module`` marker) the rule flags:
+
+* iteration directly over a set literal / ``set(...)`` — set order is
+  hash-dependent; wrap in ``sorted(...)``;
+* wall-clock and date reads (``time.time``, ``datetime.now``,
+  ``date.today``, ...);
+* process environment reads (``os.environ``, ``os.getenv``) — artifact
+  shape must come from arguments, not ambient state;
+* raw RNG (``random.*``, ``numpy.random.*``) — seeded streams come from
+  ``repro.util.seeds.spawn_rng``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import ImportResolver, dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintConfig, Project, SourceFile
+from repro.lint.rules.base import Rule
+
+__all__ = ["DeterminismRule"]
+
+_EXPERIMENTS_SEGMENT = ".experiments."
+
+_DATE_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismRule(Rule):
+    rule_id = "RPL005"
+    name = "determinism"
+    description = (
+        "experiment figure modules must be deterministic: no set-order "
+        "iteration, wall-clock/date reads, environment reads, or raw RNG"
+    )
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Diagnostic]:
+        for source in project.files:
+            in_experiments = (
+                _EXPERIMENTS_SEGMENT in f".{source.module}."
+                and source.module.split(".")[-1] != "__init__"
+            )
+            if not (in_experiments or source.suppressions.figure_module):
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Diagnostic]:
+        resolver = ImportResolver(source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self.diagnostic(
+                        source,
+                        node.iter,
+                        "iteration over a set is hash-order dependent; "
+                        "wrap the set in sorted(...)",
+                    )
+            elif isinstance(node, ast.comprehension):
+                if _is_set_expr(node.iter):
+                    yield self.diagnostic(
+                        source,
+                        node.iter,
+                        "comprehension over a set is hash-order dependent; "
+                        "wrap the set in sorted(...)",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(source, resolver, node)
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is not None and resolver.resolve(dotted) == "os.environ":
+                    yield self.diagnostic(
+                        source,
+                        node,
+                        "reads os.environ; figure shape must come from "
+                        "arguments, not ambient process state",
+                    )
+
+    def _check_call(
+        self, source: SourceFile, resolver: ImportResolver, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        resolved = resolver.resolve(dotted)
+        if resolved in _DATE_CALLS:
+            yield self.diagnostic(
+                source,
+                node,
+                f"calls {resolved}() — figure modules must not read the "
+                f"wall clock or date",
+            )
+        elif resolved == "os.getenv":
+            yield self.diagnostic(
+                source,
+                node,
+                "calls os.getenv() — figure shape must come from "
+                "arguments, not ambient process state",
+            )
+        elif resolved.startswith(("random.", "numpy.random.")):
+            yield self.diagnostic(
+                source,
+                node,
+                f"calls {resolved}() — derive seeded streams via "
+                f"repro.util.seeds.spawn_rng instead",
+            )

@@ -1,0 +1,104 @@
+"""RPL003 — no exact float equality on power/performance quantities.
+
+Watt and performance values flow through multiplicative models, unit
+conversions, and parallel reduction orders; comparing them with ``==`` or
+``!=`` is a latent heisenbug.  The rule flags equality comparisons where
+either operand *names* a physical quantity (``proc_w``, ``perf_max``,
+``nominal_mhz``, ``compute_efficiency``, ...), directing callers to the
+tolerant helpers in :mod:`repro.util.units` (``watts_close``,
+``approx_equal``).
+
+Legitimate exact sentinels (e.g. ``bytes_moved == 0.0`` meaning "this
+phase does no memory work at all" in ``perfmodel``) carry explicit
+``# repro-lint: disable=RPL003`` suppressions with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintConfig, Project, SourceFile
+from repro.lint.rules.base import Rule, terminal_name
+
+__all__ = ["FloatEqualityRule"]
+
+#: Identifier tokens (split on ``_``) that mark a physical quantity.
+_QUANTITY_TOKENS = frozenset(
+    {
+        "w",
+        "mw",
+        "watt",
+        "watts",
+        "power",
+        "powers",
+        "perf",
+        "performance",
+        "performances",
+        "budget",
+        "budgets",
+        "mhz",
+        "ghz",
+        "freq",
+        "freqs",
+        "frequency",
+        "frequencies",
+        "gbps",
+        "bandwidth",
+        "flops",
+        "efficiency",
+        "bytes",
+        "joules",
+        "energy",
+    }
+)
+
+
+def _quantity_operand(node: ast.expr) -> str | None:
+    """The quantity-typed identifier ``node`` names, if any."""
+    name = terminal_name(node)
+    if name is None:
+        return None
+    tokens = name.lower().split("_")
+    return name if any(tok in _QUANTITY_TOKENS for tok in tokens) else None
+
+
+def _is_str_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "RPL003"
+    name = "float-equality"
+    description = (
+        "power/performance-typed expressions must not be compared with "
+        "== or != — use repro.util.units.watts_close / approx_equal"
+    )
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Diagnostic]:
+        for source in project.files:
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Diagnostic]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_str_constant(left) or _is_str_constant(right):
+                    continue
+                matched = _quantity_operand(left) or _quantity_operand(right)
+                if matched is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.diagnostic(
+                    source,
+                    node,
+                    f"exact float {symbol} on quantity {matched!r}; use "
+                    f"watts_close()/approx_equal() from repro.util.units "
+                    f"(or suppress a justified exact sentinel)",
+                )

@@ -1,0 +1,202 @@
+"""RPL002 — lock discipline for cross-thread module state.
+
+The parallel sweep engine shares module-level state (the fingerprint
+memo, the process-wide default engine) across worker threads; any file
+holding such state must mutate it only under a lock, or the
+parallel/serial equivalence guarantee silently degrades to "usually".
+
+The rule applies to ``repro.core.parallel`` automatically and to any
+file carrying a ``# shared-state`` marker comment.  Within those files:
+
+* module-level mutable containers (dict/list/set literals, ``dict()``,
+  ``OrderedDict()``, ``WeakKeyDictionary()``, ...) may only be mutated
+  (subscript stores/deletes, mutating method calls, augmented assigns)
+  inside a ``with <lock>:`` block;
+* rebinding a module-level name through ``global`` must likewise happen
+  under a lock.
+
+Lock objects are recognized by name (an identifier containing ``lock``)
+— the repo's convention pairs every shared container with a sibling
+``_FOO_LOCK``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintConfig, Project, SourceFile
+from repro.lint.rules.base import Rule, iter_with_ancestry, terminal_name
+
+__all__ = ["LockDisciplineRule"]
+
+#: Files with this module name are always subject to lock discipline.
+_ALWAYS_CHECKED_SUFFIX = "core.parallel"
+
+_CONTAINER_FACTORIES = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "WeakKeyDictionary",
+        "WeakValueDictionary",
+        "WeakSet",
+    }
+)
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "insert",
+        "extend",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "appendleft",
+        "popleft",
+    }
+)
+
+
+def _is_lock_name(node: ast.AST) -> bool:
+    name = terminal_name(node)
+    return name is not None and "lock" in name.lower()
+
+
+def _is_mutable_init(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = terminal_name(value.func)
+        return name in _CONTAINER_FACTORIES
+    return False
+
+
+def _under_lock(ancestors: tuple[ast.AST, ...]) -> bool:
+    for node in ancestors:
+        if isinstance(node, ast.With):
+            if any(_is_lock_name(item.context_expr) for item in node.items):
+                return True
+    return False
+
+
+def _in_function(ancestors: tuple[ast.AST, ...]) -> bool:
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) for node in ancestors
+    )
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "RPL002"
+    name = "lock-discipline"
+    description = (
+        "module-level mutable state in shared-state files may only be "
+        "mutated inside a `with <lock>:` block"
+    )
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Diagnostic]:
+        for source in project.files:
+            if not (
+                source.module.endswith(_ALWAYS_CHECKED_SUFFIX)
+                or source.suppressions.shared_state
+            ):
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Diagnostic]:
+        mutable: set[str] = set()
+        module_names: set[str] = set()
+        for stmt in source.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if "lock" in target.id.lower():
+                    continue
+                module_names.add(target.id)
+                if value is not None and _is_mutable_init(value):
+                    mutable.add(target.id)
+
+        for node, ancestors in iter_with_ancestry(source.tree):
+            if not _in_function(ancestors):
+                continue  # import-time initialization is single-threaded
+            message = self._mutation(node, ancestors, mutable, module_names)
+            if message is not None and not _under_lock(ancestors):
+                yield self.diagnostic(source, node, message)
+
+    def _mutation(
+        self,
+        node: ast.AST,
+        ancestors: tuple[ast.AST, ...],
+        mutable: set[str],
+        module_names: set[str],
+    ) -> str | None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = self._shared_target(target, ancestors, mutable, module_names)
+                if name is not None:
+                    return f"unguarded write to shared module state {name!r}"
+            return None
+        if isinstance(node, ast.AugAssign):
+            name = self._shared_target(node.target, ancestors, mutable, module_names)
+            if name is not None:
+                return f"unguarded augmented write to shared module state {name!r}"
+            return None
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = terminal_name(target.value)
+                    if name in mutable:
+                        return f"unguarded delete from shared container {name!r}"
+            return None
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                name = terminal_name(node.func.value)
+                if name in mutable:
+                    return (
+                        f"unguarded {name}.{node.func.attr}() on shared "
+                        f"module container"
+                    )
+            return None
+        return None
+
+    def _shared_target(
+        self,
+        target: ast.expr,
+        ancestors: tuple[ast.AST, ...],
+        mutable: set[str],
+        module_names: set[str],
+    ) -> str | None:
+        """Name of the shared state ``target`` writes to, if any."""
+        if isinstance(target, ast.Subscript):
+            name = terminal_name(target.value)
+            return name if name in mutable else None
+        if isinstance(target, ast.Name) and target.id in module_names:
+            # Only a rebind through `global` touches module state; a plain
+            # assignment to the same identifier creates a local.
+            for anc in reversed(ancestors):
+                if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    declared = {
+                        n
+                        for stmt in ast.walk(anc)
+                        if isinstance(stmt, ast.Global)
+                        for n in stmt.names
+                    }
+                    return target.id if target.id in declared else None
+        return None

@@ -1,0 +1,112 @@
+"""RPL001 — purity of memoized sweep functions.
+
+The ``SweepEngine`` caches ``(platform, phases, allocation) -> result``
+and replays cached values in place of re-execution; the parallel backend
+additionally runs the same functions concurrently.  Both are only sound
+if every function reachable from the engine's entry points is a pure,
+deterministic function of its arguments.  This rule walks the project
+call graph from the auto-detected entry points (plus any configured
+extras) and flags, inside reachable functions:
+
+* wall-clock and timer reads (``time.*``);
+* RNG outside the blessed ``repro.util.seeds`` door (``random.*``,
+  ``numpy.random.*``);
+* console/file I/O (``print``, ``open``, ``input``);
+* environment reads (``os.environ``, ``os.getenv``);
+* module-global mutation (``global`` declarations, writes to imported
+  module attributes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import CallGraph, ImportResolver, dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintConfig, Project
+from repro.lint.rules.base import Rule
+
+__all__ = ["PurityRule"]
+
+#: Modules whose RNG use is the sanctioned determinism door.
+_RNG_DOOR_SUFFIX = "util.seeds"
+
+_IO_BUILTINS = frozenset({"print", "open", "input"})
+
+
+def _impurity(resolved: str, in_rng_door: bool) -> str | None:
+    """Why a resolved call target is impure, or ``None`` if it is fine."""
+    if resolved == "time" or resolved.startswith("time."):
+        return f"calls {resolved}() (wall-clock/timer read)"
+    if not in_rng_door:
+        if resolved == "random" or resolved.startswith("random."):
+            return f"calls {resolved}() — use repro.util.seeds.spawn_rng"
+        if resolved.startswith("numpy.random."):
+            return f"calls {resolved}() — use repro.util.seeds.spawn_rng"
+    if resolved in ("os.getenv", "os.putenv"):
+        return f"reads the process environment via {resolved}"
+    return None
+
+
+class PurityRule(Rule):
+    rule_id = "RPL001"
+    name = "purity"
+    description = (
+        "functions reachable from SweepEngine-memoized entry points must be "
+        "pure: no I/O, wall-clock, environment reads, unseeded RNG, or "
+        "module-global mutation"
+    )
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Diagnostic]:
+        graph = CallGraph.build(project, extra_entries=config.purity_entries)
+        origin = graph.reachable()
+        for qual, entry in sorted(origin.items()):
+            info = graph.functions[qual]
+            resolver = ImportResolver(info.source)
+            in_rng_door = info.module.endswith(_RNG_DOOR_SUFFIX)
+            for node in ast.walk(info.node):
+                message = self._violation(node, resolver, in_rng_door)
+                if message is not None:
+                    yield self.diagnostic(
+                        info.source,
+                        node,
+                        f"'{qual}' is reachable from memoized entry "
+                        f"'{entry}' but {message}; memoized sweep functions "
+                        f"must be pure and deterministic",
+                    )
+
+    def _violation(
+        self, node: ast.AST, resolver: ImportResolver, in_rng_door: bool
+    ) -> str | None:
+        if isinstance(node, ast.Global):
+            names = ", ".join(node.names)
+            return f"declares 'global {names}' (module-global mutation)"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _IO_BUILTINS and func.id not in resolver.aliases:
+                    return f"performs I/O via {func.id}()"
+                return _impurity(resolver.resolve(func.id), in_rng_door)
+            dotted = dotted_name(func)
+            if dotted is not None and not dotted.startswith("self."):
+                return _impurity(resolver.resolve(dotted), in_rng_door)
+            return None
+        if isinstance(node, ast.Attribute):
+            # Exactly `os.environ` — one node per occurrence, so reads,
+            # `.get(...)` chains, and subscripts each fire once.
+            dotted = dotted_name(node)
+            if dotted is not None and resolver.resolve(dotted) == "os.environ":
+                return "reads the process environment via os.environ"
+            return None
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    dotted = dotted_name(target.value)
+                    if dotted is None or dotted.startswith("self."):
+                        continue
+                    resolved = resolver.resolve(dotted)
+                    if resolved != dotted or dotted in resolver.aliases:
+                        return f"mutates module attribute {dotted}.{target.attr}"
+            return None
+        return None

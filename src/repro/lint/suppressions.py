@@ -1,0 +1,98 @@
+"""Comment-driven suppressions and file markers.
+
+Grammar (all inside comments, so string literals never trigger them):
+
+* ``# repro-lint: disable=RPL001,RPL003 -- reason`` — suppress those
+  rules on this physical line.  The reason is free text; reviewers are
+  expected to reject suppressions without one.
+* ``# repro-lint: disable-file=RPL003 -- reason`` — suppress the rules
+  for the entire file.
+* ``# shared-state`` — marks the file as holding cross-thread module
+  state, opting it into RPL002 lock discipline.
+* ``# repro-lint: figure-module`` — opts a file into RPL005 determinism
+  checks (experiment figure modules are opted in automatically by path).
+
+Comments are discovered with :mod:`tokenize`, so the directives are only
+recognized in real comments — a string containing the same text is inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "scan_comments"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+_FIGURE_MARKER = re.compile(r"#\s*repro-lint:\s*figure-module\b")
+_SHARED_STATE = re.compile(r"#\s*shared-state\b")
+
+
+def scan_comments(text: str) -> dict[int, str]:
+    """Map of ``line -> comment text`` for every comment in ``text``.
+
+    Falls back to a conservative regex scan if the file does not
+    tokenize (the linter still parses it with :mod:`ast` separately, so
+    a tokenize hiccup should not silently drop suppressions).
+    """
+    comments: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for i, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                comments[i] = stripped
+    return comments
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives and markers for one source file."""
+
+    line_rules: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_rules: frozenset[str] = frozenset()
+    shared_state: bool = False
+    figure_module: bool = False
+
+    @classmethod
+    def parse(cls, text: str) -> "Suppressions":
+        comments = scan_comments(text)
+        line_rules: dict[int, frozenset[str]] = {}
+        file_rules: set[str] = set()
+        shared_state = False
+        figure_module = False
+        for line, comment in comments.items():
+            if _SHARED_STATE.search(comment):
+                shared_state = True
+            if _FIGURE_MARKER.search(comment):
+                figure_module = True
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                continue
+            rules = frozenset(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            if match.group("kind") == "disable-file":
+                file_rules.update(rules)
+            else:
+                line_rules[line] = line_rules.get(line, frozenset()) | rules
+        return cls(
+            line_rules=line_rules,
+            file_rules=frozenset(file_rules),
+            shared_state=shared_state,
+            figure_module=figure_module,
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is suppressed at ``line`` (or file-wide)."""
+        if rule_id in self.file_rules:
+            return True
+        return rule_id in self.line_rules.get(line, frozenset())

@@ -130,7 +130,7 @@ def _resolve_dram(
     governor either leaves the bus alone or throttles straight into the
     memory-bound regime where measured power equals ``bg + level·access``.
     """
-    if phase.bytes_moved == 0.0:
+    if phase.bytes_moved == 0.0:  # repro-lint: disable=RPL003 -- exact zero sentinel: memory-idle phase needs no throttle
         return DramOperatingPoint(1.0, CappingMechanism.NONE)
     if cap_w >= dram.max_power_w:
         return DramOperatingPoint(1.0, CappingMechanism.NONE)

@@ -64,15 +64,15 @@ class Phase:
         check_fraction(self.stall_activity, "stall_activity")
         check_fraction(self.compute_efficiency, "compute_efficiency")
         check_fraction(self.memory_efficiency, "memory_efficiency")
-        if self.flops == 0.0 and self.bytes_moved == 0.0:
+        if self.flops == 0.0 and self.bytes_moved == 0.0:  # repro-lint: disable=RPL003 -- exact zero sentinel: validated "does no work at all"
             raise ConfigurationError(
                 f"phase {self.name!r} does no work (flops == bytes_moved == 0)"
             )
-        if self.flops > 0.0 and self.compute_efficiency == 0.0:
+        if self.flops > 0.0 and self.compute_efficiency == 0.0:  # repro-lint: disable=RPL003 -- exact zero sentinel on a validated fraction
             raise ConfigurationError(
                 f"phase {self.name!r} has flops but zero compute efficiency"
             )
-        if self.bytes_moved > 0.0 and self.memory_efficiency == 0.0:
+        if self.bytes_moved > 0.0 and self.memory_efficiency == 0.0:  # repro-lint: disable=RPL003 -- exact zero sentinel on a validated fraction
             raise ConfigurationError(
                 f"phase {self.name!r} moves bytes but has zero memory efficiency"
             )
@@ -80,7 +80,7 @@ class Phase:
     @property
     def intensity(self) -> float:
         """Arithmetic intensity in FLOPs per byte (inf for compute-only)."""
-        if self.bytes_moved == 0.0:
+        if self.bytes_moved == 0.0:  # repro-lint: disable=RPL003 -- exact zero sentinel: compute-only phase
             return float("inf")
         return self.flops / self.bytes_moved
 

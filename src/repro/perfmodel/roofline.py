@@ -26,7 +26,7 @@ def arithmetic_intensity(flops: float, bytes_moved: float) -> float:
     """FLOPs per byte; ``inf`` for a phase that moves no data."""
     check_non_negative(flops, "flops")
     check_non_negative(bytes_moved, "bytes_moved")
-    if bytes_moved == 0.0:
+    if bytes_moved == 0.0:  # repro-lint: disable=RPL003 -- exact zero sentinel: phase moves no data
         return float("inf")
     return flops / bytes_moved
 

@@ -33,6 +33,7 @@ __all__ = [
     "GIB",
     "MHZ",
     "WATT",
+    "approx_equal",
     "as_gbps",
     "as_ghz",
     "as_watts",
@@ -44,6 +45,7 @@ __all__ = [
     "hz_to_ghz",
     "joules",
     "watts",
+    "watts_close",
 ]
 
 
@@ -111,6 +113,27 @@ def ghz_to_hz(value_ghz: float) -> float:
 def hz_to_ghz(value_hz: float) -> float:
     """Convert Hz to GHz."""
     return float(value_hz) / 1.0e9
+
+
+def approx_equal(
+    a: float, b: float, *, rel_tol: float = 1e-9, abs_tol: float = 1e-9
+) -> bool:
+    """Tolerant equality for physical quantities.
+
+    Exact ``==`` on modeled floats is a latent bug (values flow through
+    multiplicative models and parallel reduction orders); the linter's
+    RPL003 rule directs all quantity comparisons here.
+    """
+    return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def watts_close(a: float, b: float, *, tol_w: float = 1e-6) -> bool:
+    """Whether two power values agree to within ``tol_w`` watts.
+
+    The absolute tolerance (default 1 µW) suits the library's watt-scale
+    magnitudes better than a relative test near zero.
+    """
+    return abs(float(a) - float(b)) <= tol_w
 
 
 def clamp(value: float, lo: float, hi: float) -> float:

@@ -9,6 +9,8 @@ real kernel).
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import ConfigurationError, UnknownWorkloadError
 from repro.workloads.base import Workload
 from repro.workloads.cpu_suite import CPU_WORKLOADS
@@ -17,7 +19,9 @@ from repro.workloads.gpu_suite import GPU_WORKLOADS
 __all__ = ["get_workload", "list_workloads", "register_workload", "unregister_workload"]
 
 #: User-registered workloads (name -> workload), looked up after the suites.
+#: Mutated by callers at runtime, so writes are lock-guarded.  # shared-state
 _USER_WORKLOADS: dict[str, Workload] = {}
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_workload(workload: Workload, *, replace: bool = False) -> None:
@@ -31,11 +35,12 @@ def register_workload(workload: Workload, *, replace: bool = False) -> None:
         raise ConfigurationError(
             f"workload name {workload.name!r} is reserved by the built-in suites"
         )
-    if key in _USER_WORKLOADS and not replace:
-        raise ConfigurationError(
-            f"workload {workload.name!r} already registered; pass replace=True"
-        )
-    _USER_WORKLOADS[key] = workload
+    with _REGISTRY_LOCK:
+        if key in _USER_WORKLOADS and not replace:
+            raise ConfigurationError(
+                f"workload {workload.name!r} already registered; pass replace=True"
+            )
+        _USER_WORKLOADS[key] = workload
 
 
 def unregister_workload(name: str) -> None:
@@ -45,10 +50,11 @@ def unregister_workload(name: str) -> None:
         raise ConfigurationError(
             f"cannot unregister built-in suite workload {name!r}"
         )
-    try:
-        del _USER_WORKLOADS[key]
-    except KeyError:
-        raise UnknownWorkloadError(f"no user workload named {name!r}") from None
+    with _REGISTRY_LOCK:
+        try:
+            del _USER_WORKLOADS[key]
+        except KeyError:
+            raise UnknownWorkloadError(f"no user workload named {name!r}") from None
 
 
 def list_workloads(device: str | None = None) -> tuple[str, ...]:

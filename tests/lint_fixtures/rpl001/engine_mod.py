@@ -1,0 +1,10 @@
+"""RPL001 fixture: a SweepEngine whose memoized entry is `work.compute`."""
+
+from work import compute
+
+
+class SweepEngine:
+    """Minimal engine shape: the linter roots RPL001 at what it calls."""
+
+    def execute(self, x):
+        return compute(x)

@@ -1,0 +1,27 @@
+"""RPL001 fixture: impure functions reachable from the engine entry."""
+
+import os
+import time
+
+import numpy as np
+
+_COUNTER = 0
+
+
+def helper(x):
+    rng = np.random.default_rng(0)  # line 12: RPL001 (unseeded-RNG door bypass)
+    return x + rng.random()
+
+
+def compute(x):
+    stamp = time.time()  # line 17: RPL001 (wall-clock read)
+    print("computing", x)  # line 18: RPL001 (console I/O)
+    mode = os.environ.get("REPRO_MODE")  # line 19: RPL001 (environment read)
+    global _COUNTER  # line 20: RPL001 (module-global mutation)
+    _COUNTER += 1
+    return helper(x) + stamp + (1 if mode else 0)
+
+
+def unreachable_is_fine():
+    # Not reachable from the engine: timers here are legitimate.
+    return time.perf_counter()

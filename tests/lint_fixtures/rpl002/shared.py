@@ -1,0 +1,33 @@
+"""RPL002 fixture: cross-thread module state."""
+# shared-state
+
+import threading
+
+_CACHE = {}
+_RESULTS = []
+_EPOCH = 0
+_CACHE_LOCK = threading.Lock()
+
+
+def bad_store(key, value):
+    _CACHE[key] = value  # line 13: RPL002 (unguarded subscript store)
+
+
+def bad_append(value):
+    _RESULTS.append(value)  # line 17: RPL002 (unguarded mutating method)
+
+
+def bad_bump():
+    global _EPOCH
+    _EPOCH += 1  # line 22: RPL002 (unguarded global rebind)
+
+
+def good_store(key, value):
+    with _CACHE_LOCK:
+        _CACHE[key] = value  # guarded: no finding
+
+
+def good_local():
+    results = []
+    results.append(1)  # local container: no finding
+    return results

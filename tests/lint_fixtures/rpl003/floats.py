@@ -1,0 +1,13 @@
+"""RPL003 fixture: exact float equality on power/perf quantities."""
+
+
+def compare(proc_w, budget_w, perf_max, label):
+    if proc_w == budget_w:  # line 5: RPL003 (watt == watt)
+        return True
+    if perf_max != 0.0:  # line 7: RPL003 (perf != literal)
+        return False
+    if proc_w == 0.0:  # repro-lint: disable=RPL003 -- suppressed zero sentinel
+        return True
+    if label == "baseline":  # string compare: no finding
+        return False
+    return proc_w < budget_w  # inequality: no finding

@@ -1,0 +1,14 @@
+"""RPL004 fixture: raw allocation construction bypassing the invariant."""
+
+
+def make_raw(budget_w):
+    payload = {"proc_w": budget_w / 2, "mem_w": budget_w / 2}  # line 5: RPL004
+    pair = dict(cpu_w=10.0, mem_w=20.0)  # line 6: RPL004
+    allocation = (10.0, 20.0)  # line 7: RPL004 (tuple to alloc-named target)
+    return payload, pair, allocation
+
+
+def fine(budget_w):
+    shares = {"proc_frac": 0.5, "mem_frac": 0.5}  # no power keys: no finding
+    bounds = (0.0, budget_w)  # target not allocation-named: no finding
+    return shares, bounds

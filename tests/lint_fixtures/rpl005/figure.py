@@ -1,0 +1,23 @@
+"""RPL005 fixture: nondeterminism inside a figure module."""
+# repro-lint: figure-module
+
+import os
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def render(workload_names):
+    for name in {"a", "b", "c"}:  # line 12: RPL005 (set-order iteration)
+        _use(name)
+    stamp = datetime.now()  # line 14: RPL005 (date read)
+    started = time.time()  # line 15: RPL005 (wall-clock read)
+    debug = os.environ.get("REPRO_DEBUG")  # line 16: RPL005 (environ read)
+    noise = np.random.default_rng(0).random()  # line 17: RPL005 (raw RNG)
+    ordered = [n for n in sorted(set(workload_names))]  # sorted: no finding
+    return stamp, started, debug, noise, ordered
+
+
+def _use(name):
+    return name

@@ -2,8 +2,12 @@
 
 import pytest
 
-from repro.core.allocation import PowerAllocation, allocation_grid
-from repro.errors import SweepError, UnitError
+from repro.core.allocation import (
+    PowerAllocation,
+    allocation_grid,
+    bounded_allocation,
+)
+from repro.errors import PowerBoundError, SweepError, UnitError
 
 
 class TestPowerAllocation:
@@ -69,3 +73,35 @@ class TestAllocationGrid:
     def test_infeasible_floors_raise(self):
         with pytest.raises(SweepError):
             allocation_grid(60.0, mem_min_w=40.0, proc_min_w=40.0)
+
+
+class TestBoundedAllocation:
+    def test_within_budget(self):
+        a = bounded_allocation(100.0, 50.0, 150.0)
+        assert isinstance(a, PowerAllocation)
+        assert a.proc_w == 100.0
+        assert a.mem_w == 50.0
+
+    def test_exactly_at_budget(self):
+        a = bounded_allocation(100.0, 50.0, 150.0)
+        assert a.total_w == pytest.approx(150.0)
+
+    def test_overdraw_raises(self):
+        with pytest.raises(PowerBoundError, match="overdraws"):
+            bounded_allocation(100.0, 51.0, 150.0)
+
+    def test_tolerance_absorbs_float_noise(self):
+        bounded_allocation(100.0, 50.0 + 1e-12, 150.0)
+
+    def test_explicit_tolerance(self):
+        bounded_allocation(100.0, 50.05, 150.0, tolerance_w=0.1)
+        with pytest.raises(PowerBoundError):
+            bounded_allocation(100.0, 50.2, 150.0, tolerance_w=0.1)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(UnitError):
+            bounded_allocation(100.0, 50.0, float("nan"))
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(UnitError):
+            bounded_allocation(-1.0, 50.0, 150.0)

@@ -1,0 +1,215 @@
+"""The repro invariant linter: fixtures fire, suppressions hold, tree is clean.
+
+Each ``tests/lint_fixtures/<rule>/`` directory is a tiny project with
+known violations; the tests pin the exact rule ids and line numbers that
+fire, that legitimate constructs nearby stay silent, and that the full
+``src/repro`` tree (the self-check the CI gate runs) reports zero
+findings.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import LintConfig, LintError, rule_catalog, run_lint
+from repro.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+
+def findings(directory: Path, **config) -> list:
+    return run_lint([directory], LintConfig(**config))
+
+
+def locations(diags, rule_id: str) -> list[tuple[str, int]]:
+    return [
+        (Path(d.path).name, d.line) for d in diags if d.rule_id == rule_id
+    ]
+
+
+# ---------------------------------------------------------------------------
+# per-rule fixtures
+# ---------------------------------------------------------------------------
+
+class TestRuleFixtures:
+    def test_rpl001_purity_fires_on_reachable_functions(self):
+        diags = findings(FIXTURES / "rpl001")
+        assert locations(diags, "RPL001") == [
+            ("work.py", 12),  # np.random.default_rng
+            ("work.py", 17),  # time.time
+            ("work.py", 18),  # print
+            ("work.py", 19),  # os.environ
+            ("work.py", 20),  # global
+        ]
+
+    def test_rpl001_unreachable_functions_are_exempt(self):
+        diags = findings(FIXTURES / "rpl001")
+        lines = [d.line for d in diags if d.path.endswith("work.py")]
+        # `unreachable_is_fine` uses time.perf_counter with no finding.
+        assert all(line <= 22 for line in lines)
+
+    def test_rpl001_explicit_entry_extends_the_graph(self):
+        diags = findings(
+            FIXTURES / "rpl001",
+            purity_entries=("work.unreachable_is_fine",),
+        )
+        assert ("work.py", 27) in locations(diags, "RPL001")
+
+    def test_rpl002_lock_discipline(self):
+        diags = findings(FIXTURES / "rpl002")
+        assert locations(diags, "RPL002") == [
+            ("shared.py", 13),  # unguarded subscript store
+            ("shared.py", 17),  # unguarded .append
+            ("shared.py", 22),  # unguarded global rebind
+        ]
+
+    def test_rpl003_float_equality(self):
+        diags = findings(FIXTURES / "rpl003")
+        assert locations(diags, "RPL003") == [
+            ("floats.py", 5),
+            ("floats.py", 7),
+        ]
+
+    def test_rpl003_suppression_is_honored(self):
+        diags = findings(FIXTURES / "rpl003")
+        assert ("floats.py", 9) not in locations(diags, "RPL003")
+
+    def test_rpl004_budget_conservation(self):
+        diags = findings(FIXTURES / "rpl004")
+        assert locations(diags, "RPL004") == [
+            ("alloc.py", 5),
+            ("alloc.py", 6),
+            ("alloc.py", 7),
+        ]
+
+    def test_rpl005_determinism(self):
+        diags = findings(FIXTURES / "rpl005")
+        assert locations(diags, "RPL005") == [
+            ("figure.py", 12),
+            ("figure.py", 14),
+            ("figure.py", 15),
+            ("figure.py", 16),
+            ("figure.py", 17),
+        ]
+
+    def test_every_rule_has_a_firing_fixture(self):
+        fired = set()
+        for rule_dir in sorted(FIXTURES.iterdir()):
+            if rule_dir.is_dir():
+                fired.update(d.rule_id for d in findings(rule_dir))
+        assert fired == set(rule_catalog())
+
+    def test_select_restricts_rules(self):
+        diags = findings(FIXTURES / "rpl003", select=frozenset({"RPL004"}))
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# self-check: the real tree is clean
+# ---------------------------------------------------------------------------
+
+class TestSelfCheck:
+    def test_src_repro_reports_zero_findings(self):
+        assert run_lint([SRC_REPRO]) == []
+
+    def test_module_cli_exits_zero_on_clean_tree(self):
+        assert lint_main([str(SRC_REPRO)]) == 0
+
+    def test_repro_lint_subcommand_exits_zero(self, capsys):
+        assert repro_main(["lint", str(SRC_REPRO)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# CLI behavior
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_nonzero_exit_and_rule_ids_on_violations(self, capsys):
+        code = lint_main([str(FIXTURES / "rpl003")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPL003" in out
+        assert "floats.py:5" in out
+
+    def test_json_output_parses(self, capsys):
+        code = lint_main([str(FIXTURES / "rpl004"), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["count"] == 3
+        assert {f["rule"] for f in doc["findings"]} == {"RPL004"}
+        first = doc["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule", "severity", "message"}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert rule_id in out
+
+    def test_select_option(self, capsys):
+        code = lint_main([str(FIXTURES / "rpl003"), "--select", "RPL004"])
+        assert code == 0
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert lint_main([str(FIXTURES / "does-not-exist")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_python_dash_m_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(FIXTURES / "rpl005")],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "RPL005" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# engine/library details
+# ---------------------------------------------------------------------------
+
+class TestEngineDetails:
+    def test_diagnostics_are_sorted_and_stable(self):
+        diags = findings(FIXTURES / "rpl001")
+        assert diags == sorted(diags)
+        assert findings(FIXTURES / "rpl001") == diags
+
+    def test_lint_error_on_non_python_target(self, tmp_path):
+        target = tmp_path / "data.txt"
+        target.write_text("not python")
+        with pytest.raises(LintError):
+            run_lint([target])
+
+    def test_syntax_error_is_reported_as_lint_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(LintError):
+            run_lint([tmp_path])
+
+    def test_file_level_suppression(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "# repro-lint: disable-file=RPL003 -- fixture-wide waiver\n"
+            "def f(proc_w, budget_w):\n"
+            "    return proc_w == budget_w\n"
+        )
+        assert run_lint([tmp_path]) == []
+
+    def test_directive_inside_string_is_inert(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            'WAIVER = "# repro-lint: disable-file=RPL003"\n'
+            "def f(proc_w, budget_w):\n"
+            "    return proc_w == budget_w\n"
+        )
+        diags = run_lint([tmp_path])
+        assert [d.rule_id for d in diags] == ["RPL003"]

@@ -13,6 +13,7 @@ from repro.core.coord import coord_cpu
 from repro.core.coord_gpu import coord_gpu
 from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
 from repro.core.scenario import GPU_SCENARIOS, Scenario, classify_cpu, classify_gpu
+from repro.hardware.component import CappingMechanism
 from repro.hardware.platforms import ivybridge_node, titan_xp_card
 from repro.hardware.rapl import ENERGY_UNIT_J, MsrEnergyCounter
 from repro.perfmodel.executor import execute_on_gpu, execute_on_host
@@ -119,11 +120,25 @@ class TestExecutorProperties:
     @settings(max_examples=40, deadline=None)
     @given(phase=phases, cpu_cap=st.floats(50.0, 400.0))
     def test_perf_monotone_in_mem_cap(self, phase, cpu_cap):
-        rates = [
-            execute_on_host(NODE.cpu, NODE.dram, (phase,), cpu_cap, m).flops_rate
+        # More memory power is NOT unconditionally better: a faster memory
+        # system reduces stalls, which raises effective CPU activity, and a
+        # power-starved processor must then throttle harder — end-to-end
+        # performance can legitimately drop (the cross-component coupling
+        # the paper's coordinator exists to manage).  The monotone claims
+        # that do hold: memory service time never increases with the memory
+        # cap, and flops rate is monotone whenever the processor stays
+        # power-unconstrained across the sweep.
+        results = [
+            execute_on_host(NODE.cpu, NODE.dram, (phase,), cpu_cap, m)
             for m in (50.0, 90.0, 140.0)
         ]
-        assert rates[0] <= rates[1] + 1e-6 and rates[1] <= rates[2] + 1e-6
+        t_mem = [r.phases[0].t_memory_s for r in results]
+        assert t_mem[0] >= t_mem[1] - 1e-12 and t_mem[1] >= t_mem[2] - 1e-12
+        if all(
+            r.phases[0].proc_mechanism is CappingMechanism.NONE for r in results
+        ):
+            rates = [r.flops_rate for r in results]
+            assert rates[0] <= rates[1] + 1e-6 and rates[1] <= rates[2] + 1e-6
 
     @settings(max_examples=50, deadline=None)
     @given(phase=phases, cpu_cap=cpu_caps, mem_cap=mem_caps)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import UnitError
 from repro.util.units import (
+    approx_equal,
     as_gbps,
     as_ghz,
     check_fraction,
@@ -16,6 +17,7 @@ from repro.util.units import (
     hz_to_ghz,
     joules,
     watts,
+    watts_close,
 )
 
 
@@ -113,3 +115,37 @@ class TestClamp:
     def test_boundary_exact(self):
         assert clamp(10.0, 0.0, 10.0) == 10.0
         assert math.copysign(1.0, clamp(0.0, 0.0, 10.0)) == 1.0
+
+
+class TestApproxEqual:
+    def test_equal_values(self):
+        assert approx_equal(1.0, 1.0)
+
+    def test_accumulated_float_error(self):
+        assert approx_equal(0.1 + 0.2, 0.3)
+
+    def test_distinct_values(self):
+        assert not approx_equal(100.0, 100.1)
+
+    def test_zero_vs_tiny_uses_abs_tol(self):
+        assert approx_equal(0.0, 1e-12)
+        assert not approx_equal(0.0, 1e-6)
+
+    def test_rel_tol_scales_with_magnitude(self):
+        assert approx_equal(1e9, 1e9 + 0.5)
+        assert not approx_equal(1e9, 1e9 + 10.0, rel_tol=1e-12, abs_tol=0.0)
+
+
+class TestWattsClose:
+    def test_within_default_microwatt(self):
+        assert watts_close(112.0, 112.0 + 5e-7)
+
+    def test_outside_default_tolerance(self):
+        assert not watts_close(112.0, 112.001)
+
+    def test_explicit_tolerance(self):
+        assert watts_close(48.0, 48.4, tol_w=0.5)
+        assert not watts_close(48.0, 48.6, tol_w=0.5)
+
+    def test_symmetry(self):
+        assert watts_close(10.0, 10.0000005) == watts_close(10.0000005, 10.0)
