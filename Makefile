@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-slow test-all bench lint typecheck check
+.PHONY: test test-slow test-all bench bench-smoke lint typecheck check
 
 # Tier-1: the invariant linter, then the trimmed suite (pyproject
 # addopts deselect `slow`).
@@ -22,7 +22,8 @@ test-all: test test-slow
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
 
-# mypy --strict over repro.core and repro.lint (configured in
+# mypy --strict over repro.core, repro.lint and the vectorized batch
+# kernel (configured in
 # pyproject.toml).  Gated: the target skips with a notice when mypy is
 # not installed so offline environments keep a working `make test`.
 typecheck:
@@ -35,7 +36,16 @@ typecheck:
 # Everything the CI gate runs.
 check: lint typecheck test
 
-# Artifact benchmarks (pytest-benchmark) + the parallel engine report.
+# Artifact benchmarks (pytest-benchmark) + the engine wall-clock reports
+# (scalar-vs-batch kernel, serial-vs-pool fan-out).
 bench:
 	$(PYTEST) -q benchmarks/ --benchmark-only
+	$(PYTEST) -q -s benchmarks/bench_batch.py
 	$(PYTEST) -q -s benchmarks/bench_parallel.py
+
+# CI smoke: the batch-vs-scalar comparison on the full fig9 grid with a
+# single timing repeat.  Asserts batch is not slower than scalar (no
+# fixed multiplier — runner hardware varies) and that cache accounting
+# matches the scalar engine's.
+bench-smoke:
+	$(PYTEST) -q -s benchmarks/bench_batch.py --bench-quick

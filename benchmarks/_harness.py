@@ -1,0 +1,90 @@
+"""Shared machine-readable benchmark output.
+
+Every ``bench_*.py`` renders a human-readable ``.txt`` report, but the
+acceptance numbers (wall time, speedup, cache hit ratio) also need to be
+consumable by scripts and CI without parsing prose.  This module is the
+single place that writes those JSON artifacts so every benchmark emits
+the same shape::
+
+    {
+      "op": "batch_cpu_sweep",
+      "n_points": 1892,
+      "wall_s": {"scalar_cold": 0.64, "batch_cold": 0.04, ...},
+      "speedup": {"batch_cold": 17.7, ...},
+      "cache": {"hits": 0, "misses": 1892, ...},
+      ...extras
+    }
+
+``wall_s`` maps pass names to seconds; ``speedup`` maps pass names to
+their speedup over the benchmark's declared scalar baseline.  ``cache``
+is the engine's :class:`~repro.core.parallel.CacheStats` snapshot, or
+``null`` for benchmarks that bypass the sweep engine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+from repro.core.parallel import CacheStats
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+__all__ = ["REPORTS_DIR", "timed", "write_json_report", "write_text_report"]
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once under a monotonic timer; return (result, seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def cache_dict(stats: CacheStats) -> dict[str, float | int]:
+    """Flatten a CacheStats snapshot for JSON emission."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "size": stats.size,
+        "maxsize": stats.maxsize,
+        "hit_ratio": stats.hit_ratio,
+    }
+
+
+def write_json_report(
+    name: str,
+    *,
+    op: str,
+    n_points: int,
+    wall_s: dict[str, float],
+    speedup: dict[str, float] | None = None,
+    cache: CacheStats | None = None,
+    **extras: Any,
+) -> Path:
+    """Write ``benchmarks/reports/<name>.json`` and return its path."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    payload: dict[str, Any] = {
+        "op": op,
+        "n_points": n_points,
+        "wall_s": {k: round(v, 6) for k, v in wall_s.items()},
+        "speedup": (
+            None if speedup is None else {k: round(v, 3) for k, v in speedup.items()}
+        ),
+        "cache": None if cache is None else cache_dict(cache),
+    }
+    payload.update(extras)
+    path = REPORTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_text_report(name: str, rendered: str) -> Path:
+    """Write ``benchmarks/reports/<name>.txt`` and return its path."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{name}.txt"
+    path.write_text(rendered + "\n")
+    return path

@@ -9,25 +9,30 @@ four budgets, 4 W steps) three ways:
 * **parallel warm** — the same engine re-running the identical grid,
   which must be served almost entirely from the memo cache.
 
-The report lands in ``benchmarks/reports/parallel.txt``.  The headline
-acceptance number is the cache-hit ratio: on multi-core hosts the pool
-also buys wall-clock, but the model is pure Python (GIL-bound), so on
-single-core runners the documented win is memoization — a warm hit ratio
-of ≥ 50 % across the whole session and a warm pass that is an order of
-magnitude faster than any executing pass.
+Both fan-out passes pin ``batch=False, serial_crossover=0`` so this
+benchmark keeps measuring the *pool*, not the vectorized kernel (see
+``bench_batch.py`` for that) — with the default crossover of
+:data:`~repro.core.parallel.SERIAL_CROSSOVER` points, fig9-sized
+per-sweep grids (< 60 points each) would silently run serial.
+
+The report lands in ``benchmarks/reports/parallel.txt`` (+ ``.json``).
+The headline acceptance number is the cache-hit ratio: on multi-core
+hosts the pool also buys wall-clock, but the model is pure Python
+(GIL-bound), so on single-core runners the documented win is
+memoization — a warm hit ratio of ≥ 50 % across the whole session and a
+warm pass that is an order of magnitude faster than any executing pass.
 """
 
 from __future__ import annotations
 
 import time
-from pathlib import Path
 
-from repro.core.parallel import SweepEngine
+from repro.core.parallel import SERIAL_CROSSOVER, SweepEngine
 from repro.core.sweep import sweep_cpu_allocations
 from repro.hardware.platforms import ivybridge_node
 from repro.workloads import cpu_workload, list_cpu_workloads
 
-REPORTS_DIR = Path(__file__).parent / "reports"
+from _harness import write_json_report, write_text_report
 
 BUDGETS_W = (144.0, 176.0, 208.0, 240.0)
 STEP_W = 4.0
@@ -50,10 +55,10 @@ def test_parallel_engine_bench():
     node = ivybridge_node()
     workloads = [cpu_workload(name) for name in list_cpu_workloads()]
 
-    serial = SweepEngine(n_jobs=1, cache_size=1)
+    serial = SweepEngine(n_jobs=1, cache_size=1, batch=False)
     t_serial, n_points = _run_grid(node, workloads, serial)
 
-    parallel = SweepEngine(n_jobs=4)
+    parallel = SweepEngine(n_jobs=4, batch=False, serial_crossover=0)
     t_cold, _ = _run_grid(node, workloads, parallel)
     t_warm, _ = _run_grid(node, workloads, parallel)
 
@@ -76,13 +81,33 @@ def test_parallel_engine_bench():
         f"evictions={stats.evictions} size={stats.size}/{stats.maxsize}",
         f"cache hit ratio: {stats.hit_ratio:.1%}",
         "",
-        "note: the execution model is pure Python, so thread fan-out only",
-        "buys wall-clock where cores are available; the memo cache is the",
-        "machine-independent win (warm passes re-execute nothing).",
+        "note: fan-out forced via serial_crossover=0 (default crossover is",
+        f"{SERIAL_CROSSOVER} points: grids smaller than that run serial",
+        "because pool setup costs more than it saves cold).  The execution",
+        "model is pure Python, so thread fan-out only buys wall-clock where",
+        "cores are available; the memo cache is the machine-independent win",
+        "(warm passes re-execute nothing).",
     ]
     rendered = "\n".join(lines)
-    REPORTS_DIR.mkdir(exist_ok=True)
-    (REPORTS_DIR / "parallel.txt").write_text(rendered + "\n")
+    write_text_report("parallel", rendered)
+    write_json_report(
+        "parallel",
+        op="parallel_cpu_sweep",
+        n_points=n_points,
+        wall_s={
+            "serial_cold": t_serial,
+            "parallel_cold": t_cold,
+            "parallel_warm": t_warm,
+        },
+        speedup={"parallel_cold": speedup_cold, "parallel_warm": speedup_warm},
+        cache=stats,
+        serial_crossover_default=SERIAL_CROSSOVER,
+        grid={
+            "workloads": len(workloads),
+            "budgets_w": list(BUDGETS_W),
+            "step_w": STEP_W,
+        },
+    )
     print()
     print(rendered)
 

@@ -2,24 +2,43 @@
 
 Each benchmark regenerates one paper artifact (figure or table) at full
 sweep resolution, times it with pytest-benchmark, writes the rendered
-rows/series to ``benchmarks/reports/<id>.txt``, and asserts the headline
-shape claims hold.  Run with::
+rows/series to ``benchmarks/reports/<id>.txt`` plus a machine-readable
+``<id>.json`` (see :mod:`_harness`), and asserts the headline shape
+claims hold.  Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Pass ``-s`` to also see the rendered tables inline.
+Pass ``-s`` to also see the rendered tables inline, and ``--bench-quick``
+for abbreviated passes (what ``make bench-smoke`` runs in CI).
 """
 
 from __future__ import annotations
 
-from pathlib import Path
+import time
 
 import pytest
 
 from repro.experiments import run_experiment
 from repro.experiments.report import ExperimentReport
 
-REPORTS_DIR = Path(__file__).parent / "reports"
+from _harness import REPORTS_DIR, write_json_report, write_text_report
+
+__all__ = ["REPORTS_DIR"]
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-quick",
+        action="store_true",
+        default=False,
+        help="abbreviated benchmark passes (CI smoke; same grids, fewer rounds)",
+    )
+
+
+@pytest.fixture
+def bench_quick(request: pytest.FixtureRequest) -> bool:
+    """True when the run should minimise repeats (``--bench-quick``)."""
+    return bool(request.config.getoption("--bench-quick"))
 
 
 @pytest.fixture
@@ -27,13 +46,33 @@ def regenerate(benchmark):
     """Run an experiment under the timer and persist its rendered report."""
 
     def _run(experiment_id: str) -> ExperimentReport:
+        timings: list[float] = []
+
+        def _timed_run(eid: str) -> ExperimentReport:
+            start = time.perf_counter()
+            rep = run_experiment(eid)
+            timings.append(time.perf_counter() - start)
+            return rep
+
         report = benchmark.pedantic(
-            run_experiment, args=(experiment_id,), rounds=3, iterations=1,
+            _timed_run, args=(experiment_id,), rounds=3, iterations=1,
             warmup_rounds=0,
         )
-        REPORTS_DIR.mkdir(exist_ok=True)
         rendered = report.render()
-        (REPORTS_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+        write_text_report(experiment_id, rendered)
+        n_points = sum(
+            len(series)
+            for series in report.data.values()
+            if hasattr(series, "__len__")
+        )
+        write_json_report(
+            experiment_id,
+            op=f"experiment:{experiment_id}",
+            n_points=n_points,
+            wall_s={"best": min(timings), "mean": sum(timings) / len(timings)},
+            title=report.title,
+            rounds=len(timings),
+        )
         print()
         print(rendered)
         return report

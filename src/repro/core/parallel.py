@@ -4,16 +4,26 @@ Every figure and experiment walks the allocation grid through
 :func:`~repro.perfmodel.executor.execute_on_host` /
 :func:`~repro.perfmodel.executor.execute_on_gpu`, one point at a time.
 The points are independent — the model is a pure function of
-``(platform, phases, caps)`` — so two orthogonal speedups apply:
+``(platform, phases, caps)`` — so three orthogonal speedups apply:
 
-* **fan-out** — a sweep's points dispatch onto a ``concurrent.futures``
-  pool (thread- or process-backed), sized from ``REPRO_JOBS`` or the host
-  core count, with a serial fast path when ``n_jobs == 1``;
+* **vectorization** (the default) — cache misses of a sweep are resolved
+  in one NumPy pass by the batch kernel
+  (:mod:`repro.perfmodel.batch`), which is bit-for-bit equivalent to the
+  scalar oracle and an order of magnitude faster on a single core;
+  disable with ``REPRO_BATCH=0`` or ``SweepEngine(batch=False)``;
+* **fan-out** — with the batch path disabled, a sweep's points dispatch
+  onto a ``concurrent.futures`` pool (thread- or process-backed), sized
+  from ``REPRO_JOBS`` or the host core count.  Grids below
+  ``serial_crossover`` points stay serial: the model is GIL-bound, so
+  thread fan-out on small grids costs more than it saves (PR 1 measured
+  0.85x cold at fig9 scale);
 * **memoization** — ``(platform, phases, allocation) → ExecutionResult``
   is cached in a bounded LRU shared by sweeps, budget curves, COORD
   probing, and the cluster scheduler, so the repeated budgets in budget
   curves and the scheduler's per-application predictions never re-execute
-  an identical point.
+  an identical point.  The batch path fills the same cache point-by-point
+  from its array results, so warm-cache behaviour and key reuse are
+  unchanged.
 
 Determinism is unconditional: results are assembled by *input* order and
 cache key, never by completion order, so the parallel engine is
@@ -46,18 +56,22 @@ from repro.errors import SweepError
 from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
 from repro.hardware.gpu import GpuCard
+from repro.perfmodel.batch import execute_gpu_batch, execute_host_batch
 from repro.perfmodel.executor import execute_on_gpu, execute_on_host
 from repro.perfmodel.metrics import ExecutionResult
 from repro.perfmodel.phase import Phase
 
 __all__ = [
+    "BATCH_ENV_VAR",
     "CacheStats",
     "JOBS_ENV_VAR",
     "MemoCache",
+    "SERIAL_CROSSOVER",
     "SweepEngine",
     "default_engine",
     "fingerprint",
     "freeze",
+    "resolve_batch",
     "resolve_jobs",
     "set_default_engine",
     "use_engine",
@@ -66,9 +80,19 @@ __all__ = [
 #: Environment override for the pool size (``1`` forces the serial path).
 JOBS_ENV_VAR = "REPRO_JOBS"
 
+#: Environment escape hatch for the vectorized kernel (``0``/``false``/
+#: ``no``/``off`` force every point through the scalar executor).
+BATCH_ENV_VAR = "REPRO_BATCH"
+
 #: Auto-sizing never exceeds this many workers — sweeps have a few dozen
 #: points, so wider pools only add dispatch overhead.
 _MAX_AUTO_JOBS = 8
+
+#: Grids smaller than this stay serial even when fan-out is enabled.  PR 1's
+#: bench report showed cold thread fan-out at 0.85x on a 1892-point pass —
+#: the GIL-bound model gains nothing from threads until the per-pool fixed
+#: cost amortizes, which figure-scale sweeps (tens of points) never reach.
+SERIAL_CROSSOVER = 256
 
 #: Default bound on the shared execution cache (entries, LRU-evicted).
 DEFAULT_CACHE_SIZE = 4096
@@ -261,6 +285,20 @@ def _gpu_task(
     return execute_on_gpu(card, phases, cap_w, mem_freq_mhz)
 
 
+#: ``REPRO_BATCH`` values that disable the vectorized kernel.
+_BATCH_OFF = frozenset({"0", "false", "no", "off"})
+
+
+def resolve_batch(batch: bool | None = None) -> bool:
+    """Resolve the batch-kernel switch: explicit > ``REPRO_BATCH`` > on."""
+    if batch is not None:
+        return bool(batch)
+    env = os.environ.get(BATCH_ENV_VAR)
+    if env is not None and env.strip():
+        return env.strip().lower() not in _BATCH_OFF
+    return True
+
+
 def resolve_jobs(n_jobs: int | None = None) -> int:
     """Resolve a worker count: explicit > ``REPRO_JOBS`` > host auto-size."""
     if n_jobs is None:
@@ -301,6 +339,17 @@ class SweepEngine:
     cache_size:
         LRU bound of the engine's :class:`MemoCache`; ignored if an
         explicit ``cache`` instance is shared in.
+    batch:
+        ``True`` resolves sweep cache misses through the vectorized kernel
+        (:mod:`repro.perfmodel.batch`); ``False`` forces the scalar
+        executor (with pool fan-out when ``n_jobs > 1``).  ``None``
+        (default) resolves via :func:`resolve_batch` (``REPRO_BATCH`` env
+        override, else on).
+    serial_crossover:
+        With the batch path disabled, grids smaller than this many cache
+        misses run serially instead of paying pool fan-out; ``None`` takes
+        the measured default :data:`SERIAL_CROSSOVER`, ``0`` restores the
+        pre-crossover behaviour (fan out any grid of 2+ points).
     """
 
     def __init__(
@@ -310,12 +359,22 @@ class SweepEngine:
         backend: str = "thread",
         cache_size: int = DEFAULT_CACHE_SIZE,
         cache: MemoCache | None = None,
+        batch: bool | None = None,
+        serial_crossover: int | None = None,
     ) -> None:
         if backend not in ("thread", "process"):
             raise SweepError(f"backend must be 'thread' or 'process', got {backend!r}")
         self.n_jobs = resolve_jobs(n_jobs)
         self.backend = backend
         self.cache = cache if cache is not None else MemoCache(cache_size)
+        self.batch = resolve_batch(batch)
+        if serial_crossover is None:
+            serial_crossover = SERIAL_CROSSOVER
+        if serial_crossover < 0:
+            raise SweepError(
+                f"serial_crossover must be >= 0, got {serial_crossover}"
+            )
+        self.serial_crossover = int(serial_crossover)
 
     # ------------------------------------------------------------------
     # cache keys
@@ -376,7 +435,7 @@ class SweepEngine:
         resolved: dict[tuple, ExecutionResult] = {}
         if not keyed:
             return resolved
-        if self.n_jobs == 1 or len(keyed) == 1:
+        if self.n_jobs == 1 or len(keyed) < max(2, self.serial_crossover):
             for key, args in keyed:
                 resolved[key] = task(args)
             return resolved
@@ -392,10 +451,19 @@ class SweepEngine:
         task: Callable[[tuple], ExecutionResult],
         keys: list[tuple],
         args_for: Callable[[int], tuple],
+        batch_run: Callable[[list[int]], list[ExecutionResult]] | None = None,
     ) -> list[ExecutionResult]:
-        """Resolve ``keys`` in input order, fanning cache misses onto the pool."""
+        """Resolve ``keys`` in input order, computing cache misses once each.
+
+        Misses go through ``batch_run`` (one vectorized pass over the
+        missing input indices) when the batch path is enabled, else
+        through :meth:`_run_batch` (serial or pool fan-out).  Either way
+        each unique key is looked up once and stored once, so cache
+        statistics and warm-cache behaviour are identical across paths.
+        """
         resolved: dict[tuple, ExecutionResult | None] = {}
         missing: list[tuple[tuple, tuple]] = []
+        missing_indices: list[int] = []
         for i, key in enumerate(keys):
             if key in resolved:
                 continue  # duplicate within the batch: one lookup, one execution
@@ -405,9 +473,15 @@ class SweepEngine:
             else:
                 resolved[key] = None
                 missing.append((key, args_for(i)))
-        for key, result in self._run_batch(task, missing).items():
-            self.cache.store(key, result)
-            resolved[key] = result
+                missing_indices.append(i)
+        if batch_run is not None and self.batch and missing:
+            for (key, _), result in zip(missing, batch_run(missing_indices)):
+                self.cache.store(key, result)
+                resolved[key] = result
+        else:
+            for key, result in self._run_batch(task, missing).items():
+                self.cache.store(key, result)
+                resolved[key] = result
         return [resolved[key] for key in keys]  # type: ignore[return-value]
 
     def map_host(
@@ -420,11 +494,22 @@ class SweepEngine:
         """Results for all ``allocations``, in input order."""
         base = self._host_base(cpu, dram, phases)
         keys = [base + (float(a.proc_w), float(a.mem_w)) for a in allocations]
+
+        def batch_run(indices: list[int]) -> list[ExecutionResult]:
+            return execute_host_batch(
+                cpu,
+                dram,
+                tuple(phases),
+                [allocations[i].proc_w for i in indices],
+                [allocations[i].mem_w for i in indices],
+            )
+
         return self._map(
             _host_task,
             keys,
             lambda i: (cpu, dram, tuple(phases),
                        allocations[i].proc_w, allocations[i].mem_w),
+            batch_run,
         )
 
     def map_gpu(
@@ -437,10 +522,20 @@ class SweepEngine:
         """Results for all memory clocks under one board cap, in input order."""
         base = self._gpu_base(card, phases) + (float(cap_w),)
         keys = [base + (float(f),) for f in mem_freqs_mhz]
+
+        def batch_run(indices: list[int]) -> list[ExecutionResult]:
+            return execute_gpu_batch(
+                card,
+                tuple(phases),
+                cap_w,
+                [float(mem_freqs_mhz[i]) for i in indices],
+            )
+
         return self._map(
             _gpu_task,
             keys,
             lambda i: (card, tuple(phases), cap_w, float(mem_freqs_mhz[i])),
+            batch_run,
         )
 
     # ------------------------------------------------------------------

@@ -51,10 +51,15 @@ def optimal_plateau(points: tuple["SweepPoint", ...]) -> tuple[int, int]:
     demand plus the DRAM floor, not less).  If no point respects the
     bound (degenerately small budgets), all points are eligible.
     """
+    perfs = [p.performance for p in points]
+    if not np.all(np.isfinite(perfs)):
+        raise SweepError(
+            "sweep contains non-finite performance values (NaN/inf); "
+            "refusing to pick an optimal plateau from corrupt points"
+        )
     eligible = [i for i, p in enumerate(points) if p.result.respects_bound]
     if not eligible:
         eligible = list(range(len(points)))
-    perfs = [p.performance for p in points]
     top = max(perfs[i] for i in eligible)
     tol = 1e-9 * max(top, 1.0)
     ok = set(eligible)

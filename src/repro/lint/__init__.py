@@ -18,11 +18,19 @@ Run it as ``python -m repro.lint [paths]`` or ``repro lint``; see
 from __future__ import annotations
 
 from repro.lint.diagnostics import Diagnostic, Severity, render_human, render_json
-from repro.lint.engine import LintConfig, LintError, Project, SourceFile, run_lint
+from repro.lint.engine import (
+    DEFAULT_PURITY_ENTRIES,
+    LintConfig,
+    LintError,
+    Project,
+    SourceFile,
+    run_lint,
+)
 from repro.lint.rules import ALL_RULE_CLASSES, all_rules, rule_catalog
 
 __all__ = [
     "ALL_RULE_CLASSES",
+    "DEFAULT_PURITY_ENTRIES",
     "Diagnostic",
     "LintConfig",
     "LintError",

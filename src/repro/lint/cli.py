@@ -13,7 +13,7 @@ import sys
 from pathlib import Path
 
 from repro.lint.diagnostics import render_human, render_json
-from repro.lint.engine import LintConfig, LintError, run_lint
+from repro.lint.engine import DEFAULT_PURITY_ENTRIES, LintConfig, LintError, run_lint
 from repro.lint.rules import rule_catalog
 
 __all__ = ["add_lint_arguments", "build_parser", "main", "run_from_args"]
@@ -48,7 +48,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="append",
         default=[],
         metavar="MODULE.FUNC",
-        help="extra RPL001 call-graph entry point (repeatable)",
+        help=(
+            "extra RPL001 call-graph entry point (repeatable; composed "
+            "with the built-in batch-kernel entries)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -78,7 +81,10 @@ def run_from_args(args: argparse.Namespace) -> int:
         if args.select
         else None
     )
-    config = LintConfig(select=select, purity_entries=tuple(args.purity_entry))
+    config = LintConfig(
+        select=select,
+        purity_entries=DEFAULT_PURITY_ENTRIES + tuple(args.purity_entry),
+    )
     try:
         diagnostics = run_lint(paths, config)
     except LintError as exc:

@@ -18,11 +18,31 @@ from repro.errors import ReproError
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.suppressions import Suppressions
 
-__all__ = ["LintConfig", "LintError", "Project", "SourceFile", "load_project", "run_lint"]
+__all__ = [
+    "DEFAULT_PURITY_ENTRIES",
+    "LintConfig",
+    "LintError",
+    "Project",
+    "SourceFile",
+    "load_project",
+    "run_lint",
+]
 
 
 class LintError(ReproError):
     """The linter was invoked on paths it cannot analyze."""
+
+
+#: Explicit RPL001 roots that hold regardless of auto-detection: the
+#: vectorized batch kernels are memoized through the SweepEngine cache
+#: exactly like the scalar executors, so they (and everything they call)
+#: carry the purity contract even if engine-module call shapes change.
+#: Entries not present in the analyzed files are ignored, so linting
+#: fixture trees stays unaffected.
+DEFAULT_PURITY_ENTRIES: tuple[str, ...] = (
+    "repro.perfmodel.batch.execute_gpu_batch",
+    "repro.perfmodel.batch.execute_host_batch",
+)
 
 
 @dataclass(frozen=True)
@@ -32,11 +52,12 @@ class LintConfig:
     ``select`` restricts the run to the named rule identifiers (``None``
     runs every registered rule).  ``purity_entries`` adds explicit
     call-graph roots (``module.function`` dotted names) for RPL001 on
-    top of the auto-detected ``SweepEngine`` entry points.
+    top of the auto-detected ``SweepEngine`` entry points; it defaults
+    to :data:`DEFAULT_PURITY_ENTRIES` (the batch execution kernels).
     """
 
     select: frozenset[str] | None = None
-    purity_entries: tuple[str, ...] = ()
+    purity_entries: tuple[str, ...] = DEFAULT_PURITY_ENTRIES
 
 
 @dataclass(frozen=True)

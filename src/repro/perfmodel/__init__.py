@@ -20,6 +20,7 @@ from repro.perfmodel.roofline import (
     ridge_intensity,
 )
 from repro.perfmodel.metrics import ExecutionResult, PhaseResult
+from repro.perfmodel.batch import execute_gpu_batch, execute_host_batch
 from repro.perfmodel.executor import execute_on_gpu, execute_on_host
 from repro.perfmodel.hetero import execute_on_biglittle
 from repro.perfmodel.phasedetect import (
@@ -39,6 +40,8 @@ __all__ = [
     "arithmetic_intensity",
     "attainable_flops",
     "detect_phase_changes",
+    "execute_gpu_batch",
+    "execute_host_batch",
     "execute_on_biglittle",
     "execute_on_gpu",
     "execute_on_host",

@@ -1,0 +1,448 @@
+"""Vectorized batch execution: resolve whole allocation grids in one pass.
+
+The scalar executor (:mod:`repro.perfmodel.executor`) resolves one
+``(P_cpu, P_mem)`` point at a time: enumerate a few dozen hardware states
+fastest-first, take the first whose measured power fits, iterate the
+CPU<->DRAM pair to a joint fixed point.  Every figure sweep repeats that
+pure-Python loop hundreds of times, and PR 1's report shows thread fan-out
+cannot hide it (the model is GIL-bound).
+
+This module evaluates the *entire grid at once* with NumPy:
+
+* the ``(n_points x n_candidates)`` power matrix is materialized and the
+  governor's "first state that fits" becomes ``argmax`` over the boolean
+  fit mask (``any`` over the mask distinguishes the FLOOR fallback, which
+  by construction is the last candidate row);
+* the CPU<->DRAM fixed point runs as whole-array iteration: converged rows
+  freeze via a boolean mask, cycling rows settle to the lower (cap-safe)
+  level, and the iteration bound/cycle semantics are exactly the scalar
+  path's ``_MAX_JOINT_ITERS`` contract;
+* per-phase splits (compute/memory time, utilization, busy fraction) are
+  broadcast arithmetic.
+
+Equivalence with the scalar oracle is *bit-for-bit*, not approximate:
+every arithmetic expression here reproduces the scalar code's operation
+order (floating-point addition and multiplication are not associative, so
+the expression trees must match, and they do — see
+``tests/test_batch_equivalence.py`` for the differential lock).  Both
+paths share :func:`~repro.perfmodel.executor.cpu_candidate_table` so the
+candidate enumeration cannot drift.
+
+The functions here are pure (no I/O, no clocks, no global state): they are
+reachable from the memoized :class:`~repro.core.parallel.SweepEngine` and
+therefore held to the RPL001 purity contract, like the scalar resolvers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.errors import ConvergenceError, SweepError
+from repro.hardware.component import CappingMechanism
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.hardware.gpu import GpuCard
+from repro.perfmodel.executor import _CAP_EPS_W, _MAX_JOINT_ITERS, cpu_candidate_table
+from repro.perfmodel.metrics import ExecutionResult, PhaseResult
+from repro.perfmodel.phase import Phase
+from repro.util.units import watts
+
+__all__ = ["execute_gpu_batch", "execute_host_batch"]
+
+_F64 = NDArray[np.float64]
+_I64 = NDArray[np.int64]
+_Bool = NDArray[np.bool_]
+
+#: Integer codes the kernel keeps in its mechanism arrays; decoded back
+#: into :class:`CappingMechanism` only when results are materialized.
+_MECHS: tuple[CappingMechanism, ...] = (
+    CappingMechanism.NONE,
+    CappingMechanism.DVFS,
+    CappingMechanism.THROTTLE,
+    CappingMechanism.BANDWIDTH_THROTTLE,
+    CappingMechanism.FLOOR,
+)
+_NONE, _DVFS, _THROTTLE, _BW_THROTTLE, _FLOOR = range(len(_MECHS))
+
+
+# ---------------------------------------------------------------------------
+# host (CPU + DRAM)
+# ---------------------------------------------------------------------------
+
+class _CpuTable:
+    """Candidate-state columns for one ``(cpu, phase)`` pair.
+
+    Column ``k`` is the state the scalar governor tries at step ``k``
+    (:func:`cpu_candidate_table` order); the compute time per candidate is
+    precomputed once because it does not depend on the memory time.
+    """
+
+    def __init__(self, cpu: CpuDomain, phase: Phase) -> None:
+        freq, duty = cpu_candidate_table(cpu)
+        self.freq: _F64 = freq
+        self.duty: _F64 = duty
+        self.n_pstates = len(cpu.pstates)
+        self.weight: _F64 = np.asarray(cpu.pstates.power_weight(freq), dtype=np.float64)
+        if phase.flops > 0.0:
+            rate = (
+                cpu.n_cores
+                * (freq * duty * 1e9)
+                * cpu.flops_per_core_cycle
+                * phase.compute_efficiency
+            )
+            self.t_c: _F64 = phase.flops / rate
+        else:
+            self.t_c = np.zeros_like(freq)
+
+
+def _resolve_cpu_batch(
+    cpu: CpuDomain,
+    phase: Phase,
+    table: _CpuTable,
+    cap_eps: _F64,
+    t_m: _F64,
+) -> tuple[_I64, _Bool, _I64]:
+    """Vectorized ``_resolve_cpu``: first candidate that fits, per row.
+
+    Returns ``(selected column, fits-anywhere mask, first-fit column)``;
+    rows where nothing fits select the last column, which is the FLOOR
+    operating point ``(f_min, duty_min)`` by construction of the table.
+    """
+    t_c = table.t_c[None, :]
+    t = np.maximum(t_c, t_m[:, None])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        u = np.where(t > 0.0, t_c / t, 0.0)
+    a_eff = phase.activity * u + phase.stall_activity * (1.0 - u)
+    power = (
+        cpu.idle_power_w
+        + a_eff * table.duty[None, :] * table.weight[None, :] * cpu.max_dynamic_w
+    )
+    fits = power <= cap_eps[:, None]
+    first = np.argmax(fits, axis=1)
+    fits_any = fits.any(axis=1)
+    sel = np.where(fits_any, first, table.freq.size - 1)
+    return sel, fits_any, first
+
+
+def _cpu_mechanism_codes(table: _CpuTable, fits_any: _Bool, first: _I64) -> _I64:
+    """Mechanism codes matching the scalar resolver's selection logic."""
+    fitted = np.where(
+        first == 0,
+        _NONE,
+        np.where(first < table.n_pstates, _DVFS, _THROTTLE),
+    )
+    return np.where(fits_any, fitted, _FLOOR)
+
+
+def _snap_level_batch(dram: DramDomain, level: _F64) -> _F64:
+    """Vectorized ``DramDomain.snap_level`` (round down onto the grid)."""
+    if dram.level_steps == 1:
+        return np.full_like(level, dram.min_level)
+    span = 1.0 - dram.min_level
+    step = span / (dram.level_steps - 1)
+    k = np.floor((level - dram.min_level) / step + 1e-9)
+    k = np.clip(k, 0, dram.level_steps - 1)
+    return dram.min_level + k * step
+
+
+def _resolve_dram_batch(
+    dram: DramDomain,
+    phase: Phase,
+    cap: _F64,
+    cap_eps: _F64,
+    t_c: _F64,
+) -> tuple[_F64, _I64]:
+    """Vectorized ``_resolve_dram``: throttle level + mechanism per row.
+
+    The scalar branch ladder (memory-idle / unconstrained / throttled /
+    floor) becomes layered ``where`` masks applied floor-first so the
+    higher-precedence branches overwrite the lower ones.
+    """
+    n = cap.shape[0]
+    if not phase.bytes_moved > 0.0:
+        return np.ones(n), np.full(n, _NONE)
+    t_m_full = phase.bytes_moved / (
+        dram.peak_bw_gbps * 1e9 * phase.memory_efficiency
+    )
+    busy_full = np.where(
+        t_c <= 0.0, 1.0, np.minimum(1.0, t_m_full / np.maximum(t_m_full, t_c))
+    )
+    measured_full = dram.background_w + busy_full * dram.max_access_w
+    level_raw = (cap - dram.background_w) / dram.max_access_w
+    snapped = _snap_level_batch(dram, np.minimum(level_raw, 1.0))
+    throttled = level_raw >= dram.min_level
+    level = np.where(throttled, snapped, dram.min_level)
+    mech = np.where(throttled, _BW_THROTTLE, _FLOOR)
+    unconstrained = (cap >= dram.max_power_w) | (measured_full <= cap_eps)
+    level = np.where(unconstrained, 1.0, level)
+    mech = np.where(unconstrained, _NONE, mech)
+    return level, mech
+
+
+def _host_phase_batch(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    phase: Phase,
+    cpu_cap: _F64,
+    dram_cap: _F64,
+) -> list[PhaseResult]:
+    """Jointly resolve both governors for one phase over all grid rows."""
+    n = cpu_cap.shape[0]
+    table = _CpuTable(cpu, phase)
+    cpu_cap_eps = cpu_cap + _CAP_EPS_W
+    dram_cap_eps = dram_cap + _CAP_EPS_W
+
+    level: _F64 = np.ones(n)
+    mem_mech: _I64 = np.full(n, _NONE)
+    if phase.bytes_moved > 0.0:
+        active = np.ones(n, dtype=bool)
+        seen: list[tuple[_F64, _F64, _F64, _Bool]] = []
+        for _ in range(_MAX_JOINT_ITERS):
+            mem_rate = dram.peak_bw_gbps * level * phase.memory_efficiency * 1e9
+            t_m = phase.bytes_moved / mem_rate
+            sel, _, _ = _resolve_cpu_batch(cpu, phase, table, cpu_cap_eps, t_m)
+            f_sel = table.freq[sel]
+            d_sel = table.duty[sel]
+            new_level, new_mech = _resolve_dram_batch(
+                dram, phase, dram_cap, dram_cap_eps, table.t_c[sel]
+            )
+            converged = active & (new_level == level)
+            repeated = np.zeros(n, dtype=bool)
+            for s_f, s_d, s_level, s_valid in seen:
+                repeated |= (
+                    s_valid & (s_f == f_sel) & (s_d == d_sel) & (s_level == new_level)
+                )
+            cycled = active & ~converged & repeated
+            continuing = active & ~converged & ~cycled
+            # Converged rows adopt the same-level new op; a 2-cycle between
+            # adjacent discrete levels settles to the lower (cap-safe) one,
+            # like the scalar governor; everything else keeps iterating.
+            take_new = converged | (cycled & (new_level < level)) | continuing
+            level = np.where(take_new, new_level, level)
+            mem_mech = np.where(take_new, new_mech, mem_mech)
+            seen.append((f_sel, d_sel, new_level, continuing))
+            active = continuing
+            if not active.any():
+                break
+        if active.any():  # pragma: no cover - discrete state space precludes this
+            raise ConvergenceError(_MAX_JOINT_ITERS, float("nan"))
+        mem_rate = dram.peak_bw_gbps * level * phase.memory_efficiency * 1e9
+        t_m = phase.bytes_moved / mem_rate
+    else:
+        t_m = np.zeros(n)
+
+    # Re-resolve the CPU against the settled DRAM level, mirroring the
+    # scalar path's final consistency pass.
+    sel, fits_any, first = _resolve_cpu_batch(cpu, phase, table, cpu_cap_eps, t_m)
+    d_sel = table.duty[sel]
+    t_c = table.t_c[sel]
+    t = np.maximum(t_c, t_m)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        u = np.where(t > 0.0, t_c / t, 0.0)
+        busy = np.where(t > 0.0, t_m / t, 0.0)
+    a_eff = phase.activity * u + phase.stall_activity * (1.0 - u)
+    proc_power = (
+        cpu.idle_power_w + a_eff * d_sel * table.weight[sel] * cpu.max_dynamic_w
+    )
+    mem_power = dram.background_w + level * busy * dram.max_access_w
+    proc_mech = _cpu_mechanism_codes(table, fits_any, first)
+
+    columns = (
+        t, t_c, t_m, u, busy, table.freq[sel], d_sel, level, proc_power, mem_power,
+    )
+    t_l, t_c_l, t_m_l, u_l, busy_l, f_l, d_l, level_l, pp_l, mp_l = (
+        c.tolist() for c in columns
+    )
+    proc_mech_l = proc_mech.tolist()
+    mem_mech_l = mem_mech.tolist()
+    return [
+        PhaseResult(
+            name=phase.name,
+            time_s=t_l[i],
+            t_compute_s=t_c_l[i],
+            t_memory_s=t_m_l[i],
+            utilization=u_l[i],
+            mem_busy=busy_l[i],
+            proc_freq_ghz=f_l[i],
+            proc_duty=d_l[i],
+            mem_throttle=level_l[i],
+            proc_mechanism=_MECHS[proc_mech_l[i]],
+            mem_mechanism=_MECHS[mem_mech_l[i]],
+            proc_power_w=pp_l[i],
+            mem_power_w=mp_l[i],
+            board_power_w=0.0,
+            flops=phase.flops,
+            bytes_moved=phase.bytes_moved,
+        )
+        for i in range(n)
+    ]
+
+
+def execute_host_batch(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    phases: Sequence[Phase],
+    proc_caps_w: Sequence[float],
+    mem_caps_w: Sequence[float],
+) -> list[ExecutionResult]:
+    """Simulate a workload at every ``(proc_cap, mem_cap)`` pair at once.
+
+    Point ``i`` of the returned list is bit-for-bit equal to
+    ``execute_on_host(cpu, dram, phases, proc_caps_w[i], mem_caps_w[i])``.
+    """
+    proc_list = [watts(float(p), "cpu_cap_w") for p in proc_caps_w]
+    mem_list = [watts(float(m), "dram_cap_w") for m in mem_caps_w]
+    if len(proc_list) != len(mem_list):
+        raise SweepError(
+            f"mismatched cap columns: {len(proc_list)} processor caps vs "
+            f"{len(mem_list)} memory caps"
+        )
+    if not phases:
+        raise SweepError("cannot execute a workload with no phases")
+    if not proc_list:
+        return []
+    proc = np.asarray(proc_list, dtype=np.float64)
+    mem = np.asarray(mem_list, dtype=np.float64)
+    phase_rows = [_host_phase_batch(cpu, dram, ph, proc, mem) for ph in phases]
+    return [
+        ExecutionResult(
+            tuple(row[i] for row in phase_rows),
+            proc_cap_w=proc_list[i],
+            mem_cap_w=mem_list[i],
+        )
+        for i in range(len(proc_list))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# GPU (SM + device memory)
+# ---------------------------------------------------------------------------
+
+def _gpu_phase_batch(
+    card: GpuCard,
+    phase: Phase,
+    cap_w: float,
+    ratio: _F64,
+    mem_mech_codes: _I64,
+) -> list[PhaseResult]:
+    """Resolve the board governor for one phase over all memory clocks.
+
+    ``ratio`` is the snapped clock over nominal per row; columns are the
+    SM frequencies, fastest first, so "first that fits" is again an argmax
+    and the FLOOR fallback is the last column.
+    """
+    sm = card.sm
+    n = ratio.shape[0]
+    f_desc: _F64 = sm.pstates.frequencies_ghz[::-1]
+    m = f_desc.size
+    weight = np.asarray(sm.pstates.power_weight(f_desc), dtype=np.float64)
+    if phase.flops > 0.0:
+        rate = (
+            sm.n_sm * (f_desc * 1e9) * sm.flops_per_sm_cycle * phase.compute_efficiency
+        )
+        t_c_cols: _F64 = phase.flops / rate
+    else:
+        t_c_cols = np.zeros_like(f_desc)
+    if phase.bytes_moved > 0.0:
+        mem_rate = card.mem.peak_bw_gbps * ratio * phase.memory_efficiency * 1e9
+        t_m = phase.bytes_moved / mem_rate
+    else:
+        t_m = np.zeros(n)
+
+    t = np.maximum(t_c_cols[None, :], t_m[:, None])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        u = np.where(t > 0.0, t_c_cols[None, :] / t, 0.0)
+        busy = np.where(t > 0.0, t_m[:, None] / t, 0.0)
+    a_eff = phase.activity * u + phase.stall_activity * (1.0 - u)
+    sm_power = sm.idle_power_w + a_eff * weight[None, :] * sm.max_dynamic_w
+    r_col = ratio[:, None]
+    mem_power = (
+        card.mem.idle_power_w
+        + card.mem.clock_power_w * r_col * r_col
+        + card.mem.access_power_w * r_col * busy
+    )
+    total = card.board_static_w + sm_power + mem_power
+    fits = total <= cap_w + _CAP_EPS_W
+    first = np.argmax(fits, axis=1)
+    fits_any = fits.any(axis=1)
+    sel = np.where(fits_any, first, m - 1)
+    proc_mech = np.where(fits_any, np.where(first == 0, _NONE, _DVFS), _FLOOR)
+
+    rows = np.arange(n)
+    columns = (
+        t[rows, sel],
+        t_c_cols[sel],
+        t_m,
+        u[rows, sel],
+        busy[rows, sel],
+        f_desc[sel],
+        ratio,
+        sm_power[rows, sel],
+        mem_power[rows, sel],
+    )
+    t_l, t_c_l, t_m_l, u_l, busy_l, f_l, r_l, sp_l, mp_l = (
+        c.tolist() for c in columns
+    )
+    proc_mech_l = proc_mech.tolist()
+    mem_mech_l = mem_mech_codes.tolist()
+    return [
+        PhaseResult(
+            name=phase.name,
+            time_s=t_l[i],
+            t_compute_s=t_c_l[i],
+            t_memory_s=t_m_l[i],
+            utilization=u_l[i],
+            mem_busy=busy_l[i],
+            proc_freq_ghz=f_l[i],
+            proc_duty=1.0,
+            mem_throttle=r_l[i],
+            proc_mechanism=_MECHS[proc_mech_l[i]],
+            mem_mechanism=_MECHS[mem_mech_l[i]],
+            proc_power_w=sp_l[i],
+            mem_power_w=mp_l[i],
+            board_power_w=card.board_static_w,
+            flops=phase.flops,
+            bytes_moved=phase.bytes_moved,
+        )
+        for i in range(n)
+    ]
+
+
+def execute_gpu_batch(
+    card: GpuCard,
+    phases: Sequence[Phase],
+    cap_w: float,
+    mem_freqs_mhz: Sequence[float],
+) -> list[ExecutionResult]:
+    """Simulate a workload at every memory clock under one board cap.
+
+    Point ``i`` of the returned list is bit-for-bit equal to
+    ``execute_on_gpu(card, phases, cap_w, mem_freqs_mhz[i])``.
+    """
+    cap = card.validate_cap(cap_w)
+    if not phases:
+        raise SweepError("cannot execute a workload with no phases")
+    mem_ops = [card.mem.operating_point(float(f)) for f in mem_freqs_mhz]
+    if not mem_ops:
+        return []
+    snapped = np.asarray([op.freq_mhz for op in mem_ops], dtype=np.float64)
+    ratio = snapped / card.mem.nominal_mhz
+    mem_mech_codes: _I64 = np.asarray(
+        [_MECHS.index(op.mechanism) for op in mem_ops], dtype=np.int64
+    )
+    phase_rows = [
+        _gpu_phase_batch(card, ph, cap, ratio, mem_mech_codes) for ph in phases
+    ]
+    mem_caps = [card.mem.allocated_power_w(op.freq_mhz) for op in mem_ops]
+    return [
+        ExecutionResult(
+            tuple(row[i] for row in phase_rows),
+            proc_cap_w=cap,
+            mem_cap_w=mem_caps[i],
+            device="gpu",
+        )
+        for i in range(len(mem_ops))
+    ]

@@ -36,7 +36,7 @@ from repro.perfmodel.metrics import ExecutionResult, PhaseResult
 from repro.perfmodel.phase import Phase
 from repro.util.units import watts
 
-__all__ = ["execute_on_host", "execute_on_gpu"]
+__all__ = ["cpu_candidate_table", "execute_on_host", "execute_on_gpu"]
 
 #: Enforcement slack in watts: governors regulate to just under the limit.
 _CAP_EPS_W = 1e-6
@@ -46,23 +46,44 @@ _CAP_EPS_W = 1e-6
 _MAX_JOINT_ITERS = 16
 
 
-def _cpu_candidates(cpu: CpuDomain) -> list[CpuOperatingPoint]:
-    """All CPU hardware states, fastest first: P-states then T-states."""
-    ops = [
-        CpuOperatingPoint(float(f), 1.0, CappingMechanism.DVFS)
-        for f in cpu.pstates.frequencies_ghz[::-1]
-    ]
+def cpu_candidate_table(cpu: CpuDomain) -> tuple[np.ndarray, np.ndarray]:
+    """``(freq_ghz, duty)`` columns of all CPU hardware states, fastest first.
+
+    Row ``i`` is the state the governor tries at step ``i``: the P-states
+    in descending frequency at full duty, then the T-states at ``f_min``
+    in descending duty.  The last row is always ``(f_min, duty_min)`` —
+    the FLOOR operating point — which is what lets both the scalar and the
+    batch resolver treat "nothing fits" as "take the last row".
+
+    Shared by the scalar resolver (:func:`_cpu_candidates`) and the
+    vectorized kernel (:mod:`repro.perfmodel.batch`) so the two paths
+    enumerate bit-identical states in the same order.
+    """
+    freqs_p = cpu.pstates.frequencies_ghz[::-1]
     f_min = cpu.pstates.f_min_ghz
     if cpu.duty_steps > 1:
         span = 1.0 - cpu.duty_min
         step = span / (cpu.duty_steps - 1)
-        duties = cpu.duty_min + step * np.arange(cpu.duty_steps - 2, -1, -1)
+        duties_t = cpu.duty_min + step * np.arange(cpu.duty_steps - 2, -1, -1)
     else:
-        duties = np.array([cpu.duty_min])
-    ops.extend(
-        CpuOperatingPoint(f_min, float(d), CappingMechanism.THROTTLE) for d in duties
-    )
-    return ops
+        duties_t = np.array([cpu.duty_min])
+    freq = np.concatenate([freqs_p, np.full(duties_t.size, f_min)])
+    duty = np.concatenate([np.ones(freqs_p.size), duties_t])
+    return freq, duty
+
+
+def _cpu_candidates(cpu: CpuDomain) -> list[CpuOperatingPoint]:
+    """All CPU hardware states, fastest first: P-states then T-states."""
+    freq, duty = cpu_candidate_table(cpu)
+    n_pstates = len(cpu.pstates)
+    return [
+        CpuOperatingPoint(
+            float(f),
+            float(d),
+            CappingMechanism.DVFS if i < n_pstates else CappingMechanism.THROTTLE,
+        )
+        for i, (f, d) in enumerate(zip(freq, duty))
+    ]
 
 
 def _effective_activity(phase: Phase, utilization: float) -> float:

@@ -1,0 +1,9 @@
+"""RPL001 fixture: an impure batch kernel the engine dispatches grids to."""
+
+import os
+
+
+def run_batch(values):
+    mode = os.getenv("REPRO_FIXTURE_MODE")  # line 7: RPL001 (environment read)
+    print("batch of", len(values))  # line 8: RPL001 (console I/O)
+    return [v * 2.0 for v in values if mode is None or v >= 0.0]

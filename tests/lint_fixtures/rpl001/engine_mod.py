@@ -1,5 +1,7 @@
-"""RPL001 fixture: a SweepEngine whose memoized entry is `work.compute`."""
+"""RPL001 fixture: a SweepEngine memoizing both a scalar entry
+(`work.compute`) and a vectorized batch entry (`batchwork.run_batch`)."""
 
+from batchwork import run_batch
 from work import compute
 
 
@@ -8,3 +10,6 @@ class SweepEngine:
 
     def execute(self, x):
         return compute(x)
+
+    def execute_batch(self, values):
+        return run_batch(values)

@@ -1,0 +1,564 @@
+"""Differential harness: the vectorized batch kernel vs the scalar oracle.
+
+The contract under test (:mod:`repro.perfmodel.batch` and its wiring into
+:class:`~repro.core.parallel.SweepEngine`) is *bit-for-bit* equivalence:
+resolving a whole allocation grid in one NumPy pass must reproduce every
+``ExecutionResult`` field — powers, times, utilization, operating points,
+mechanisms — and every derived sweep output (performance, scenario
+classification, plateau span, best point) exactly, with no tolerances.
+
+Tier-1 runs the full workload registry on representative budgets/caps plus
+hypothesis-fuzzed synthetic platforms; the exhaustive budget matrix is
+``@pytest.mark.slow``.  The harness also locks the engine-level contract:
+the batch path fills the same memo cache point-by-point, so cache
+statistics and warm-sweep behaviour are indistinguishable from the scalar
+path, and ``REPRO_BATCH=0`` / ``SweepEngine(batch=False)`` remain a true
+escape hatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import allocation_grid
+from repro.core.parallel import (
+    BATCH_ENV_VAR,
+    SERIAL_CROSSOVER,
+    SweepEngine,
+    resolve_batch,
+    use_engine,
+)
+from repro.core.scenario import classify_cpu, classify_gpu
+from repro.core.sweep import (
+    AllocationSweep,
+    cpu_budget_curve,
+    gpu_budget_curve,
+    optimal_plateau,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.errors import SweepError
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.hardware.pstate import PStateTable
+from repro.perfmodel.batch import execute_gpu_batch, execute_host_batch
+from repro.perfmodel.executor import execute_on_gpu, execute_on_host
+from repro.perfmodel.phase import Phase
+from repro.workloads import (
+    cpu_workload,
+    gpu_workload,
+    list_cpu_workloads,
+    list_gpu_workloads,
+)
+from tests.conftest import plateau_span, sweep_signature
+
+CPU_BUDGETS_FAST = (144.0, 208.0)
+GPU_CAPS_FAST = (150.0, 200.0)
+CPU_BUDGETS_FULL = (144.0, 176.0, 208.0, 240.0, 280.0)
+GPU_CAPS_FULL = (150.0, 200.0, 250.0)
+
+
+def scalar_engine() -> SweepEngine:
+    """The oracle: scalar executor, no pool, cache too small to serve hits."""
+    return SweepEngine(n_jobs=1, cache_size=1, batch=False)
+
+
+def batch_engine() -> SweepEngine:
+    """The engine under test: vectorized misses, no pool."""
+    return SweepEngine(n_jobs=1, batch=True)
+
+
+def assert_results_identical(scalar, batch) -> None:
+    """Every ExecutionResult field, exactly — plus the derived aggregates."""
+    assert batch == scalar
+    assert batch.proc_cap_w == scalar.proc_cap_w
+    assert batch.mem_cap_w == scalar.mem_cap_w
+    assert batch.device == scalar.device
+    for ps, pb in zip(scalar.phases, batch.phases):
+        for field in dataclasses.fields(ps):
+            assert getattr(pb, field.name) == getattr(ps, field.name), field.name
+    assert batch.elapsed_s == scalar.elapsed_s
+    assert batch.proc_power_w == scalar.proc_power_w
+    assert batch.mem_power_w == scalar.mem_power_w
+    assert batch.respects_bound == scalar.respects_bound
+
+
+def assert_sweeps_identical(scalar, batch) -> None:
+    """Full observable sweep equivalence — exact, no tolerances."""
+    assert sweep_signature(batch) == sweep_signature(scalar)
+    assert batch.points == scalar.points
+    assert plateau_span(batch) == plateau_span(scalar)
+    assert batch.scenarios == scalar.scenarios
+    assert batch.best == scalar.best
+
+
+# ---------------------------------------------------------------------------
+# kernel-level equivalence: full registry, representative budgets
+# ---------------------------------------------------------------------------
+
+class TestHostKernelEquivalence:
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    @pytest.mark.parametrize("platform_fixture", ["ivb", "has"])
+    def test_full_registry(self, request, platform_fixture, name):
+        node = request.getfixturevalue(platform_fixture)
+        wl = cpu_workload(name)
+        for budget in CPU_BUDGETS_FAST:
+            allocations = allocation_grid(
+                budget, mem_min_w=16.0, proc_min_w=8.0, step_w=4.0
+            )
+            batch = execute_host_batch(
+                node.cpu,
+                node.dram,
+                wl.phases,
+                [a.proc_w for a in allocations],
+                [a.mem_w for a in allocations],
+            )
+            assert len(batch) == len(allocations)
+            for alloc, result in zip(allocations, batch):
+                scalar = execute_on_host(
+                    node.cpu, node.dram, wl.phases, alloc.proc_w, alloc.mem_w
+                )
+                assert_results_identical(scalar, result)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    @pytest.mark.parametrize("platform_fixture", ["ivb", "has"])
+    def test_full_budget_matrix(self, request, platform_fixture, name):
+        node = request.getfixturevalue(platform_fixture)
+        wl = cpu_workload(name)
+        for budget in CPU_BUDGETS_FULL:
+            allocations = allocation_grid(
+                budget, mem_min_w=16.0, proc_min_w=8.0, step_w=4.0
+            )
+            batch = execute_host_batch(
+                node.cpu,
+                node.dram,
+                wl.phases,
+                [a.proc_w for a in allocations],
+                [a.mem_w for a in allocations],
+            )
+            for alloc, result in zip(allocations, batch):
+                scalar = execute_on_host(
+                    node.cpu, node.dram, wl.phases, alloc.proc_w, alloc.mem_w
+                )
+                assert_results_identical(scalar, result)
+
+    def test_empty_grid_returns_empty(self, ivb, stream):
+        assert execute_host_batch(ivb.cpu, ivb.dram, stream.phases, [], []) == []
+
+    def test_no_phases_rejected(self, ivb):
+        with pytest.raises(SweepError):
+            execute_host_batch(ivb.cpu, ivb.dram, (), [100.0], [40.0])
+
+    def test_mismatched_columns_rejected(self, ivb, stream):
+        with pytest.raises(SweepError):
+            execute_host_batch(
+                ivb.cpu, ivb.dram, stream.phases, [100.0, 120.0], [40.0]
+            )
+
+
+class TestGpuKernelEquivalence:
+    @pytest.mark.parametrize("name", list_gpu_workloads())
+    @pytest.mark.parametrize("platform_fixture", ["xp", "tv"])
+    def test_full_registry(self, request, platform_fixture, name):
+        card = request.getfixturevalue(platform_fixture)
+        wl = gpu_workload(name)
+        freqs = [float(f) for f in card.mem.frequencies_mhz]
+        for cap in GPU_CAPS_FAST:
+            batch = execute_gpu_batch(card, wl.phases, cap, freqs)
+            assert len(batch) == len(freqs)
+            for freq, result in zip(freqs, batch):
+                scalar = execute_on_gpu(card, wl.phases, cap, freq)
+                assert_results_identical(scalar, result)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", list_gpu_workloads())
+    @pytest.mark.parametrize("platform_fixture", ["xp", "tv"])
+    def test_full_cap_matrix(self, request, platform_fixture, name):
+        card = request.getfixturevalue(platform_fixture)
+        wl = gpu_workload(name)
+        freqs = [float(f) for f in card.mem.frequencies_mhz]
+        for cap in GPU_CAPS_FULL:
+            batch = execute_gpu_batch(card, wl.phases, cap, freqs)
+            for freq, result in zip(freqs, batch):
+                scalar = execute_on_gpu(card, wl.phases, cap, freq)
+                assert_results_identical(scalar, result)
+
+    def test_empty_clock_list_returns_empty(self, xp, sgemm):
+        assert execute_gpu_batch(xp, sgemm.phases, 200.0, []) == []
+
+    def test_out_of_range_cap_rejected(self, xp, sgemm):
+        from repro.errors import PowerBoundError
+
+        with pytest.raises(PowerBoundError):
+            execute_gpu_batch(
+                xp, sgemm.phases, 1.0, [float(xp.mem.nominal_mhz)]
+            )
+
+
+# ---------------------------------------------------------------------------
+# sweep-level equivalence through the engine (plateau, scenarios, curves)
+# ---------------------------------------------------------------------------
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("name", list_cpu_workloads())
+    def test_cpu_sweeps(self, ivb, name):
+        wl = cpu_workload(name)
+        for budget in CPU_BUDGETS_FAST:
+            scalar = sweep_cpu_allocations(
+                ivb.cpu, ivb.dram, wl, budget, engine=scalar_engine()
+            )
+            batch = sweep_cpu_allocations(
+                ivb.cpu, ivb.dram, wl, budget, engine=batch_engine()
+            )
+            assert_sweeps_identical(scalar, batch)
+
+    @pytest.mark.parametrize("name", list_gpu_workloads())
+    def test_gpu_sweeps(self, xp, name):
+        wl = gpu_workload(name)
+        for cap in GPU_CAPS_FAST:
+            scalar = sweep_gpu_allocations(xp, wl, cap, engine=scalar_engine())
+            batch = sweep_gpu_allocations(xp, wl, cap, engine=batch_engine())
+            assert_sweeps_identical(scalar, batch)
+            assert np.array_equal(batch.mem_freqs_mhz, scalar.mem_freqs_mhz)
+            assert np.array_equal(batch.performances, scalar.performances)
+
+    def test_cpu_budget_curve(self, has, dgemm):
+        budgets = [150.0, 200.0, 250.0]
+        scalar = cpu_budget_curve(
+            has.cpu, has.dram, dgemm, budgets, engine=scalar_engine()
+        )
+        batch = cpu_budget_curve(
+            has.cpu, has.dram, dgemm, budgets, engine=batch_engine()
+        )
+        assert np.array_equal(batch.perf_max, scalar.perf_max)
+        assert np.array_equal(batch.optimal_mem_w, scalar.optimal_mem_w)
+        assert batch.saturation_budget_w == scalar.saturation_budget_w
+
+    def test_gpu_budget_curve(self, tv, gpu_stream):
+        caps = [150.0, 200.0]
+        scalar = gpu_budget_curve(tv, gpu_stream, caps, engine=scalar_engine())
+        batch = gpu_budget_curve(tv, gpu_stream, caps, engine=batch_engine())
+        assert np.array_equal(batch.perf_max, scalar.perf_max)
+        assert np.array_equal(batch.optimal_mem_w, scalar.optimal_mem_w)
+
+    def test_scenarios_from_batch_results_match_scalar(self, ivb, stream):
+        """Classification runs on batch-produced results, not re-derived."""
+        allocations = allocation_grid(176.0, mem_min_w=16.0, proc_min_w=8.0)
+        batch = execute_host_batch(
+            ivb.cpu,
+            ivb.dram,
+            stream.phases,
+            [a.proc_w for a in allocations],
+            [a.mem_w for a in allocations],
+        )
+        for alloc, result in zip(allocations, batch):
+            scalar = execute_on_host(
+                ivb.cpu, ivb.dram, stream.phases, alloc.proc_w, alloc.mem_w
+            )
+            assert classify_cpu(result) == classify_cpu(scalar)
+
+    def test_gpu_scenarios_from_batch_results(self, xp, minife):
+        freqs = [float(f) for f in xp.mem.frequencies_mhz]
+        batch = execute_gpu_batch(xp, minife.phases, 200.0, freqs)
+        for freq, result in zip(freqs, batch):
+            scalar = execute_on_gpu(xp, minife.phases, 200.0, freq)
+            assert classify_gpu(result) == classify_gpu(scalar)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis fuzz: synthetic platforms, budgets, grids
+# ---------------------------------------------------------------------------
+
+class TestFuzzedEquivalence:
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(
+        n_cores=st.integers(min_value=1, max_value=32),
+        f_min=st.sampled_from([0.8, 1.2, 1.6]),
+        f_span=st.sampled_from([0.0, 0.4, 1.2]),
+        idle_w=st.sampled_from([10.0, 25.0, 40.0]),
+        dyn_w=st.sampled_from([40.0, 90.0, 140.0]),
+        duty_steps=st.integers(min_value=1, max_value=8),
+        bg_w=st.sampled_from([8.0, 20.0]),
+        access_w=st.sampled_from([30.0, 90.0]),
+        level_steps=st.integers(min_value=1, max_value=32),
+        budget=st.integers(min_value=20, max_value=80).map(lambda k: 4.0 * k),
+        flops=st.sampled_from([0.0, 1e12, 5e13]),
+        bytes_moved=st.sampled_from([0.0, 1e11, 8e12]),
+    )
+    def test_fuzzed_platforms(
+        self,
+        n_cores,
+        f_min,
+        f_span,
+        idle_w,
+        dyn_w,
+        duty_steps,
+        bg_w,
+        access_w,
+        level_steps,
+        budget,
+        flops,
+        bytes_moved,
+    ):
+        if flops == 0.0 and bytes_moved == 0.0:
+            flops = 1e12  # a phase must do some work
+        cpu = CpuDomain(
+            n_cores=n_cores,
+            pstates=PStateTable(f_min, f_min + f_span),
+            idle_power_w=idle_w,
+            max_dynamic_w=dyn_w,
+            duty_steps=duty_steps,
+        )
+        dram = DramDomain(
+            background_w=bg_w,
+            max_access_w=access_w,
+            peak_bw_gbps=60.0,
+            level_steps=level_steps,
+        )
+        phases = (
+            Phase(
+                name="fuzz",
+                flops=flops,
+                bytes_moved=bytes_moved,
+                activity=0.9,
+                stall_activity=0.35,
+                compute_efficiency=0.7 if flops else 0.0,
+                memory_efficiency=0.8 if bytes_moved else 0.0,
+            ),
+        )
+        allocations = allocation_grid(
+            budget, mem_min_w=float(bg_w), proc_min_w=float(idle_w) / 2.0
+        )
+        batch = execute_host_batch(
+            cpu,
+            dram,
+            phases,
+            [a.proc_w for a in allocations],
+            [a.mem_w for a in allocations],
+        )
+        for alloc, result in zip(allocations, batch):
+            scalar = execute_on_host(cpu, dram, phases, alloc.proc_w, alloc.mem_w)
+            assert_results_identical(scalar, result)
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(
+        budget=st.integers(min_value=25, max_value=70).map(lambda k: 4.0 * k),
+        step=st.sampled_from([2.0, 3.0, 4.0, 8.0, 12.0]),
+        name=st.sampled_from(("dgemm", "stream", "sra")),
+    )
+    def test_fuzzed_grids_through_engine(self, ivb, budget, step, name):
+        wl = cpu_workload(name)
+        scalar = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, wl, budget, step_w=step, engine=scalar_engine()
+        )
+        batch = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, wl, budget, step_w=step, engine=batch_engine()
+        )
+        assert_sweeps_identical(scalar, batch)
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(
+        cap=st.integers(min_value=140, max_value=250).map(float),
+        stride=st.integers(min_value=1, max_value=4),
+        name=st.sampled_from(("sgemm", "minife")),
+    )
+    def test_fuzzed_gpu_caps_through_engine(self, xp, cap, stride, name):
+        wl = gpu_workload(name)
+        scalar = sweep_gpu_allocations(
+            xp, wl, cap, freq_stride=stride, engine=scalar_engine()
+        )
+        batch = sweep_gpu_allocations(
+            xp, wl, cap, freq_stride=stride, engine=batch_engine()
+        )
+        assert_sweeps_identical(scalar, batch)
+
+
+# ---------------------------------------------------------------------------
+# engine contract: cache fill, warm behaviour, escape hatches, crossover
+# ---------------------------------------------------------------------------
+
+class TestEngineContract:
+    def test_batch_fills_memo_cache_point_by_point(self, ivb, stream):
+        engine = batch_engine()
+        first = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, engine=engine)
+        stats = engine.stats
+        assert stats.misses == len(first.points)
+        assert stats.hits == 0
+        assert stats.size == len(first.points)
+        again = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, engine=engine)
+        assert again.points == first.points
+        warm = engine.stats
+        assert warm.misses == stats.misses  # nothing re-executed
+        assert warm.hits == stats.hits + len(first.points)
+
+    def test_batch_and_scalar_share_cache_keys(self, ivb, sra):
+        """A batch-warmed cache fully serves a scalar-path engine."""
+        from repro.core.parallel import MemoCache
+
+        shared = MemoCache(maxsize=512)
+        sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, sra, 176.0,
+            engine=SweepEngine(n_jobs=1, cache=shared, batch=True),
+        )
+        misses = shared.stats.misses
+        sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, sra, 176.0,
+            engine=SweepEngine(n_jobs=1, cache=shared, batch=False),
+        )
+        assert shared.stats.misses == misses
+
+    def test_duplicate_allocations_execute_once(self, ivb, stream):
+        engine = batch_engine()
+        allocations = list(
+            allocation_grid(208.0, mem_min_w=16.0, proc_min_w=8.0, step_w=8.0)
+        )
+        results = engine.map_host(ivb.cpu, ivb.dram, stream.phases, allocations * 3)
+        assert engine.stats.misses == len(allocations)
+        assert results[: len(allocations)] * 3 == results
+
+    def test_partial_cache_hits_compose(self, ivb, dgemm):
+        """A half-warm grid resolves misses in batch and hits from cache."""
+        engine = batch_engine()
+        allocations = list(
+            allocation_grid(208.0, mem_min_w=16.0, proc_min_w=8.0, step_w=4.0)
+        )
+        half = allocations[::2]
+        engine.map_host(ivb.cpu, ivb.dram, dgemm.phases, half)
+        assert engine.stats.misses == len(half)
+        full = engine.map_host(ivb.cpu, ivb.dram, dgemm.phases, allocations)
+        assert engine.stats.misses == len(allocations)
+        assert engine.stats.hits == len(half)
+        for alloc, result in zip(allocations, full):
+            assert result == execute_on_host(
+                ivb.cpu, ivb.dram, dgemm.phases, alloc.proc_w, alloc.mem_w
+            )
+
+    def test_default_engine_uses_batch(self, ivb, sra):
+        scalar = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, sra, 176.0, engine=scalar_engine()
+        )
+        with use_engine(SweepEngine()) as engine:
+            assert engine.batch is True
+            batch = sweep_cpu_allocations(ivb.cpu, ivb.dram, sra, 176.0)
+        assert_sweeps_identical(scalar, batch)
+
+    def test_resolve_batch_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV_VAR, "0")
+        assert resolve_batch(True) is True
+        monkeypatch.setenv(BATCH_ENV_VAR, "1")
+        assert resolve_batch(False) is False
+
+    @pytest.mark.parametrize("value", ["0", "false", "No", "OFF"])
+    def test_resolve_batch_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv(BATCH_ENV_VAR, value)
+        assert resolve_batch() is False
+        assert SweepEngine(n_jobs=1).batch is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "weird"])
+    def test_resolve_batch_env_enables(self, monkeypatch, value):
+        monkeypatch.setenv(BATCH_ENV_VAR, value)
+        assert resolve_batch() is True
+
+    def test_resolve_batch_defaults_on(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV_VAR, raising=False)
+        assert resolve_batch() is True
+        assert SweepEngine(n_jobs=1).batch is True
+
+    def test_crossover_default_and_validation(self):
+        assert SweepEngine(n_jobs=1).serial_crossover == SERIAL_CROSSOVER
+        assert SweepEngine(n_jobs=1, serial_crossover=0).serial_crossover == 0
+        with pytest.raises(SweepError):
+            SweepEngine(n_jobs=1, serial_crossover=-1)
+
+    def test_small_grid_stays_serial_under_crossover(self, ivb, stream, monkeypatch):
+        """Below the crossover, no pool is created even with n_jobs > 1."""
+        import repro.core.parallel as parallel_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("pool must not be created below the crossover")
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", boom)
+        engine = SweepEngine(n_jobs=4, batch=False)
+        sweep = sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, engine=engine)
+        assert len(sweep.points) < engine.serial_crossover
+        assert sweep.points == sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, stream, 208.0, engine=scalar_engine()
+        ).points
+
+    def test_large_grid_fans_out_past_crossover(self, ivb, stream, monkeypatch):
+        """At/above the crossover the pool is used (observed via a probe)."""
+        import repro.core.parallel as parallel_mod
+
+        created = []
+        real_pool = parallel_mod.ThreadPoolExecutor
+
+        def probe(*args, **kwargs):
+            created.append(True)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", probe)
+        engine = SweepEngine(n_jobs=2, batch=False, serial_crossover=4)
+        sweep_cpu_allocations(ivb.cpu, ivb.dram, stream, 208.0, engine=engine)
+        assert created
+
+
+# ---------------------------------------------------------------------------
+# NaN/inf guards: a batch kernel must never poison a plateau pick
+# ---------------------------------------------------------------------------
+
+class TestNonFiniteGuards:
+    @staticmethod
+    def _poisoned_sweep(ivb, stream, value: float) -> AllocationSweep:
+        sweep = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, stream, 176.0, engine=batch_engine()
+        )
+        points = list(sweep.points)
+        points[len(points) // 2] = dataclasses.replace(
+            points[len(points) // 2], performance=value
+        )
+        return dataclasses.replace(sweep, points=tuple(points))
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+    def test_optimal_plateau_rejects_nonfinite(self, ivb, stream, value):
+        poisoned = self._poisoned_sweep(ivb, stream, value)
+        with pytest.raises(SweepError):
+            optimal_plateau(poisoned.points)
+
+    def test_best_point_rejects_nonfinite(self, ivb, stream):
+        poisoned = self._poisoned_sweep(ivb, stream, float("nan"))
+        with pytest.raises(SweepError):
+            poisoned.best
+
+    def test_plateau_on_batch_points_is_finite_and_valid(self, ivb, dgemm):
+        sweep = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, dgemm, 208.0, engine=batch_engine()
+        )
+        lo, hi = optimal_plateau(sweep.points)
+        assert 0 <= lo <= hi < len(sweep.points)
+        assert all(math.isfinite(p.performance) for p in sweep.points)
+
+    def test_batch_results_are_finite_across_registry(self, ivb):
+        """No NaN/inf sneaks out of the vectorized arithmetic itself."""
+        for name in list_cpu_workloads():
+            wl = cpu_workload(name)
+            allocations = allocation_grid(176.0, mem_min_w=16.0, proc_min_w=8.0)
+            for result in execute_host_batch(
+                ivb.cpu,
+                ivb.dram,
+                wl.phases,
+                [a.proc_w for a in allocations],
+                [a.mem_w for a in allocations],
+            ):
+                assert math.isfinite(result.elapsed_s)
+                for phase in result.phases:
+                    assert math.isfinite(phase.proc_power_w)
+                    assert math.isfinite(phase.mem_power_w)
+                    assert math.isfinite(phase.utilization)
+                    assert math.isfinite(phase.mem_busy)

@@ -42,6 +42,8 @@ class TestRuleFixtures:
     def test_rpl001_purity_fires_on_reachable_functions(self):
         diags = findings(FIXTURES / "rpl001")
         assert locations(diags, "RPL001") == [
+            ("batchwork.py", 7),  # os.getenv
+            ("batchwork.py", 8),  # print
             ("work.py", 12),  # np.random.default_rng
             ("work.py", 17),  # time.time
             ("work.py", 18),  # print
@@ -61,6 +63,15 @@ class TestRuleFixtures:
             purity_entries=("work.unreachable_is_fine",),
         )
         assert ("work.py", 27) in locations(diags, "RPL001")
+
+    def test_rpl001_batch_entry_fires_via_engine_dispatch(self):
+        # `run_batch` is only reachable through the engine's
+        # execute_batch dispatch — the same shape as the real
+        # SweepEngine handing whole grids to the vectorized kernel.
+        diags = findings(FIXTURES / "rpl001")
+        batch_hits = [loc for loc in locations(diags, "RPL001")
+                      if loc[0] == "batchwork.py"]
+        assert batch_hits == [("batchwork.py", 7), ("batchwork.py", 8)]
 
     def test_rpl002_lock_discipline(self):
         diags = findings(FIXTURES / "rpl002")
@@ -118,6 +129,41 @@ class TestRuleFixtures:
 class TestSelfCheck:
     def test_src_repro_reports_zero_findings(self):
         assert run_lint([SRC_REPRO]) == []
+
+    def test_default_purity_entries_name_the_batch_kernels(self):
+        from repro.lint import DEFAULT_PURITY_ENTRIES
+
+        assert DEFAULT_PURITY_ENTRIES == (
+            "repro.perfmodel.batch.execute_gpu_batch",
+            "repro.perfmodel.batch.execute_host_batch",
+        )
+        assert LintConfig().purity_entries == DEFAULT_PURITY_ENTRIES
+
+    def test_batch_kernel_is_rooted_and_traversed_in_the_real_tree(self):
+        # The purity contract must cover the vectorized kernels both as
+        # explicit roots and via the engine-module auto-detection, and
+        # reachability must descend into their private helpers.
+        from repro.lint import DEFAULT_PURITY_ENTRIES
+        from repro.lint.callgraph import CallGraph
+        from repro.lint.engine import load_project
+
+        project = load_project([SRC_REPRO])
+        graph = CallGraph.build(project, extra_entries=DEFAULT_PURITY_ENTRIES)
+        assert set(DEFAULT_PURITY_ENTRIES) <= graph.entries
+
+        # Auto-detection alone (the SweepEngine module's cross-module
+        # calls) already roots both kernels.
+        auto = CallGraph.build(project)
+        assert set(DEFAULT_PURITY_ENTRIES) <= auto.entries
+
+        reachable = graph.reachable()
+        for helper in (
+            "repro.perfmodel.batch._resolve_cpu_batch",
+            "repro.perfmodel.batch._resolve_dram_batch",
+            "repro.perfmodel.batch._host_phase_batch",
+            "repro.perfmodel.batch._gpu_phase_batch",
+        ):
+            assert helper in reachable
 
     def test_module_cli_exits_zero_on_clean_tree(self):
         assert lint_main([str(SRC_REPRO)]) == 0

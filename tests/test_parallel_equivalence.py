@@ -62,8 +62,19 @@ GPU_CAPS_FULL = (150.0, 200.0, 250.0)  # within both cards' driver ranges
 
 
 def serial_engine() -> SweepEngine:
-    """The oracle: no pool, cache too small to ever serve a sweep hit."""
-    return SweepEngine(n_jobs=1, cache_size=1)
+    """The oracle: scalar executor, no pool, cache too small to serve hits."""
+    return SweepEngine(n_jobs=1, cache_size=1, batch=False)
+
+
+def fanout_engine(n_jobs: int, backend: str = "thread") -> SweepEngine:
+    """An engine that genuinely fans out onto a pool.
+
+    ``batch=False`` keeps the scalar executor under test (the vectorized
+    path is locked separately in ``tests/test_batch_equivalence.py``) and
+    ``serial_crossover=0`` disables the small-grid serial shortcut so the
+    pool actually runs.
+    """
+    return SweepEngine(n_jobs, backend=backend, batch=False, serial_crossover=0)
 
 
 def assert_sweeps_identical(serial, parallel) -> None:
@@ -88,7 +99,7 @@ class TestSerialParallelEquivalence:
             ivb.cpu, ivb.dram, wl, budget, engine=serial_engine()
         )
         parallel = sweep_cpu_allocations(
-            ivb.cpu, ivb.dram, wl, budget, engine=SweepEngine(n_jobs=4)
+            ivb.cpu, ivb.dram, wl, budget, engine=fanout_engine(4)
         )
         assert_sweeps_identical(serial, parallel)
 
@@ -97,7 +108,7 @@ class TestSerialParallelEquivalence:
     def test_gpu_thread_backend(self, xp, name, cap):
         wl = gpu_workload(name)
         serial = sweep_gpu_allocations(xp, wl, cap, engine=serial_engine())
-        parallel = sweep_gpu_allocations(xp, wl, cap, engine=SweepEngine(n_jobs=4))
+        parallel = sweep_gpu_allocations(xp, wl, cap, engine=fanout_engine(4))
         assert_sweeps_identical(serial, parallel)
         assert np.array_equal(parallel.mem_freqs_mhz, serial.mem_freqs_mhz)
         assert np.array_equal(parallel.performances, serial.performances)
@@ -108,14 +119,14 @@ class TestSerialParallelEquivalence:
         )
         parallel = sweep_cpu_allocations(
             ivb.cpu, ivb.dram, stream, 208.0,
-            engine=SweepEngine(n_jobs=2, backend="process"),
+            engine=fanout_engine(2, backend="process"),
         )
         assert_sweeps_identical(serial, parallel)
 
     def test_gpu_process_backend(self, tv, sgemm):
         serial = sweep_gpu_allocations(tv, sgemm, 200.0, engine=serial_engine())
         parallel = sweep_gpu_allocations(
-            tv, sgemm, 200.0, engine=SweepEngine(n_jobs=2, backend="process")
+            tv, sgemm, 200.0, engine=fanout_engine(2, backend="process")
         )
         assert_sweeps_identical(serial, parallel)
 
@@ -125,7 +136,7 @@ class TestSerialParallelEquivalence:
             has.cpu, has.dram, dgemm, budgets, engine=serial_engine()
         )
         parallel = cpu_budget_curve(
-            has.cpu, has.dram, dgemm, budgets, engine=SweepEngine(n_jobs=4)
+            has.cpu, has.dram, dgemm, budgets, engine=fanout_engine(4)
         )
         assert np.array_equal(parallel.perf_max, serial.perf_max)
         assert np.array_equal(parallel.optimal_mem_w, serial.optimal_mem_w)
@@ -134,7 +145,7 @@ class TestSerialParallelEquivalence:
     def test_gpu_budget_curve(self, xp, minife):
         caps = [150.0, 200.0]
         serial = gpu_budget_curve(xp, minife, caps, engine=serial_engine())
-        parallel = gpu_budget_curve(xp, minife, caps, engine=SweepEngine(n_jobs=4))
+        parallel = gpu_budget_curve(xp, minife, caps, engine=fanout_engine(4))
         assert np.array_equal(parallel.perf_max, serial.perf_max)
         assert np.array_equal(parallel.optimal_mem_w, serial.optimal_mem_w)
 
@@ -159,7 +170,7 @@ class TestFullRegistryEquivalence:
     def test_cpu(self, request, platform_fixture, name):
         node = request.getfixturevalue(platform_fixture)
         wl = cpu_workload(name)
-        parallel = SweepEngine(n_jobs=4)
+        parallel = fanout_engine(4)
         for budget in CPU_BUDGETS_FULL:
             ser = sweep_cpu_allocations(
                 node.cpu, node.dram, wl, budget, engine=serial_engine()
@@ -174,7 +185,7 @@ class TestFullRegistryEquivalence:
     def test_gpu(self, request, platform_fixture, name):
         card = request.getfixturevalue(platform_fixture)
         wl = gpu_workload(name)
-        parallel = SweepEngine(n_jobs=4)
+        parallel = fanout_engine(4)
         for cap in GPU_CAPS_FULL:
             ser = sweep_gpu_allocations(card, wl, cap, engine=serial_engine())
             par = sweep_gpu_allocations(card, wl, cap, engine=parallel)
@@ -199,7 +210,7 @@ class TestProperties:
             node.cpu, node.dram, wl, budget, step_w=step, engine=serial_engine()
         )
         par = sweep_cpu_allocations(
-            node.cpu, node.dram, wl, budget, step_w=step, engine=SweepEngine(n_jobs=4)
+            node.cpu, node.dram, wl, budget, step_w=step, engine=fanout_engine(4)
         )
         assert_sweeps_identical(ser, par)
 
@@ -353,7 +364,7 @@ class TestEnginePlumbing:
         misses = shared.stats.misses
         sweep_cpu_allocations(
             ivb.cpu, ivb.dram, sra, 176.0,
-            engine=SweepEngine(n_jobs=4, cache=shared),
+            engine=SweepEngine(n_jobs=4, cache=shared, batch=False, serial_crossover=0),
         )
         assert shared.stats.misses == misses  # second engine fully served
 
