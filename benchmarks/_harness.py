@@ -52,6 +52,7 @@ def cache_dict(stats: CacheStats) -> dict[str, float | int]:
         "size": stats.size,
         "maxsize": stats.maxsize,
         "hit_ratio": stats.hit_ratio,
+        "disk_hits": stats.disk_hits,
     }
 
 
@@ -63,9 +64,20 @@ def write_json_report(
     wall_s: dict[str, float],
     speedup: dict[str, float] | None = None,
     cache: CacheStats | None = None,
+    executions_total: int | None = None,
+    executions_saved: int | None = None,
+    disk_cache_hits: int | None = None,
     **extras: Any,
 ) -> Path:
-    """Write ``benchmarks/reports/<name>.json`` and return its path."""
+    """Write ``benchmarks/reports/<name>.json`` and return its path.
+
+    ``executions_total``/``executions_saved`` report model-point
+    accounting for planner-aware benchmarks (native grid size vs points
+    the adaptive planner did not execute); ``disk_cache_hits`` counts
+    lookups served by the persistent cross-process cache.  All three are
+    omitted from the payload when ``None`` so pre-planner reports keep
+    their shape.
+    """
     REPORTS_DIR.mkdir(exist_ok=True)
     payload: dict[str, Any] = {
         "op": op,
@@ -76,6 +88,12 @@ def write_json_report(
         ),
         "cache": None if cache is None else cache_dict(cache),
     }
+    if executions_total is not None:
+        payload["executions_total"] = executions_total
+    if executions_saved is not None:
+        payload["executions_saved"] = executions_saved
+    if disk_cache_hits is not None:
+        payload["disk_cache_hits"] = disk_cache_hits
     payload.update(extras)
     path = REPORTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -69,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
     )
+    _add_engine_arguments(p)
 
     p = sub.add_parser(
         "lint",
@@ -84,7 +85,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
     )
+    _add_engine_arguments(p)
     return parser
+
+
+def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--sweep-mode", choices=("full", "adaptive"), default=None,
+        help="sweep strategy: 'full' grids or the adaptive planner "
+             "(default: $REPRO_SWEEP, else full)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cross-process sweep cache root "
+             "(default: $REPRO_CACHE_DIR, else no disk cache)",
+    )
+
+
+def _make_engine(args: argparse.Namespace) -> SweepEngine | None:
+    if args.jobs is None and args.sweep_mode is None and args.cache_dir is None:
+        return None
+    return SweepEngine(
+        n_jobs=args.jobs, mode=args.sweep_mode, cache_dir=args.cache_dir
+    )
 
 
 def _resolve(workload_name: str, platform_name: str | None):
@@ -166,7 +189,7 @@ def _cmd_coord(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workload, platform = _resolve(args.workload, args.platform)
-    engine = SweepEngine(n_jobs=args.jobs) if args.jobs is not None else None
+    engine = _make_engine(args)
     if workload.device == "cpu":
         sweep = sweep_cpu_allocations(
             platform.cpu, platform.dram, workload, args.budget, step_w=args.step,
@@ -202,11 +225,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     artifacts = list_experiments() if args.artifact == "all" else [args.artifact]
     # One engine across artifacts so 'all' shares the memo cache.
-    engine = SweepEngine(n_jobs=args.jobs) if args.jobs is not None else None
+    engine = _make_engine(args)
     for artifact in artifacts:
         report = run_experiment(artifact, fast=args.fast, engine=engine)
         print(report.render())
         print()
+    if engine is not None:
+        engine.flush()
     return 0
 
 

@@ -19,13 +19,38 @@ hardware and execution substrates:
 
 from repro.core.allocation import PowerAllocation, allocation_grid
 from repro.core.parallel import (
+    CACHE_DIR_ENV_VAR,
+    SWEEP_MODE_ENV_VAR,
     CacheStats,
     MemoCache,
+    PlannerState,
+    PlannerStats,
     SweepEngine,
     default_engine,
     fingerprint,
+    resolve_cache_dir,
+    resolve_mode,
     set_default_engine,
     use_engine,
+)
+from repro.core.diskcache import (
+    CacheIntegrityWarning,
+    DiskCache,
+    DiskCacheError,
+    DiskCacheStats,
+    decode_result,
+    digest_key,
+    encode_result,
+)
+from repro.core.planner import (
+    PlanStats,
+    PlannedSweep,
+    adaptive_cpu_budget_curve,
+    adaptive_gpu_budget_curve,
+    plan_cpu_sweep,
+    plan_gpu_sweep,
+    sweep_cpu_best,
+    sweep_gpu_best,
 )
 from repro.core.scenario import Scenario, classify_cpu, classify_gpu
 from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
@@ -96,10 +121,15 @@ __all__ = [
     "BalancePoint",
     "BudgetAdvice",
     "BudgetVerdict",
+    "CACHE_DIR_ENV_VAR",
+    "CacheIntegrityWarning",
     "CacheStats",
     "CoordDecision",
     "CoordStatus",
     "CpuCriticalPowers",
+    "DiskCache",
+    "DiskCacheError",
+    "DiskCacheStats",
     "EfficiencyCurve",
     "EfficiencyPoint",
     "ElasticityEstimate",
@@ -112,10 +142,17 @@ __all__ = [
     "HybridWorkload",
     "MemoCache",
     "OnlineShiftResult",
+    "PlanStats",
+    "PlannedSweep",
+    "PlannerState",
+    "PlannerStats",
     "PowerAllocation",
+    "SWEEP_MODE_ENV_VAR",
     "Scenario",
     "SweepEngine",
     "adaptive_coord",
+    "adaptive_cpu_budget_curve",
+    "adaptive_gpu_budget_curve",
     "adaptive_vs_static",
     "advise_budget",
     "allocation_grid",
@@ -130,9 +167,12 @@ __all__ = [
     "cpu_budget_curve",
     "cpu_first_allocation",
     "critical_component",
+    "decode_result",
     "default_engine",
     "demand_proportional_allocation",
+    "digest_key",
     "efficiency_curve",
+    "encode_result",
     "execute_hybrid",
     "fingerprint",
     "golden_section_optimal",
@@ -143,18 +183,24 @@ __all__ = [
     "online_power_shift",
     "optimal_intersection",
     "oracle_allocation",
+    "plan_cpu_sweep",
+    "plan_gpu_sweep",
     "power_elasticity",
     "profile_biglittle",
     "profile_cpu_workload",
     "profile_gpu_workload",
     "profile_phases",
     "rank_by_elasticity",
+    "resolve_cache_dir",
+    "resolve_mode",
     "scenario_spans",
     "set_default_engine",
     "sweep_biglittle",
     "sweep_cpu_allocations",
+    "sweep_cpu_best",
     "sweep_efficiency",
     "sweep_gpu_allocations",
+    "sweep_gpu_best",
     "table1_rows",
     "uniform_allocation",
     "use_engine",

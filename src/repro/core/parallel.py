@@ -51,7 +51,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.core.allocation import PowerAllocation
+from repro.core.diskcache import DiskCache
 from repro.errors import SweepError
 from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
@@ -63,16 +66,22 @@ from repro.perfmodel.phase import Phase
 
 __all__ = [
     "BATCH_ENV_VAR",
+    "CACHE_DIR_ENV_VAR",
     "CacheStats",
     "JOBS_ENV_VAR",
     "MemoCache",
+    "PlannerState",
+    "PlannerStats",
     "SERIAL_CROSSOVER",
+    "SWEEP_MODE_ENV_VAR",
     "SweepEngine",
     "default_engine",
     "fingerprint",
     "freeze",
     "resolve_batch",
+    "resolve_cache_dir",
     "resolve_jobs",
+    "resolve_mode",
     "set_default_engine",
     "use_engine",
 ]
@@ -83,6 +92,18 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 #: Environment escape hatch for the vectorized kernel (``0``/``false``/
 #: ``no``/``off`` force every point through the scalar executor).
 BATCH_ENV_VAR = "REPRO_BATCH"
+
+#: Environment override for the sweep planning mode (``full`` executes
+#: every grid point; ``adaptive`` routes budget curves and best-point
+#: queries through :mod:`repro.core.planner`).
+SWEEP_MODE_ENV_VAR = "REPRO_SWEEP"
+
+#: Environment opt-in for the persistent cross-process result cache
+#: (:mod:`repro.core.diskcache`); unset or empty disables the disk tier.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Recognized sweep planning modes.
+SWEEP_MODES = ("full", "adaptive")
 
 #: Auto-sizing never exceeds this many workers — sweeps have a few dozen
 #: points, so wider pools only add dispatch overhead.
@@ -136,10 +157,19 @@ def freeze(obj: object) -> Hashable:
     raise TypeError(f"cannot fingerprint {type(obj).__name__!r} for the sweep cache")
 
 
-#: Fingerprint memo for immutable model objects (platforms, phase tuples).
+#: Fingerprint memo for immutable model objects (platforms, workloads).
 #: Weak keys: the memo never keeps a platform alive.
 _FP_MEMO: "weakref.WeakKeyDictionary[object, str]" = weakref.WeakKeyDictionary()
 _FP_LOCK = threading.Lock()
+
+#: Tuples (phase lists, composite keys) cannot be weak-referenced, so
+#: they get a small value-keyed memo instead — correct because equal
+#: tuples freeze equal, and bounded so repeated one-off keys cannot grow
+#: it without limit.  Every sweep re-fingerprints its phase tuple on
+#: each engine call; without this memo that freeze dominates warm-cache
+#: passes where the model itself never runs.
+_FP_TUPLE_MEMO: dict[tuple, str] = {}
+_FP_TUPLE_MEMO_MAX = 512
 
 
 def fingerprint(obj: object) -> str:
@@ -149,6 +179,22 @@ def fingerprint(obj: object) -> str:
     sweep points) while still changing whenever the underlying
     characterization changes.
     """
+    if isinstance(obj, tuple):
+        try:
+            with _FP_LOCK:
+                cached = _FP_TUPLE_MEMO.get(obj)
+            if cached is not None:
+                return cached
+            hashable = True
+        except TypeError:  # tuple holding unhashables → compute directly
+            hashable = False
+        digest = hashlib.sha1(repr(freeze(obj)).encode()).hexdigest()
+        if hashable:
+            with _FP_LOCK:
+                if len(_FP_TUPLE_MEMO) >= _FP_TUPLE_MEMO_MAX:
+                    _FP_TUPLE_MEMO.clear()
+                _FP_TUPLE_MEMO[obj] = digest
+        return digest
     try:
         with _FP_LOCK:
             cached = _FP_MEMO.get(obj)
@@ -180,6 +226,7 @@ class CacheStats:
     evictions: int
     size: int
     maxsize: int
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -198,36 +245,77 @@ class MemoCache:
     workers (and parallel scheduler callers) never race on dict writes.
     Values are expected to be immutable (frozen dataclasses), which makes
     sharing a cached :class:`ExecutionResult` across callers safe.
+
+    An optional ``backing`` :class:`~repro.core.diskcache.DiskCache`
+    turns this into the memory tier of a two-level cache: memory misses
+    fall through to disk (counted in ``stats.disk_hits`` and promoted
+    back into memory), and stores write through so other processes can
+    go warm.  Evicting an entry from the bounded memory tier never loses
+    it — the disk tier is append-only.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+        backing: DiskCache | None = None,
+    ) -> None:
         if maxsize < 1:
             raise SweepError(f"cache maxsize must be >= 1, got {maxsize}")
         self._maxsize = maxsize
         self._data: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.RLock()
+        self._backing = backing
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_hits = 0
+
+    @property
+    def backing(self) -> DiskCache | None:
+        """The disk tier behind this cache, if any."""
+        return self._backing
 
     def lookup(self, key: Hashable) -> tuple[bool, object | None]:
-        """``(hit, value)`` for ``key``; counts the lookup either way."""
+        """``(hit, value)`` for ``key``; counts the lookup either way.
+
+        A miss in memory consults the disk tier (when configured); a disk
+        hit counts as a hit *and* a ``disk_hit``, and the value is
+        promoted into the memory tier.
+        """
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
                 self._hits += 1
                 return True, self._data[key]
+        if self._backing is not None:
+            found, value = self._backing.lookup(key)
+            if found:
+                with self._lock:
+                    self._hits += 1
+                    self._disk_hits += 1
+                self._store_memory(key, value)
+                return True, value
+        with self._lock:
             self._misses += 1
             return False, None
 
-    def store(self, key: Hashable, value: object) -> None:
-        """Insert ``key``, evicting least-recently-used entries past the bound."""
+    def _store_memory(self, key: Hashable, value: object) -> None:
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
                 self._evictions += 1
+
+    def store(self, key: Hashable, value: object) -> None:
+        """Insert ``key``, evicting least-recently-used entries past the bound.
+
+        With a disk tier, the value also writes through (buffered; the
+        :class:`DiskCache` deduplicates digests it already holds).
+        """
+        self._store_memory(key, value)
+        if self._backing is not None and isinstance(value, ExecutionResult):
+            self._backing.store(key, value)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], object]) -> object:
         """Cached value for ``key``, computing and storing it on a miss.
@@ -260,6 +348,7 @@ class MemoCache:
                 evictions=self._evictions,
                 size=len(self._data),
                 maxsize=self._maxsize,
+                disk_hits=self._disk_hits,
             )
 
 
@@ -299,6 +388,30 @@ def resolve_batch(batch: bool | None = None) -> bool:
     return True
 
 
+def resolve_mode(mode: str | None = None) -> str:
+    """Resolve the sweep mode: explicit > ``REPRO_SWEEP`` > ``"full"``."""
+    if mode is None:
+        env = os.environ.get(SWEEP_MODE_ENV_VAR)
+        mode = env.strip() if env is not None and env.strip() else "full"
+    mode = str(mode).strip().lower()
+    if mode not in SWEEP_MODES:
+        raise SweepError(
+            f"sweep mode must be one of {SWEEP_MODES}, got {mode!r} "
+            f"(check {SWEEP_MODE_ENV_VAR})"
+        )
+    return mode
+
+
+def resolve_cache_dir(cache_dir: str | Path | None = None) -> Path | None:
+    """Resolve the disk-cache root: explicit > ``REPRO_CACHE_DIR`` > off."""
+    if cache_dir is None:
+        env = os.environ.get(CACHE_DIR_ENV_VAR)
+        if env is None or not env.strip():
+            return None
+        cache_dir = env.strip()
+    return Path(cache_dir).expanduser()
+
+
 def resolve_jobs(n_jobs: int | None = None) -> int:
     """Resolve a worker count: explicit > ``REPRO_JOBS`` > host auto-size."""
     if n_jobs is None:
@@ -316,6 +429,105 @@ def resolve_jobs(n_jobs: int | None = None) -> int:
     if n_jobs < 1:
         raise SweepError(f"n_jobs must be >= 1, got {n_jobs}")
     return n_jobs
+
+
+# ---------------------------------------------------------------------------
+# planner bookkeeping (counters + warm-start hints, shared across sweeps)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlannerStats:
+    """Aggregate counters of the adaptive planner on one engine."""
+
+    sweeps: int
+    fallbacks: int
+    warm_starts: int
+    native_points: int
+    executed_points: int
+    reused_points: int = 0
+
+    @property
+    def points_saved(self) -> int:
+        """Model points the planner did *not* execute vs the full grids."""
+        return self.native_points - self.executed_points
+
+    @property
+    def savings_ratio(self) -> float:
+        """native/executed — the planner's point-reduction multiplier."""
+        if self.executed_points == 0:
+            return 1.0
+        return self.native_points / self.executed_points
+
+
+class PlannerState:
+    """Thread-safe planner bookkeeping attached to a :class:`SweepEngine`.
+
+    Holds the aggregate :class:`PlannerStats` counters and the
+    warm-start hint memory: for each ``(platform, phases, grid)``
+    fingerprint key, the last optimal axis value found and whether that
+    plan completed without falling back.  Budget curves and repeated
+    experiment sweeps use the hints to probe near the previous optimum.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hints: dict[Hashable, tuple[float, bool]] = {}
+        self._stash: dict[Hashable, object] = {}
+        self._sweeps = 0
+        self._fallbacks = 0
+        self._warm_starts = 0
+        self._native_points = 0
+        self._executed_points = 0
+        self._reused_points = 0
+
+    def hint(self, key: Hashable) -> tuple[float, bool] | None:
+        """``(axis_value, clean)`` remembered for ``key``, if any."""
+        with self._lock:
+            return self._hints.get(key)
+
+    def remember(self, key: Hashable, axis_value: float, clean: bool) -> None:
+        """Record the optimum found for ``key`` (``clean`` = no fallback)."""
+        with self._lock:
+            self._hints[key] = (float(axis_value), bool(clean))
+
+    def stashed(self, key: Hashable) -> object | None:
+        """An opaque value previously stashed for ``key``, if any.
+
+        The planner keeps provably cap-independent phase tuples here
+        (saturation reuse) and derived per-platform constants.
+        """
+        with self._lock:
+            return self._stash.get(key)
+
+    def stash(self, key: Hashable, value: object) -> None:
+        """Stash an opaque value for ``key``."""
+        with self._lock:
+            self._stash[key] = value
+
+    def record(
+        self, *, native: int, executed: int, fallback: bool, warm: bool,
+        reused: int = 0,
+    ) -> None:
+        """Fold one planned sweep into the aggregate counters."""
+        with self._lock:
+            self._sweeps += 1
+            self._fallbacks += int(fallback)
+            self._warm_starts += int(warm)
+            self._native_points += int(native)
+            self._executed_points += int(executed)
+            self._reused_points += int(reused)
+
+    @property
+    def stats(self) -> PlannerStats:
+        with self._lock:
+            return PlannerStats(
+                sweeps=self._sweeps,
+                fallbacks=self._fallbacks,
+                warm_starts=self._warm_starts,
+                native_points=self._native_points,
+                executed_points=self._executed_points,
+                reused_points=self._reused_points,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -350,6 +562,20 @@ class SweepEngine:
         misses run serially instead of paying pool fan-out; ``None`` takes
         the measured default :data:`SERIAL_CROSSOVER`, ``0`` restores the
         pre-crossover behaviour (fan out any grid of 2+ points).
+    mode:
+        ``"full"`` executes every grid point (the oracle behaviour);
+        ``"adaptive"`` routes budget curves and best-point queries
+        through the structure-aware planner (:mod:`repro.core.planner`),
+        which returns identical answers from a fraction of the points.
+        ``None`` (default) resolves via :func:`resolve_mode`
+        (``REPRO_SWEEP`` env override, else ``"full"``).
+    cache_dir:
+        Opt-in root for the persistent cross-process result cache
+        (:mod:`repro.core.diskcache`); the memo cache then reads through
+        to disk on misses and writes through on stores.  ``None``
+        (default) resolves via :func:`resolve_cache_dir`
+        (``REPRO_CACHE_DIR`` env override, else no disk tier).  Mutually
+        exclusive with an explicit ``cache`` instance.
     """
 
     def __init__(
@@ -361,12 +587,28 @@ class SweepEngine:
         cache: MemoCache | None = None,
         batch: bool | None = None,
         serial_crossover: int | None = None,
+        mode: str | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         if backend not in ("thread", "process"):
             raise SweepError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if cache is not None and cache_dir is not None:
+            raise SweepError(
+                "pass either an explicit cache instance or cache_dir, not both"
+            )
         self.n_jobs = resolve_jobs(n_jobs)
         self.backend = backend
-        self.cache = cache if cache is not None else MemoCache(cache_size)
+        self.mode = resolve_mode(mode)
+        self.planner = PlannerState()
+        self.disk_cache: DiskCache | None = None
+        if cache is not None:
+            self.cache = cache
+            self.disk_cache = cache.backing
+        else:
+            resolved_dir = resolve_cache_dir(cache_dir)
+            if resolved_dir is not None:
+                self.disk_cache = DiskCache(resolved_dir)
+            self.cache = MemoCache(cache_size, backing=self.disk_cache)
         self.batch = resolve_batch(batch)
         if serial_crossover is None:
             serial_crossover = SERIAL_CROSSOVER
@@ -541,6 +783,11 @@ class SweepEngine:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Publish buffered disk-cache records (no-op without a disk tier)."""
+        if self.disk_cache is not None:
+            self.disk_cache.flush()
+
     @property
     def stats(self) -> CacheStats:
         """Counters of the engine's execution cache."""

@@ -1,0 +1,842 @@
+"""Structure-aware adaptive sweep planner: oracle answers, fewer points.
+
+The paper's sweeps are massively redundant: per-budget allocation
+profiles collapse into the six-scenario plateau structure (Figs. 3/4/7/8)
+and ``perf_max``-vs-budget is monotone and saturating (Figs. 2/6).  The
+planner exploits that structure to answer the questions the experiments
+actually ask — the best point of a sweep, and whole budget curves —
+while *executing* only a fraction of the native grid:
+
+1. **probe** — a coarse stride-``k`` pass over the allocation axis
+   (plus a warm-start neighborhood around the previous optimum when one
+   is remembered on the engine);
+2. **certify** — the probe profile must look like the paper's structure:
+   eligible probes form one contiguous run and their performances are
+   unimodal within the plateau tolerance.  Any violation triggers a
+   *transparent fallback* to the full sweep, so exactness is never
+   conditional on the heuristic succeeding;
+3. **bracket** — seed at the best executed eligible point and walk
+   outward exactly as :func:`~repro.core.sweep.optimal_plateau` would,
+   executing boundary neighbors on demand.  Gaps whose executed
+   endpoints are both in-plateau *and* carry identical phase tuples are
+   skipped wholesale: the governors select operating states monotonically
+   in the caps, so equal states at both ends of a cap interval pin every
+   interior point to the same result (eligibility interpolates too —
+   equal powers under sandwiched caps).  Whenever a newly executed point
+   beats the incumbent optimum the search restarts from the new top, so
+   the walk converges on the oracle's plateau;
+4. **select** — the plateau middle is executed explicitly and returned;
+   it is field-for-field the point the full sweep would have picked.
+
+Budget curves warm-start each budget from the previous best split
+(hints live on the engine's :class:`~repro.core.parallel.PlannerState`)
+and can optionally early-exit once the monotone curve saturates
+(``stop_at_saturation`` — off by default because it truncates the
+returned arrays).
+
+``tests/test_planner_equivalence.py`` locks all of this bit-for-bit
+against the full-sweep oracle across the entire CPU and GPU registries.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import cast
+
+import numpy as np
+
+from repro.core.allocation import PowerAllocation, allocation_grid
+from repro.core.parallel import SweepEngine, default_engine, fingerprint
+from repro.core.scenario import classify_cpu, classify_gpu
+from repro.core.sweep import (
+    BudgetCurve,
+    SweepPoint,
+    gpu_freq_axis,
+    gpu_point_allocation,
+    optimal_plateau,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.errors import SweepError
+from repro.hardware.component import CappingMechanism
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
+from repro.hardware.gpu import GpuCard
+from repro.perfmodel.executor import _CAP_EPS_W, _cpu_candidates
+from repro.perfmodel.metrics import ExecutionResult, PhaseResult
+from repro.workloads.base import Workload
+
+__all__ = [
+    "PlanStats",
+    "PlannedSweep",
+    "adaptive_cpu_budget_curve",
+    "adaptive_gpu_budget_curve",
+    "plan_cpu_sweep",
+    "plan_gpu_sweep",
+    "sweep_cpu_best",
+    "sweep_gpu_best",
+]
+
+#: Grids at or below this size are executed in full — probing cannot pay
+#: for itself against a handful of points.
+_FULL_SWEEP_FLOOR = 6
+
+#: Plateau tolerance, identical to :func:`optimal_plateau`.
+_TOL_SCALE = 1e-9
+
+#: How many consecutive sub-top points a plateau walk peeks past before
+#: giving up.  Governor quantization puts 1–2-point dips between
+#: competing near-top maxima (§11 of docs/modeling.md); peeking across
+#: them is what keeps the planner exact on profiles whose global
+#: optimum is a one-index spike.
+_DIP_PATIENCE = 3
+
+#: Dip peeking stops early once the profile has collapsed below this
+#: fraction of the top: quantization wiggles ride within a few percent
+#: of the optimum, so a 15% drop is a falling edge, not a dip.
+_PEEK_FLOOR = 0.85
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Execution accounting for one planned sweep."""
+
+    native_points: int
+    executed_points: int
+    probe_points: int
+    fallback: bool
+    warm_started: bool
+    reused_points: int = 0
+
+    @property
+    def points_saved(self) -> int:
+        return self.native_points - self.executed_points
+
+
+@dataclass(frozen=True)
+class PlannedSweep:
+    """The oracle answer of one sweep, without the full grid.
+
+    ``best`` and ``plateau`` are exactly what the full
+    :class:`~repro.core.sweep.AllocationSweep` / ``GpuSweep`` would
+    report (``.best`` and :func:`optimal_plateau` over its points).
+    """
+
+    workload_name: str
+    metric_unit: str
+    budget_w: float
+    best: SweepPoint
+    best_index: int
+    plateau: tuple[int, int]
+    stats: PlanStats
+
+    @property
+    def perf_max(self) -> float:
+        """The sweep's upper performance bound (== the oracle's)."""
+        return self.best.performance
+
+
+# ---------------------------------------------------------------------------
+# structure certificates
+# ---------------------------------------------------------------------------
+
+def _one_contiguous_run(flags: Sequence[bool]) -> bool:
+    """True if the True entries of ``flags`` form one contiguous block."""
+    run_started = False
+    run_ended = False
+    for flag in flags:
+        if flag:
+            if run_ended:
+                return False
+            run_started = True
+        elif run_started:
+            run_ended = True
+    return True
+
+
+def _unimodal_within_tol(values: Sequence[float], tol: float) -> bool:
+    """True if ``values`` rise then fall, ignoring sub-``tol`` wiggles.
+
+    A rise of more than ``tol`` after a fall of more than ``tol`` is the
+    signature of a second peak wide enough for the probes to see — the
+    structure violation that forces the full-sweep fallback.
+    """
+    seen_fall = False
+    for prev, curr in zip(values, values[1:]):
+        delta = curr - prev
+        if delta > tol:
+            if seen_fall:
+                return False
+        elif delta < -tol:
+            seen_fall = True
+    return True
+
+
+# ---------------------------------------------------------------------------
+# the axis search
+# ---------------------------------------------------------------------------
+
+_Fetch = Callable[[list[int]], list[SweepPoint]]
+
+
+def _default_stride(n: int) -> int:
+    return max(3, min(12, int(round(math.sqrt(2.0 * n)))))
+
+
+def _probe_indices(n: int, stride: int, hint: int | None, lean: bool) -> list[int]:
+    """The initial probe set: endpoints + stride grid, or a lean warm set.
+
+    ``lean`` (previous plan on this axis completed without fallback)
+    keeps only the endpoints, the hint neighborhood, and the midpoints
+    between them — the shape certificate still brackets the hint, but
+    far-field probing is dropped.
+    """
+    probes = {0, n - 1}
+    if hint is not None:
+        h = min(max(hint, 0), n - 1)
+        probes.update({max(0, h - 1), h, min(n - 1, h + 1)})
+    if hint is None or not lean:
+        probes.update({h // 2, (h + n - 1) // 2} if hint is not None else set())
+        probes.update(range(0, n, stride))
+    return sorted(probes)
+
+
+def _plan_axis(
+    n: int, fetch: _Fetch, probes: list[int]
+) -> tuple[dict[int, SweepPoint], tuple[int, int] | None]:
+    """Locate the oracle plateau on a ``n``-point axis.
+
+    Returns the executed points and the plateau span, or ``None`` as the
+    span when the probe profile violates the expected structure (the
+    caller then falls back to the full sweep).  ``fetch`` materializes
+    grid indices through the engine (memoized, vectorized).
+    """
+    executed: dict[int, SweepPoint] = {}
+
+    def run(indices: Sequence[int]) -> None:
+        todo = sorted(i for i in set(indices) if i not in executed)
+        if todo:
+            for idx, point in zip(todo, fetch(todo)):
+                executed[idx] = point
+
+    run(probes)
+
+    def ok(index: int) -> bool:
+        return executed[index].result.respects_bound
+
+    # Each restart either strictly raises the incumbent top or moves the
+    # attainment index strictly left at an unchanged top, so the loop is
+    # bounded; the range is a belt-and-braces cap, with the structure
+    # fallback behind it.
+    for _ in range(2 * n + 4):
+        perfs = {i: p.performance for i, p in executed.items()}
+        if not all(np.isfinite(list(perfs.values()))):
+            return executed, None  # oracle raises; let the full sweep do it
+        eligible = [i for i in sorted(executed) if ok(i)]
+        if not eligible:
+            return executed, None  # oracle's all-eligible degenerate case
+        top = max(perfs[i] for i in eligible)
+        tol = _TOL_SCALE * max(top, 1.0)
+
+        if not _one_contiguous_run([ok(i) for i in probes]):
+            return executed, None
+        if not _unimodal_within_tol([perfs[i] for i in probes if ok(i)], tol):
+            return executed, None
+
+        def pred(index: int) -> bool:
+            return ok(index) and perfs[index] >= top - tol
+
+        arg = next(i for i in eligible if perfs[i] >= top)
+
+        def walk(step: int) -> tuple[int, bool]:
+            """Extend the plateau from ``arg`` in direction ``step``.
+
+            While the within-tol run continues, the frontier advances
+            (same-state gaps are skipped wholesale).  Past the run's end
+            the walk keeps peeking for up to ``_DIP_PATIENCE`` sub-top
+            points: the profile's quantization wiggles carry the true
+            optimum across 1–2-point dips (e.g. a one-index spike just
+            past a local plateau), and any peeked point at/above the top
+            forces a restart instead of a silent miss.  Dips never
+            extend the bracket — the oracle's run is contiguous.
+            """
+            frontier = pos = arg
+            fails = 0
+            while 0 <= pos + step < n:
+                nb = pos + step
+                if nb not in executed:
+                    if fails == 0:
+                        anchor = (
+                            max((i for i in executed if i < pos), default=None)
+                            if step < 0
+                            else min((i for i in executed if i > pos), default=None)
+                        )
+                        if (
+                            anchor is not None
+                            and pred(anchor)
+                            and executed[anchor].result.phases
+                            == executed[pos].result.phases
+                        ):
+                            # same-state gap: interior provably identical
+                            frontier = pos = anchor
+                            continue
+                    run([nb])
+                    perfs[nb] = executed[nb].performance
+                if not ok(nb):
+                    break  # eligibility is one contiguous band: done
+                val = perfs[nb]
+                if fails == 0:
+                    if val > top:
+                        return frontier, True  # strictly better: re-anchor
+                    if val >= top - tol:
+                        frontier = pos = nb
+                        continue
+                elif val > top or (step < 0 and val >= top):
+                    # A dip hid a higher top — or, leftward, an equal top
+                    # in an earlier run, which owns the oracle bracket.
+                    return frontier, True
+                fails += 1
+                if fails > _DIP_PATIENCE or val < _PEEK_FLOOR * top:
+                    break
+                pos = nb
+            return frontier, False
+
+        lo, restart = walk(-1)
+        if restart:
+            continue
+        hi, restart = walk(+1)
+        if restart:
+            continue
+
+        mid = (lo + hi) // 2
+        run([mid])
+        if ok(mid) and executed[mid].performance > top:
+            continue  # skipped-gap interior beat the top: re-search
+        return executed, (lo, hi)
+    return executed, None  # safety net: behave as a structure violation
+
+
+# ---------------------------------------------------------------------------
+# CPU plans
+# ---------------------------------------------------------------------------
+
+def _hint_state(
+    engine: SweepEngine, key: tuple[object, ...]
+) -> tuple[float, bool] | None:
+    return engine.planner.hint(key)
+
+
+def plan_cpu_sweep(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budget_w: float,
+    *,
+    step_w: float = 4.0,
+    mem_min_w: float = 16.0,
+    proc_min_w: float = 8.0,
+    engine: SweepEngine | None = None,
+    hint_mem_w: float | None = None,
+) -> PlannedSweep:
+    """Adaptively locate the best point of a host allocation sweep.
+
+    Produces exactly :func:`sweep_cpu_allocations(...).best
+    <repro.core.sweep.sweep_cpu_allocations>` (and the oracle's plateau
+    bracket) while executing only probe/bracket points.  ``hint_mem_w``
+    seeds the probe neighborhood (budget curves pass the previous
+    budget's optimum); without it, the engine's planner memory is
+    consulted for this (platform, phases, grid) combination.
+    """
+    engine = engine if engine is not None else default_engine()
+    allocations = allocation_grid(
+        budget_w, mem_min_w=mem_min_w, proc_min_w=proc_min_w, step_w=step_w
+    )
+    n = len(allocations)
+    hint_key = (
+        "plan-cpu",
+        fingerprint(cpu),
+        fingerprint(dram),
+        fingerprint(tuple(workload.phases)),
+        float(step_w),
+        float(mem_min_w),
+        float(proc_min_w),
+    )
+
+    def to_index(mem_w: float) -> int:
+        return int(round((mem_w - mem_min_w) / step_w))
+
+    lean = False
+    hint: int | None = None
+    if hint_mem_w is not None:
+        hint = to_index(float(hint_mem_w))
+        lean = True
+    else:
+        remembered = _hint_state(engine, hint_key)
+        if remembered is not None:
+            hint = to_index(remembered[0])
+            lean = remembered[1]
+    warm = hint is not None
+
+    # Saturation reuse (exact): if the top P-state's demand at worst-case
+    # activity fits under the processor share, _resolve_cpu picks the top
+    # state with mechanism NONE at every joint-iteration step, so the
+    # phase tuple depends on the memory cap alone — results recur across
+    # budgets wherever the processor side is provably unconstrained.
+    fps = (fingerprint(cpu), fingerprint(dram), fingerprint(tuple(workload.phases)))
+    sat_key = ("plan-sat-w",) + fps
+    sat_w = engine.planner.stashed(sat_key)
+    if sat_w is None:
+        top_op = _cpu_candidates(cpu)[0]
+        sat_w = max(
+            cpu.demand_w(max(ph.activity, ph.stall_activity), top_op)
+            for ph in workload.phases
+        )
+        engine.planner.stash(sat_key, sat_w)
+    sat_w = cast(float, sat_w)
+    reused = 0
+
+    def mk_point(alloc: PowerAllocation, result: ExecutionResult) -> SweepPoint:
+        return SweepPoint(
+            allocation=alloc,
+            result=result,
+            performance=workload.performance(result),
+            scenario=classify_cpu(result),
+        )
+
+    def fetch(indices: list[int]) -> list[SweepPoint]:
+        nonlocal reused
+        out: dict[int, SweepPoint] = {}
+        todo: list[int] = []
+        for i in indices:
+            alloc = allocations[i]
+            phases: object = None
+            if alloc.proc_w + _CAP_EPS_W >= sat_w:
+                phases = engine.planner.stashed(
+                    ("plan-sat-host",) + fps + (float(alloc.mem_w),)
+                )
+            if phases is not None:
+                result = ExecutionResult(
+                    cast("tuple[PhaseResult, ...]", phases),
+                    proc_cap_w=float(alloc.proc_w),
+                    mem_cap_w=float(alloc.mem_w),
+                )
+                out[i] = mk_point(alloc, result)
+                reused += 1
+            else:
+                todo.append(i)
+        if todo:
+            subset = [allocations[i] for i in todo]
+            results = engine.map_host(cpu, dram, workload.phases, subset)
+            for i, alloc, result in zip(todo, subset, results):
+                out[i] = mk_point(alloc, result)
+                if alloc.proc_w + _CAP_EPS_W >= sat_w:
+                    engine.planner.stash(
+                        ("plan-sat-host",) + fps + (float(alloc.mem_w),),
+                        result.phases,
+                    )
+        return [out[i] for i in indices]
+
+    stride = _default_stride(n)
+    executed: dict[int, SweepPoint] = {}
+    span: tuple[int, int] | None = None
+    if n > max(_FULL_SWEEP_FLOOR, stride + 2):
+        probes = _probe_indices(n, stride, hint, lean)
+        executed, span = _plan_axis(n, fetch, probes)
+        probe_count = len(probes)
+    else:
+        probe_count = 0
+
+    if span is None:
+        # Transparent fallback: the full oracle sweep (already-executed
+        # points come straight from the engine's memo cache).
+        sweep = sweep_cpu_allocations(
+            cpu,
+            dram,
+            workload,
+            budget_w,
+            step_w=step_w,
+            mem_min_w=mem_min_w,
+            proc_min_w=proc_min_w,
+            engine=engine,
+        )
+        lo, hi = optimal_plateau(sweep.points)
+        mid = (lo + hi) // 2
+        best = sweep.points[mid]
+        stats = PlanStats(
+            native_points=n,
+            executed_points=n,
+            probe_points=probe_count,
+            fallback=probe_count > 0,
+            warm_started=warm,
+            reused_points=0,
+        )
+    else:
+        lo, hi = span
+        mid = (lo + hi) // 2
+        best = executed[mid]
+        stats = PlanStats(
+            native_points=n,
+            executed_points=len(executed) - reused,
+            probe_points=probe_count,
+            fallback=False,
+            warm_started=warm,
+            reused_points=reused,
+        )
+    engine.planner.record(
+        native=stats.native_points,
+        executed=stats.executed_points,
+        fallback=stats.fallback,
+        warm=stats.warm_started,
+        reused=stats.reused_points,
+    )
+    engine.planner.remember(hint_key, best.allocation.mem_w, not stats.fallback)
+    return PlannedSweep(
+        workload_name=workload.name,
+        metric_unit=workload.metric_unit,
+        budget_w=float(budget_w),
+        best=best,
+        best_index=mid,
+        plateau=(lo, hi),
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# GPU plans
+# ---------------------------------------------------------------------------
+
+def plan_gpu_sweep(
+    card: GpuCard,
+    workload: Workload,
+    cap_w: float,
+    *,
+    freq_stride: int = 1,
+    engine: SweepEngine | None = None,
+    hint_freq_mhz: float | None = None,
+) -> PlannedSweep:
+    """Adaptively locate the best memory clock under a GPU board cap.
+
+    The GPU analogue of :func:`plan_cpu_sweep`: identical answers to
+    :func:`sweep_gpu_allocations(...).best
+    <repro.core.sweep.sweep_gpu_allocations>` from probe/bracket points.
+    """
+    engine = engine if engine is not None else default_engine()
+    freqs = gpu_freq_axis(card, freq_stride)
+    n = len(freqs)
+    hint_key = (
+        "plan-gpu",
+        fingerprint(card),
+        fingerprint(tuple(workload.phases)),
+        int(freq_stride),
+    )
+
+    def to_index(freq_mhz: float) -> int:
+        return int(np.abs(freqs - float(freq_mhz)).argmin())
+
+    lean = False
+    hint: int | None = None
+    if hint_freq_mhz is not None:
+        hint = to_index(float(hint_freq_mhz))
+        lean = True
+    else:
+        remembered = _hint_state(engine, hint_key)
+        if remembered is not None:
+            hint = to_index(remembered[0])
+            lean = remembered[1]
+    warm = hint is not None
+
+    # Saturation reuse (exact): a phase resolved at the top SM clock with
+    # mechanism NONE computed its split and board power before the cap
+    # gate, so the identical phase recurs at every cap at or above the
+    # one it first cleared — high-cap sweeps of a budget curve rebuild
+    # their points from the knee sweep without touching the model.
+    fps = (fingerprint(card), fingerprint(tuple(workload.phases)))
+    cap_eff = card.validate_cap(float(cap_w))
+    reused = 0
+
+    def mk_point(freq_mhz: float, result: ExecutionResult) -> SweepPoint:
+        return SweepPoint(
+            allocation=gpu_point_allocation(card, cap_w, freq_mhz),
+            result=result,
+            performance=workload.performance(result),
+            scenario=classify_gpu(result),
+        )
+
+    def fetch(indices: list[int]) -> list[SweepPoint]:
+        nonlocal reused
+        out: dict[int, SweepPoint] = {}
+        todo: list[int] = []
+        for i in indices:
+            f = float(freqs[i])
+            entry = engine.planner.stashed(("plan-sat-gpu",) + fps + (f,))
+            if entry is not None:
+                cap0, phases, mem_cap_w = cast(
+                    "tuple[float, tuple[PhaseResult, ...], float | None]", entry
+                )
+                if cap_eff >= cap0:
+                    result = ExecutionResult(
+                        phases,
+                        proc_cap_w=cap_eff,
+                        mem_cap_w=mem_cap_w,
+                        device="gpu",
+                    )
+                    out[i] = mk_point(f, result)
+                    reused += 1
+                    continue
+            todo.append(i)
+        if todo:
+            subset = [float(freqs[i]) for i in todo]
+            results = engine.map_gpu(card, workload.phases, cap_w, subset)
+            for i, f, result in zip(todo, subset, results):
+                out[i] = mk_point(f, result)
+                unconstrained = all(
+                    p.proc_mechanism is CappingMechanism.NONE
+                    for p in result.phases
+                )
+                if unconstrained:
+                    key = ("plan-sat-gpu",) + fps + (f,)
+                    prior = engine.planner.stashed(key)
+                    if (
+                        prior is None
+                        or cast("tuple[float, object, object]", prior)[0] > cap_eff
+                    ):
+                        engine.planner.stash(
+                            key, (cap_eff, result.phases, result.mem_cap_w)
+                        )
+        return [out[i] for i in indices]
+
+    stride = _default_stride(n)
+    executed: dict[int, SweepPoint] = {}
+    span: tuple[int, int] | None = None
+    if n > max(_FULL_SWEEP_FLOOR, stride + 2):
+        probes = _probe_indices(n, stride, hint, lean)
+        executed, span = _plan_axis(n, fetch, probes)
+        probe_count = len(probes)
+    else:
+        probe_count = 0
+
+    if span is None:
+        sweep = sweep_gpu_allocations(
+            card, workload, cap_w, freq_stride=freq_stride, engine=engine
+        )
+        lo, hi = optimal_plateau(sweep.points)
+        mid = (lo + hi) // 2
+        best = sweep.points[mid]
+        stats = PlanStats(
+            native_points=n,
+            executed_points=n,
+            probe_points=probe_count,
+            fallback=probe_count > 0,
+            warm_started=warm,
+            reused_points=0,
+        )
+    else:
+        lo, hi = span
+        mid = (lo + hi) // 2
+        best = executed[mid]
+        stats = PlanStats(
+            native_points=n,
+            executed_points=len(executed) - reused,
+            probe_points=probe_count,
+            fallback=False,
+            warm_started=warm,
+            reused_points=reused,
+        )
+    engine.planner.record(
+        native=stats.native_points,
+        executed=stats.executed_points,
+        fallback=stats.fallback,
+        warm=stats.warm_started,
+        reused=stats.reused_points,
+    )
+    engine.planner.remember(hint_key, float(freqs[mid]), not stats.fallback)
+    return PlannedSweep(
+        workload_name=workload.name,
+        metric_unit=workload.metric_unit,
+        budget_w=float(cap_w),
+        best=best,
+        best_index=mid,
+        plateau=(lo, hi),
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# mode-aware best-point dispatchers
+# ---------------------------------------------------------------------------
+
+def sweep_cpu_best(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budget_w: float,
+    *,
+    step_w: float = 4.0,
+    mem_min_w: float = 16.0,
+    proc_min_w: float = 8.0,
+    engine: SweepEngine | None = None,
+) -> SweepPoint:
+    """The best point of a host sweep, honoring the engine's mode.
+
+    ``"full"`` engines take the oracle path (every point executed);
+    ``"adaptive"`` engines take the planner.  Both return the identical
+    :class:`SweepPoint`.
+    """
+    engine = engine if engine is not None else default_engine()
+    if engine.mode == "adaptive":
+        return plan_cpu_sweep(
+            cpu,
+            dram,
+            workload,
+            budget_w,
+            step_w=step_w,
+            mem_min_w=mem_min_w,
+            proc_min_w=proc_min_w,
+            engine=engine,
+        ).best
+    return sweep_cpu_allocations(
+        cpu,
+        dram,
+        workload,
+        budget_w,
+        step_w=step_w,
+        mem_min_w=mem_min_w,
+        proc_min_w=proc_min_w,
+        engine=engine,
+    ).best
+
+
+def sweep_gpu_best(
+    card: GpuCard,
+    workload: Workload,
+    cap_w: float,
+    *,
+    freq_stride: int = 1,
+    engine: SweepEngine | None = None,
+) -> SweepPoint:
+    """The best point of a GPU sweep, honoring the engine's mode."""
+    engine = engine if engine is not None else default_engine()
+    if engine.mode == "adaptive":
+        return plan_gpu_sweep(
+            card, workload, cap_w, freq_stride=freq_stride, engine=engine
+        ).best
+    return sweep_gpu_allocations(
+        card, workload, cap_w, freq_stride=freq_stride, engine=engine
+    ).best
+
+
+# ---------------------------------------------------------------------------
+# adaptive budget curves
+# ---------------------------------------------------------------------------
+
+def adaptive_cpu_budget_curve(
+    cpu: CpuDomain,
+    dram: DramDomain,
+    workload: Workload,
+    budgets_w: np.ndarray | list[float],
+    *,
+    step_w: float = 4.0,
+    engine: SweepEngine | None = None,
+    stop_at_saturation: bool = False,
+) -> BudgetCurve:
+    """:func:`~repro.core.sweep.cpu_budget_curve`, planned adaptively.
+
+    Values are bit-for-bit the oracle curve's; each budget warm-starts
+    from the previous optimum.  ``stop_at_saturation`` (opt-in) truncates
+    the returned arrays once two consecutive budgets stop improving —
+    sound for ascending budgets because ``perf_max`` is monotone in the
+    budget (a larger budget offers every split of a smaller one, with
+    more processor headroom).
+    """
+    engine = engine if engine is not None else default_engine()
+    budgets = np.asarray(budgets_w, dtype=float)
+    if budgets.size == 0:
+        raise SweepError("budget curve needs at least one budget")
+    perf = np.empty_like(budgets)
+    opt_mem = np.empty_like(budgets)
+    hint: float | None = None
+    top_so_far = -math.inf
+    flat_run = 0
+    cutoff = budgets.size
+    for i, budget in enumerate(budgets):
+        planned = plan_cpu_sweep(
+            cpu,
+            dram,
+            workload,
+            float(budget),
+            step_w=step_w,
+            engine=engine,
+            hint_mem_w=hint,
+        )
+        perf[i] = planned.perf_max
+        opt_mem[i] = planned.best.allocation.mem_w
+        hint = planned.best.allocation.mem_w
+        if stop_at_saturation:
+            if perf[i] <= top_so_far:
+                flat_run += 1
+            else:
+                flat_run = 0
+                top_so_far = perf[i]
+            if flat_run >= 2:
+                cutoff = i + 1
+                break
+    return BudgetCurve(
+        workload_name=workload.name,
+        metric_unit=workload.metric_unit,
+        budgets_w=budgets[:cutoff],
+        perf_max=perf[:cutoff],
+        optimal_mem_w=opt_mem[:cutoff],
+    )
+
+
+def adaptive_gpu_budget_curve(
+    card: GpuCard,
+    workload: Workload,
+    caps_w: np.ndarray | list[float],
+    *,
+    freq_stride: int = 1,
+    engine: SweepEngine | None = None,
+    stop_at_saturation: bool = False,
+) -> BudgetCurve:
+    """:func:`~repro.core.sweep.gpu_budget_curve`, planned adaptively."""
+    engine = engine if engine is not None else default_engine()
+    caps = np.asarray(caps_w, dtype=float)
+    if caps.size == 0:
+        raise SweepError("budget curve needs at least one cap")
+    perf = np.empty_like(caps)
+    opt_mem = np.empty_like(caps)
+    freqs = gpu_freq_axis(card, freq_stride)
+    hint: float | None = None
+    top_so_far = -math.inf
+    flat_run = 0
+    cutoff = caps.size
+    for i, cap in enumerate(caps):
+        planned = plan_gpu_sweep(
+            card,
+            workload,
+            float(cap),
+            freq_stride=freq_stride,
+            engine=engine,
+            hint_freq_mhz=hint,
+        )
+        perf[i] = planned.perf_max
+        opt_mem[i] = planned.best.allocation.mem_w
+        hint = float(freqs[planned.best_index])
+        if stop_at_saturation:
+            if perf[i] <= top_so_far:
+                flat_run += 1
+            else:
+                flat_run = 0
+                top_so_far = perf[i]
+            if flat_run >= 2:
+                cutoff = i + 1
+                break
+    return BudgetCurve(
+        workload_name=workload.name,
+        metric_unit=workload.metric_unit,
+        budgets_w=caps[:cutoff],
+        perf_max=perf[:cutoff],
+        optimal_mem_w=opt_mem[:cutoff],
+    )

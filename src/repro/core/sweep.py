@@ -37,6 +37,9 @@ __all__ = [
     "SweepPoint",
     "cpu_budget_curve",
     "gpu_budget_curve",
+    "gpu_freq_axis",
+    "gpu_point_allocation",
+    "optimal_plateau",
     "sweep_cpu_allocations",
     "sweep_gpu_allocations",
 ]
@@ -50,6 +53,13 @@ def optimal_plateau(points: tuple["SweepPoint", ...]) -> tuple[int, int]:
     is what makes the paper's DGEMM curve flatten at ≈240 W: full CPU
     demand plus the DRAM floor, not less).  If no point respects the
     bound (degenerately small budgets), all points are eligible.
+
+    The plateau is seeded at the first eligible point *attaining* the
+    maximum, then extended in both directions over eligible points within
+    tolerance of it.  Seeding at exact attainment (not merely
+    within-tolerance) matters at grid edges: a near-top-within-tolerance
+    run touching the first or last index that does not contain the true
+    maximum must not steal the bracket from the run that does.
     """
     perfs = [p.performance for p in points]
     if not np.all(np.isfinite(perfs)):
@@ -63,7 +73,7 @@ def optimal_plateau(points: tuple["SweepPoint", ...]) -> tuple[int, int]:
     top = max(perfs[i] for i in eligible)
     tol = 1e-9 * max(top, 1.0)
     ok = set(eligible)
-    arg = next(i for i in eligible if perfs[i] >= top - tol)
+    arg = next(i for i in eligible if perfs[i] >= top)
     lo = arg
     while lo > 0 and lo - 1 in ok and perfs[lo - 1] >= top - tol:
         lo -= 1
@@ -234,8 +244,19 @@ def cpu_budget_curve(
 ) -> BudgetCurve:
     """``perf_max`` over a range of host budgets.
 
-    Repeated budgets hit the engine's cache instead of re-sweeping.
+    Repeated budgets hit the engine's cache instead of re-sweeping.  On
+    an engine in ``"adaptive"`` mode the curve is produced by the
+    structure-aware planner (identical values, a fraction of the grid
+    executed — locked differentially by
+    ``tests/test_planner_equivalence.py``).
     """
+    engine = engine if engine is not None else default_engine()
+    if engine.mode == "adaptive":
+        from repro.core.planner import adaptive_cpu_budget_curve
+
+        return adaptive_cpu_budget_curve(
+            cpu, dram, workload, budgets_w, step_w=step_w, engine=engine
+        )
     budgets = np.asarray(budgets_w, dtype=float)
     if budgets.size == 0:
         raise SweepError("budget curve needs at least one budget")
@@ -296,6 +317,22 @@ class GpuSweep:
         return tuple(p.scenario for p in self.points)
 
 
+def gpu_freq_axis(card: GpuCard, freq_stride: int = 1) -> np.ndarray:
+    """The memory-clock axis a GPU sweep walks (nominal always included)."""
+    if freq_stride < 1:
+        raise SweepError(f"freq_stride must be >= 1, got {freq_stride}")
+    freqs = card.mem.frequencies_mhz[::freq_stride]
+    if not approx_equal(float(freqs[-1]), card.mem.nominal_mhz):
+        freqs = np.append(freqs, card.mem.nominal_mhz)
+    return np.asarray(freqs, dtype=float)
+
+
+def gpu_point_allocation(card: GpuCard, cap_w: float, freq_mhz: float) -> PowerAllocation:
+    """The (proc, mem) split a memory clock implies under a board cap."""
+    mem_w = card.mem.allocated_power_w(float(freq_mhz))
+    return PowerAllocation(max(0.0, cap_w - mem_w), mem_w)
+
+
 def sweep_gpu_allocations(
     card: GpuCard,
     workload: Workload,
@@ -309,19 +346,12 @@ def sweep_gpu_allocations(
     ``freq_stride`` subsamples the driver's offset grid (the paper's
     experiments use coarse offsets).
     """
-    if freq_stride < 1:
-        raise SweepError(f"freq_stride must be >= 1, got {freq_stride}")
     engine = engine if engine is not None else default_engine()
-    freqs = card.mem.frequencies_mhz[::freq_stride]
-    if not approx_equal(float(freqs[-1]), card.mem.nominal_mhz):
-        freqs = np.append(freqs, card.mem.nominal_mhz)
+    freqs = gpu_freq_axis(card, freq_stride)
     results = engine.map_gpu(card, workload.phases, cap_w, [float(f) for f in freqs])
     points = []
     for f, result in zip(freqs, results):
-        alloc = PowerAllocation(
-            max(0.0, cap_w - card.mem.allocated_power_w(float(f))),
-            card.mem.allocated_power_w(float(f)),
-        )
+        alloc = gpu_point_allocation(card, cap_w, float(f))
         points.append(
             SweepPoint(
                 allocation=alloc,
@@ -349,7 +379,18 @@ def gpu_budget_curve(
     freq_stride: int = 1,
     engine: SweepEngine | None = None,
 ) -> BudgetCurve:
-    """``perf_max`` over a range of GPU board caps (Figure 6)."""
+    """``perf_max`` over a range of GPU board caps (Figure 6).
+
+    On an engine in ``"adaptive"`` mode the curve is produced by the
+    structure-aware planner (identical values, fewer points executed).
+    """
+    engine = engine if engine is not None else default_engine()
+    if engine.mode == "adaptive":
+        from repro.core.planner import adaptive_gpu_budget_curve
+
+        return adaptive_gpu_budget_curve(
+            card, workload, caps_w, freq_stride=freq_stride, engine=engine
+        )
     caps = np.asarray(caps_w, dtype=float)
     if caps.size == 0:
         raise SweepError("budget curve needs at least one cap")

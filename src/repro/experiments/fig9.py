@@ -19,8 +19,8 @@ from repro.core.baselines import memory_first_allocation
 from repro.core.coord import coord_cpu
 from repro.core.coord_gpu import apply_gpu_decision, coord_gpu
 from repro.core.parallel import SweepEngine
+from repro.core.planner import sweep_cpu_best, sweep_gpu_best
 from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
-from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
 from repro.experiments.report import ExperimentReport
 from repro.hardware.nvml import NvmlDevice
 from repro.hardware.platforms import ivybridge_node, titan_v_card, titan_xp_card
@@ -51,10 +51,9 @@ def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentRepo
         wl = get_workload(name)
         critical = profile_cpu_workload(node.cpu, node.dram, wl)
         for budget in budgets:
-            sweep = sweep_cpu_allocations(
+            best = sweep_cpu_best(
                 node.cpu, node.dram, wl, budget, step_w=step, engine=engine
-            )
-            best = sweep.perf_max
+            ).performance
             decision = coord_cpu(critical, budget)
             if decision.accepted:
                 r = execute_on_host(
@@ -99,10 +98,9 @@ def run(fast: bool = False, engine: SweepEngine | None = None) -> ExperimentRepo
             wl = get_workload(name)
             critical = profile_gpu_workload(card, wl)
             for cap in caps:
-                sweep = sweep_gpu_allocations(
+                best = sweep_gpu_best(
                     card, wl, cap, freq_stride=stride, engine=engine
-                )
-                best = sweep.perf_max
+                ).performance
                 decision = coord_gpu(critical, cap, hardware_max_w=card.max_cap_w)
                 mem_op = apply_gpu_decision(device, decision, cap)
                 coord_perf = wl.performance(

@@ -37,9 +37,22 @@ class LintError(ReproError):
 #: vectorized batch kernels are memoized through the SweepEngine cache
 #: exactly like the scalar executors, so they (and everything they call)
 #: carry the purity contract even if engine-module call shapes change.
-#: Entries not present in the analyzed files are ignored, so linting
-#: fixture trees stays unaffected.
+#: The adaptive planner's axis search must replay bit-identically from
+#: memoized results (it is what makes planned answers provably equal to
+#: the full-sweep oracle), and the disk-cache codecs must round-trip
+#: results without consulting any ambient state.  The planner *drivers*
+#: (``plan_cpu_sweep`` etc.) are deliberately absent: they resolve the
+#: process-default engine and sweep mode, which is environment-aware by
+#: design.  Disk *I/O* likewise stays out: it lives behind ``DiskCache``
+#: instance methods, which the memoized call graph never reaches
+#: directly.  Entries not present in the analyzed files are ignored, so
+#: linting fixture trees stays unaffected.
 DEFAULT_PURITY_ENTRIES: tuple[str, ...] = (
+    "repro.core.diskcache.decode_result",
+    "repro.core.diskcache.digest_key",
+    "repro.core.diskcache.encode_result",
+    "repro.core.planner._plan_axis",
+    "repro.core.planner._probe_indices",
     "repro.perfmodel.batch.execute_gpu_batch",
     "repro.perfmodel.batch.execute_host_batch",
 )

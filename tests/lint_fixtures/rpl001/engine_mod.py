@@ -1,7 +1,9 @@
-"""RPL001 fixture: a SweepEngine memoizing both a scalar entry
-(`work.compute`) and a vectorized batch entry (`batchwork.run_batch`)."""
+"""RPL001 fixture: a SweepEngine memoizing a scalar entry
+(`work.compute`), a vectorized batch entry (`batchwork.run_batch`), and
+an adaptive planner entry (`plannerwork.plan_axis`)."""
 
 from batchwork import run_batch
+from plannerwork import DiskSegment, plan_axis
 from work import compute
 
 
@@ -13,3 +15,6 @@ class SweepEngine:
 
     def execute_batch(self, values):
         return run_batch(values)
+
+    def execute_plan(self, n):
+        return plan_axis(n, DiskSegment())

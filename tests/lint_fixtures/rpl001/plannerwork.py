@@ -1,0 +1,26 @@
+"""RPL001 fixture: disk I/O on vs. off the memoized planner path.
+
+`plan_axis` is memoized through the engine, so the `open()` inside it
+must fire.  `DiskSegment.append` also does disk I/O, but it is only
+reachable through an instance attribute (`self._cache.append`), which
+the name-based call graph never traverses — mirroring how the real
+`DiskCache` keeps persistence off the pure planning path.
+"""
+
+
+class DiskSegment:
+    """Cache writer: I/O lives behind instance methods, off the graph."""
+
+    def append(self, record):
+        with open("segment.jsonl", "a") as fh:  # silent: unreachable
+            fh.write(record)
+
+
+def plan_axis(n, cache):
+    best = 0.0
+    with open("trace.log", "a") as fh:  # line 21: RPL001 (disk I/O)
+        fh.write(str(n))
+    for i in range(n):
+        best = max(best, float(i))
+        cache.append(str(best))  # attribute call: graph does not descend
+    return best

@@ -44,6 +44,7 @@ class TestRuleFixtures:
         assert locations(diags, "RPL001") == [
             ("batchwork.py", 7),  # os.getenv
             ("batchwork.py", 8),  # print
+            ("plannerwork.py", 21),  # open (disk I/O on the planner path)
             ("work.py", 12),  # np.random.default_rng
             ("work.py", 17),  # time.time
             ("work.py", 18),  # print
@@ -72,6 +73,15 @@ class TestRuleFixtures:
         batch_hits = [loc for loc in locations(diags, "RPL001")
                       if loc[0] == "batchwork.py"]
         assert batch_hits == [("batchwork.py", 7), ("batchwork.py", 8)]
+
+    def test_rpl001_disk_io_fires_on_planner_path_only(self):
+        # Disk I/O inside the memoized planner entry fires; the same
+        # I/O behind a cache object's instance method stays silent —
+        # the shape that keeps DiskCache persistence off pure paths.
+        diags = findings(FIXTURES / "rpl001")
+        planner_hits = [loc for loc in locations(diags, "RPL001")
+                        if loc[0] == "plannerwork.py"]
+        assert planner_hits == [("plannerwork.py", 21)]
 
     def test_rpl002_lock_discipline(self):
         diags = findings(FIXTURES / "rpl002")
@@ -134,6 +144,11 @@ class TestSelfCheck:
         from repro.lint import DEFAULT_PURITY_ENTRIES
 
         assert DEFAULT_PURITY_ENTRIES == (
+            "repro.core.diskcache.decode_result",
+            "repro.core.diskcache.digest_key",
+            "repro.core.diskcache.encode_result",
+            "repro.core.planner._plan_axis",
+            "repro.core.planner._probe_indices",
             "repro.perfmodel.batch.execute_gpu_batch",
             "repro.perfmodel.batch.execute_host_batch",
         )
@@ -152,9 +167,13 @@ class TestSelfCheck:
         assert set(DEFAULT_PURITY_ENTRIES) <= graph.entries
 
         # Auto-detection alone (the SweepEngine module's cross-module
-        # calls) already roots both kernels.
+        # calls) already roots both kernels; the planner's axis search
+        # and the disk-cache codecs need the explicit entries.
         auto = CallGraph.build(project)
-        assert set(DEFAULT_PURITY_ENTRIES) <= auto.entries
+        assert {
+            "repro.perfmodel.batch.execute_gpu_batch",
+            "repro.perfmodel.batch.execute_host_batch",
+        } <= auto.entries
 
         reachable = graph.reachable()
         for helper in (
@@ -162,6 +181,8 @@ class TestSelfCheck:
             "repro.perfmodel.batch._resolve_dram_batch",
             "repro.perfmodel.batch._host_phase_batch",
             "repro.perfmodel.batch._gpu_phase_batch",
+            "repro.core.planner._one_contiguous_run",
+            "repro.core.planner._unimodal_within_tol",
         ):
             assert helper in reachable
 

@@ -225,3 +225,20 @@ class TestOptimalPlateau:
     def test_mid_plateau_best_on_ties(self):
         points = tuple(_fake_point(2.0) for _ in range(5))
         assert optimal_plateau(points) == (0, 4)
+
+    def test_near_tie_at_right_edge_anchors_on_exact_top(self):
+        # The 5e-10 point is within tolerance of the top but must not
+        # pull the plateau leftwards past the non-top middle point: the
+        # plateau grows outward from an exact top performer.
+        points = (_fake_point(1.0 - 5e-10), _fake_point(0.5), _fake_point(1.0))
+        assert optimal_plateau(points) == (2, 2)
+
+    def test_near_tie_at_left_edge_anchors_on_exact_top(self):
+        points = (_fake_point(1.0), _fake_point(0.5), _fake_point(1.0 - 5e-10))
+        assert optimal_plateau(points) == (0, 0)
+
+    def test_near_tie_adjacent_to_top_joins_plateau(self):
+        # Same 5e-10 dip, but contiguous with the exact top: it extends
+        # the plateau instead of being stranded across a gap.
+        points = (_fake_point(0.5), _fake_point(1.0 - 5e-10), _fake_point(1.0))
+        assert optimal_plateau(points) == (1, 2)
