@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-slow test-all bench bench-smoke cache-smoke lint typecheck check
+.PHONY: test test-slow test-all bench bench-smoke cache-smoke chaos-smoke coverage lint typecheck check
 
 # Tier-1: the invariant linter, then the trimmed suite (pyproject
 # addopts deselect `slow`).
@@ -62,3 +62,23 @@ bench-smoke:
 # entirely from disk (zero model re-executions).
 cache-smoke:
 	$(PYTEST) -q -s benchmarks/bench_cache_reuse.py
+
+# CI smoke: the degradation contract under the canned fault plan,
+# through the CLI battery, under both REPRO_SWEEP settings (the armed
+# engine path must hold whichever sweep strategy the env resolves).
+# Exit is nonzero iff the contract is violated.
+chaos-smoke:
+	REPRO_SWEEP=full     PYTHONPATH=src $(PYTHON) -m repro chaos \
+		--plan examples/faults/chaos_smoke.json --scale smoke
+	REPRO_SWEEP=adaptive PYTHONPATH=src $(PYTHON) -m repro chaos \
+		--plan examples/faults/chaos_smoke.json --scale smoke
+
+# Coverage floor over the engine and fault layers.  Gated: skips with a
+# notice when pytest-cov is not installed (CI installs and enforces it).
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTEST) -x -q --cov=repro.core --cov=repro.faults \
+			--cov-report=term-missing:skip-covered --cov-fail-under=75; \
+	else \
+		echo "pytest-cov is not installed; skipping coverage (pip install pytest-cov)"; \
+	fi

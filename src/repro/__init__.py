@@ -37,6 +37,8 @@ from repro.errors import (
     BudgetTooSmallError,
     ConfigurationError,
     ConvergenceError,
+    FaultError,
+    FaultPlanError,
     InfeasibleBudgetError,
     PowerBoundError,
     ProfilingError,
@@ -46,6 +48,15 @@ from repro.errors import (
     UnitError,
     UnknownPlatformError,
     UnknownWorkloadError,
+    WorkerRetryExhaustedError,
+)
+from repro.faults import (
+    DegradationReport,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    use_faults,
 )
 from repro.hardware import (
     ComputeNode,
@@ -116,8 +127,15 @@ __all__ = [
     "CoordStatus",
     "CpuCriticalPowers",
     "CpuDomain",
+    "DegradationReport",
     "DramDomain",
     "ExecutionResult",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
     "GpuCard",
     "GpuCriticalPowers",
     "InfeasibleBudgetError",
@@ -137,6 +155,7 @@ __all__ = [
     "UnitError",
     "UnknownPlatformError",
     "UnknownWorkloadError",
+    "WorkerRetryExhaustedError",
     "Workload",
     "WorkloadClass",
     "__version__",
@@ -171,4 +190,5 @@ __all__ = [
     "titan_v_card",
     "titan_xp_card",
     "use_engine",
+    "use_faults",
 ]

@@ -8,12 +8,19 @@ Subcommands:
 * ``coord`` — run COORD for a workload and budget, optionally execute and
   report performance;
 * ``sweep`` — print a Figure-3 style allocation profile;
-* ``experiment`` — regenerate a paper artifact and print its tables.
+* ``experiment`` — regenerate a paper artifact and print its tables;
+* ``chaos`` — run the fault-injection contract battery for a fault plan.
+
+Fault plans can also be armed globally for any command by pointing the
+``REPRO_FAULTS`` environment variable at a plan JSON file; resolution
+happens here in :func:`main` (never inside the engine) so the library
+layers stay environment-free.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import __version__
@@ -25,6 +32,8 @@ from repro.core.profiler import profile_cpu_workload, profile_gpu_workload
 from repro.core.sweep import sweep_cpu_allocations, sweep_gpu_allocations
 from repro.errors import ReproError
 from repro.experiments import list_experiments, run_experiment
+from repro.faults.injector import FAULTS_ENV_VAR, use_faults
+from repro.faults.plan import FaultPlan
 from repro.hardware.gpu import GpuCard
 from repro.hardware.node import ComputeNode
 from repro.hardware.nvml import NvmlDevice
@@ -86,6 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
     )
     _add_engine_arguments(p)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the fault-injection contract battery",
+        description=(
+            "Runs every public API clean and under the given fault plan, and "
+            "verifies the degradation contract: results are bit-identical to "
+            "the clean run or the degradation is typed.  Exits nonzero iff "
+            "the contract is violated."
+        ),
+    )
+    p.add_argument("--plan", required=True, help="path to a fault plan JSON file")
+    p.add_argument(
+        "--scale", choices=("smoke", "fig9"), default="fig9",
+        help="battery size: CI-sized 'smoke' or the paper-scale 'fig9' grids "
+             "(default: fig9)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
     return parser
 
 
@@ -179,7 +206,8 @@ def _cmd_coord(args: argparse.Namespace) -> int:
               f"(memory clock {mem_op.freq_mhz:.0f} MHz)")
         if args.execute:
             result = execute_on_gpu(
-                platform, workload.phases, device.power_limit_w, mem_op.freq_mhz
+                platform, workload.phases, device.read_power_limit_w(),
+                mem_op.freq_mhz,
             )
             print(f"performance: {workload.performance(result):.4g} "
                   f"{workload.metric_unit}")
@@ -222,6 +250,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.contract import run_chaos
+
+    plan = FaultPlan.load(args.plan)
+    report = run_chaos(plan, scale=args.scale)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     artifacts = list_experiments() if args.artifact == "all" else [args.artifact]
     # One engine across artifacts so 'all' shares the memo cache.
@@ -235,28 +277,44 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "coord":
+        return _cmd_coord(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "lint":
+        return run_lint_from_args(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 0  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``REPRO_FAULTS=<plan.json>`` arms the named fault plan process-wide
+    for the duration of the command — the library never reads the
+    environment itself (``chaos`` ignores the variable: its battery arms
+    its own injectors from ``--plan``).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "profile":
-            return _cmd_profile(args)
-        if args.command == "coord":
-            return _cmd_coord(args)
-        if args.command == "sweep":
-            return _cmd_sweep(args)
-        if args.command == "lint":
-            return run_lint_from_args(args)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+        plan_path = os.environ.get(FAULTS_ENV_VAR)
+        if plan_path and args.command != "chaos":
+            with use_faults(FaultPlan.load(plan_path)):
+                return _dispatch(parser, args)
+        return _dispatch(parser, args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 0  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

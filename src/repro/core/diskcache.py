@@ -45,6 +45,9 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ReproError
+from repro.faults.injector import FaultEvent
+from repro.faults.injector import active as _faults_active
+from repro.faults.plan import FaultKind
 from repro.hardware.component import CappingMechanism
 from repro.perfmodel.metrics import ExecutionResult, PhaseResult
 
@@ -186,6 +189,25 @@ def _write_segment(root: Path, name: str, lines: list[str]) -> None:
     os.replace(tmp, root / name)
 
 
+def _mangle_lines(lines: list[str], event: FaultEvent) -> list[str]:
+    """Apply a write fault to segment lines before publication.
+
+    Fault-injection site ``"diskcache.write"``: a TORN_WRITE cuts the
+    final record mid-line (the shape a killed writer or full disk leaves
+    behind once the atomic-rename discipline is bypassed at a lower
+    layer); a CORRUPT_WRITE splices garbage into it (bit rot, tampering).
+    Either way only the disk tier degrades — the in-memory copy of every
+    record is untouched, so results stay bit-identical and the cost is
+    the poisoned records recomputing in other processes.
+    """
+    if len(lines) < 2:
+        return lines
+    victim = lines[-1]
+    if event.kind is FaultKind.TORN_WRITE:
+        return lines[:-1] + [victim[: max(1, len(victim) // 2)]]
+    return lines[:-1] + [victim[:10] + "\x00garbage\x00" + victim[10:]]
+
+
 class DiskCache:
     """Append-only segmented store of ``digest → ExecutionResult``.
 
@@ -196,10 +218,15 @@ class DiskCache:
     """
 
     def __init__(
-        self, root: str | Path, *, flush_every: int = DEFAULT_FLUSH_EVERY
+        self,
+        root: str | Path,
+        *,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+        quarantine: bool = False,
     ) -> None:
         if flush_every < 1:
             raise DiskCacheError(f"flush_every must be >= 1, got {flush_every}")
+        self._quarantine = bool(quarantine)
         self.root = Path(root).expanduser()
         if self.root.exists() and not self.root.is_dir():
             raise DiskCacheError(f"cache dir is not a directory: {self.root}")
@@ -224,6 +251,28 @@ class DiskCache:
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where poisoned segments are moved when quarantine is enabled."""
+        return self.root / "quarantine"
+
+    def _quarantine_segment(self, path: Path) -> Path | None:
+        """Move a poisoned segment out of the live store (opt-in).
+
+        Isolating the file keeps every future process from re-parsing
+        (and re-warning about) the same corruption; :meth:`rebuild`
+        then republishes the loadable records as one clean segment.
+        """
+        if not self._quarantine:
+            return None
+        try:
+            self.quarantine_dir.mkdir(exist_ok=True)
+            target = self.quarantine_dir / path.name
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing writer/cleaner
+            return None
+        return target
+
     def _load_segment(self, path: Path) -> None:
         try:
             lines = path.read_text(encoding="utf-8").splitlines()
@@ -234,6 +283,7 @@ class DiskCache:
                 stacklevel=3,
             )
             self._segments_skipped += 1
+            self._quarantine_segment(path)
             return
         header_ok = False
         if lines:
@@ -249,6 +299,7 @@ class DiskCache:
                 stacklevel=3,
             )
             self._segments_skipped += 1
+            self._quarantine_segment(path)
             return
         bad_lines = 0
         for line in lines[1:]:
@@ -276,6 +327,10 @@ class DiskCache:
                 stacklevel=3,
             )
             self._records_skipped += bad_lines
+            # The loadable records are already in memory; isolating the
+            # poisoned file (when enabled) lets rebuild() republish them
+            # cleanly.
+            self._quarantine_segment(path)
         self._segments_loaded += 1
 
     def refresh(self) -> int:
@@ -326,6 +381,11 @@ class DiskCache:
             json.dumps({"record": "entry", "digest": d, "result": r}, sort_keys=True)
             for d, r in self._pending
         )
+        injector = _faults_active()
+        if injector is not None:
+            event = injector.check("diskcache.write")
+            if event is not None:
+                lines = _mangle_lines(lines, event)
         _write_segment(self.root, name, lines)
         self._seen_segments.add(name)
         self._pending.clear()
@@ -335,6 +395,18 @@ class DiskCache:
         """Publish buffered records as a new segment (no-op when empty)."""
         with self._lock:
             self._flush_locked()
+
+    def rebuild(self) -> int:
+        """Quarantine-and-rebuild recovery: re-scan, then rewrite cleanly.
+
+        Picks up any segments published since the last refresh (moving
+        poisoned ones to :attr:`quarantine_dir` when quarantine is
+        enabled), then compacts every loadable record into one fresh,
+        verified segment.  Returns the record count of the rebuilt store.
+        """
+        with self._lock:
+            self.refresh()
+            return self.compact()
 
     def compact(self) -> int:
         """Rewrite the store as one segment; returns the record count.

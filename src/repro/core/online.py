@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.core.allocation import PowerAllocation
 from repro.errors import ConfigurationError
+from repro.faults.injector import active as _faults_active
 from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
 from repro.perfmodel.executor import execute_on_host
@@ -50,8 +51,26 @@ class OnlineShiftResult:
 
 
 def _bottleneck_signal(utilization: float, mem_busy: float) -> float:
-    """Positive → memory-bound (shift watts to memory); negative → CPU-bound."""
-    return mem_busy - utilization
+    """Positive → memory-bound (shift watts to memory); negative → CPU-bound.
+
+    Fault-injection site ``"online.signal"``: an armed NOISE fault
+    perturbs the reading additively — modeling the jittery counters a
+    real feedback controller steers on.  The controller's *measurements*
+    of candidate allocations stay clean (each epoch's performance is the
+    model's true value); only the steering signal degrades, so a noisy
+    run still returns a valid, bound-respecting allocation — possibly a
+    suboptimal one, which :func:`repro.faults.resilience.online_shift_resilient`
+    surfaces as a typed degradation.
+    """
+    signal = mem_busy - utilization
+    injector = _faults_active()
+    if injector is not None:
+        event = injector.check("online.signal")
+        if event is not None:
+            signal += event.amplitude * injector.noise(
+                "online.signal", event.call_index
+            )
+    return signal
 
 
 def online_power_shift(

@@ -55,7 +55,16 @@ from pathlib import Path
 
 from repro.core.allocation import PowerAllocation
 from repro.core.diskcache import DiskCache
-from repro.errors import SweepError
+from repro.errors import (
+    SweepError,
+    WorkerCrashError,
+    WorkerRetryExhaustedError,
+    WorkerTimeoutError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.injector import active as _faults_active
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.report import DegradationReport
 from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
 from repro.hardware.gpu import GpuCard
@@ -576,6 +585,20 @@ class SweepEngine:
         (default) resolves via :func:`resolve_cache_dir`
         (``REPRO_CACHE_DIR`` env override, else no disk tier).  Mutually
         exclusive with an explicit ``cache`` instance.
+    faults:
+        An explicit :class:`~repro.faults.plan.FaultPlan` (or a shared
+        :class:`~repro.faults.injector.FaultInjector`) scoping fault
+        injection to this engine's sweeps; ``None`` (default) consults
+        the process-wide injector armed via
+        :func:`repro.faults.injector.use_faults` (the CLI arms it from
+        ``REPRO_FAULTS``).  With faults armed, sweep tasks run serially
+        in-parent under the worker-fault schedule with deterministic
+        resubmission; results are bit-identical to the clean run or
+        :class:`~repro.errors.WorkerRetryExhaustedError` is raised.
+    worker_retry_budget:
+        Consecutive failed attempts tolerated per sweep task before
+        :class:`~repro.errors.WorkerRetryExhaustedError`; ``None``
+        (default) takes the armed plan's ``max_attempts``.
     """
 
     def __init__(
@@ -589,6 +612,8 @@ class SweepEngine:
         serial_crossover: int | None = None,
         mode: str | None = None,
         cache_dir: str | Path | None = None,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        worker_retry_budget: int | None = None,
     ) -> None:
         if backend not in ("thread", "process"):
             raise SweepError(f"backend must be 'thread' or 'process', got {backend!r}")
@@ -617,6 +642,18 @@ class SweepEngine:
                 f"serial_crossover must be >= 0, got {serial_crossover}"
             )
         self.serial_crossover = int(serial_crossover)
+        if worker_retry_budget is not None and worker_retry_budget < 1:
+            raise SweepError(
+                f"worker_retry_budget must be >= 1, got {worker_retry_budget}"
+            )
+        self.worker_retry_budget = worker_retry_budget
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.faults: FaultInjector | None = faults
+        #: Resubmission log for the last faulted sweeps; recovered worker
+        #: faults are recorded here without tainting the results (which
+        #: stay bit-identical to the clean run by construction).
+        self.fault_report = DegradationReport()
 
     # ------------------------------------------------------------------
     # cache keys
@@ -677,6 +714,9 @@ class SweepEngine:
         resolved: dict[tuple, ExecutionResult] = {}
         if not keyed:
             return resolved
+        injector = self._worker_injector()
+        if injector is not None:
+            return self._run_batch_faulted(task, keyed, injector)
         if self.n_jobs == 1 or len(keyed) < max(2, self.serial_crossover):
             for key, args in keyed:
                 resolved[key] = task(args)
@@ -686,6 +726,68 @@ class SweepEngine:
         with pool_cls(max_workers=workers) as pool:
             for (key, _), result in zip(keyed, pool.map(task, (a for _, a in keyed))):
                 resolved[key] = result
+        return resolved
+
+    def _worker_injector(self) -> FaultInjector | None:
+        """The injector governing sweep workers, or ``None`` when disarmed.
+
+        An engine-scoped injector (``SweepEngine(faults=...)``) wins over
+        the process-wide one armed via
+        :func:`repro.faults.injector.use_faults`; an empty plan counts as
+        disarmed so the zero-cost clean paths (pool fan-out, batch
+        kernel) stay in use.
+        """
+        injector = self.faults if self.faults is not None else _faults_active()
+        if injector is None or injector.plan.is_empty:
+            return None
+        return injector
+
+    def _run_batch_faulted(
+        self,
+        task: Callable[[tuple], ExecutionResult],
+        keyed: list[tuple[tuple, tuple]],
+        injector: FaultInjector,
+    ) -> dict[tuple, ExecutionResult]:
+        """Serial in-parent execution under the worker-fault schedule.
+
+        Faults are armed, so tasks run serially in the parent — the
+        deterministic schedule needs a deterministic call order, which a
+        pool would scramble.  Each task is resubmitted after an injected
+        crash/timeout until it runs clean or the retry budget is spent;
+        the executed task itself is the pure model kernel, so a
+        recovered sweep is bit-identical to the clean run.
+        """
+        budget = self.worker_retry_budget or injector.plan.max_attempts
+        resolved: dict[tuple, ExecutionResult] = {}
+        for key, args in keyed:
+            attempts = 0
+            while True:
+                attempts += 1
+                event = injector.check("parallel.worker")
+                if event is None:
+                    resolved[key] = task(args)
+                    break
+                failure: WorkerCrashError | WorkerTimeoutError
+                if event.kind is FaultKind.WORKER_CRASH:
+                    failure = WorkerCrashError(
+                        f"sweep worker crashed (call #{event.call_index})"
+                    )
+                else:
+                    failure = WorkerTimeoutError(
+                        f"sweep worker timed out (call #{event.call_index})"
+                    )
+                if attempts >= budget:
+                    raise WorkerRetryExhaustedError(attempts, failure)
+            if attempts > 1:
+                self.fault_report.record(
+                    "parallel.worker",
+                    "resubmitted",
+                    attempts=attempts,
+                    detail=(
+                        f"task recovered after {attempts - 1} injected "
+                        f"worker failure(s)"
+                    ),
+                )
         return resolved
 
     def _map(
@@ -716,7 +818,16 @@ class SweepEngine:
                 resolved[key] = None
                 missing.append((key, args_for(i)))
                 missing_indices.append(i)
-        if batch_run is not None and self.batch and missing:
+        # The vectorized kernel has no per-task boundary to inject worker
+        # faults at, so armed plans fall back to the scalar path — safe
+        # because both kernels are locked bit-identical by the batch
+        # equivalence harness.
+        if (
+            batch_run is not None
+            and self.batch
+            and missing
+            and self._worker_injector() is None
+        ):
             for (key, _), result in zip(missing, batch_run(missing_indices)):
                 self.cache.store(key, result)
                 resolved[key] = result

@@ -22,6 +22,7 @@ from collections.abc import Sequence
 
 from repro.errors import ProfilingError
 from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
+from repro.faults.injector import active as _faults_active
 from repro.hardware.component import CappingMechanism
 from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
@@ -35,6 +36,26 @@ __all__ = ["profile_cpu_workload", "profile_gpu_workload"]
 
 #: Bisection resolution for the P-state boundary, in watts.
 _BISECT_TOL_W = 0.25
+
+
+def _measured(value: float) -> float:
+    """Fault-injection site ``"profiler.sample"`` (measurement noise).
+
+    Every critical power value passes through here as it is "measured".
+    An armed NOISE fault multiplies the measurement by
+    ``1 + amplitude * u`` with a deterministic ``u ∈ [-1, 1)`` — modeling
+    a meter glitch or an interfering co-runner during the profiling run.
+    Disarmed, the value passes through untouched.  The resilient entry
+    points (:mod:`repro.faults.resilience`) defend by majority vote over
+    repeated profiles.
+    """
+    injector = _faults_active()
+    if injector is None:
+        return value
+    event = injector.check("profiler.sample")
+    if event is None:
+        return value
+    return value * (1.0 + event.amplitude * injector.noise("profiler.sample", event.call_index))
 
 
 def _any_throttled(result) -> bool:
@@ -64,13 +85,13 @@ def profile_cpu_workload(
     # throttle the hottest phase of a multi-phase application (BT, MG),
     # and the paper defines L1 as the *maximum* power consumption.
     r_full = execute_on_host(cpu, dram, phases, uncapped_cpu, uncapped_mem)
-    cpu_l1 = max(p.proc_power_w for p in r_full.phases)
-    mem_l1 = max(p.mem_power_w for p in r_full.phases)
+    cpu_l1 = _measured(max(p.proc_power_w for p in r_full.phases))
+    mem_l1 = _measured(max(p.mem_power_w for p in r_full.phases))
 
     # Run 2: CPU forced to its floor -> L3 and the matching DRAM power.
     r_floor = execute_on_host(cpu, dram, phases, 0.0, uncapped_mem)
-    cpu_l3 = max(p.proc_power_w for p in r_floor.phases)
-    mem_l2 = max(p.mem_power_w for p in r_floor.phases)
+    cpu_l3 = _measured(max(p.proc_power_w for p in r_floor.phases))
+    mem_l2 = _measured(max(p.mem_power_w for p in r_floor.phases))
 
     # Bisection: the smallest CPU cap that avoids clock throttling.  This
     # is the boundary between the P-state range and the T-state range.
@@ -88,7 +109,7 @@ def profile_cpu_workload(
         else:
             hi = mid
     r_l2 = execute_on_host(cpu, dram, phases, hi, uncapped_mem)
-    cpu_l2 = max(p.proc_power_w for p in r_l2.phases)
+    cpu_l2 = _measured(max(p.proc_power_w for p in r_l2.phases))
 
     cpu_l4 = cpu.floor_power_w
     mem_l3 = dram.floor_power_w
@@ -155,15 +176,21 @@ def profile_gpu_workload(card: GpuCard, workload: Workload) -> GpuCriticalPowers
     # "Total power when no cap is imposed": the driver still enforces the
     # hardware maximum, which is exactly how the paper observes SGEMM
     # "demands more than 300 Watts" without ever measuring more than 300.
-    tot_max = _pinned_gpu_total_w(
-        card, phases, card.sm.pstates.f_nom_ghz, card.mem.nominal_mhz
+    tot_max = _measured(
+        _pinned_gpu_total_w(
+            card, phases, card.sm.pstates.f_nom_ghz, card.mem.nominal_mhz
+        )
     )
     tot_max = min(tot_max, card.max_cap_w)
-    tot_ref = _pinned_gpu_total_w(
-        card, phases, card.sm.pstates.f_min_ghz, card.mem.nominal_mhz
+    tot_ref = _measured(
+        _pinned_gpu_total_w(
+            card, phases, card.sm.pstates.f_min_ghz, card.mem.nominal_mhz
+        )
     )
-    tot_min = _pinned_gpu_total_w(
-        card, phases, card.sm.pstates.f_min_ghz, card.mem.min_mhz
+    tot_min = _measured(
+        _pinned_gpu_total_w(
+            card, phases, card.sm.pstates.f_min_ghz, card.mem.min_mhz
+        )
     )
     # Keep the documented ordering even for degenerate workloads whose
     # busy fraction rises as clocks fall.

@@ -20,6 +20,15 @@ __all__ = [
     "SweepError",
     "ConvergenceError",
     "SchedulerError",
+    "FaultError",
+    "FaultPlanError",
+    "TransientReadError",
+    "MeterReadError",
+    "NvmlReadError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "WorkerRetryExhaustedError",
+    "ProfilingDegradedError",
 ]
 
 
@@ -90,3 +99,80 @@ class ConvergenceError(ReproError):
 
 class SchedulerError(ReproError):
     """The power-bounded batch scheduler was driven into an invalid state."""
+
+
+# ---------------------------------------------------------------------------
+# fault injection and resilience (repro.faults)
+# ---------------------------------------------------------------------------
+
+class FaultError(ReproError):
+    """Base class for every typed fault/degradation outcome.
+
+    The degradation contract of :mod:`repro.faults` is that a public API
+    running under an armed fault plan either returns a result that is
+    bit-identical to the clean run or raises/reports through this family
+    — a silently drifted result is never an allowed outcome.
+    """
+
+
+class FaultPlanError(FaultError, ConfigurationError):
+    """A fault plan was malformed (unknown site, bad kind, invalid schedule)."""
+
+
+class TransientReadError(FaultError):
+    """A single telemetry read (RAPL counter, NVML query) failed transiently.
+
+    Retryable by design: resilience policies catch this type and re-read
+    within a bounded attempt budget.
+    """
+
+    def __init__(self, site: str, call_index: int) -> None:
+        self.site = site
+        self.call_index = int(call_index)
+        super().__init__(
+            f"transient read failure at {site!r} (call #{call_index})"
+        )
+
+
+class MeterReadError(FaultError):
+    """A power-meter read could not be recovered within the retry budget."""
+
+
+class NvmlReadError(FaultError):
+    """An NVML device query could not be recovered within the retry budget."""
+
+
+class WorkerCrashError(FaultError):
+    """A sweep worker crashed while executing a task (retryable)."""
+
+
+class WorkerTimeoutError(FaultError):
+    """A sweep worker exceeded its deadline while executing a task (retryable)."""
+
+
+class WorkerRetryExhaustedError(FaultError):
+    """A sweep task kept failing past the engine's resubmission budget."""
+
+    def __init__(self, attempts: int, last: Exception) -> None:
+        self.attempts = int(attempts)
+        self.last = last
+        super().__init__(
+            f"sweep task failed {attempts} consecutive attempt(s); "
+            f"retry budget exhausted (last: {last})"
+        )
+
+
+class ProfilingDegradedError(FaultError, ProfilingError):
+    """Repeated profiling samples disagreed beyond the majority policy.
+
+    Raised instead of returning critical power values that would feed a
+    silently wrong allocation into COORD.
+    """
+
+    def __init__(self, site: str, samples: tuple[float, ...]) -> None:
+        self.site = site
+        self.samples = tuple(float(s) for s in samples)
+        super().__init__(
+            f"no strict majority among {len(samples)} profiling samples at "
+            f"{site!r}; measurement too noisy to trust"
+        )

@@ -17,10 +17,29 @@ costs.
 
 from __future__ import annotations
 
+from repro.errors import NvmlReadError, TransientReadError
+from repro.faults.injector import active as _faults_active
+from repro.faults.policies import retry_transient
+from repro.faults.report import DegradationReport
 from repro.hardware.gpu import GpuCard
 from repro.hardware.gpu_mem import GpuMemOperatingPoint
 
 __all__ = ["NvmlDevice"]
+
+
+def _maybe_fail_read() -> None:
+    """Fault-injection site ``"nvml.read"`` (transient query dropout).
+
+    Mirrors how real NVML presents: ``nvmlDeviceGetPowerManagementLimit``
+    and friends intermittently return ``NVML_ERROR_UNKNOWN`` /
+    ``GPU_IS_LOST`` under driver load, and the standard response is a
+    bounded retry.  Disarmed, this is a no-op.
+    """
+    injector = _faults_active()
+    if injector is not None:
+        event = injector.check("nvml.read")
+        if event is not None:
+            raise TransientReadError("nvml.read", event.call_index)
 
 
 class NvmlDevice:
@@ -36,8 +55,39 @@ class NvmlDevice:
     # ------------------------------------------------------------------
     @property
     def power_limit_w(self) -> float:
-        """The active board power cap."""
+        """The active board power cap (raw query; may drop out under faults)."""
+        _maybe_fail_read()
         return self._power_limit_w
+
+    def read_power_limit_w(
+        self, *, report: DegradationReport | None = None
+    ) -> float:
+        """The board cap, retried against transient query failures.
+
+        Exhausting the armed plan's attempt budget raises
+        :class:`~repro.errors.NvmlReadError`; disarmed this is exactly
+        the :attr:`power_limit_w` property.
+        """
+        return self._read_resilient(lambda: self.power_limit_w, report)
+
+    def _read_resilient(self, query, report: DegradationReport | None):
+        injector = _faults_active()
+        if injector is None:
+            return query()
+        plan = injector.plan
+        try:
+            return retry_transient(
+                query,
+                site="nvml.read",
+                max_attempts=plan.max_attempts,
+                report=report,
+                backoff_base_s=plan.backoff_base_s,
+            )
+        except TransientReadError as exc:
+            raise NvmlReadError(
+                f"NVML query on {self.card.name!r} failed "
+                f"{plan.max_attempts} consecutive attempt(s)"
+            ) from exc
 
     def set_power_limit(self, cap_w: float) -> float:
         """Set the board cap; raises outside the driver-enforced range."""
@@ -60,7 +110,14 @@ class NvmlDevice:
     @property
     def mem_clock_offset_mhz(self) -> float:
         """Current offset relative to the nominal memory clock."""
+        _maybe_fail_read()
         return self._mem_op.offset_mhz(self.card.mem.nominal_mhz)
+
+    def read_mem_clock_offset_mhz(
+        self, *, report: DegradationReport | None = None
+    ) -> float:
+        """The memory-clock offset, retried against transient failures."""
+        return self._read_resilient(lambda: self.mem_clock_offset_mhz, report)
 
     def set_mem_clock_offset(self, offset_mhz: float) -> GpuMemOperatingPoint:
         """Apply a frequency offset; the driver snaps it onto its grid."""

@@ -25,7 +25,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, PowerBoundError
+from repro.errors import ConfigurationError, PowerBoundError, TransientReadError
+from repro.faults.injector import active as _faults_active
+from repro.faults.plan import FaultKind
 from repro.util.units import check_positive, watts
 
 __all__ = ["MsrEnergyCounter", "RaplDomainName", "RaplInterface", "RaplDomainStatus"]
@@ -71,13 +73,37 @@ class MsrEnergyCounter:
         """Current register value converted to joules."""
         return self._raw * self.energy_unit_j
 
+    def jump(self, ticks: int) -> None:
+        """Advance the register by raw ticks (fault injection: phantom jump)."""
+        self._raw = (self._raw + int(ticks)) % _COUNTER_MODULUS
+
     @staticmethod
     def delta_joules(
-        earlier_raw: int, later_raw: int, energy_unit_j: float = ENERGY_UNIT_J
+        earlier_raw: int,
+        later_raw: int,
+        energy_unit_j: float = ENERGY_UNIT_J,
+        *,
+        expected_j: float | None = None,
     ) -> float:
-        """Energy between two raw reads, handling a single wraparound."""
+        """Energy between two raw reads, reconstructing counter wraps.
+
+        The modular difference recovers exactly one wrap; *k* wraps in one
+        polling window alias to the same small residue (the register loses
+        ``k * 2**32`` ticks of information).  ``expected_j`` — an estimate
+        of the window's energy, e.g. the previous window's measurement —
+        disambiguates: the wrap multiple nearest the expectation is added
+        back.  With no expectation (or one within half a wrap of the
+        residue, which is every sane polling setup) the correction is
+        exactly zero and the single-wrap arithmetic is unchanged.
+        """
         diff = (later_raw - earlier_raw) % _COUNTER_MODULUS
-        return diff * energy_unit_j
+        delta = diff * energy_unit_j
+        if expected_j is not None:
+            wrap_j = _COUNTER_MODULUS * energy_unit_j
+            k = round((float(expected_j) - delta) / wrap_j)
+            if k > 0:
+                delta += k * wrap_j
+        return delta
 
 
 @dataclass
@@ -89,6 +115,8 @@ class RaplDomainStatus:
     window_s: float = 0.01
     enabled: bool = True
     counter: MsrEnergyCounter = field(default_factory=MsrEnergyCounter)
+    #: Last raw value returned to a reader (what a STUCK fault replays).
+    last_read_raw: int = 0
 
 
 class RaplInterface:
@@ -154,8 +182,28 @@ class RaplInterface:
         self._status(domain).counter.accumulate(energy_j)
 
     def read_energy_raw(self, domain: RaplDomainName) -> int:
-        """Raw 32-bit energy-status register read."""
-        return self._status(domain).counter.read_raw()
+        """Raw 32-bit energy-status register read.
+
+        Fault-injection site ``"rapl.read"``: an armed
+        :class:`~repro.faults.injector.FaultInjector` can make a read
+        fail transiently (DROPOUT), replay the previous value (STUCK), or
+        advance the register by a phantom jump (WRAP_JUMP) before the
+        read.  Disarmed, this is a plain register read.
+        """
+        status = self._status(domain)
+        injector = _faults_active()
+        if injector is not None:
+            event = injector.check("rapl.read")
+            if event is not None:
+                if event.kind is FaultKind.DROPOUT:
+                    raise TransientReadError("rapl.read", event.call_index)
+                if event.kind is FaultKind.STUCK:
+                    return status.last_read_raw
+                if event.kind is FaultKind.WRAP_JUMP:
+                    status.counter.jump(int(event.amplitude * _COUNTER_MODULUS))
+        raw = status.counter.read_raw()
+        status.last_read_raw = raw
+        return raw
 
     def read_energy_joules(self, domain: RaplDomainName) -> float:
         """Energy-status register in joules (still subject to wrap)."""

@@ -16,8 +16,10 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import strategies as st
 
 from repro.core.sweep import optimal_plateau
+from repro.faults.plan import SITES, FaultPlan, FaultSpec
 from repro.hardware.platforms import (
     haswell_node,
     ivybridge_node,
@@ -60,6 +62,58 @@ def plateau_span(sweep) -> tuple[int, int]:
 def seeded_rng(*seed_parts) -> random.Random:
     """A deterministic PRNG derived from ``seed_parts`` (for fuzz tests)."""
     return random.Random(repr(seed_parts))
+
+
+# ---------------------------------------------------------------------------
+# fault-plan strategies (hypothesis; shared by test_faults / test_diskcache)
+# ---------------------------------------------------------------------------
+
+@st.composite
+def fault_specs(draw, sites: tuple[str, ...] | None = None) -> FaultSpec:
+    """One valid :class:`FaultSpec`, optionally restricted to ``sites``.
+
+    Every draw satisfies the plan schema (kind allowed at the site,
+    amplitude within the wrap-jump detectability floor, schedule that can
+    actually fire), so shrinking explores only well-formed plans and
+    failures point at the contract, not at validation.
+    """
+    site = draw(st.sampled_from(sorted(sites) if sites else sorted(SITES)))
+    kind = draw(st.sampled_from(SITES[site]))
+    schedule = draw(st.sampled_from(("probability", "at_calls", "both")))
+    probability = 0.0
+    at_calls: tuple[int, ...] = ()
+    if schedule in ("probability", "both"):
+        probability = draw(
+            st.floats(min_value=0.01, max_value=0.5, allow_nan=False)
+        )
+    if schedule in ("at_calls", "both"):
+        at_calls = tuple(
+            sorted(draw(st.sets(st.integers(0, 40), min_size=1, max_size=4)))
+        )
+    return FaultSpec(
+        site=site,
+        kind=kind,
+        probability=probability,
+        at_calls=at_calls,
+        max_fires=draw(st.one_of(st.none(), st.integers(1, 3))),
+        amplitude=draw(st.floats(min_value=0.05, max_value=1.0)),
+    )
+
+
+def fault_plans(
+    sites: tuple[str, ...] | None = None, max_specs: int = 4
+) -> st.SearchStrategy[FaultPlan]:
+    """Whole fault plans: seeded spec lists plus valid policy knobs."""
+    return st.builds(
+        FaultPlan,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        specs=st.lists(fault_specs(sites=sites), min_size=1, max_size=max_specs).map(
+            tuple
+        ),
+        max_attempts=st.integers(min_value=2, max_value=5),
+        backoff_base_s=st.just(0.001),
+        profile_repeats=st.sampled_from((3, 5)),
+    )
 
 
 @pytest.fixture(scope="module")

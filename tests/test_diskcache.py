@@ -17,6 +17,7 @@ import multiprocessing
 import warnings
 
 import pytest
+from hypothesis import given, settings
 
 from repro.core.diskcache import (
     CACHE_FORMAT,
@@ -36,8 +37,11 @@ from repro.core.parallel import (
 )
 from repro.core.sweep import sweep_cpu_allocations
 from repro.errors import SweepError
+from repro.faults import FaultKind, FaultPlan, FaultSpec, use_faults
 from repro.hardware.component import CappingMechanism
 from repro.perfmodel.metrics import ExecutionResult, PhaseResult
+
+from tests.conftest import fault_plans
 
 
 def make_result(seed: float, *, device: str = "host") -> ExecutionResult:
@@ -278,20 +282,31 @@ class TestCorruptionTolerance:
 
 class TestConcurrentWriters:
     def test_parallel_writer_processes(self, tmp_path):
+        # The store gets its own per-test subdirectory: nothing else
+        # (pytest artifacts, sibling fixtures, a previous flaky run's
+        # leftovers) can ever be scanned as a segment, and every run
+        # starts from a provably empty root.
+        root = tmp_path / "shared-store"
+        root.mkdir()
         n_workers, n_keys = 4, 8
         ctx = multiprocessing.get_context("spawn")
         procs = [
-            ctx.Process(target=_writer_process, args=(str(tmp_path), w, n_keys))
+            ctx.Process(target=_writer_process, args=(str(root), w, n_keys))
             for w in range(n_workers)
         ]
         for p in procs:
             p.start()
         for p in procs:
             p.join(timeout=120)
-            assert p.exitcode == 0
+        hung = [p for p in procs if p.is_alive()]
+        for p in hung:  # never leak a live writer into later tests
+            p.terminate()
+            p.join(timeout=10)
+        assert not hung, f"{len(hung)} writer(s) hung past the join deadline"
+        assert [p.exitcode for p in procs] == [0] * n_workers
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # zero integrity warnings allowed
-            reader = DiskCache(tmp_path)
+            reader = DiskCache(root)
         stats = reader.stats
         assert stats.segments_skipped == 0
         assert stats.records_skipped == 0
@@ -307,7 +322,9 @@ class TestConcurrentWriters:
     def test_concurrent_threads_on_one_instance(self, tmp_path):
         import threading
 
-        cache = DiskCache(tmp_path, flush_every=4)
+        root = tmp_path / "shared-store"
+        root.mkdir()
+        cache = DiskCache(root, flush_every=4)
         errors: list[Exception] = []
 
         def hammer(worker: int) -> None:
@@ -325,9 +342,82 @@ class TestConcurrentWriters:
             t.join()
         cache.flush()
         assert not errors
-        fresh = DiskCache(tmp_path)
+        fresh = DiskCache(root)
         assert len(fresh) == 8 * 32
         assert fresh.stats.records_skipped == 0
+
+
+# ---------------------------------------------------------------------------
+# injected write faults: torn/corrupt segments degrade, never lie
+# ---------------------------------------------------------------------------
+
+class TestFaultedWrites:
+    def test_torn_write_poisons_only_the_disk_tier(self, tmp_path):
+        plan = FaultPlan(
+            seed=7,
+            specs=(
+                FaultSpec(
+                    site="diskcache.write",
+                    kind=FaultKind.TORN_WRITE,
+                    probability=1.0,
+                ),
+            ),
+        )
+        value = make_result(0.0)
+        with use_faults(plan):
+            cache = DiskCache(tmp_path, flush_every=1)
+            cache.store(("k", 0), value)
+        # The writer's own in-memory copy is untouched by the torn disk.
+        assert cache.lookup(("k", 0)) == (True, value)
+        with pytest.warns(CacheIntegrityWarning, match="corrupt record"):
+            fresh = DiskCache(tmp_path)
+        assert fresh.lookup(("k", 0)) == (False, None)  # recomputes
+
+    def test_quarantine_isolates_the_mangled_segment(self, tmp_path):
+        plan = FaultPlan(
+            seed=7,
+            specs=(
+                FaultSpec(
+                    site="diskcache.write",
+                    kind=FaultKind.CORRUPT_WRITE,
+                    probability=1.0,
+                ),
+            ),
+        )
+        with use_faults(plan):
+            cache = DiskCache(tmp_path, flush_every=1)
+            cache.store(("k", 0), make_result(0.0))
+        with pytest.warns(CacheIntegrityWarning):
+            quarantining = DiskCache(tmp_path, quarantine=True)
+        assert quarantining.lookup(("k", 0)) == (False, None)
+        assert list((tmp_path / "quarantine").glob("seg-*.jsonl"))
+        # The poisoned segment is out of the scan path: re-opens are clean.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            DiskCache(tmp_path)
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=fault_plans(sites=("diskcache.write",)))
+    def test_mangled_writes_never_serve_wrong_values(
+        self, plan, tmp_path_factory
+    ):
+        # The degradation contract, fuzzed over write-fault schedules: a
+        # reader of a store written under ANY torn/corrupt plan may miss
+        # (recompute), but a hit must be the bit-exact stored value.
+        root = tmp_path_factory.mktemp("faulted-store")
+        values = {("k", k): make_result(float(k)) for k in range(4)}
+        with use_faults(plan):
+            cache = DiskCache(root, flush_every=1)
+            for key, value in values.items():
+                cache.store(key, value)
+            cache.flush()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CacheIntegrityWarning)
+            fresh = DiskCache(root)
+        for key, value in values.items():
+            hit, loaded = fresh.lookup(key)
+            if hit:
+                assert loaded == value
 
 
 # ---------------------------------------------------------------------------

@@ -5,10 +5,18 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.hardware.meter import RaplPowerMeter
-from repro.hardware.rapl import RaplDomainName, RaplInterface
+from repro.hardware.rapl import (
+    _COUNTER_MODULUS,
+    ENERGY_UNIT_J,
+    MsrEnergyCounter,
+    RaplDomainName,
+    RaplInterface,
+)
 from repro.perfmodel.executor import execute_on_host
-from repro.perfmodel.power_trace import sample_power_trace
+from repro.perfmodel.power_trace import PowerTrace, sample_power_trace
 from repro.workloads import cpu_workload
+
+WRAP_J = _COUNTER_MODULUS * ENERGY_UNIT_J  # 65536 J of counter capacity
 
 
 @pytest.fixture
@@ -62,6 +70,70 @@ class TestObservation:
         readings = meter.observe_trace(trace, "proc")
         measured = RaplPowerMeter.average_power_w(readings)
         assert measured == pytest.approx(result.proc_power_w, rel=0.02)
+
+
+class TestDoubleWrap:
+    """Pinned regression: two 32-bit wraps inside one polling window.
+
+    A modular delta only carries ``delta mod 2**32`` ticks of
+    information, so a window consuming more than two counter capacities
+    aliases to a small value.  ``expected_j`` recovers the lost wrap
+    count ``k``; without it the undershoot is physically unavoidable —
+    both behaviors are pinned here.
+    """
+
+    def test_counter_level_double_wrap_disambiguated(self):
+        true_j = 2.0 * WRAP_J + 100.0
+        now_raw = round(true_j / ENERGY_UNIT_J) % _COUNTER_MODULUS
+        # The raw modular delta aliases two full wraps down to ~100 J...
+        aliased = MsrEnergyCounter.delta_joules(0, now_raw)
+        assert aliased == pytest.approx(100.0, abs=1e-6)
+        # ...and the energy expectation reconstructs the true delta.
+        recovered = MsrEnergyCounter.delta_joules(0, now_raw, expected_j=true_j)
+        assert recovered == pytest.approx(true_j, abs=1e-6)
+
+    def test_expectation_is_noop_without_wraps(self):
+        raw = round(500.0 / ENERGY_UNIT_J)
+        # A rough expectation (k rounds to 0) must not perturb the delta.
+        assert MsrEnergyCounter.delta_joules(
+            0, raw, expected_j=480.0
+        ) == pytest.approx(500.0, abs=1e-6)
+
+    @staticmethod
+    def _constant_trace(power_w: float, duration_s: float) -> PowerTrace:
+        n = int(round(duration_s / 0.1))
+        return PowerTrace(
+            dt_s=0.1,
+            proc_w=np.full(n, power_w),
+            mem_w=np.zeros(n),
+            board_w=np.zeros(n),
+        )
+
+    def test_meter_reconstructs_through_double_wrap(self):
+        # 2200 W x 60 s windows = 132 kJ per poll: more than two full
+        # counter capacities (131072 J) between consecutive reads.
+        trace = self._constant_trace(2200.0, 180.0)
+        meter = RaplPowerMeter(
+            RaplInterface(),
+            RaplDomainName.PACKAGE,
+            poll_interval_s=60.0,
+            expected_power_w=2200.0,
+        )
+        readings = meter.observe_trace(trace, "proc")
+        measured = RaplPowerMeter.average_power_w(readings)
+        assert measured == pytest.approx(2200.0, rel=1e-6)
+
+    def test_meter_aliases_without_expectation(self):
+        # The undershoot this meter shows *without* an energy
+        # expectation is the bug being pinned: 132 kJ windows alias to
+        # 132000 mod 65536 = 928 J, i.e. ~15 W instead of 2200 W.
+        trace = self._constant_trace(2200.0, 180.0)
+        meter = RaplPowerMeter(
+            RaplInterface(), RaplDomainName.PACKAGE, poll_interval_s=60.0
+        )
+        readings = meter.observe_trace(trace, "proc")
+        measured = RaplPowerMeter.average_power_w(readings)
+        assert measured < 20.0
 
 
 class TestValidation:

@@ -45,6 +45,65 @@ class TestConvergence:
         assert result.allocation.total_w <= 160.0 + 1e-9
 
 
+class TestStepQuantum:
+    """Direction flips halve the step; underflowing the quantum terminates."""
+
+    def test_direction_flips_shrink_the_step(self, ivb, sra):
+        result = online_power_shift(
+            ivb.cpu, ivb.dram, sra, 180.0, initial_step_w=64.0, min_step_w=2.0
+        )
+        mems = [a.mem_w for a in result.trajectory]
+        moves = [b - a for a, b in zip(mems, mems[1:])]
+        flips = sum(
+            1 for a, b in zip(moves, moves[1:]) if (a > 0) != (b > 0)
+        )
+        assert flips >= 1  # SRA overshoots, so the search must reverse
+        # Every reversal halves the quantum: once the walk has flipped,
+        # it never again moves as far as the first overshooting stride.
+        first_flip = next(
+            i for i, (a, b) in enumerate(zip(moves, moves[1:]))
+            if (a > 0) != (b > 0)
+        )
+        assert all(
+            abs(m) < abs(moves[first_flip])
+            for m in moves[first_flip + 1:]
+        )
+
+    def test_quantum_underflow_terminates(self, ivb, sra):
+        # Pinned: with a 64 W stride and a 2 W quantum, SRA's oscillation
+        # halves the step below the quantum after 8 epochs.
+        result = online_power_shift(
+            ivb.cpu, ivb.dram, sra, 180.0, initial_step_w=64.0, min_step_w=2.0
+        )
+        assert result.epochs == 8
+        assert result.trajectory[0].mem_w == pytest.approx(90.0)
+        assert result.trajectory[1].mem_w == pytest.approx(154.0)
+        assert result.trajectory[2].mem_w == pytest.approx(122.0)
+        assert result.trajectory[3].mem_w == pytest.approx(90.0)
+
+    def test_coarse_quantum_stops_at_first_flip(self, ivb, sra):
+        # When the quantum equals the stride, the first halving
+        # underflows immediately: the coarse run must terminate no later
+        # than (and search strictly less than) the fine-quantum run.
+        fine = online_power_shift(
+            ivb.cpu, ivb.dram, sra, 180.0, initial_step_w=64.0, min_step_w=2.0
+        )
+        coarse = online_power_shift(
+            ivb.cpu, ivb.dram, sra, 180.0, initial_step_w=64.0, min_step_w=64.0
+        )
+        assert coarse.epochs < fine.epochs
+        assert coarse.epochs <= 4
+
+    def test_floor_clamp_is_visible_in_trajectory(self, ivb, dgemm):
+        # DGEMM walks into the DRAM floor: the final allocation sits
+        # exactly on mem_floor_w and the clamp-stall breaks the loop.
+        result = online_power_shift(
+            ivb.cpu, ivb.dram, dgemm, 180.0, mem_floor_w=16.0
+        )
+        assert result.trajectory[-1].mem_w == pytest.approx(16.0)
+        assert result.epochs == len(result.trajectory) + 1  # stalled epoch
+
+
 class TestValidation:
     def test_bad_fraction(self, ivb, stream):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,174 @@
+"""Golden-schema regression for the benchmark JSON reports.
+
+``benchmarks/_harness.write_json_report`` is the single emitter of the
+machine-readable ``benchmarks/reports/*.json`` artifacts that CI and
+downstream scripts consume.  This module pins the payload shape — the
+exact required key set, the omit-when-None optionals, the rounding
+policy, the ``cache`` sub-schema — and then validates every committed
+report against it, so the shape cannot silently drift without a test
+telling the reviewer what changed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.parallel import CacheStats
+
+_BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+if str(_BENCH_DIR) not in sys.path:  # same import idiom the benches use
+    sys.path.insert(0, str(_BENCH_DIR))
+
+import _harness  # noqa: E402
+from _harness import cache_dict, write_json_report  # noqa: E402
+
+#: Every report carries exactly these keys before optionals/extras.
+REQUIRED_KEYS = {"op", "n_points", "wall_s", "speedup", "cache"}
+
+#: Optionals are omitted (never null) when the benchmark has no value.
+OPTIONAL_KEYS = {"executions_total", "executions_saved", "disk_cache_hits"}
+
+#: The flattened CacheStats sub-schema.
+CACHE_KEYS = {
+    "hits", "misses", "evictions", "size", "maxsize", "hit_ratio", "disk_hits",
+}
+
+
+@pytest.fixture
+def reports_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(_harness, "REPORTS_DIR", tmp_path)
+    return tmp_path
+
+
+def emit(name: str = "unit", **kwargs) -> dict:
+    path = write_json_report(name, **kwargs)
+    return json.loads(path.read_text())
+
+
+class TestEmitterSchema:
+    def test_minimal_payload_has_exactly_the_required_keys(self, reports_dir):
+        payload = emit(op="sweep", n_points=3, wall_s={"cold": 1.0})
+        assert set(payload) == REQUIRED_KEYS
+        assert payload["speedup"] is None
+        assert payload["cache"] is None
+
+    def test_optionals_are_omitted_not_null(self, reports_dir):
+        payload = emit(
+            op="sweep", n_points=3, wall_s={"cold": 1.0}, executions_total=10
+        )
+        assert payload["executions_total"] == 10
+        assert "executions_saved" not in payload
+        assert "disk_cache_hits" not in payload
+
+    def test_full_payload_with_extras(self, reports_dir):
+        stats = CacheStats(hits=3, misses=1, evictions=0, size=4, maxsize=8)
+        payload = emit(
+            op="sweep",
+            n_points=3,
+            wall_s={"cold": 1.0, "warm": 0.5},
+            speedup={"warm": 2.0},
+            cache=stats,
+            executions_total=10,
+            executions_saved=6,
+            disk_cache_hits=2,
+            quick=True,
+            grid="fig9",
+        )
+        assert set(payload) == REQUIRED_KEYS | OPTIONAL_KEYS | {"quick", "grid"}
+        assert payload["cache"] == cache_dict(stats)
+        assert payload["quick"] is True and payload["grid"] == "fig9"
+
+    def test_rounding_policy(self, reports_dir):
+        payload = emit(
+            op="sweep",
+            n_points=1,
+            wall_s={"cold": 1.23456789123},
+            speedup={"cold": 1.23456789},
+        )
+        assert payload["wall_s"]["cold"] == 1.234568  # 6 decimal places
+        assert payload["speedup"]["cold"] == 1.235  # 3 decimal places
+
+    def test_cache_dict_schema(self):
+        stats = CacheStats(hits=3, misses=1, evictions=0, size=4, maxsize=8,
+                           disk_hits=2)
+        flat = cache_dict(stats)
+        assert set(flat) == CACHE_KEYS
+        assert flat["hit_ratio"] == pytest.approx(0.75)
+        assert flat["disk_hits"] == 2
+
+    def test_artifact_is_byte_stable(self, reports_dir):
+        # sort_keys + trailing newline: regenerating an identical run
+        # must produce an identical file (clean diffs in the repo).
+        kwargs = dict(op="sweep", n_points=1, wall_s={"cold": 1.0}, b=1, a=2)
+        first = write_json_report("unit", **kwargs).read_bytes()
+        second = write_json_report("unit", **kwargs).read_bytes()
+        assert first == second
+        assert first.endswith(b"\n")
+        keys = list(json.loads(first))
+        assert keys == sorted(keys)
+
+
+def _validate(name: str, payload: dict) -> list[str]:
+    """All schema violations in one committed report payload."""
+    problems = []
+    missing = REQUIRED_KEYS - set(payload)
+    if missing:
+        problems.append(f"missing required keys: {sorted(missing)}")
+    if not isinstance(payload.get("op"), str):
+        problems.append("op must be a string")
+    if not isinstance(payload.get("n_points"), int):
+        problems.append("n_points must be an integer")
+    wall = payload.get("wall_s")
+    if not (
+        isinstance(wall, dict)
+        and wall
+        and all(
+            isinstance(k, str) and isinstance(v, (int, float))
+            for k, v in wall.items()
+        )
+    ):
+        problems.append("wall_s must be a non-empty {pass: seconds} mapping")
+    speedup = payload.get("speedup")
+    if speedup is not None and not (
+        isinstance(speedup, dict)
+        and all(
+            isinstance(k, str) and isinstance(v, (int, float))
+            for k, v in speedup.items()
+        )
+    ):
+        problems.append("speedup must be null or a {pass: ratio} mapping")
+    cache = payload.get("cache")
+    if cache is not None and set(cache) != CACHE_KEYS:
+        problems.append(f"cache sub-schema drifted: {sorted(cache)}")
+    for key in OPTIONAL_KEYS & set(payload):
+        if not isinstance(payload[key], int):
+            problems.append(f"{key} must be an integer when present")
+    return problems
+
+
+class TestCommittedReports:
+    """The artifacts in benchmarks/reports/ conform to the golden schema."""
+
+    def _report_paths(self):
+        return sorted((_BENCH_DIR / "reports").glob("*.json"))
+
+    def test_reports_exist(self):
+        assert self._report_paths(), "no committed benchmark reports found"
+
+    def test_every_committed_report_conforms(self):
+        failures = {}
+        for path in self._report_paths():
+            problems = _validate(path.name, json.loads(path.read_text()))
+            if problems:
+                failures[path.name] = problems
+        assert not failures, f"schema drift in committed reports: {failures}"
+
+    def test_every_report_has_a_text_companion(self):
+        for path in self._report_paths():
+            assert path.with_suffix(".txt").exists(), (
+                f"{path.name} has no rendered .txt companion"
+            )
