@@ -14,7 +14,12 @@ import numpy as np
 from repro.errors import PowerBoundError, SweepError
 from repro.util.units import watts
 
-__all__ = ["PowerAllocation", "allocation_grid", "bounded_allocation"]
+__all__ = [
+    "PowerAllocation",
+    "allocation_axis",
+    "allocation_grid",
+    "bounded_allocation",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,49 @@ def bounded_allocation(
     return allocation
 
 
+def allocation_axis(
+    budget_w: float,
+    *,
+    mem_min_w: float,
+    mem_max_w: float | None = None,
+    proc_min_w: float = 0.0,
+    step_w: float = 4.0,
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """The ``(proc_w, mem_w)`` float columns of :func:`allocation_grid`.
+
+    Same feasibility checks, same values, same order — without
+    constructing the :class:`PowerAllocation` objects.  Callers that
+    resolve only a subset of the axis (the adaptive planner) read the
+    coordinates from here and build validated allocations lazily for the
+    points they actually touch; :func:`allocation_grid` itself is this
+    axis materialized, so the two can never drift.
+    """
+    budget_w = watts(budget_w, "budget_w")
+    step_w = watts(step_w, "step_w")
+    if step_w <= 0.0:
+        raise SweepError(f"step_w must be > 0, got {step_w}")
+    if mem_max_w is None:
+        mem_max_w = budget_w - proc_min_w
+    if mem_max_w < mem_min_w:
+        raise SweepError(
+            f"empty allocation grid: mem range [{mem_min_w}, {mem_max_w}] W "
+            f"for budget {budget_w} W"
+        )
+    mem_values = np.arange(mem_min_w, mem_max_w + step_w * 0.5, step_w)
+    pairs = [
+        (budget_w - float(m), float(m))
+        for m in mem_values
+        if budget_w - float(m) >= proc_min_w - 1e-9
+    ]
+    if not pairs:
+        raise SweepError(
+            f"no feasible allocations for budget {budget_w} W "
+            f"(mem >= {mem_min_w} W, proc >= {proc_min_w} W)"
+        )
+    proc_w, mem_w = zip(*pairs)
+    return proc_w, mem_w
+
+
 def allocation_grid(
     budget_w: float,
     *,
@@ -85,26 +133,11 @@ def allocation_grid(
     memory share in ``step_w`` increments, give the processor the rest.
     ``mem_max_w`` defaults to everything the processor floor leaves over.
     """
-    budget_w = watts(budget_w, "budget_w")
-    step_w = watts(step_w, "step_w")
-    if step_w <= 0.0:
-        raise SweepError(f"step_w must be > 0, got {step_w}")
-    if mem_max_w is None:
-        mem_max_w = budget_w - proc_min_w
-    if mem_max_w < mem_min_w:
-        raise SweepError(
-            f"empty allocation grid: mem range [{mem_min_w}, {mem_max_w}] W "
-            f"for budget {budget_w} W"
-        )
-    mem_values = np.arange(mem_min_w, mem_max_w + step_w * 0.5, step_w)
-    allocations = tuple(
-        PowerAllocation(budget_w - float(m), float(m))
-        for m in mem_values
-        if budget_w - float(m) >= proc_min_w - 1e-9
+    proc_w, mem_w = allocation_axis(
+        budget_w,
+        mem_min_w=mem_min_w,
+        mem_max_w=mem_max_w,
+        proc_min_w=proc_min_w,
+        step_w=step_w,
     )
-    if not allocations:
-        raise SweepError(
-            f"no feasible allocations for budget {budget_w} W "
-            f"(mem >= {mem_min_w} W, proc >= {proc_min_w} W)"
-        )
-    return allocations
+    return tuple(PowerAllocation(p, m) for p, m in zip(proc_w, mem_w))

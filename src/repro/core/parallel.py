@@ -10,13 +10,21 @@ The points are independent — the model is a pure function of
   in one NumPy pass by the batch kernel
   (:mod:`repro.perfmodel.batch`), which is bit-for-bit equivalent to the
   scalar oracle and an order of magnitude faster on a single core;
-  disable with ``REPRO_BATCH=0`` or ``SweepEngine(batch=False)``;
+  disable with ``REPRO_BATCH=0`` or ``SweepEngine(batch=False)``.  The
+  adaptive planner gets the same treatment through
+  :meth:`SweepEngine.host_subgrid` / :meth:`SweepEngine.gpu_subgrid`: a
+  :class:`SubgridExecutor` prepares the axis (keys + gather kernel) once
+  and resolves each planner stage's point subset in one gathered pass,
+  still populating the memo/disk caches point-by-point;
 * **fan-out** — with the batch path disabled, a sweep's points dispatch
   onto a ``concurrent.futures`` pool (thread- or process-backed), sized
   from ``REPRO_JOBS`` or the host core count.  Grids below
   ``serial_crossover`` points stay serial: the model is GIL-bound, so
   thread fan-out on small grids costs more than it saves (PR 1 measured
-  0.85x cold at fig9 scale);
+  0.85x cold at fig9 scale).  With the batch path *enabled*, a process
+  backend past the crossover splits the missing points into one
+  contiguous chunk per worker and runs the vectorized kernel inside each
+  worker, so cold fan-out beats serial instead of losing to pickling;
 * **memoization** — ``(platform, phases, allocation) → ExecutionResult``
   is cached in a bounded LRU shared by sweeps, budget curves, COORD
   probing, and the cluster scheduler, so the repeated budgets in budget
@@ -68,7 +76,13 @@ from repro.faults.report import DegradationReport
 from repro.hardware.cpu import CpuDomain
 from repro.hardware.dram import DramDomain
 from repro.hardware.gpu import GpuCard
-from repro.perfmodel.batch import execute_gpu_batch, execute_host_batch
+from repro.perfmodel.batch import (
+    GpuBatchKernel,
+    HostBatchKernel,
+    batch_execute_indices,
+    execute_gpu_batch,
+    execute_host_batch,
+)
 from repro.perfmodel.executor import execute_on_gpu, execute_on_host
 from repro.perfmodel.metrics import ExecutionResult
 from repro.perfmodel.phase import Phase
@@ -83,6 +97,7 @@ __all__ = [
     "PlannerStats",
     "SERIAL_CROSSOVER",
     "SWEEP_MODE_ENV_VAR",
+    "SubgridExecutor",
     "SweepEngine",
     "default_engine",
     "fingerprint",
@@ -383,6 +398,36 @@ def _gpu_task(
     return execute_on_gpu(card, phases, cap_w, mem_freq_mhz)
 
 
+def _host_chunk_task(
+    args: tuple[
+        CpuDomain, DramDomain, tuple[Phase, ...], list[float], list[float]
+    ],
+) -> list[ExecutionResult]:
+    """One worker's contiguous slice of a host grid, in one kernel pass."""
+    return execute_host_batch(*args)
+
+
+def _gpu_chunk_task(
+    args: tuple[GpuCard, tuple[Phase, ...], float, list[float]],
+) -> list[ExecutionResult]:
+    """One worker's contiguous slice of a GPU clock axis, in one kernel pass."""
+    return execute_gpu_batch(*args)
+
+
+def _chunk_indices(n: int, chunks: int) -> list[list[int]]:
+    """Partition ``range(n)`` into at most ``chunks`` contiguous, balanced,
+    non-empty runs covering every index exactly once."""
+    chunks = max(1, min(int(chunks), int(n)))
+    base, extra = divmod(n, chunks)
+    out: list[list[int]] = []
+    start = 0
+    for c in range(chunks):
+        size = base + (1 if c < extra else 0)
+        out.append(list(range(start, start + size)))
+        start += size
+    return out
+
+
 #: ``REPRO_BATCH`` values that disable the vectorized kernel.
 _BATCH_OFF = frozenset({"0", "false", "no", "off"})
 
@@ -537,6 +582,87 @@ class PlannerState:
                 executed_points=self._executed_points,
                 reused_points=self._reused_points,
             )
+
+
+# ---------------------------------------------------------------------------
+# planner sub-grid execution
+# ---------------------------------------------------------------------------
+
+class SubgridExecutor:
+    """One prepared allocation axis, resolvable subset-by-subset.
+
+    The adaptive planner touches one axis many times in small bites —
+    probe strides, certify neighborhoods, per-iteration walk frontiers.
+    Routing each bite through :meth:`SweepEngine.map_host` would rebuild
+    keys, re-fingerprint the platform, and re-derive the kernel's
+    candidate tables on every call.  This executor does all of that once
+    at construction (keys eagerly, the gather kernel lazily on the first
+    batched miss) and then serves :meth:`run` calls with nothing but
+    cache lookups and gathered kernel rows.
+
+    Cache semantics are identical to the full-grid path: every requested
+    point is looked up once in the engine's :class:`MemoCache` (reading
+    through to disk when configured) and every miss is stored back
+    point-by-point, so hit/miss counters, disk promotion, and warm-cache
+    behaviour cannot drift between planned and full sweeps.  With the
+    batch path disabled — or a fault plan armed, which the vectorized
+    kernel cannot honor — misses fall back to the engine's scalar
+    :meth:`~SweepEngine._run_batch` path, faults and all.
+    """
+
+    def __init__(
+        self,
+        engine: "SweepEngine",
+        keys: list[tuple],
+        task: Callable[[tuple], ExecutionResult],
+        args_for: Callable[[int], tuple],
+        kernel_factory: Callable[[], "HostBatchKernel | GpuBatchKernel"],
+    ) -> None:
+        self._engine = engine
+        self._keys = keys
+        self._task = task
+        self._args_for = args_for
+        self._kernel_factory = kernel_factory
+        self._kernel: HostBatchKernel | GpuBatchKernel | None = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def run(self, indices: Sequence[int]) -> list[ExecutionResult]:
+        """Results for axis rows ``indices``, in input order.
+
+        Bit-for-bit what ``map_host``/``map_gpu`` would return for the
+        same rows: the gather kernel is row-elementwise, and the scalar
+        fallback runs the exact same per-point executor.
+        """
+        engine = self._engine
+        resolved: dict[tuple, ExecutionResult | None] = {}
+        missing: list[tuple[tuple, tuple]] = []
+        missing_rows: list[int] = []
+        for i in indices:
+            key = self._keys[i]
+            if key in resolved:
+                continue  # duplicate within the request: one lookup, one run
+            hit, value = engine.cache.lookup(key)
+            if hit:
+                resolved[key] = value  # type: ignore[assignment]
+            else:
+                resolved[key] = None
+                missing.append((key, self._args_for(i)))
+                missing_rows.append(i)
+        if missing:
+            if engine.batch and engine._worker_injector() is None:
+                if self._kernel is None:
+                    self._kernel = self._kernel_factory()
+                results = batch_execute_indices(self._kernel, missing_rows)
+                for (key, _), result in zip(missing, results):
+                    engine.cache.store(key, result)
+                    resolved[key] = result
+            else:
+                for key, result in engine._run_batch(self._task, missing).items():
+                    engine.cache.store(key, result)
+                    resolved[key] = result
+        return [resolved[self._keys[i]] for i in indices]  # type: ignore[return-value]
 
 
 # ---------------------------------------------------------------------------
@@ -790,20 +916,55 @@ class SweepEngine:
                 )
         return resolved
 
+    def _run_batch_vectorized(
+        self,
+        chunk_task: Callable[[tuple], list[ExecutionResult]],
+        chunk_args: Callable[[list[int]], tuple],
+        missing_indices: list[int],
+    ) -> list[ExecutionResult]:
+        """Resolve missing input indices through the vectorized kernel.
+
+        Serial by default (one kernel pass over all misses).  A process
+        backend past ``serial_crossover`` instead splits the misses into
+        one contiguous chunk per worker and runs the kernel inside each
+        worker — the platform/phases pickle once per *chunk* rather than
+        per point, which is what lets cold fan-out beat serial.  Chunks
+        partition the miss list, so each point executes exactly once, and
+        concatenating in chunk order preserves input order.
+        """
+        n = len(missing_indices)
+        if (
+            self.backend == "process"
+            and self.n_jobs > 1
+            and n >= max(2, self.serial_crossover)
+        ):
+            payloads = [
+                chunk_args([missing_indices[p] for p in positions])
+                for positions in _chunk_indices(n, self.n_jobs)
+            ]
+            results: list[ExecutionResult] = []
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                for part in pool.map(chunk_task, payloads):
+                    results.extend(part)
+            return results
+        return chunk_task(chunk_args(missing_indices))
+
     def _map(
         self,
         task: Callable[[tuple], ExecutionResult],
         keys: list[tuple],
         args_for: Callable[[int], tuple],
-        batch_run: Callable[[list[int]], list[ExecutionResult]] | None = None,
+        chunk_task: Callable[[tuple], list[ExecutionResult]] | None = None,
+        chunk_args: Callable[[list[int]], tuple] | None = None,
     ) -> list[ExecutionResult]:
         """Resolve ``keys`` in input order, computing cache misses once each.
 
-        Misses go through ``batch_run`` (one vectorized pass over the
-        missing input indices) when the batch path is enabled, else
-        through :meth:`_run_batch` (serial or pool fan-out).  Either way
-        each unique key is looked up once and stored once, so cache
-        statistics and warm-cache behaviour are identical across paths.
+        Misses go through :meth:`_run_batch_vectorized` (kernel passes
+        over the missing input indices, chunked across a process pool
+        past the crossover) when the batch path is enabled, else through
+        :meth:`_run_batch` (serial or pool fan-out).  Either way each
+        unique key is looked up once and stored once, so cache statistics
+        and warm-cache behaviour are identical across paths.
         """
         resolved: dict[tuple, ExecutionResult | None] = {}
         missing: list[tuple[tuple, tuple]] = []
@@ -823,12 +984,16 @@ class SweepEngine:
         # because both kernels are locked bit-identical by the batch
         # equivalence harness.
         if (
-            batch_run is not None
+            chunk_task is not None
+            and chunk_args is not None
             and self.batch
             and missing
             and self._worker_injector() is None
         ):
-            for (key, _), result in zip(missing, batch_run(missing_indices)):
+            vectorized = self._run_batch_vectorized(
+                chunk_task, chunk_args, missing_indices
+            )
+            for (key, _), result in zip(missing, vectorized):
                 self.cache.store(key, result)
                 resolved[key] = result
         else:
@@ -848,8 +1013,8 @@ class SweepEngine:
         base = self._host_base(cpu, dram, phases)
         keys = [base + (float(a.proc_w), float(a.mem_w)) for a in allocations]
 
-        def batch_run(indices: list[int]) -> list[ExecutionResult]:
-            return execute_host_batch(
+        def chunk_args(indices: list[int]) -> tuple:
+            return (
                 cpu,
                 dram,
                 tuple(phases),
@@ -862,7 +1027,8 @@ class SweepEngine:
             keys,
             lambda i: (cpu, dram, tuple(phases),
                        allocations[i].proc_w, allocations[i].mem_w),
-            batch_run,
+            _host_chunk_task,
+            chunk_args,
         )
 
     def map_gpu(
@@ -876,8 +1042,8 @@ class SweepEngine:
         base = self._gpu_base(card, phases) + (float(cap_w),)
         keys = [base + (float(f),) for f in mem_freqs_mhz]
 
-        def batch_run(indices: list[int]) -> list[ExecutionResult]:
-            return execute_gpu_batch(
+        def chunk_args(indices: list[int]) -> tuple:
+            return (
                 card,
                 tuple(phases),
                 cap_w,
@@ -888,7 +1054,63 @@ class SweepEngine:
             _gpu_task,
             keys,
             lambda i: (card, tuple(phases), cap_w, float(mem_freqs_mhz[i])),
-            batch_run,
+            _gpu_chunk_task,
+            chunk_args,
+        )
+
+    # ------------------------------------------------------------------
+    # planner sub-grids (prepared axes, resolved subset-by-subset)
+    # ------------------------------------------------------------------
+    def host_subgrid(
+        self,
+        cpu: CpuDomain,
+        dram: DramDomain,
+        phases: Sequence[Phase],
+        proc_w: Sequence[float],
+        mem_w: Sequence[float],
+    ) -> SubgridExecutor:
+        """A prepared executor over the host ``(proc_w, mem_w)`` axis.
+
+        ``executor.run(rows)`` is bit-for-bit ``map_host`` restricted to
+        those rows, with the axis setup (cache keys, platform
+        fingerprints, kernel candidate tables) paid once instead of per
+        call — the entry point the adaptive planner batches its probe,
+        certify, and walk-frontier requests through.  The axis arrives as
+        the raw float columns of :func:`~repro.core.allocation
+        .allocation_axis` so planned sweeps never pay to materialize
+        allocation objects for points they skip.
+        """
+        phases = tuple(phases)
+        proc = [float(p) for p in proc_w]
+        mem = [float(m) for m in mem_w]
+        base = self._host_base(cpu, dram, phases)
+        keys = [base + (p, m) for p, m in zip(proc, mem)]
+        return SubgridExecutor(
+            self,
+            keys,
+            _host_task,
+            lambda i: (cpu, dram, phases, proc[i], mem[i]),
+            lambda: HostBatchKernel(cpu, dram, phases, proc, mem),
+        )
+
+    def gpu_subgrid(
+        self,
+        card: GpuCard,
+        phases: Sequence[Phase],
+        cap_w: float,
+        mem_freqs_mhz: Sequence[float],
+    ) -> SubgridExecutor:
+        """A prepared executor over one GPU memory-clock axis (one cap)."""
+        phases = tuple(phases)
+        freqs = [float(f) for f in mem_freqs_mhz]
+        base = self._gpu_base(card, phases) + (float(cap_w),)
+        keys = [base + (f,) for f in freqs]
+        return SubgridExecutor(
+            self,
+            keys,
+            _gpu_task,
+            lambda i: (card, phases, cap_w, freqs[i]),
+            lambda: GpuBatchKernel(card, phases, cap_w, freqs),
         )
 
     # ------------------------------------------------------------------

@@ -17,7 +17,9 @@ while *executing* only a fraction of the native grid:
    conditional on the heuristic succeeding;
 3. **bracket** — seed at the best executed eligible point and walk
    outward exactly as :func:`~repro.core.sweep.optimal_plateau` would,
-   executing boundary neighbors on demand.  Gaps whose executed
+   executing boundary neighbors on demand; the two directions advance in
+   lockstep so each round's frontier resolves in one batched sub-grid
+   fetch.  Gaps whose executed
    endpoints are both in-plateau *and* carry identical phase tuples are
    skipped wholesale: the governors select operating states monotonically
    in the caps, so equal states at both ends of a cap interval pin every
@@ -27,6 +29,13 @@ while *executing* only a fraction of the native grid:
    the walk converges on the oracle's plateau;
 4. **select** — the plateau middle is executed explicitly and returned;
    it is field-for-field the point the full sweep would have picked.
+
+Every stage resolves its points through one prepared
+:class:`~repro.core.parallel.SubgridExecutor` per plan
+(:meth:`SweepEngine.host_subgrid` / :meth:`SweepEngine.gpu_subgrid`):
+the axis keys and the vectorized gather kernel are set up once, each
+stage's subset runs as one gathered kernel pass, and the engine's
+memo/disk caches fill point-by-point exactly as the full sweep would.
 
 Budget curves warm-start each budget from the previous best split
 (hints live on the engine's :class:`~repro.core.parallel.PlannerState`)
@@ -42,12 +51,12 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import cast
 
 import numpy as np
 
-from repro.core.allocation import PowerAllocation, allocation_grid
+from repro.core.allocation import PowerAllocation, allocation_axis
 from repro.core.parallel import SweepEngine, default_engine, fingerprint
 from repro.core.scenario import classify_cpu, classify_gpu
 from repro.core.sweep import (
@@ -181,6 +190,20 @@ def _unimodal_within_tol(values: Sequence[float], tol: float) -> bool:
 _Fetch = Callable[[list[int]], list[SweepPoint]]
 
 
+@dataclass
+class _WalkState:
+    """One direction of the lockstep plateau walk (see :func:`_plan_axis`)."""
+
+    step: int
+    frontier: int
+    pos: int
+    fails: int = 0
+    done: bool = False
+    restart: bool = False
+    need: int | None = None
+    spec: int | None = None
+
+
 def _default_stride(n: int) -> int:
     return max(3, min(12, int(round(math.sqrt(2.0 * n)))))
 
@@ -196,7 +219,10 @@ def _probe_indices(n: int, stride: int, hint: int | None, lean: bool) -> list[in
     probes = {0, n - 1}
     if hint is not None:
         h = min(max(hint, 0), n - 1)
-        probes.update({max(0, h - 1), h, min(n - 1, h + 1)})
+        # A +/-2 neighborhood: wide enough that a plateau drifting one
+        # index between budgets still resolves inside the probe pass
+        # instead of costing extra lockstep walk rounds.
+        probes.update(range(max(0, h - 2), min(n - 1, h + 2) + 1))
     if hint is None or not lean:
         probes.update({h // 2, (h + n - 1) // 2} if hint is not None else set())
         probes.update(range(0, n, stride))
@@ -204,35 +230,53 @@ def _probe_indices(n: int, stride: int, hint: int | None, lean: bool) -> list[in
 
 
 def _plan_axis(
-    n: int, fetch: _Fetch, probes: list[int]
+    n: int,
+    fetch: _Fetch,
+    probes: list[int],
+    seed: dict[int, SweepPoint] | None = None,
 ) -> tuple[dict[int, SweepPoint], tuple[int, int] | None]:
     """Locate the oracle plateau on a ``n``-point axis.
 
     Returns the executed points and the plateau span, or ``None`` as the
     span when the probe profile violates the expected structure (the
     caller then falls back to the full sweep).  ``fetch`` materializes
-    grid indices through the engine (memoized, vectorized).
+    grid indices through the engine (memoized, vectorized).  ``seed``
+    carries points a previous attempt on the same axis already executed
+    (the lean-probe escalation path), so they are never re-fetched.
     """
-    executed: dict[int, SweepPoint] = {}
+    executed: dict[int, SweepPoint] = dict(seed) if seed else {}
+    # Incremental per-point bookkeeping: ``respects_bound`` walks the
+    # phase tuple and ``performance`` is consulted on every restart, so
+    # both are cached once at fetch time instead of recomputed per query.
+    perfs: dict[int, float] = {i: p.performance for i, p in executed.items()}
+    elig: dict[int, bool] = {
+        i: p.result.respects_bound for i, p in executed.items()
+    }
+    finite = all(math.isfinite(v) for v in perfs.values())
 
     def run(indices: Sequence[int]) -> None:
+        nonlocal finite
         todo = sorted(i for i in set(indices) if i not in executed)
         if todo:
             for idx, point in zip(todo, fetch(todo)):
                 executed[idx] = point
+                val = point.performance
+                perfs[idx] = val
+                elig[idx] = point.result.respects_bound
+                if not math.isfinite(val):
+                    finite = False
 
     run(probes)
 
     def ok(index: int) -> bool:
-        return executed[index].result.respects_bound
+        return elig[index]
 
     # Each restart either strictly raises the incumbent top or moves the
     # attainment index strictly left at an unchanged top, so the loop is
     # bounded; the range is a belt-and-braces cap, with the structure
     # fallback behind it.
     for _ in range(2 * n + 4):
-        perfs = {i: p.performance for i, p in executed.items()}
-        if not all(np.isfinite(list(perfs.values()))):
+        if not finite:
             return executed, None  # oracle raises; let the full sweep do it
         eligible = [i for i in sorted(executed) if ok(i)]
         if not eligible:
@@ -250,65 +294,107 @@ def _plan_axis(
 
         arg = next(i for i in eligible if perfs[i] >= top)
 
-        def walk(step: int) -> tuple[int, bool]:
-            """Extend the plateau from ``arg`` in direction ``step``.
+        # Both plateau walks advance in lockstep so each round's frontier
+        # neighbors — at most one per direction — resolve in ONE batched
+        # fetch instead of a scalar call per step.  The per-direction
+        # decision logic is byte-for-byte the sequential walk's: while
+        # the within-tol run continues the frontier advances (same-state
+        # gaps skipped wholesale); past the run's end the walk keeps
+        # peeking for up to ``_DIP_PATIENCE`` sub-top points, and any
+        # peeked point at/above the top forces a restart instead of a
+        # silent miss.  Dips never extend the bracket — the oracle's run
+        # is contiguous.  A restart discovered mid-round may leave the
+        # other direction's point of that round executed; that is safe
+        # because the restart re-derives ``top``/``arg`` from *all*
+        # executed points.
+        left = _WalkState(step=-1, frontier=arg, pos=arg)
+        right = _WalkState(step=+1, frontier=arg, pos=arg)
 
-            While the within-tol run continues, the frontier advances
-            (same-state gaps are skipped wholesale).  Past the run's end
-            the walk keeps peeking for up to ``_DIP_PATIENCE`` sub-top
-            points: the profile's quantization wiggles carry the true
-            optimum across 1–2-point dips (e.g. a one-index spike just
-            past a local plateau), and any peeked point at/above the top
-            forces a restart instead of a silent miss.  Dips never
-            extend the bracket — the oracle's run is contiguous.
-            """
-            frontier = pos = arg
-            fails = 0
-            while 0 <= pos + step < n:
-                nb = pos + step
+        def consume(st: _WalkState, nb: int) -> None:
+            """Fold the (executed) neighbor ``nb`` into the walk state."""
+            if not ok(nb):
+                st.done = True  # eligibility is one contiguous band: done
+                return
+            val = perfs[nb]
+            if st.fails == 0:
+                if val > top:
+                    st.restart = st.done = True  # strictly better: re-anchor
+                    return
+                if val >= top - tol:
+                    st.frontier = st.pos = nb
+                    return
+            elif val > top or (st.step < 0 and val >= top):
+                # A dip hid a higher top — or, leftward, an equal top
+                # in an earlier run, which owns the oracle bracket.
+                st.restart = st.done = True
+                return
+            st.fails += 1
+            if st.fails > _DIP_PATIENCE or val < _PEEK_FLOOR * top:
+                st.done = True
+                return
+            st.pos = nb
+
+        def advance(st: _WalkState) -> None:
+            """Advance through executed points up to the next missing one."""
+            st.need = st.spec = None
+            while not st.done:
+                nb = st.pos + st.step
+                if not 0 <= nb < n:
+                    st.done = True
+                    return
                 if nb not in executed:
-                    if fails == 0:
+                    if st.fails == 0:
                         anchor = (
-                            max((i for i in executed if i < pos), default=None)
-                            if step < 0
-                            else min((i for i in executed if i > pos), default=None)
+                            max((i for i in executed if i < st.pos), default=None)
+                            if st.step < 0
+                            else min((i for i in executed if i > st.pos), default=None)
                         )
                         if (
                             anchor is not None
                             and pred(anchor)
                             and executed[anchor].result.phases
-                            == executed[pos].result.phases
+                            == executed[st.pos].result.phases
                         ):
                             # same-state gap: interior provably identical
-                            frontier = pos = anchor
+                            st.frontier = st.pos = anchor
                             continue
-                    run([nb])
-                    perfs[nb] = executed[nb].performance
-                if not ok(nb):
-                    break  # eligibility is one contiguous band: done
-                val = perfs[nb]
-                if fails == 0:
-                    if val > top:
-                        return frontier, True  # strictly better: re-anchor
-                    if val >= top - tol:
-                        frontier = pos = nb
-                        continue
-                elif val > top or (step < 0 and val >= top):
-                    # A dip hid a higher top — or, leftward, an equal top
-                    # in an earlier run, which owns the oracle bracket.
-                    return frontier, True
-                fails += 1
-                if fails > _DIP_PATIENCE or val < _PEEK_FLOOR * top:
-                    break
-                pos = nb
-            return frontier, False
+                    st.need = nb
+                    # Momentum: speculatively batch the next index of this
+                    # direction into the same round.  Unless ``nb`` ends
+                    # the walk outright, the sequential walk would fetch
+                    # it on the following round anyway, so the round count
+                    # halves at (almost) no executed-point cost; answers
+                    # are unaffected because every walk decision is proof-
+                    # based over whatever happens to be executed.
+                    nb2 = nb + st.step
+                    if 0 <= nb2 < n and nb2 not in executed and (
+                        st.fails < _DIP_PATIENCE
+                    ):
+                        st.spec = nb2
+                    return
+                consume(st, nb)
 
-        lo, restart = walk(-1)
-        if restart:
+        while True:
+            needs: list[int] = []
+            specs: list[int] = []
+            for st in (left, right):
+                if not st.done:
+                    advance(st)
+                    if st.need is not None:
+                        needs.append(st.need)
+                        if st.spec is not None:
+                            specs.append(st.spec)
+            if left.restart or right.restart:
+                break
+            if not needs:
+                break
+            run(needs + specs)  # one batched sub-grid fetch per round
+            for st in (left, right):
+                if not st.done and st.need is not None:
+                    consume(st, st.need)
+        if left.restart or right.restart:
             continue
-        hi, restart = walk(+1)
-        if restart:
-            continue
+        lo, hi = left.frontier, right.frontier
 
         mid = (lo + hi) // 2
         run([mid])
@@ -350,10 +436,21 @@ def plan_cpu_sweep(
     consulted for this (platform, phases, grid) combination.
     """
     engine = engine if engine is not None else default_engine()
-    allocations = allocation_grid(
+    # Raw axis columns only: allocation objects (with their validation
+    # chain) are built lazily in fetch() for the points the plan touches,
+    # never for the ~2/3 of the grid adaptive planning skips.
+    proc_axis, mem_axis = allocation_axis(
         budget_w, mem_min_w=mem_min_w, proc_min_w=proc_min_w, step_w=step_w
     )
-    n = len(allocations)
+    n = len(proc_axis)
+    alloc_cache: dict[int, PowerAllocation] = {}
+
+    def alloc_at(i: int) -> PowerAllocation:
+        alloc = alloc_cache.get(i)
+        if alloc is None:
+            alloc = PowerAllocation(proc_axis[i], mem_axis[i])
+            alloc_cache[i] = alloc
+        return alloc
     hint_key = (
         "plan-cpu",
         fingerprint(cpu),
@@ -378,6 +475,30 @@ def plan_cpu_sweep(
             hint = to_index(remembered[0])
             lean = remembered[1]
     warm = hint is not None
+
+    # Plan replay (exact): the planner's answer is a pure function of the
+    # axis — it equals the oracle's best/plateau whatever route found it —
+    # so a plan of this exact grid already completed on this engine can be
+    # returned outright.  Disabled while a fault plan is armed: armed runs
+    # must re-execute through the scalar path (and never poison the stash).
+    replay_key = ("plan-cpu-replay",) + hint_key[1:] + (float(budget_w),)
+    clean_run = engine._worker_injector() is None
+    if clean_run:
+        prior = engine.planner.stashed(replay_key)
+        if prior is not None:
+            planned = cast(PlannedSweep, prior)
+            stats = PlanStats(
+                native_points=n,
+                executed_points=0,
+                probe_points=0,
+                fallback=False,
+                warm_started=warm,
+                reused_points=0,
+            )
+            engine.planner.record(
+                native=n, executed=0, fallback=False, warm=warm, reused=0
+            )
+            return replace(planned, stats=stats)
 
     # Saturation reuse (exact): if the top P-state's demand at worst-case
     # activity fits under the processor share, _resolve_cpu picks the top
@@ -405,12 +526,19 @@ def plan_cpu_sweep(
             scenario=classify_cpu(result),
         )
 
+    # One prepared axis for the whole plan: every stage's point subset
+    # (probe, certify, walk frontiers, plateau middle) resolves through
+    # the same sub-grid executor, paying key/fingerprint/kernel setup once.
+    subgrid = engine.host_subgrid(
+        cpu, dram, workload.phases, proc_axis, mem_axis
+    )
+
     def fetch(indices: list[int]) -> list[SweepPoint]:
         nonlocal reused
         out: dict[int, SweepPoint] = {}
         todo: list[int] = []
         for i in indices:
-            alloc = allocations[i]
+            alloc = alloc_at(i)
             phases: object = None
             if alloc.proc_w + _CAP_EPS_W >= sat_w:
                 phases = engine.planner.stashed(
@@ -427,8 +555,8 @@ def plan_cpu_sweep(
             else:
                 todo.append(i)
         if todo:
-            subset = [allocations[i] for i in todo]
-            results = engine.map_host(cpu, dram, workload.phases, subset)
+            subset = [alloc_at(i) for i in todo]
+            results = subgrid.run(todo)
             for i, alloc, result in zip(todo, subset, results):
                 out[i] = mk_point(alloc, result)
                 if alloc.proc_w + _CAP_EPS_W >= sat_w:
@@ -445,6 +573,16 @@ def plan_cpu_sweep(
         probes = _probe_indices(n, stride, hint, lean)
         executed, span = _plan_axis(n, fetch, probes)
         probe_count = len(probes)
+        if span is None and lean:
+            # The lean warm set misses structure shifts between
+            # neighboring budgets; escalate to the full probe grid —
+            # reusing every point already executed — before surrendering
+            # the whole axis to the fallback sweep.
+            probes = sorted(
+                set(probes) | set(_probe_indices(n, stride, hint, False))
+            )
+            executed, span = _plan_axis(n, fetch, probes, seed=executed)
+            probe_count = len(probes)
     else:
         probe_count = 0
 
@@ -492,7 +630,7 @@ def plan_cpu_sweep(
         reused=stats.reused_points,
     )
     engine.planner.remember(hint_key, best.allocation.mem_w, not stats.fallback)
-    return PlannedSweep(
+    planned = PlannedSweep(
         workload_name=workload.name,
         metric_unit=workload.metric_unit,
         budget_w=float(budget_w),
@@ -501,6 +639,9 @@ def plan_cpu_sweep(
         plateau=(lo, hi),
         stats=stats,
     )
+    if clean_run:
+        engine.planner.stash(replay_key, planned)
+    return planned
 
 
 # ---------------------------------------------------------------------------
@@ -547,6 +688,26 @@ def plan_gpu_sweep(
             lean = remembered[1]
     warm = hint is not None
 
+    # Plan replay, exactly as in plan_cpu_sweep.
+    replay_key = ("plan-gpu-replay",) + hint_key[1:] + (float(cap_w),)
+    clean_run = engine._worker_injector() is None
+    if clean_run:
+        prior = engine.planner.stashed(replay_key)
+        if prior is not None:
+            planned = cast(PlannedSweep, prior)
+            stats = PlanStats(
+                native_points=n,
+                executed_points=0,
+                probe_points=0,
+                fallback=False,
+                warm_started=warm,
+                reused_points=0,
+            )
+            engine.planner.record(
+                native=n, executed=0, fallback=False, warm=warm, reused=0
+            )
+            return replace(planned, stats=stats)
+
     # Saturation reuse (exact): a phase resolved at the top SM clock with
     # mechanism NONE computed its split and board power before the cap
     # gate, so the identical phase recurs at every cap at or above the
@@ -563,6 +724,9 @@ def plan_gpu_sweep(
             performance=workload.performance(result),
             scenario=classify_gpu(result),
         )
+
+    # One prepared axis for the whole plan, as in plan_cpu_sweep.
+    subgrid = engine.gpu_subgrid(card, workload.phases, cap_w, freqs)
 
     def fetch(indices: list[int]) -> list[SweepPoint]:
         nonlocal reused
@@ -588,7 +752,7 @@ def plan_gpu_sweep(
             todo.append(i)
         if todo:
             subset = [float(freqs[i]) for i in todo]
-            results = engine.map_gpu(card, workload.phases, cap_w, subset)
+            results = subgrid.run(todo)
             for i, f, result in zip(todo, subset, results):
                 out[i] = mk_point(f, result)
                 unconstrained = all(
@@ -614,6 +778,14 @@ def plan_gpu_sweep(
         probes = _probe_indices(n, stride, hint, lean)
         executed, span = _plan_axis(n, fetch, probes)
         probe_count = len(probes)
+        if span is None and lean:
+            # Same escalation as plan_cpu_sweep: widen to the full probe
+            # grid before falling back to the whole axis.
+            probes = sorted(
+                set(probes) | set(_probe_indices(n, stride, hint, False))
+            )
+            executed, span = _plan_axis(n, fetch, probes, seed=executed)
+            probe_count = len(probes)
     else:
         probe_count = 0
 
@@ -652,7 +824,7 @@ def plan_gpu_sweep(
         reused=stats.reused_points,
     )
     engine.planner.remember(hint_key, float(freqs[mid]), not stats.fallback)
-    return PlannedSweep(
+    planned = PlannedSweep(
         workload_name=workload.name,
         metric_unit=workload.metric_unit,
         budget_w=float(cap_w),
@@ -661,6 +833,9 @@ def plan_gpu_sweep(
         plateau=(lo, hi),
         stats=stats,
     )
+    if clean_run:
+        engine.planner.stash(replay_key, planned)
+    return planned
 
 
 # ---------------------------------------------------------------------------

@@ -45,14 +45,20 @@ class LintError(ReproError):
 #: process-default engine and sweep mode, which is environment-aware by
 #: design.  Disk *I/O* likewise stays out: it lives behind ``DiskCache``
 #: instance methods, which the memoized call graph never reaches
-#: directly.  Entries not present in the analyzed files are ignored, so
-#: linting fixture trees stays unaffected.
+#: directly.  The gather kernels' ``execute_indices`` methods are rooted
+#: explicitly too: the engine reaches them through
+#: ``batch_execute_indices`` on an opaque kernel receiver, an attribute
+#: call the graph cannot resolve on its own, yet they are the exact code
+#: the planner's sub-grid batches run.  Entries not present in the
+#: analyzed files are ignored, so linting fixture trees stays unaffected.
 DEFAULT_PURITY_ENTRIES: tuple[str, ...] = (
     "repro.core.diskcache.decode_result",
     "repro.core.diskcache.digest_key",
     "repro.core.diskcache.encode_result",
     "repro.core.planner._plan_axis",
     "repro.core.planner._probe_indices",
+    "repro.perfmodel.batch.GpuBatchKernel.execute_indices",
+    "repro.perfmodel.batch.HostBatchKernel.execute_indices",
     "repro.perfmodel.batch.execute_gpu_batch",
     "repro.perfmodel.batch.execute_host_batch",
 )

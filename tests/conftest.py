@@ -20,12 +20,16 @@ from hypothesis import strategies as st
 
 from repro.core.sweep import optimal_plateau
 from repro.faults.plan import SITES, FaultPlan, FaultSpec
+from repro.hardware.cpu import CpuDomain
+from repro.hardware.dram import DramDomain
 from repro.hardware.platforms import (
     haswell_node,
     ivybridge_node,
     titan_v_card,
     titan_xp_card,
 )
+from repro.hardware.pstate import PStateTable
+from repro.perfmodel.phase import Phase
 from repro.workloads import cpu_workload, gpu_workload
 
 
@@ -62,6 +66,84 @@ def plateau_span(sweep) -> tuple[int, int]:
 def seeded_rng(*seed_parts) -> random.Random:
     """A deterministic PRNG derived from ``seed_parts`` (for fuzz tests)."""
     return random.Random(repr(seed_parts))
+
+
+# ---------------------------------------------------------------------------
+# synthetic planner-domain strategies (hypothesis; shared by the planner
+# equivalence and stage-differential suites)
+# ---------------------------------------------------------------------------
+
+class SyntheticWorkload:
+    """One-phase throughput workload over a fuzzed :class:`Phase`.
+
+    Performance is ``work / elapsed`` with ``work`` fixed at construction,
+    exactly as the inline fuzz workloads historically computed it, so
+    fuzzed planner answers stay bit-comparable across suites.
+    """
+
+    name = "fuzz"
+    metric_unit = "ops/s"
+
+    def __init__(self, phases: tuple[Phase, ...]) -> None:
+        self.phases = phases
+        head = phases[0]
+        self._work = head.flops if head.flops else head.bytes_moved
+
+    def performance(self, result) -> float:
+        return self._work / result.elapsed_s
+
+
+@st.composite
+def planner_cpu_cases(draw) -> dict:
+    """One synthetic CPU planner case: platform, workload, grid knobs.
+
+    The parameter space intentionally includes degenerate corners — a
+    single P-state (``f_span == 0``), one duty/level step, zero-flop and
+    zero-byte phases — because those are where certificate violations and
+    governor quantization dips live.  Returns keyword arguments for
+    ``plan_cpu_sweep`` / ``sweep_cpu_allocations`` plus the built domain
+    objects under ``cpu``/``dram``/``workload``.
+    """
+    flops = draw(st.sampled_from([0.0, 1e12, 5e13]))
+    bytes_moved = draw(st.sampled_from([0.0, 1e11, 8e12]))
+    if flops == 0.0 and bytes_moved == 0.0:
+        flops = 1e12  # a phase must do some work
+    idle_w = draw(st.sampled_from([10.0, 25.0, 40.0]))
+    f_min = draw(st.sampled_from([0.8, 1.2, 1.6]))
+    bg_w = draw(st.sampled_from([8.0, 20.0]))
+    cpu = CpuDomain(
+        n_cores=draw(st.integers(min_value=1, max_value=32)),
+        pstates=PStateTable(
+            f_min, f_min + draw(st.sampled_from([0.0, 0.4, 1.2]))
+        ),
+        idle_power_w=idle_w,
+        max_dynamic_w=draw(st.sampled_from([40.0, 90.0, 140.0])),
+        duty_steps=draw(st.integers(min_value=1, max_value=8)),
+    )
+    dram = DramDomain(
+        background_w=bg_w,
+        max_access_w=draw(st.sampled_from([30.0, 90.0])),
+        peak_bw_gbps=60.0,
+        level_steps=draw(st.integers(min_value=1, max_value=32)),
+    )
+    phase = Phase(
+        name="fuzz",
+        flops=flops,
+        bytes_moved=bytes_moved,
+        activity=0.9,
+        stall_activity=0.35,
+        compute_efficiency=0.7 if flops else 0.0,
+        memory_efficiency=0.8 if bytes_moved else 0.0,
+    )
+    return {
+        "cpu": cpu,
+        "dram": dram,
+        "workload": SyntheticWorkload((phase,)),
+        "budget_w": 4.0 * draw(st.integers(min_value=20, max_value=80)),
+        "step_w": draw(st.sampled_from([2.0, 4.0, 6.0])),
+        "mem_min_w": float(bg_w),
+        "proc_min_w": float(idle_w) / 2.0,
+    }
 
 
 # ---------------------------------------------------------------------------

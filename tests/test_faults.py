@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.parallel import SweepEngine
+from repro.core.planner import plan_cpu_sweep
 from repro.core.sweep import sweep_cpu_allocations
 from repro.errors import (
     FaultError,
@@ -534,3 +535,136 @@ class TestOnlineResilience:
             )
         assert result == clean
         assert report.clean
+
+
+# ---------------------------------------------------------------------------
+# the vectorized planner path under armed fault plans
+# ---------------------------------------------------------------------------
+
+class TestBatchedPlannerFallback:
+    """Armed worker plans force the planner's scalar path (PR 5 contract).
+
+    The vectorized kernel has no per-task boundary to inject worker
+    faults at, so a ``SubgridExecutor`` on an engine whose worker
+    injector is armed must resolve point-by-point through the scalar
+    executor — where crash/timeout schedules fire, retries resubmit, and
+    exhaustion raises typed errors — while still producing the clean
+    run's exact answer when every fault recovers.
+    """
+
+    def _armed_engine(self, **plan_kwargs) -> SweepEngine:
+        return SweepEngine(
+            n_jobs=1,
+            batch=True,
+            faults=plan_for("parallel.worker", FaultKind.WORKER_CRASH,
+                            **plan_kwargs),
+        )
+
+    def test_armed_cpu_plan_bypasses_batch_kernel(self, ivb, stream,
+                                                  monkeypatch):
+        clean = plan_cpu_sweep(
+            ivb.cpu, ivb.dram, stream, 176.0, engine=SweepEngine(n_jobs=1)
+        )
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - contract trip
+            raise AssertionError("batch kernel ran under an armed plan")
+
+        monkeypatch.setattr(
+            "repro.core.parallel.batch_execute_indices", forbidden
+        )
+        engine = self._armed_engine(probability=0.3)
+        planned = plan_cpu_sweep(
+            ivb.cpu, ivb.dram, stream, 176.0, engine=engine
+        )
+        assert planned.best == clean.best
+        assert planned.plateau == clean.plateau
+        assert planned.perf_max == clean.perf_max
+        assert engine.faults.events()  # the schedule did fire
+        assert any(
+            e.action == "resubmitted" for e in engine.fault_report.events
+        )
+
+    def test_armed_gpu_plan_bypasses_batch_kernel(self, monkeypatch):
+        from repro.core.planner import plan_gpu_sweep
+        from repro.hardware.platforms import titan_v_card
+        from repro.workloads import gpu_workload
+
+        card = titan_v_card()
+        wl = gpu_workload("minife")
+        clean = plan_gpu_sweep(card, wl, 200.0, engine=SweepEngine(n_jobs=1))
+        monkeypatch.setattr(
+            "repro.core.parallel.batch_execute_indices",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("batched")),
+        )
+        engine = self._armed_engine(probability=0.3)
+        planned = plan_gpu_sweep(card, wl, 200.0, engine=engine)
+        assert planned.best == clean.best
+        assert planned.plateau == clean.plateau
+
+    def test_disarmed_engine_keeps_batch_kernel(self, ivb, stream,
+                                                monkeypatch):
+        """Sanity inverse: without an armed plan the kernel does run."""
+        from repro.core import parallel as parallel_mod
+
+        calls = []
+        original = parallel_mod.batch_execute_indices
+
+        def counting(kernel, rows):
+            calls.append(len(rows))
+            return original(kernel, rows)
+
+        monkeypatch.setattr(
+            "repro.core.parallel.batch_execute_indices", counting
+        )
+        plan_cpu_sweep(
+            ivb.cpu, ivb.dram, stream, 176.0,
+            engine=SweepEngine(n_jobs=1, batch=True),
+        )
+        assert calls  # at least the probe stage went through the kernel
+
+    def test_exhaustion_on_batched_planner_is_typed(self, ivb, stream):
+        engine = SweepEngine(
+            n_jobs=1,
+            batch=True,
+            faults=plan_for(
+                "parallel.worker", FaultKind.WORKER_TIMEOUT, probability=1.0
+            ),
+        )
+        with pytest.raises(WorkerRetryExhaustedError):
+            plan_cpu_sweep(ivb.cpu, ivb.dram, stream, 176.0, engine=engine)
+
+
+# ---------------------------------------------------------------------------
+# the chaos battery under the adaptive planner
+# ---------------------------------------------------------------------------
+
+def _classification(report) -> dict[str, str]:
+    return {check.name: check.outcome for check in report.checks}
+
+
+class TestChaosUnderAdaptivePlanner:
+    """``REPRO_SWEEP=adaptive`` must not move a single chaos verdict.
+
+    The sweep-curve checks route through the adaptive planner when the
+    engine resolves ``"adaptive"`` mode from the environment, so this
+    locks the full battery — all eight checks — to classify identically
+    to the full-sweep run for the empty plan and for every single-kind
+    battery.
+    """
+
+    @pytest.mark.parametrize(
+        "kind", [None] + list(FaultKind),
+        ids=["empty"] + [k.name for k in FaultKind],
+    )
+    def test_battery_classifies_identically(self, kind, monkeypatch):
+        plan = (
+            FaultPlan.empty() if kind is None
+            else plan_for(_KIND_SITE[kind], kind, probability=0.3)
+        )
+        monkeypatch.delenv("REPRO_SWEEP", raising=False)
+        full = run_chaos(plan, scale="smoke")
+        monkeypatch.setenv("REPRO_SWEEP", "adaptive")
+        adaptive = run_chaos(plan, scale="smoke")
+        assert len(adaptive.checks) == 8
+        assert _classification(adaptive) == _classification(full)
+        assert adaptive.ok is full.ok

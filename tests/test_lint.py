@@ -149,6 +149,8 @@ class TestSelfCheck:
             "repro.core.diskcache.encode_result",
             "repro.core.planner._plan_axis",
             "repro.core.planner._probe_indices",
+            "repro.perfmodel.batch.GpuBatchKernel.execute_indices",
+            "repro.perfmodel.batch.HostBatchKernel.execute_indices",
             "repro.perfmodel.batch.execute_gpu_batch",
             "repro.perfmodel.batch.execute_host_batch",
         )
@@ -167,10 +169,12 @@ class TestSelfCheck:
         assert set(DEFAULT_PURITY_ENTRIES) <= graph.entries
 
         # Auto-detection alone (the SweepEngine module's cross-module
-        # calls) already roots both kernels; the planner's axis search
+        # calls) already roots the full-axis kernels and the sub-grid
+        # gather door; the kernel methods, the planner's axis search,
         # and the disk-cache codecs need the explicit entries.
         auto = CallGraph.build(project)
         assert {
+            "repro.perfmodel.batch.batch_execute_indices",
             "repro.perfmodel.batch.execute_gpu_batch",
             "repro.perfmodel.batch.execute_host_batch",
         } <= auto.entries
@@ -181,6 +185,8 @@ class TestSelfCheck:
             "repro.perfmodel.batch._resolve_dram_batch",
             "repro.perfmodel.batch._host_phase_batch",
             "repro.perfmodel.batch._gpu_phase_batch",
+            "repro.perfmodel.batch.HostBatchKernel.execute_indices",
+            "repro.perfmodel.batch.GpuBatchKernel.execute_indices",
             "repro.core.planner._one_contiguous_run",
             "repro.core.planner._unimodal_within_tol",
         ):

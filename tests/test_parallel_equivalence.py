@@ -24,8 +24,10 @@ import numpy as np
 from repro.core.allocation import allocation_grid
 from repro.core.parallel import (
     JOBS_ENV_VAR,
+    SERIAL_CROSSOVER,
     MemoCache,
     SweepEngine,
+    _chunk_indices,
     default_engine,
     fingerprint,
     freeze,
@@ -395,3 +397,81 @@ class TestEnginePlumbing:
             assert default_engine() is replacement
         finally:
             set_default_engine(original)
+
+
+# ---------------------------------------------------------------------------
+# chunked cold fan-out: the process backend past the crossover
+# ---------------------------------------------------------------------------
+
+class TestChunkedColdFanout:
+    """Pin the cold-parallel fix: chunked kernel passes, no resubmission.
+
+    Historically a cold ``n_jobs=4`` pass regressed to 0.84x serial
+    because every point crossed the pool boundary individually (one
+    platform pickle per point).  The process backend now splits a cold
+    grid into one contiguous chunk per worker and runs the vectorized
+    kernel inside each worker, so the fix rests on two invariants locked
+    here: :func:`_chunk_indices` partitions the miss list exactly once,
+    and a cold chunked sweep executes each point exactly once with
+    bit-identical answers.  The wall-clock side of the same scenario is
+    guarded in ``benchmarks/bench_parallel.py``.
+    """
+
+    @pytest.mark.parametrize("n", (1, 2, 3, 4, 7, 59, 256, 277, 1000))
+    @pytest.mark.parametrize("chunks", (1, 2, 4, 5, 16))
+    def test_chunk_indices_partition(self, n, chunks):
+        parts = _chunk_indices(n, chunks)
+        # covering, disjoint, order-preserving: concatenation is range(n)
+        assert [i for part in parts for i in part] == list(range(n))
+        # never more chunks than workers or points, never an empty chunk
+        assert 1 <= len(parts) <= min(chunks, n)
+        assert all(parts)
+        # contiguous runs, balanced to within one point
+        for part in parts:
+            assert part == list(range(part[0], part[0] + len(part)))
+        sizes = {len(part) for part in parts}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_chunk_indices_degenerate_worker_counts(self):
+        assert _chunk_indices(5, 0) == [[0, 1, 2, 3, 4]]
+        assert _chunk_indices(3, 99) == [[0], [1], [2]]
+
+    def test_cold_chunked_executes_each_point_once(self, ivb, dgemm):
+        """Crossover-sized grid, cold process pool: one execution per point."""
+        engine = SweepEngine(n_jobs=4, backend="process", batch=True)
+        parallel = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, dgemm, 300.0, step_w=1.0,
+            mem_min_w=16.0, proc_min_w=8.0, engine=engine,
+        )
+        n = len(parallel.points)
+        assert n >= SERIAL_CROSSOVER  # genuinely past the serial shortcut
+        # exactly one miss per point, zero hits, zero resubmissions
+        assert engine.stats.misses == n
+        assert engine.stats.hits == 0
+        serial = sweep_cpu_allocations(
+            ivb.cpu, ivb.dram, dgemm, 300.0, step_w=1.0,
+            mem_min_w=16.0, proc_min_w=8.0, engine=serial_engine(),
+        )
+        assert_sweeps_identical(serial, parallel)
+
+    def test_cold_chunked_gpu_matches_serial(self, tv, minife):
+        """Forced chunking on the GPU clock axis: exact-once, bit-identical."""
+        engine = SweepEngine(
+            n_jobs=4, backend="process", batch=True, serial_crossover=0
+        )
+        parallel = sweep_gpu_allocations(tv, minife, 200.0, engine=engine)
+        assert engine.stats.misses == len(parallel.points)
+        assert engine.stats.hits == 0
+        serial = sweep_gpu_allocations(tv, minife, 200.0, engine=serial_engine())
+        assert_sweeps_identical(serial, parallel)
+
+    def test_warm_chunked_rerun_is_all_hits(self, ivb, dgemm):
+        """The chunked path stores what it executes: warm rerun spawns no pool."""
+        engine = SweepEngine(n_jobs=4, backend="process", batch=True)
+        kwargs = dict(step_w=1.0, mem_min_w=16.0, proc_min_w=8.0, engine=engine)
+        first = sweep_cpu_allocations(ivb.cpu, ivb.dram, dgemm, 300.0, **kwargs)
+        misses = engine.stats.misses
+        second = sweep_cpu_allocations(ivb.cpu, ivb.dram, dgemm, 300.0, **kwargs)
+        assert engine.stats.misses == misses  # nothing re-executed
+        assert engine.stats.hits == len(second.points)
+        assert sweep_signature(first) == sweep_signature(second)

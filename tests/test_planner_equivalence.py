@@ -38,16 +38,14 @@ from repro.core.sweep import (
     sweep_gpu_allocations,
 )
 from repro.errors import SweepError
-from repro.hardware.cpu import CpuDomain
-from repro.hardware.dram import DramDomain
-from repro.hardware.pstate import PStateTable
-from repro.perfmodel.phase import Phase
 from repro.workloads import (
     cpu_workload,
     gpu_workload,
     list_cpu_workloads,
     list_gpu_workloads,
 )
+
+from tests.conftest import planner_cpu_cases
 
 CPU_BUDGETS = (144.0, 176.0, 208.0, 240.0)
 GPU_CAPS = (130.0, 150.0, 190.0, 250.0)
@@ -358,85 +356,18 @@ class TestModeDispatch:
 
 class TestFuzzedEquivalence:
     @settings(max_examples=30, deadline=None, derandomize=True)
-    @given(
-        n_cores=st.integers(min_value=1, max_value=32),
-        f_min=st.sampled_from([0.8, 1.2, 1.6]),
-        f_span=st.sampled_from([0.0, 0.4, 1.2]),
-        idle_w=st.sampled_from([10.0, 25.0, 40.0]),
-        dyn_w=st.sampled_from([40.0, 90.0, 140.0]),
-        duty_steps=st.integers(min_value=1, max_value=8),
-        bg_w=st.sampled_from([8.0, 20.0]),
-        access_w=st.sampled_from([30.0, 90.0]),
-        level_steps=st.integers(min_value=1, max_value=32),
-        budget=st.integers(min_value=20, max_value=80).map(lambda k: 4.0 * k),
-        step=st.sampled_from([2.0, 4.0, 6.0]),
-        flops=st.sampled_from([0.0, 1e12, 5e13]),
-        bytes_moved=st.sampled_from([0.0, 1e11, 8e12]),
-    )
-    def test_fuzzed_platforms(
-        self,
-        n_cores,
-        f_min,
-        f_span,
-        idle_w,
-        dyn_w,
-        duty_steps,
-        bg_w,
-        access_w,
-        level_steps,
-        budget,
-        step,
-        flops,
-        bytes_moved,
-    ):
-        if flops == 0.0 and bytes_moved == 0.0:
-            flops = 1e12  # a phase must do some work
-        cpu = CpuDomain(
-            n_cores=n_cores,
-            pstates=PStateTable(f_min, f_min + f_span),
-            idle_power_w=idle_w,
-            max_dynamic_w=dyn_w,
-            duty_steps=duty_steps,
-        )
-        dram = DramDomain(
-            background_w=bg_w,
-            max_access_w=access_w,
-            peak_bw_gbps=60.0,
-            level_steps=level_steps,
-        )
-        phases = (
-            Phase(
-                name="fuzz",
-                flops=flops,
-                bytes_moved=bytes_moved,
-                activity=0.9,
-                stall_activity=0.35,
-                compute_efficiency=0.7 if flops else 0.0,
-                memory_efficiency=0.8 if bytes_moved else 0.0,
-            ),
-        )
-
-        class _Workload:
-            name = "fuzz"
-            metric_unit = "ops/s"
-
-            def __init__(self):
-                self.phases = phases
-
-            def performance(self, result):
-                total = flops if flops else bytes_moved
-                return total / result.elapsed_s
-
-        wl = _Workload()
-        mem_min = float(bg_w)
-        proc_min = float(idle_w) / 2.0
+    @given(case=planner_cpu_cases())
+    def test_fuzzed_platforms(self, case):
+        cpu, dram, wl = case["cpu"], case["dram"], case["workload"]
+        kwargs = {
+            k: case[k]
+            for k in ("budget_w", "step_w", "mem_min_w", "proc_min_w")
+        }
         oracle = sweep_cpu_allocations(
-            cpu, dram, wl, budget, step_w=step, mem_min_w=mem_min,
-            proc_min_w=proc_min, engine=oracle_engine(),
+            cpu, dram, wl, engine=oracle_engine(), **kwargs
         )
         planned = plan_cpu_sweep(
-            cpu, dram, wl, budget, step_w=step, mem_min_w=mem_min,
-            proc_min_w=proc_min, engine=SweepEngine(n_jobs=1),
+            cpu, dram, wl, engine=SweepEngine(n_jobs=1), **kwargs
         )
         assert_plan_matches_sweep(planned, oracle)
 

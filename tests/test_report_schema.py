@@ -172,3 +172,64 @@ class TestCommittedReports:
             assert path.with_suffix(".txt").exists(), (
                 f"{path.name} has no rendered .txt companion"
             )
+
+class TestPlannerReportFields:
+    """``reports/planner.json`` carries the cold/warm dominance record.
+
+    The planner benchmark's acceptance claim — adaptive beats the full
+    sweep wall-clock cold AND warm on every figure-scale config — is
+    consumed from the committed report, so its field shape and the
+    >= 1.0x floors are pinned here.
+    """
+
+    _LABELS = ("fig2", "fig6", "fig9")
+
+    @pytest.fixture(scope="class")
+    def planner(self) -> dict:
+        path = _BENCH_DIR / "reports" / "planner.json"
+        return json.loads(path.read_text())
+
+    def test_wall_clock_covers_every_config_mode_and_temperature(self, planner):
+        for label in self._LABELS:
+            for mode in ("full", "adaptive"):
+                for temp in ("cold", "warm"):
+                    key = f"{label}_{mode}_{temp}"
+                    assert key in planner["wall_s"], key
+                    assert planner["wall_s"][key] > 0.0
+
+    def test_adaptive_dominates_cold_and_warm(self, planner):
+        for label in self._LABELS:
+            assert planner["speedup"][f"{label}_cold"] >= 1.0, label
+            assert planner["speedup"][f"{label}_warm"] >= 1.0, label
+
+    def test_speedups_are_consistent_with_wall_clocks(self, planner):
+        for label in self._LABELS:
+            for temp in ("cold", "warm"):
+                ratio = (
+                    planner["wall_s"][f"{label}_full_{temp}"]
+                    / planner["wall_s"][f"{label}_adaptive_{temp}"]
+                )
+                recorded = planner["speedup"][f"{label}_{temp}"]
+                assert recorded == pytest.approx(ratio, rel=1e-2)
+
+    def test_point_ratios_meet_the_committed_floor(self, planner):
+        assert set(planner["configs"]) == set(self._LABELS)
+        for label, config in planner["configs"].items():
+            assert config["point_ratio"] >= planner["min_point_ratio"], label
+            assert config["executed_points"] < config["native_points"]
+
+
+class TestParallelReportFields:
+    """``reports/parallel.json`` carries the cold-parallel guard record."""
+
+    @pytest.fixture(scope="class")
+    def parallel(self) -> dict:
+        path = _BENCH_DIR / "reports" / "parallel.json"
+        return json.loads(path.read_text())
+
+    def test_chunked_guard_fields_present(self, parallel):
+        assert {"chunked_cold", "chunked_serial_cold"} <= set(parallel["wall_s"])
+        assert parallel["chunked_grid_points"] >= 256  # past the crossover
+
+    def test_chunked_cold_beats_serial(self, parallel):
+        assert parallel["speedup"]["chunked_cold"] >= 1.0
