@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-slow test-all bench bench-smoke cache-smoke chaos-smoke coverage lint typecheck check
+.PHONY: test test-slow test-all bench bench-smoke cache-smoke chaos-smoke serve-smoke coverage lint typecheck check
 
 # Tier-1: the invariant linter, then the trimmed suite (pyproject
 # addopts deselect `slow`).
@@ -22,10 +22,10 @@ test-all: test test-slow
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
 
-# mypy --strict over repro.core, repro.lint and the vectorized batch
-# kernel (configured in
-# pyproject.toml).  Gated: the target skips with a notice when mypy is
-# not installed so offline environments keep a working `make test`.
+# mypy --strict over repro.core, repro.lint, the vectorized batch
+# kernel and the coordination server (configured in pyproject.toml).
+# Gated: the target skips with a notice when mypy is not installed so
+# offline environments keep a working `make test`.
 typecheck:
 	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
 		PYTHONPATH=src $(PYTHON) -m mypy; \
@@ -72,6 +72,15 @@ chaos-smoke:
 		--plan examples/faults/chaos_smoke.json --scale smoke
 	REPRO_SWEEP=adaptive PYTHONPATH=src $(PYTHON) -m repro chaos \
 		--plan examples/faults/chaos_smoke.json --scale smoke
+
+# CI smoke: the coordination server end-to-end — bind an ephemeral
+# port, drive a concurrent TCP burst through the micro-batcher, verify
+# every reply and spot-check bit-identity against the direct library
+# call — under both REPRO_SWEEP settings (the served answers must not
+# depend on which sweep strategy the env resolves).
+serve-smoke:
+	REPRO_SWEEP=full     PYTHONPATH=src $(PYTHON) -m repro serve --smoke
+	REPRO_SWEEP=adaptive PYTHONPATH=src $(PYTHON) -m repro serve --smoke
 
 # Coverage floor over the engine and fault layers.  Gated: skips with a
 # notice when pytest-cov is not installed (CI installs and enforces it).

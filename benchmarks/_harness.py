@@ -44,7 +44,12 @@ def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
 
 
 def cache_dict(stats: CacheStats) -> dict[str, float | int]:
-    """Flatten a CacheStats snapshot for JSON emission."""
+    """Flatten a CacheStats snapshot for JSON emission.
+
+    ``hit_ratio`` reports the memory tier alone; lookups promoted from
+    the persistent disk tier show up in ``disk_hits``/``disk_hit_ratio``
+    so warm-process and warm-disk behaviour stay distinguishable.
+    """
     return {
         "hits": stats.hits,
         "misses": stats.misses,
@@ -53,6 +58,7 @@ def cache_dict(stats: CacheStats) -> dict[str, float | int]:
         "maxsize": stats.maxsize,
         "hit_ratio": stats.hit_ratio,
         "disk_hits": stats.disk_hits,
+        "disk_hit_ratio": stats.disk_hit_ratio,
     }
 
 

@@ -1,0 +1,262 @@
+"""Coordination server: micro-batched vs unbatched serving throughput.
+
+Drives the real TCP server (``repro.serve``) with a closed-loop load
+generator: 256 concurrent asyncio clients walking a fig9-scale
+catalogue (one ``budget_curve`` query per registered CPU workload over
+the paper's four budgets, 144/176/208/240 W at 2 W steps — dense
+enough that each query carries real kernel-and-assembly work) in
+**lock-step** — every client asks the same question at the same time,
+the cluster-power-event pattern (a budget change makes every node
+re-coordinate at once) that a coordination service actually faces.
+The same offered load runs three ways:
+
+* **unbatched cold** — ``max_batch=1``: every request is its own flush,
+  its own kernel pass, its own executor round-trip (classic
+  one-query-per-call serving with a warm engine);
+* **batched cold** — the micro-batching coalescer: the admission queue
+  drains up to ``max_batch`` requests per flush, identical in-flight
+  queries are deduplicated, and each flush's grid work is unioned into
+  one batch-kernel pass per (platform, workload, step) partition;
+* **batched warm** — the identical load replayed against the same
+  (now fully warm) server, which is what the p50/p99 latency SLO is
+  measured on.
+
+The headline acceptance number — batched ≥ 3x unbatched throughput at
+256 clients, warm p99 ≤ 5x warm p50 — lives in the committed report
+(``benchmarks/reports/serve.json``) and is pinned by
+``tests/test_report_schema.py``; in-run assertions stick to
+machine-independent claims (batched not slower, dedup actually engaged,
+served answers bit-identical across clients and to the direct library
+call), the same policy as ``bench_batch``.
+
+``--bench-quick`` shrinks the client fleet and skips the second
+(batched-warm) replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.parallel import SweepEngine
+from repro.serve.client import ServeClient
+from repro.serve.protocol import Request
+from repro.serve.server import CoordServer, ServeConfig
+from repro.serve.service import CoordinationService
+from repro.workloads import list_cpu_workloads
+
+from _harness import write_json_report, write_text_report
+
+BUDGETS_W = [144.0, 176.0, 208.0, 240.0]
+STEP_W = 2.0
+MAX_BATCH = 128
+MAX_WAIT_US = 5000
+
+
+def _catalogue() -> list[tuple[str, dict]]:
+    """One ``budget_curve`` per CPU workload over the fig9 budgets."""
+    return [
+        ("budget_curve", {"workload": name, "budgets_w": BUDGETS_W, "step_w": STEP_W})
+        for name in list_cpu_workloads()
+    ]
+
+
+async def _drive(
+    server: CoordServer,
+    host: str,
+    port: int,
+    n_clients: int,
+    per_client: int,
+    catalogue: list[tuple[str, dict]],
+) -> tuple[float, list[float], dict[int, dict]]:
+    """Closed-loop burst; returns (wall_s, latencies_s, results-by-key)."""
+    latencies: list[float] = []
+    results: dict[int, dict] = {}
+
+    async def one_client(index: int) -> None:
+        async with await ServeClient.connect(host, port) as client:
+            for step in range(per_client):
+                # Lock-step walk: every client asks the same question at
+                # the same time — the cluster-power-event pattern (all
+                # nodes re-coordinate at once) that in-flight dedup is
+                # built to collapse.
+                key = step % len(catalogue)
+                op, params = catalogue[key]
+                start = time.perf_counter()
+                reply = await client.request(op, params)
+                latencies.append(time.perf_counter() - start)
+                assert reply["ok"], reply
+                assert not reply["degraded"]
+                previous = results.setdefault(key, reply["result"])
+                # Fan-in consistency: every client gets the same bits.
+                assert reply["result"] == previous
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(one_client(i) for i in range(n_clients)))
+    return time.perf_counter() - wall_start, latencies, results
+
+
+def _percentiles_ms(latencies: list[float]) -> tuple[float, float]:
+    ordered = sorted(latencies)
+    p50 = ordered[len(ordered) // 2] * 1000.0
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))] * 1000.0
+    return p50, p99
+
+
+async def _bench(n_clients: int, per_client: int, warm_replay: bool) -> dict:
+    catalogue = _catalogue()
+    out: dict = {"catalogue": len(catalogue)}
+
+    # --- unbatched baseline: one flush (and kernel pass) per request ---
+    server = CoordServer(ServeConfig(port=0, max_batch=1, max_wait_us=MAX_WAIT_US))
+    host, port = await server.start()
+    wall, lat, unbatched_results = await _drive(
+        server, host, port, n_clients, per_client, catalogue
+    )
+    await server.stop()
+    out["unbatched_cold"] = {"wall_s": wall, "lat": _percentiles_ms(lat)}
+
+    # --- micro-batched: coalesced flushes, deduped in-flight twins ---
+    server = CoordServer(
+        ServeConfig(port=0, max_batch=MAX_BATCH, max_wait_us=MAX_WAIT_US)
+    )
+    host, port = await server.start()
+    wall, lat, batched_results = await _drive(
+        server, host, port, n_clients, per_client, catalogue
+    )
+    out["batched_cold"] = {"wall_s": wall, "lat": _percentiles_ms(lat)}
+
+    if warm_replay:
+        wall, lat, _ = await _drive(
+            server, host, port, n_clients, per_client, catalogue
+        )
+        out["batched_warm"] = {"wall_s": wall, "lat": _percentiles_ms(lat)}
+
+    out["batcher"] = server.batcher.stats.to_dict()
+    out["cache"] = server.service.engine.cache.stats
+    await server.stop()
+
+    # Served answers must be bit-identical across serving modes AND to a
+    # direct library call on a fresh engine (the differential battery in
+    # tests/test_serve.py locks this per-op; the bench spot-checks the
+    # whole catalogue end-to-end over the real wire).
+    direct = CoordinationService(SweepEngine())
+    mismatches = 0
+    queried = sorted(set(batched_results) & set(unbatched_results))
+    for key in queried:
+        op, params = catalogue[key]
+        want = direct.resolve(Request(id=None, op=op, params=params)).result
+        if batched_results[key] != want or unbatched_results[key] != want:
+            mismatches += 1
+    out["identity"] = {"queries_checked": len(queried), "mismatches": mismatches}
+    return out
+
+
+def test_serve_bench(bench_quick):
+    n_clients = 64 if bench_quick else 256
+    per_client = 2 if bench_quick else 4
+    outcome = asyncio.run(_bench(n_clients, per_client, warm_replay=not bench_quick))
+
+    n_requests = n_clients * per_client
+    w_un = outcome["unbatched_cold"]["wall_s"]
+    w_cold = outcome["batched_cold"]["wall_s"]
+    speedup_cold = w_un / w_cold
+    wall_s = {"unbatched_cold": w_un, "batched_cold": w_cold}
+    speedup = {"batched_cold": speedup_cold}
+    throughput = {
+        "unbatched_cold": n_requests / w_un,
+        "batched_cold": n_requests / w_cold,
+    }
+    latency_ms = {
+        "unbatched_cold_p50": outcome["unbatched_cold"]["lat"][0],
+        "unbatched_cold_p99": outcome["unbatched_cold"]["lat"][1],
+        "batched_cold_p50": outcome["batched_cold"]["lat"][0],
+        "batched_cold_p99": outcome["batched_cold"]["lat"][1],
+    }
+    if "batched_warm" in outcome:
+        w_warm = outcome["batched_warm"]["wall_s"]
+        wall_s["batched_warm"] = w_warm
+        speedup["batched_warm"] = w_un / w_warm
+        throughput["batched_warm"] = n_requests / w_warm
+        latency_ms["batched_warm_p50"] = outcome["batched_warm"]["lat"][0]
+        latency_ms["batched_warm_p99"] = outcome["batched_warm"]["lat"][1]
+
+    batcher = outcome["batcher"]
+    lines = [
+        "coordination server — micro-batched vs unbatched serving",
+        f"({n_clients} concurrent clients x {per_client} budget_curve queries, "
+        f"{outcome['catalogue']} CPU workloads, budgets "
+        f"{'/'.join(f'{b:g}' for b in BUDGETS_W)} W, step {STEP_W:g} W)",
+        "",
+        f"unbatched cold (max_batch=1):    {w_un:8.3f} s   "
+        f"{throughput['unbatched_cold']:6.0f} req/s",
+        f"batched cold (max_batch={MAX_BATCH}):    {w_cold:8.3f} s   "
+        f"{throughput['batched_cold']:6.0f} req/s   "
+        f"speedup {speedup_cold:5.2f}x",
+    ]
+    if "batched_warm" in outcome:
+        lines.append(
+            f"batched warm (replay):           {wall_s['batched_warm']:8.3f} s   "
+            f"{throughput['batched_warm']:6.0f} req/s   "
+            f"speedup {speedup['batched_warm']:5.2f}x"
+        )
+    lines += [
+        "",
+        f"latency p50/p99 (ms): unbatched {latency_ms['unbatched_cold_p50']:.0f}/"
+        f"{latency_ms['unbatched_cold_p99']:.0f}, "
+        f"batched cold {latency_ms['batched_cold_p50']:.0f}/"
+        f"{latency_ms['batched_cold_p99']:.0f}"
+        + (
+            f", batched warm {latency_ms['batched_warm_p50']:.0f}/"
+            f"{latency_ms['batched_warm_p99']:.0f}"
+            if "batched_warm" in outcome
+            else ""
+        ),
+        f"coalescer: dedup {batcher['dedup_ratio']:.0%}, occupancy "
+        f"{batcher['mean_occupancy']:.0f}, {batcher['prefetch_passes']} union "
+        f"kernel passes over {batcher['flushes']} flushes",
+        f"identity: {outcome['identity']['queries_checked']} catalogue queries, "
+        f"{outcome['identity']['mismatches']} mismatches vs direct library call",
+        "",
+        "note: under this lock-step load a flush dedups to one or two unique",
+        "queries, so the win is overwhelmingly in-flight dedup (the",
+        "union-prime kernel pass engages when a flush mixes distinct queries",
+        "of one workload; tests/test_serve.py locks that path).  every reply",
+        "is assembled by the unchanged library call against the warm shared",
+        "cache, so served bytes equal direct-call bytes.",
+    ]
+    rendered = "\n".join(lines)
+    write_text_report("serve", rendered)
+    write_json_report(
+        "serve",
+        op="serve_budget_curves",
+        n_points=n_requests,
+        wall_s=wall_s,
+        speedup=speedup,
+        cache=outcome["cache"],
+        n_clients=n_clients,
+        requests_per_client=per_client,
+        latency_ms={k: round(v, 3) for k, v in latency_ms.items()},
+        throughput_rps={k: round(v, 1) for k, v in throughput.items()},
+        batching={
+            "max_batch": MAX_BATCH,
+            "max_wait_us": MAX_WAIT_US,
+            "dedup_ratio": batcher["dedup_ratio"],
+            "mean_occupancy": batcher["mean_occupancy"],
+            "flushes": batcher["flushes"],
+            "prefetch_passes": batcher["prefetch_passes"],
+        },
+        identity=outcome["identity"],
+        quick=bench_quick,
+    )
+    print()
+    print(rendered)
+
+    # Machine-independent claims only (the >= 3x headline and the p99 SLO
+    # are pinned on the committed report by tests/test_report_schema.py):
+    # batching must not lose to unbatched, the coalescer must actually
+    # dedup this redundant load, and served bits must match direct bits.
+    assert speedup_cold >= 1.0
+    assert batcher["deduped"] > 0
+    assert batcher["mean_occupancy"] > 1.0
+    assert outcome["identity"]["mismatches"] == 0

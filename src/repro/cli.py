@@ -113,6 +113,47 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: fig9)",
     )
     p.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the coordination server (micro-batched, warm engine)",
+        description=(
+            "Long-lived allocation daemon: newline-delimited JSON over TCP, "
+            "concurrent queries coalesced into micro-batched kernel passes "
+            "against one warm engine.  Every REPRO_SERVE_* environment knob "
+            "is overridable by the matching flag.  See docs/serving.md."
+        ),
+    )
+    p.add_argument("--host", default=None, help="bind address (default: $REPRO_SERVE_HOST, else 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None, help="bind port, 0 for ephemeral (default: $REPRO_SERVE_PORT, else 7077)")
+    p.add_argument(
+        "--max-batch", type=int, default=None,
+        help="flush the admission queue at this depth; 1 disables batching "
+             "(default: $REPRO_SERVE_MAX_BATCH, else 32)",
+    )
+    p.add_argument(
+        "--max-wait-us", type=int, default=None,
+        help="flush the admission queue after this many microseconds "
+             "(default: $REPRO_SERVE_MAX_WAIT_US, else 2000)",
+    )
+    p.add_argument(
+        "--resolvers", type=int, default=None,
+        help="resolver threads draining flushes (default: $REPRO_SERVE_RESOLVERS, else 1)",
+    )
+    p.add_argument(
+        "--stats-interval", type=float, default=None,
+        help="seconds between stats log lines, 0 disables "
+             "(default: $REPRO_SERVE_STATS_INTERVAL, else 0)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="start, drive a concurrent TCP burst, assert clean shutdown",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
+    )
+    _add_engine_arguments(p)
     return parser
 
 
@@ -277,6 +318,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, run_server, run_smoke
+
+    base = ServeConfig.from_env()
+    config = ServeConfig(
+        host=args.host if args.host is not None else base.host,
+        port=args.port if args.port is not None else base.port,
+        max_batch=args.max_batch if args.max_batch is not None else base.max_batch,
+        max_wait_us=(
+            args.max_wait_us if args.max_wait_us is not None else base.max_wait_us
+        ),
+        stats_interval_s=(
+            args.stats_interval
+            if args.stats_interval is not None
+            else base.stats_interval_s
+        ),
+        n_resolvers=args.resolvers if args.resolvers is not None else base.n_resolvers,
+    )
+    if args.smoke:
+        # Smoke always binds an ephemeral port: CI runs must not collide.
+        run_smoke(
+            ServeConfig(
+                host=config.host,
+                port=0,
+                max_batch=config.max_batch,
+                max_wait_us=config.max_wait_us,
+                stats_interval_s=0.0,
+                n_resolvers=config.n_resolvers,
+            )
+        )
+        return 0
+    run_server(config, engine=_make_engine(args))
+    return 0
+
+
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -292,6 +368,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_experiment(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 0  # pragma: no cover
 

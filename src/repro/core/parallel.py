@@ -243,7 +243,15 @@ def fingerprint(obj: object) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Point-in-time counters of a :class:`MemoCache`."""
+    """Point-in-time counters of a :class:`MemoCache`.
+
+    ``hits`` counts every lookup served without executing the model;
+    ``disk_hits`` is the subset of those served by the persistent disk
+    tier rather than the in-memory LRU, so ``hits - disk_hits``
+    (:attr:`memo_hits`) is the pure memory-tier hit count.  The two
+    ratios are disjoint by construction:
+    ``hit_ratio + disk_hit_ratio + miss fraction == 1``.
+    """
 
     hits: int
     misses: int
@@ -257,9 +265,24 @@ class CacheStats:
         return self.hits + self.misses
 
     @property
+    def memo_hits(self) -> int:
+        """Lookups served by the in-memory tier alone (hits minus disk)."""
+        return self.hits - self.disk_hits
+
+    @property
     def hit_ratio(self) -> float:
-        """Fraction of lookups served from cache (0.0 when untouched)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Fraction of lookups served by the *memory* tier (0.0 untouched).
+
+        Disk promotions are deliberately excluded — they are reported
+        separately in :attr:`disk_hit_ratio` so a disk-warm pass cannot
+        masquerade as memo locality.
+        """
+        return self.memo_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def disk_hit_ratio(self) -> float:
+        """Fraction of lookups served by the persistent disk tier."""
+        return self.disk_hits / self.lookups if self.lookups else 0.0
 
 
 class MemoCache:
@@ -1125,6 +1148,48 @@ class SweepEngine:
     def stats(self) -> CacheStats:
         """Counters of the engine's execution cache."""
         return self.cache.stats
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """One JSON-ready snapshot of every observable engine counter.
+
+        The cache and planner counters are each read under their own
+        lock, so the snapshot is safe to take from any thread while
+        sweeps are in flight (each sub-snapshot is internally
+        consistent; the two are not mutually atomic, which no consumer
+        needs).  This is the structure the coordination server's
+        ``stats`` query and ``--stats-interval`` log line serialize.
+        """
+        cache = self.cache.stats
+        planner = self.planner.stats
+        return {
+            "mode": self.mode,
+            "batch": self.batch,
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "disk_tier": self.disk_cache is not None,
+            "cache": {
+                "hits": cache.hits,
+                "memo_hits": cache.memo_hits,
+                "disk_hits": cache.disk_hits,
+                "misses": cache.misses,
+                "lookups": cache.lookups,
+                "evictions": cache.evictions,
+                "size": cache.size,
+                "maxsize": cache.maxsize,
+                "hit_ratio": cache.hit_ratio,
+                "disk_hit_ratio": cache.disk_hit_ratio,
+            },
+            "planner": {
+                "sweeps": planner.sweeps,
+                "fallbacks": planner.fallbacks,
+                "warm_starts": planner.warm_starts,
+                "native_points": planner.native_points,
+                "executed_points": planner.executed_points,
+                "reused_points": planner.reused_points,
+                "points_saved": planner.points_saved,
+                "savings_ratio": planner.savings_ratio,
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

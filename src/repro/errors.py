@@ -17,6 +17,8 @@ __all__ = [
     "UnknownWorkloadError",
     "UnknownPlatformError",
     "ProfilingError",
+    "ProtocolError",
+    "ServeError",
     "SweepError",
     "ConvergenceError",
     "SchedulerError",
@@ -99,6 +101,24 @@ class ConvergenceError(ReproError):
 
 class SchedulerError(ReproError):
     """The power-bounded batch scheduler was driven into an invalid state."""
+
+
+# ---------------------------------------------------------------------------
+# coordination-as-a-service (repro.serve)
+# ---------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """The coordination server was misconfigured or driven into an invalid state."""
+
+
+class ProtocolError(ServeError):
+    """A wire message violated the newline-delimited JSON protocol.
+
+    Raised (and answered with an ``ok: false`` envelope) for frames that
+    are not valid JSON objects, miss required fields, or name an unknown
+    query operation — the connection stays up; one bad frame never takes
+    down a client, let alone the server.
+    """
 
 
 # ---------------------------------------------------------------------------

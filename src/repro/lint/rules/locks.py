@@ -5,19 +5,24 @@ memo, the process-wide default engine) across worker threads; any file
 holding such state must mutate it only under a lock, or the
 parallel/serial equivalence guarantee silently degrades to "usually".
 
-The rule applies to ``repro.core.parallel`` automatically and to any
-file carrying a ``# shared-state`` marker comment.  Within those files:
+The rule applies to ``repro.core.parallel`` and the whole
+``repro.serve`` package automatically (the coordination server shares
+one engine stack across resolver threads and event-loop tasks) and to
+any file carrying a ``# shared-state`` marker comment.  Within those
+files:
 
 * module-level mutable containers (dict/list/set literals, ``dict()``,
   ``OrderedDict()``, ``WeakKeyDictionary()``, ...) may only be mutated
   (subscript stores/deletes, mutating method calls, augmented assigns)
-  inside a ``with <lock>:`` block;
+  inside a ``with <lock>:`` or ``async with <lock>:`` block;
 * rebinding a module-level name through ``global`` must likewise happen
   under a lock.
 
 Lock objects are recognized by name (an identifier containing ``lock``)
 — the repo's convention pairs every shared container with a sibling
-``_FOO_LOCK``.
+``_FOO_LOCK``.  Both ``threading.Lock`` and ``asyncio.Lock`` guards
+count; the latter only suspends cooperatively, but within one event
+loop that is exactly the mutual exclusion the invariant asks for.
 """
 
 from __future__ import annotations
@@ -33,6 +38,18 @@ __all__ = ["LockDisciplineRule"]
 
 #: Files with this module name are always subject to lock discipline.
 _ALWAYS_CHECKED_SUFFIX = "core.parallel"
+
+#: Every module of this package is always subject to lock discipline:
+#: the server shares engine state across resolver threads and tasks.
+_ALWAYS_CHECKED_PACKAGE = "repro.serve"
+
+
+def _always_checked(module: str) -> bool:
+    return (
+        module.endswith(_ALWAYS_CHECKED_SUFFIX)
+        or module == _ALWAYS_CHECKED_PACKAGE
+        or module.startswith(_ALWAYS_CHECKED_PACKAGE + ".")
+    )
 
 _CONTAINER_FACTORIES = frozenset(
     {
@@ -85,7 +102,7 @@ def _is_mutable_init(value: ast.expr) -> bool:
 
 def _under_lock(ancestors: tuple[ast.AST, ...]) -> bool:
     for node in ancestors:
-        if isinstance(node, ast.With):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
             if any(_is_lock_name(item.context_expr) for item in node.items):
                 return True
     return False
@@ -107,10 +124,7 @@ class LockDisciplineRule(Rule):
 
     def check(self, project: Project, config: LintConfig) -> Iterator[Diagnostic]:
         for source in project.files:
-            if not (
-                source.module.endswith(_ALWAYS_CHECKED_SUFFIX)
-                or source.suppressions.shared_state
-            ):
+            if not (_always_checked(source.module) or source.suppressions.shared_state):
                 continue
             yield from self._check_file(source)
 

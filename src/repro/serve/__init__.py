@@ -1,0 +1,63 @@
+"""Coordination-as-a-service: a long-lived allocation server.
+
+Instead of paying engine construction, profile extraction, and kernel
+compilation per CLI invocation, ``repro serve`` keeps one warm
+:class:`~repro.core.parallel.SweepEngine` stack behind a tiny
+newline-delimited-JSON TCP protocol and answers coordination queries
+(``profile``, ``coord``, ``sweep_best``, ``budget_curve``) for any
+number of concurrent clients.
+
+The throughput story is the **micro-batching coalescer**
+(:mod:`repro.serve.batching`): concurrent queries are admitted to a
+queue that drains on a depth/latency trigger, identical in-flight
+queries are deduplicated, and each flush's grid work is unioned into
+single batch-kernel passes (:mod:`repro.serve.service`).  Served
+answers stay bit-identical to direct library calls — the kernel pass
+only primes the shared cache; the library call still produces the
+reply.
+
+See ``docs/serving.md`` for the protocol, the batching knobs, and the
+latency-SLO methodology.
+"""
+
+from repro.serve.batching import BatchStats, MicroBatcher
+from repro.serve.client import ServeClient, request_sync
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    PROTOCOL_VERSION,
+    QUERY_OPS,
+    Request,
+    ServedInfo,
+    canonical_key,
+    decode_request,
+    decode_response,
+    encode_frame,
+    error_payload,
+    response_envelope,
+)
+from repro.serve.server import CoordServer, ServeConfig, run_server, run_smoke
+from repro.serve.service import CoordinationService, Resolution
+
+__all__ = [
+    "BatchStats",
+    "CONTROL_OPS",
+    "CoordServer",
+    "CoordinationService",
+    "MicroBatcher",
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
+    "Request",
+    "Resolution",
+    "ServeClient",
+    "ServeConfig",
+    "ServedInfo",
+    "canonical_key",
+    "decode_request",
+    "decode_response",
+    "encode_frame",
+    "error_payload",
+    "request_sync",
+    "response_envelope",
+    "run_server",
+    "run_smoke",
+]

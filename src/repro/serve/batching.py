@@ -1,0 +1,259 @@
+"""The micro-batching request coalescer.
+
+Incoming query frames do not go straight to the engine: they join an
+admission queue that drains as one **flush** whenever the queue reaches
+``max_batch`` depth or the oldest queued request has waited
+``max_wait_us`` — whichever comes first.  A flush is resolved off the
+event loop in one executor job that
+
+1. deduplicates requests by :func:`~repro.serve.protocol.canonical_key`
+   (identical in-flight queries resolve once and share the answer),
+2. primes the shared engine with the flush's coalesced kernel passes
+   (:meth:`~repro.serve.service.CoordinationService.prefetch` — the
+   union of every query's allocation grid runs as one
+   ``host_subgrid`` pass per platform/workload partition), and
+3. answers each unique query through the unchanged library calls,
+   which now assemble from pure cache hits.
+
+Latency/throughput trade-off is exactly the two knobs: ``max_wait_us``
+bounds the queueing delay added to any request (an SLO floor), and
+``max_batch`` bounds how much amortization a single flush can capture.
+``max_batch=1`` degenerates to classic one-request-per-kernel-pass
+serving — the baseline the benchmark compares against.
+
+With a fault plan armed, coalescing is disabled for the whole flush:
+requests resolve individually, in admission order, so each consumes its
+own slice of the deterministic fault schedule and owns its own
+degradation classification (PR 5 contract).  Identical queries are
+*not* deduplicated in that mode — two clients may legitimately receive
+different degradation outcomes for the same query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServeError
+from repro.serve.protocol import Request, ServedInfo, canonical_key
+from repro.serve.service import CoordinationService, Resolution
+
+__all__ = ["BatchStats", "MicroBatcher"]
+
+
+@dataclass
+class BatchStats:
+    """Coalescer counters (event-loop-thread only — no lock needed)."""
+
+    submitted: int = 0
+    resolved: int = 0
+    deduped: int = 0
+    flushes: int = 0
+    flushes_depth: int = 0
+    flushes_timeout: int = 0
+    flushes_drain: int = 0
+    prefetch_passes: int = 0
+    max_depth_seen: int = 0
+    _occupancy_sum: int = field(default=0, repr=False)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean requests per flush — the amortization the batcher won."""
+        return self._occupancy_sum / self.flushes if self.flushes else 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of submitted requests answered by an in-flight twin."""
+        return self.deduped / self.submitted if self.submitted else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "resolved": self.resolved,
+            "deduped": self.deduped,
+            "dedup_ratio": self.dedup_ratio,
+            "flushes": self.flushes,
+            "flushes_depth": self.flushes_depth,
+            "flushes_timeout": self.flushes_timeout,
+            "flushes_drain": self.flushes_drain,
+            "prefetch_passes": self.prefetch_passes,
+            "mean_occupancy": self.mean_occupancy,
+            "max_depth_seen": self.max_depth_seen,
+        }
+
+
+class MicroBatcher:
+    """Admission queue + flush scheduler in front of one service.
+
+    All mutable state (`_pending`, the timer handle, the stats) is
+    touched exclusively from the event-loop thread; only the pure
+    resolution work (service calls against the internally-locked engine
+    caches) runs on the resolver executor.
+    """
+
+    def __init__(
+        self,
+        service: CoordinationService,
+        *,
+        max_batch: int = 32,
+        max_wait_us: int = 2000,
+        n_resolvers: int = 1,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ServeError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        if n_resolvers < 1:
+            raise ServeError(f"n_resolvers must be >= 1, got {n_resolvers}")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_wait_us = int(max_wait_us)
+        self.stats = BatchStats()
+        self._pending: list[tuple[Request, asyncio.Future[tuple[Resolution, ServedInfo]]]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._inflight: set[asyncio.Task[None]] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(n_resolvers), thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    async def submit(self, request: Request) -> tuple[Resolution, ServedInfo]:
+        """Queue one query and await its resolution."""
+        if self._closed:
+            raise ServeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[tuple[Resolution, ServedInfo]] = loop.create_future()
+        self._pending.append((request, future))
+        self.stats.submitted += 1
+        depth = len(self._pending)
+        if depth > self.stats.max_depth_seen:
+            self.stats.max_depth_seen = depth
+        if depth >= self.max_batch:
+            self._flush("depth")
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_wait_us / 1e6, self._flush, "timeout"
+            )
+        return await future
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def _flush(self, reason: str) -> None:
+        """Drain the admission queue into one resolver job."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.stats.flushes += 1
+        self.stats._occupancy_sum += len(batch)
+        if reason == "depth":
+            self.stats.flushes_depth += 1
+        elif reason == "timeout":
+            self.stats.flushes_timeout += 1
+        else:
+            self.stats.flushes_drain += 1
+        task = asyncio.get_running_loop().create_task(self._resolve_flush(batch, reason))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _resolve_flush(
+        self,
+        batch: list[tuple[Request, asyncio.Future[tuple[Resolution, ServedInfo]]]],
+        reason: str,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        coalesce = not self.service.faults_armed()
+        if coalesce:
+            # Dedup: the first request with a given fingerprint resolves;
+            # its twins share the resolution object (and the answer).
+            order: list[str] = []
+            unique: dict[str, Request] = {}
+            for request, _ in batch:
+                key = canonical_key(request.op, request.params)
+                if key not in unique:
+                    unique[key] = request
+                    order.append(key)
+            n_unique = len(unique)
+            try:
+                resolved, passes = await loop.run_in_executor(
+                    self._executor, self._resolve_unique, [unique[k] for k in order]
+                )
+            except Exception as exc:  # pragma: no cover - resolver crash guard
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            self.stats.prefetch_passes += passes
+            by_key = dict(zip(order, resolved))
+            seen: set[str] = set()
+            for request, future in batch:
+                key = canonical_key(request.op, request.params)
+                deduped = key in seen
+                seen.add(key)
+                info = ServedInfo(
+                    batch_size=len(batch),
+                    n_unique=n_unique,
+                    flush=reason,
+                    deduped=deduped,
+                )
+                if deduped:
+                    self.stats.deduped += 1
+                self.stats.resolved += 1
+                if not future.done():
+                    future.set_result((by_key[key], info))
+        else:
+            # Faults armed: strict per-request resolution, admission order.
+            try:
+                resolved, _ = await loop.run_in_executor(
+                    self._executor,
+                    self._resolve_unique,
+                    [request for request, _ in batch],
+                )
+            except Exception as exc:  # pragma: no cover - resolver crash guard
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            for (request, future), resolution in zip(batch, resolved):
+                info = ServedInfo(
+                    batch_size=len(batch),
+                    n_unique=len(batch),
+                    flush=reason,
+                    deduped=False,
+                )
+                self.stats.resolved += 1
+                if not future.done():
+                    future.set_result((resolution, info))
+
+    def _resolve_unique(
+        self, requests: list[Request]
+    ) -> tuple[list[Resolution], int]:
+        """Executor-side: coalesced prime, then per-query resolution.
+
+        A singleton flush (``max_batch=1``, or a drain straggler) skips
+        the union prime: the library call already resolves its own grid
+        in one kernel pass, so priming would just run that pass twice.
+        """
+        passes = self.service.prefetch(requests) if len(requests) > 1 else 0
+        return [self.service.resolve(r) for r in requests], passes
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Flush the queue, await in-flight resolutions, stop the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._flush("drain")
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,132 @@
+"""Client helpers for the coordination server.
+
+Two flavours:
+
+* :class:`ServeClient` — asyncio, supports any number of in-flight
+  requests on one connection (replies are matched to callers by ``id``).
+  This is what the load generator and the differential tests use.
+* :func:`request_sync` — one blocking socket round-trip per call, for
+  scripts and shells that do not want an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError, ServeError
+from repro.serve.protocol import decode_response, encode_frame
+
+__all__ = ["ServeClient", "request_sync"]
+
+
+class ServeClient:
+    """One connection, many concurrent requests."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiters: dict[int, asyncio.Future[dict[str, Any]]] = {}
+        self._pump: asyncio.Task[None] | None = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = decode_response(line)
+                waiter = self._waiters.pop(payload.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(payload)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(ServeError("connection closed by server"))
+            self._waiters.clear()
+
+    async def request(
+        self, op: str, params: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Send one frame and await its reply envelope."""
+        if self._closed:
+            raise ServeError("client is closed")
+        request_id = next(self._ids)
+        future: asyncio.Future[dict[str, Any]] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._waiters[request_id] = future
+        frame: dict[str, Any] = {"id": request_id, "op": op}
+        if params is not None:
+            frame["params"] = dict(params)
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        return await future
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+            self._pump = None
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+
+def request_sync(
+    host: str,
+    port: int,
+    op: str,
+    params: Mapping[str, Any] | None = None,
+    *,
+    timeout_s: float = 30.0,
+) -> dict[str, Any]:
+    """One blocking round-trip: connect, send, read one reply, close."""
+    frame: dict[str, Any] = {"id": 0, "op": op}
+    if params is not None:
+        frame["params"] = dict(params)
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(encode_frame(frame))
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ServeError("connection closed before a reply arrived")
+            buf += chunk
+    try:
+        payload = json.loads(buf.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed reply frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("reply frame must be a JSON object")
+    return payload

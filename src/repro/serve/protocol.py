@@ -1,0 +1,208 @@
+"""Wire protocol of the coordination server: newline-delimited JSON.
+
+One TCP connection carries any number of frames in either direction; a
+frame is one JSON object on one line (``\\n``-terminated, UTF-8).  The
+protocol is deliberately stdlib-trivial — any language with a socket and
+a JSON parser is a client — and every numeric value round-trips exactly:
+:func:`json.dumps` renders floats with :func:`repr`-equivalent shortest
+round-trip precision, which is what lets the differential test battery
+assert served answers bit-identical to direct library calls.
+
+Request frame::
+
+    {"id": 7, "op": "sweep_best",
+     "params": {"workload": "dgemm", "budget_w": 180.0}}
+
+``id`` is an opaque client token echoed on the reply (replies on one
+connection may arrive out of request order — the server resolves each
+frame as its own task).  ``op`` is one of :data:`QUERY_OPS` (resolved
+through the shared engine, micro-batched) or :data:`CONTROL_OPS`
+(answered immediately, never batched).
+
+Response envelope::
+
+    {"id": 7, "ok": true, "op": "sweep_best", "result": {...},
+     "degraded": false, "events": [], "served": {"batch_size": 12, ...}}
+
+``ok: false`` replaces ``result`` with ``error: {type, message,
+family}``; ``family`` is ``"repro"`` for the typed library/fault errors
+the degradation contract allows and ``"internal"`` for anything else.
+``degraded`` / ``events`` carry the PR 5 resilience outcome: a reply is
+either bit-identical to the clean call or flagged here — a silently
+wrong allocation is never served.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError, ReproError
+
+__all__ = [
+    "CONTROL_OPS",
+    "KNOWN_OPS",
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
+    "Request",
+    "ServedInfo",
+    "canonical_key",
+    "decode_request",
+    "decode_response",
+    "encode_frame",
+    "error_payload",
+    "response_envelope",
+]
+
+#: Bumped on any incompatible frame-shape change; reported by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Operations resolved through the shared engine stack (micro-batched).
+QUERY_OPS = frozenset({"profile", "coord", "sweep_best", "budget_curve"})
+
+#: Operations answered inline by the server itself (never batched).
+CONTROL_OPS = frozenset({"ping", "stats", "shutdown"})
+
+KNOWN_OPS = QUERY_OPS | CONTROL_OPS
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded query frame."""
+
+    id: Any
+    op: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+    def require(self, name: str) -> Any:
+        """The named parameter, or a :class:`ProtocolError` naming it."""
+        if name not in self.params:
+            raise ProtocolError(f"op {self.op!r} requires parameter {name!r}")
+        return self.params[name]
+
+
+@dataclass(frozen=True)
+class ServedInfo:
+    """How the batcher served one request (reported in the envelope)."""
+
+    #: Requests in the flush this one rode in (1 == effectively unbatched).
+    batch_size: int
+    #: Distinct fingerprints in the flush (``< batch_size`` means dedup).
+    n_unique: int
+    #: What triggered the flush: ``"depth"``, ``"timeout"``, ``"drain"``.
+    flush: str
+    #: True when this request shared its resolution with an identical
+    #: in-flight twin instead of resolving on its own.
+    deduped: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "batch_size": self.batch_size,
+            "n_unique": self.n_unique,
+            "flush": self.flush,
+            "deduped": self.deduped,
+        }
+
+
+def canonical_key(op: str, params: Mapping[str, Any]) -> str:
+    """The dedup fingerprint of a query: canonical JSON of ``(op, params)``.
+
+    Two requests coalesce iff their keys are equal; key order inside
+    ``params`` is normalized away, the request ``id`` deliberately never
+    participates (identical queries from different clients are the whole
+    point of deduplication).
+    """
+    try:
+        return json.dumps(
+            {"op": op, "params": dict(params)}, sort_keys=True, default=str
+        )
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise ProtocolError(f"query parameters are not JSON-serializable: {exc}")
+
+
+def decode_request(line: str | bytes) -> Request:
+    """Parse one request frame; :class:`ProtocolError` on any malformation."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not valid UTF-8: {exc}") from None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("frame is missing the 'op' field")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (known: {', '.join(sorted(KNOWN_OPS))})"
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object when present")
+    return Request(id=payload.get("id"), op=op, params=params)
+
+
+def response_envelope(
+    request_id: Any,
+    op: str | None,
+    *,
+    result: Mapping[str, Any] | None = None,
+    error: Mapping[str, Any] | None = None,
+    served: ServedInfo | None = None,
+    degraded: bool = False,
+    events: tuple[dict[str, Any], ...] | list[dict[str, Any]] = (),
+) -> dict[str, Any]:
+    """Assemble one reply payload (exactly one of ``result``/``error``)."""
+    if (result is None) == (error is None):
+        raise ProtocolError("a reply carries exactly one of result/error")
+    payload: dict[str, Any] = {
+        "id": request_id,
+        "op": op,
+        "ok": error is None,
+        "degraded": bool(degraded),
+        "events": list(events),
+    }
+    if error is None:
+        payload["result"] = dict(result or {})
+    else:
+        payload["error"] = dict(error)
+    if served is not None:
+        payload["served"] = served.to_dict()
+    return payload
+
+
+def error_payload(exc: BaseException) -> dict[str, str]:
+    """The ``error`` sub-object for an exception, typed per the contract."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "family": "repro" if isinstance(exc, ReproError) else "internal",
+    }
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """Serialize one frame (request or reply) to its wire bytes."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_response(line: str | bytes) -> dict[str, Any]:
+    """Parse one reply frame into its envelope dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"reply frame is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("reply frame must be a JSON object")
+    return payload

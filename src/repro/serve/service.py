@@ -1,0 +1,484 @@
+"""The engine session: query resolution against a shared, warm stack.
+
+One :class:`CoordinationService` owns (or borrows) a
+:class:`~repro.core.parallel.SweepEngine` and answers the protocol's
+query ops by calling the exact same library entry points a direct user
+would — ``sweep_cpu_allocations``, ``cpu_budget_curve``,
+``profile_*_resilient`` — so served answers are bit-identical to library
+answers *by construction*, not by re-implementation.
+
+The micro-batching win lives in :meth:`CoordinationService.prefetch`:
+given one flush's worth of coalesced sweep-family queries, it unions
+their allocation axes per ``(platform, workload, step)`` partition and
+resolves each union in **one**
+:meth:`~repro.core.parallel.SweepEngine.host_subgrid` kernel pass.  The
+pass primes the engine's memo cache; the per-query library calls that
+follow then assemble their answers from pure cache hits.  Equivalence is
+inherited from PR 6's sub-grid contract (a gathered kernel pass is
+bit-for-bit the scalar oracle, and it fills the cache point-by-point),
+so the served reply *is* the library reply — the kernel just ran once
+for the whole flush instead of once per query.
+
+Resilience (PR 5): with a fault plan armed, prefetch and the profile
+memo are bypassed — each query resolves individually through the
+resilient wrappers / the engine's armed scalar fallback, and the
+degradation outcome (report events or a typed ``FaultError``) is
+attached to that query's envelope alone.  A flush never shares one
+query's fault with its neighbours, and the server never dies on one.
+"""
+# shared-state
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.core.allocation import allocation_axis
+from repro.core.coord import CoordDecision, coord_cpu
+from repro.core.coord_gpu import coord_gpu
+from repro.core.critical import CpuCriticalPowers, GpuCriticalPowers
+from repro.core.parallel import MemoCache, SweepEngine
+from repro.core.sweep import (
+    AllocationSweep,
+    BudgetCurve,
+    GpuSweep,
+    cpu_budget_curve,
+    gpu_budget_curve,
+    sweep_cpu_allocations,
+    sweep_gpu_allocations,
+)
+from repro.errors import ProtocolError, ReproError
+from repro.faults.injector import FaultInjector, active as _faults_active
+from repro.faults.report import DegradationReport
+from repro.faults.resilience import (
+    coordinate_cpu_resilient,
+    coordinate_gpu_resilient,
+    profile_cpu_resilient,
+    profile_gpu_resilient,
+)
+from repro.hardware.gpu import GpuCard
+from repro.hardware.node import ComputeNode
+from repro.hardware.platforms import get_platform
+from repro.serve.protocol import QUERY_OPS, Request, error_payload
+from repro.workloads import get_workload
+from repro.workloads.base import Workload
+
+__all__ = ["CoordinationService", "Resolution"]
+
+#: Default host-sweep grid knobs — must match ``sweep_cpu_allocations``'s
+#: signature defaults or prefetched axes would drift from served grids.
+_DEFAULT_STEP_W = 4.0
+_DEFAULT_MEM_MIN_W = 16.0
+_DEFAULT_PROC_MIN_W = 8.0
+
+#: Platform/workload objects resolved by name, shared by every service in
+#: the process: resolution is pure (registry lookups construct
+#: content-identical objects), and reusing one instance keeps the
+#: engine's weak-keyed fingerprint memo hot across requests.
+_RESOLVE_LOCK = threading.Lock()
+_RESOLVED_PAIRS: dict[tuple[str, str | None], tuple[Workload, Any]] = {}
+
+
+class Resolution:
+    """The outcome of resolving one query (result XOR error, plus taint)."""
+
+    __slots__ = ("result", "error", "degraded", "events")
+
+    def __init__(
+        self,
+        result: dict[str, Any] | None = None,
+        error: BaseException | None = None,
+        report: DegradationReport | None = None,
+    ) -> None:
+        self.result = result
+        self.error = error
+        self.degraded = bool(report.degraded) if report is not None else False
+        self.events: list[dict[str, Any]] = (
+            [e.to_dict() for e in report.events] if report is not None else []
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def error_dict(self) -> dict[str, str]:
+        assert self.error is not None
+        return error_payload(self.error)
+
+
+def _resolve_pair(workload_name: str, platform_name: str | None) -> tuple[Workload, Any]:
+    """``(workload, platform)`` for the named pair, memoized process-wide."""
+    key = (str(workload_name).lower(), platform_name)
+    with _RESOLVE_LOCK:
+        cached = _RESOLVED_PAIRS.get(key)
+    if cached is not None:
+        return cached
+    workload = get_workload(workload_name)
+    name = platform_name
+    if name is None:
+        name = "ivybridge" if workload.device == "cpu" else "titan-xp"
+    platform = get_platform(name)
+    if workload.device == "cpu" and not isinstance(platform, ComputeNode):
+        raise ProtocolError(
+            f"workload {workload.name!r} needs a CPU node, got {name!r}"
+        )
+    if workload.device == "gpu" and not isinstance(platform, GpuCard):
+        raise ProtocolError(
+            f"workload {workload.name!r} needs a GPU card, got {name!r}"
+        )
+    pair = (workload, platform)
+    with _RESOLVE_LOCK:
+        _RESOLVED_PAIRS[key] = pair
+    return pair
+
+
+def _float_param(request: Request, name: str, default: float | None = None) -> float:
+    value = request.require(name) if default is None else request.param(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            f"parameter {name!r} of op {request.op!r} must be a number, "
+            f"got {type(value).__name__}"
+        )
+    return float(value)
+
+
+def _budget_list(request: Request) -> list[float]:
+    raw = request.require("budgets_w")
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ProtocolError(
+            "parameter 'budgets_w' must be a non-empty list of numbers"
+        )
+    budgets: list[float] = []
+    for value in raw:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError("parameter 'budgets_w' must contain only numbers")
+        budgets.append(float(value))
+    return budgets
+
+
+class CoordinationService:
+    """Query resolution against one shared engine stack.
+
+    Thread-safety: :meth:`resolve` and :meth:`prefetch` are called from
+    the server's resolver executor threads; everything they touch is
+    either immutable (platforms, workloads), internally locked (the
+    engine's :class:`~repro.core.parallel.MemoCache`, the module-level
+    resolution memo), or a :class:`MemoCache` instance (the profile
+    memo).
+    """
+
+    def __init__(self, engine: SweepEngine | None = None) -> None:
+        self.engine = engine if engine is not None else SweepEngine()
+        #: Clean profiles keyed by (device, platform, workload) — profiling
+        #: does not route through the engine's point cache, so repeat
+        #: profile/coord queries get their own memo tier.  There is
+        #: deliberately no whole-answer memo: every reply is assembled by
+        #: the library call itself (bit-identity stays structural), and
+        #: redundant concurrent demand is collapsed by the batcher's
+        #: in-flight dedup instead.
+        self._profiles = MemoCache(256)
+
+    # ------------------------------------------------------------------
+    # fault awareness
+    # ------------------------------------------------------------------
+    def _injector(self) -> FaultInjector | None:
+        """The armed injector governing this resolution, if any."""
+        injector = self.engine.faults if self.engine.faults is not None else _faults_active()
+        if injector is None or injector.plan.is_empty:
+            return None
+        return injector
+
+    def faults_armed(self) -> bool:
+        """True when a non-empty fault plan governs this service.
+
+        The batcher consults this per flush: under an armed plan,
+        request coalescing (prefetch *and* dedup) is disabled so each
+        query consumes its own slice of the deterministic fault schedule
+        and owns its own degradation classification.
+        """
+        return self._injector() is not None
+
+    # ------------------------------------------------------------------
+    # micro-batch prefetch (the coalesced kernel pass)
+    # ------------------------------------------------------------------
+    def prefetch(self, requests: list[Request]) -> int:
+        """Prime the engine cache for one flush in coalesced kernel passes.
+
+        Unions the host allocation axes of every CPU ``sweep_best`` /
+        ``budget_curve`` query in ``requests`` per ``(platform,
+        workload, step)`` partition and resolves each union through one
+        :meth:`~repro.core.parallel.SweepEngine.host_subgrid` pass.
+        Returns the number of partitions passed through the kernel.
+
+        Skipped entirely (returns 0) when a fault plan is armed — the
+        deterministic fault schedule belongs to the per-query resolution
+        path — or when the engine runs in ``adaptive`` mode, where the
+        planner's own point selection (with warm-start hints) is the
+        cheaper way to resolve each query.  Resolution errors here are
+        deliberately swallowed: the per-query path reproduces them with
+        proper per-reply classification.
+        """
+        if self._injector() is not None or self.engine.mode == "adaptive":
+            return 0
+        if not self.engine.batch:
+            return 0
+        groups: dict[tuple[str, str, float], dict[str, Any]] = {}
+        for request in requests:
+            if request.op not in ("sweep_best", "budget_curve"):
+                continue
+            try:
+                workload, platform = _resolve_pair(
+                    str(request.require("workload")), request.param("platform")
+                )
+                if workload.device != "cpu":
+                    continue
+                step_w = _float_param(request, "step_w", _DEFAULT_STEP_W)
+                budgets = (
+                    [_float_param(request, "budget_w")]
+                    if request.op == "sweep_best"
+                    else _budget_list(request)
+                )
+            except ReproError:
+                continue  # the per-query resolution classifies this one
+            group_key = (platform.name, workload.name, step_w)
+            group = groups.setdefault(
+                group_key,
+                {
+                    "platform": platform,
+                    "workload": workload,
+                    "step_w": step_w,
+                    "proc": [],
+                    "mem": [],
+                    "seen": set(),
+                },
+            )
+            for budget in budgets:
+                if budget in group["seen"]:
+                    continue
+                group["seen"].add(budget)
+                try:
+                    proc_w, mem_w = allocation_axis(
+                        budget,
+                        mem_min_w=_DEFAULT_MEM_MIN_W,
+                        proc_min_w=_DEFAULT_PROC_MIN_W,
+                        step_w=step_w,
+                    )
+                except ReproError:
+                    continue
+                group["proc"].extend(proc_w)
+                group["mem"].extend(mem_w)
+        passes = 0
+        for group in groups.values():
+            if not group["proc"]:
+                continue
+            platform = group["platform"]
+            workload = group["workload"]
+            try:
+                executor = self.engine.host_subgrid(
+                    platform.cpu,
+                    platform.dram,
+                    workload.phases,
+                    group["proc"],
+                    group["mem"],
+                )
+                executor.run(range(len(executor)))
+                passes += 1
+            except ReproError:
+                continue
+        return passes
+
+    # ------------------------------------------------------------------
+    # per-query resolution
+    # ------------------------------------------------------------------
+    def resolve(self, request: Request) -> Resolution:
+        """Answer one query; never raises (errors become typed resolutions)."""
+        if request.op not in QUERY_OPS:
+            return Resolution(
+                error=ProtocolError(f"op {request.op!r} is not a query operation")
+            )
+        try:
+            result, report = self._dispatch(request)
+        except ReproError as exc:
+            return Resolution(error=exc)
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            return Resolution(error=exc)
+        return Resolution(result=result, report=report)
+
+    def _dispatch(
+        self, request: Request
+    ) -> tuple[dict[str, Any], DegradationReport | None]:
+        workload, platform = _resolve_pair(
+            str(request.require("workload")), request.param("platform")
+        )
+        if request.op == "profile":
+            return self._op_profile(workload, platform)
+        if request.op == "coord":
+            return self._op_coord(request, workload, platform)
+        if request.op == "sweep_best":
+            return self._op_sweep_best(request, workload, platform)
+        return self._op_budget_curve(request, workload, platform)
+
+    # -- profile -------------------------------------------------------
+    def _profile(
+        self, workload: Workload, platform: Any
+    ) -> tuple[CpuCriticalPowers | GpuCriticalPowers, DegradationReport]:
+        """The resilient profile, memoized only when provably clean."""
+        key = ("profile", workload.device, platform.name, workload.name)
+        if self._injector() is None:
+            hit, value = self._profiles.lookup(key)
+            if hit:
+                return value, DegradationReport()  # type: ignore[return-value]
+        if workload.device == "cpu":
+            critical, report = profile_cpu_resilient(
+                platform.cpu, platform.dram, workload
+            )
+        else:
+            critical, report = profile_gpu_resilient(platform, workload)
+        if self._injector() is None and report.clean:
+            self._profiles.store(key, critical)
+        return critical, report
+
+    def _op_profile(
+        self, workload: Workload, platform: Any
+    ) -> tuple[dict[str, Any], DegradationReport]:
+        critical, report = self._profile(workload, platform)
+        return (
+            {
+                "workload": workload.name,
+                "platform": platform.name,
+                "device": workload.device,
+                "critical": critical.as_dict(),
+            },
+            report,
+        )
+
+    # -- coord ---------------------------------------------------------
+    def _op_coord(
+        self, request: Request, workload: Workload, platform: Any
+    ) -> tuple[dict[str, Any], DegradationReport]:
+        budget_w = _float_param(request, "budget_w")
+        decision: CoordDecision
+        if self._injector() is not None:
+            # Armed: the resilient wrapper owns the repeat/vote schedule.
+            if workload.device == "cpu":
+                decision, report = coordinate_cpu_resilient(
+                    platform.cpu, platform.dram, workload, budget_w
+                )
+            else:
+                decision, report = coordinate_gpu_resilient(
+                    platform, workload, budget_w
+                )
+        else:
+            # Clean: COORD is pure arithmetic over the (memoized) profile,
+            # so this is exactly the resilient wrapper's clean path.
+            critical, report = self._profile(workload, platform)
+            if workload.device == "cpu":
+                assert isinstance(critical, CpuCriticalPowers)
+                decision = coord_cpu(critical, budget_w)
+            else:
+                assert isinstance(critical, GpuCriticalPowers)
+                decision = coord_gpu(
+                    critical, budget_w, hardware_max_w=platform.max_cap_w
+                )
+        return (
+            {  # repro-lint: disable=RPL004 -- wire snapshot of an already-validated CoordDecision allocation
+                "workload": workload.name,
+                "platform": platform.name,
+                "budget_w": budget_w,
+                "status": decision.status.value,
+                "accepted": decision.accepted,
+                "proc_w": decision.allocation.proc_w,
+                "mem_w": decision.allocation.mem_w,
+                "surplus_w": decision.surplus_w,
+            },
+            report,
+        )
+
+    # -- sweep_best ----------------------------------------------------
+    def _op_sweep_best(
+        self, request: Request, workload: Workload, platform: Any
+    ) -> tuple[dict[str, Any], None]:
+        budget_w = _float_param(request, "budget_w")
+        if workload.device == "cpu":
+            step_w = _float_param(request, "step_w", _DEFAULT_STEP_W)
+            sweep: AllocationSweep | GpuSweep = sweep_cpu_allocations(
+                platform.cpu,
+                platform.dram,
+                workload,
+                budget_w,
+                step_w=step_w,
+                engine=self.engine,
+            )
+        else:
+            stride = int(request.param("freq_stride", 1))
+            sweep = sweep_gpu_allocations(
+                platform, workload, budget_w, freq_stride=stride, engine=self.engine
+            )
+        best = sweep.best
+        result: dict[str, Any] = {  # repro-lint: disable=RPL004 -- wire snapshot of the sweep's already-validated best allocation
+            "workload": workload.name,
+            "platform": platform.name,
+            "budget_w": budget_w,
+            "proc_w": best.allocation.proc_w,
+            "mem_w": best.allocation.mem_w,
+            "performance": best.performance,
+            "metric_unit": workload.metric_unit,
+            "scenario": best.scenario.roman,
+            "actual_total_w": best.result.total_power_w,
+            "n_points": len(sweep.points),
+        }
+        if isinstance(sweep, GpuSweep):
+            result["mem_freq_mhz"] = float(
+                sweep.mem_freqs_mhz[sweep.points.index(best)]
+            )
+        return result, None
+
+    # -- budget_curve --------------------------------------------------
+    def _op_budget_curve(
+        self, request: Request, workload: Workload, platform: Any
+    ) -> tuple[dict[str, Any], None]:
+        budgets = _budget_list(request)
+        curve: BudgetCurve
+        if workload.device == "cpu":
+            step_w = _float_param(request, "step_w", _DEFAULT_STEP_W)
+            curve = cpu_budget_curve(
+                platform.cpu,
+                platform.dram,
+                workload,
+                budgets,
+                step_w=step_w,
+                engine=self.engine,
+            )
+        else:
+            stride = int(request.param("freq_stride", 1))
+            curve = gpu_budget_curve(
+                platform, workload, budgets, freq_stride=stride, engine=self.engine
+            )
+        return (
+            {
+                "workload": workload.name,
+                "platform": platform.name,
+                "metric_unit": curve.metric_unit,
+                "budgets_w": [float(b) for b in curve.budgets_w],
+                "perf_max": [float(p) for p in curve.perf_max],
+                "optimal_mem_w": [float(m) for m in curve.optimal_mem_w],
+                "saturation_budget_w": curve.saturation_budget_w,
+            },
+            None,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Engine + service-tier counters, JSON-ready."""
+        profiles = self._profiles.stats
+        return {
+            "engine": self.engine.stats_snapshot(),
+            "profiles": {
+                "hits": profiles.hits,
+                "misses": profiles.misses,
+                "size": profiles.size,
+                "hit_ratio": profiles.hit_ratio,
+            },
+        }

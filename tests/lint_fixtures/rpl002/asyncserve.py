@@ -1,0 +1,33 @@
+"""RPL002 fixture: server-shared state guarded by asyncio locks."""
+# shared-state
+
+import asyncio
+
+_SESSIONS = {}
+_REPLIES = []
+_STATE_LOCK = asyncio.Lock()
+
+
+async def bad_register(key, value):
+    _SESSIONS[key] = value  # line 12: RPL002 (unguarded store in async def)
+
+
+async def bad_buffer(value):
+    _REPLIES.append(value)  # line 16: RPL002 (unguarded mutating method)
+
+
+async def good_register(key, value):
+    async with _STATE_LOCK:
+        _SESSIONS[key] = value  # guarded by `async with <lock>`: no finding
+
+
+async def good_drain():
+    async with _STATE_LOCK:
+        while _REPLIES:
+            _REPLIES.pop()  # guarded: no finding
+
+
+async def good_local():
+    replies = []
+    replies.append("pong")  # local container: no finding
+    return replies

@@ -86,10 +86,30 @@ class TestRuleFixtures:
     def test_rpl002_lock_discipline(self):
         diags = findings(FIXTURES / "rpl002")
         assert locations(diags, "RPL002") == [
+            ("asyncserve.py", 12),  # unguarded store in async def
+            ("asyncserve.py", 16),  # unguarded .append in async def
             ("shared.py", 13),  # unguarded subscript store
             ("shared.py", 17),  # unguarded .append
             ("shared.py", 22),  # unguarded global rebind
         ]
+
+    def test_rpl002_async_with_lock_guards(self):
+        # `async with _STATE_LOCK:` satisfies lock discipline exactly
+        # like its synchronous sibling — only the unguarded async
+        # mutations in the fixture may fire.
+        diags = findings(FIXTURES / "rpl002")
+        async_hits = [loc for loc in locations(diags, "RPL002")
+                      if loc[0] == "asyncserve.py"]
+        assert async_hits == [("asyncserve.py", 12), ("asyncserve.py", 16)]
+
+    def test_rpl002_serve_package_is_always_checked(self):
+        from repro.lint.rules.locks import _always_checked
+
+        assert _always_checked("repro.serve")
+        assert _always_checked("repro.serve.service")
+        assert _always_checked("repro.core.parallel")
+        assert not _always_checked("repro.core.sweep")
+        assert not _always_checked("repro.serves.other")
 
     def test_rpl003_float_equality(self):
         diags = findings(FIXTURES / "rpl003")
