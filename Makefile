@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-slow test-all bench bench-smoke cache-smoke chaos-smoke serve-smoke coverage lint typecheck check
+.PHONY: test test-slow test-all bench bench-smoke cache-smoke chaos-smoke serve-smoke fleet-smoke coverage lint typecheck check
 
 # Tier-1: the invariant linter, then the trimmed suite (pyproject
 # addopts deselect `slow`).
@@ -23,7 +23,8 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
 
 # mypy --strict over repro.core, repro.lint, the vectorized batch
-# kernel and the coordination server (configured in pyproject.toml).
+# kernel, the scheduling package, and the coordination server
+# (configured in pyproject.toml).
 # Gated: the target skips with a notice when mypy is not installed so
 # offline environments keep a working `make test`.
 typecheck:
@@ -81,6 +82,16 @@ chaos-smoke:
 serve-smoke:
 	REPRO_SWEEP=full     PYTHONPATH=src $(PYTHON) -m repro serve --smoke
 	REPRO_SWEEP=adaptive PYTHONPATH=src $(PYTHON) -m repro serve --smoke
+
+# CI smoke: the fleet simulator end-to-end through the CLI — a small
+# synthetic trace over a heterogeneous fleet with periodic budget
+# re-splits — under both REPRO_SWEEP settings (allocation rounds resolve
+# through the engine, so both strategies must drive the fleet green).
+fleet-smoke:
+	REPRO_SWEEP=full     PYTHONPATH=src $(PYTHON) -m repro fleet \
+		--nodes 32 --gen-jobs 300 --rate 4 --interval 10
+	REPRO_SWEEP=adaptive PYTHONPATH=src $(PYTHON) -m repro fleet \
+		--nodes 32 --gen-jobs 300 --rate 4 --interval 10
 
 # Coverage floor over the engine and fault layers.  Gated: skips with a
 # notice when pytest-cov is not installed (CI installs and enforces it).

@@ -9,7 +9,10 @@ Subcommands:
   report performance;
 * ``sweep`` — print a Figure-3 style allocation profile;
 * ``experiment`` — regenerate a paper artifact and print its tables;
-* ``chaos`` — run the fault-injection contract battery for a fault plan.
+* ``chaos`` — run the fault-injection contract battery for a fault plan;
+* ``fleet`` — drive an arrival trace through the event-driven fleet
+  simulator (``docs/scheduling.md``);
+* ``serve`` — run the micro-batched coordination server.
 
 Fault plans can also be armed globally for any command by pointing the
 ``REPRO_FAULTS`` environment variable at a plan JSON file; resolution
@@ -113,6 +116,46 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: fig9)",
     )
     p.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    p = sub.add_parser(
+        "fleet",
+        help="trace-driven fleet simulation over heterogeneous nodes",
+        description=(
+            "Drives a synthetic or file-backed arrival trace through the "
+            "event-driven FleetSimulator: quantized grants, batched "
+            "allocation rounds through the sweep engine, and optional "
+            "periodic water-filling budget re-splits.  See "
+            "docs/scheduling.md."
+        ),
+    )
+    p.add_argument(
+        "--trace", default=None,
+        help="trace file (see repro.sched.traces); default: a seeded "
+             "synthetic Poisson trace",
+    )
+    p.add_argument("--nodes", type=int, default=64, help="fleet size (default: 64)")
+    p.add_argument(
+        "--bound", type=float, default=None,
+        help="global power bound in watts (default: 120 W per node)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.0,
+        help="budget re-split period in seconds; 0 disables (default: 0)",
+    )
+    p.add_argument(
+        "--gen-jobs", type=int, default=500,
+        help="synthetic trace length when --trace is absent (default: 500)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=2.0,
+        help="synthetic trace arrival rate in jobs/s (default: 2.0)",
+    )
+    p.add_argument("--seed", type=int, default=42, help="synthetic trace seed")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel sweep workers (default: $REPRO_JOBS, else auto)",
+    )
+    _add_engine_arguments(p)
 
     p = sub.add_parser(
         "serve",
@@ -318,6 +361,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.sched import FleetSimulator
+    from repro.sched.traces import poisson_trace, read_trace
+
+    if args.trace is not None:
+        trace = read_trace(args.trace)
+        source = args.trace
+    else:
+        trace = poisson_trace(
+            n_jobs=args.gen_jobs, rate_per_s=args.rate, seed=args.seed
+        )
+        source = (
+            f"synthetic poisson (n={args.gen_jobs}, rate={args.rate}/s, "
+            f"seed={args.seed})"
+        )
+    bound = args.bound if args.bound is not None else 120.0 * args.nodes
+    sim = FleetSimulator(
+        trace,
+        n_nodes=args.nodes,
+        global_bound_w=bound,
+        resplit_interval_s=args.interval,
+        engine=_make_engine(args),
+    )
+    stats = sim.run()
+    print(f"trace: {source} ({len(trace)} jobs)")
+    print(f"fleet: {stats.n_nodes} nodes under {bound:.0f} W "
+          f"(re-split every {args.interval:.0f} s)" if args.interval > 0
+          else f"fleet: {stats.n_nodes} nodes under {bound:.0f} W")
+    rows = [
+        ("completed", str(stats.n_completed)),
+        ("rejected", str(stats.n_rejected)),
+        ("makespan (s)", f"{stats.makespan_s:.1f}"),
+        ("throughput (jobs/h)", f"{stats.throughput_jobs_per_hour:.1f}"),
+        ("mean wait (s)", f"{stats.mean_wait_s:.2f}"),
+        ("total energy (MJ)", f"{stats.total_energy_j / 1e6:.2f}"),
+        ("peak charged (W)", f"{stats.peak_charged_w:.0f}"),
+        ("budget re-splits", str(stats.n_resplits)),
+        ("grants re-timed", str(stats.n_retimed)),
+        ("missed-budget holds", str(stats.n_missed_budget)),
+        ("allocation rounds", str(stats.n_rounds)),
+        ("kernel passes", str(stats.n_kernel_passes)),
+        ("events dispatched", str(stats.n_events)),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import ServeConfig, run_server, run_smoke
 
@@ -368,6 +458,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_experiment(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "serve":
         return _cmd_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -11,10 +11,27 @@ Slurm-like batch system over simulated nodes:
 * :class:`~repro.sched.scheduler.PowerBoundedScheduler` — admission via
   COORD (refusing unproductive budgets), allocation, surplus reclaim, and
   event-driven completion.
+
+Everything runs on the discrete-event core in :mod:`repro.sched.events`
+(typed events, deterministic queue, pluggable hooks); the legacy
+schedulers are hook policies on it, and :mod:`repro.sched.fleet` scales
+the same loop to thousands of heterogeneous nodes driven by the seeded
+synthetic traces of :mod:`repro.sched.traces`.
 """
 
 from repro.sched.job import Job, JobRecord, JobState
 from repro.sched.cluster import Cluster, NodeSlot
+from repro.sched.events import (
+    BudgetResplit,
+    Event,
+    EventKind,
+    EventLoop,
+    EventQueue,
+    JobArrival,
+    JobCompletion,
+    NodeWakeup,
+    SchedulerHooks,
+)
 from repro.sched.scheduler import PowerBoundedScheduler, PredictKey, SchedulerStats
 from repro.sched.coschedule import (
     CoScheduleResult,
@@ -23,22 +40,50 @@ from repro.sched.coschedule import (
     partition_host,
     split_budget,
 )
+from repro.sched.fleet import FleetNode, FleetRecord, FleetSimulator, FleetStats
 from repro.sched.rebalance import RebalanceStats, RebalancingScheduler
+from repro.sched.traces import (
+    TraceJob,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    read_trace,
+    write_trace,
+)
 
 __all__ = [
+    "BudgetResplit",
     "Cluster",
     "CoScheduleResult",
+    "Event",
+    "EventKind",
+    "EventLoop",
+    "EventQueue",
+    "FleetNode",
+    "FleetRecord",
+    "FleetSimulator",
+    "FleetStats",
     "Job",
+    "JobArrival",
+    "JobCompletion",
     "JobRecord",
     "JobState",
     "NodeSlot",
+    "NodeWakeup",
     "PowerBoundedScheduler",
     "PredictKey",
     "RebalanceStats",
     "RebalancingScheduler",
+    "SchedulerHooks",
     "SchedulerStats",
     "TenantOutcome",
+    "TraceJob",
+    "bursty_trace",
     "coschedule_pair",
+    "diurnal_trace",
     "partition_host",
+    "poisson_trace",
+    "read_trace",
     "split_budget",
+    "write_trace",
 ]

@@ -40,7 +40,14 @@ class Cluster:
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
             raise ConfigurationError(f"n_nodes must be > 0, got {self.n_nodes}")
+        # watts() alone admits 0.0, under which no job can ever be
+        # charged — reject the whole non-positive range with one typed
+        # error (NaN fails the > comparison too).
         watts(self.global_bound_w, "global_bound_w")
+        if not self.global_bound_w > 0.0:
+            raise ConfigurationError(
+                f"global_bound_w must be > 0, got {self.global_bound_w}"
+            )
         self.slots = [NodeSlot(self.node_factory()) for _ in range(self.n_nodes)]
 
     # ------------------------------------------------------------------

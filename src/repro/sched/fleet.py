@@ -1,0 +1,568 @@
+"""Fleet-scale power-coordinated cluster simulation.
+
+The paper's Section 5.1/8 vision — node-level COORD as the foundation of
+a cluster-wide power scheduler — needs more than the small static
+clusters of :mod:`repro.sched.scheduler`: trace-driven arrivals,
+periodic cluster-wide budget re-splits (FastCap-style fair capping), and
+thousands of heterogeneous nodes.  :class:`FleetSimulator` is that
+layer, built as a hook policy on :mod:`repro.sched.events`.
+
+Scale comes from three structural decisions:
+
+* **Quantized grants.**  Every grant lives on a per-(profile, workload)
+  lattice of ``grant_quantum_w`` multiples spanning the workload's
+  productive threshold to its maximum useful demand.  The distinct
+  allocation space collapses from a continuum to a few dozen points per
+  pair, so model executions memoize almost perfectly.
+* **Batched allocation rounds.**  At every scheduling point the round
+  collects all admissible (job, node) assignments, groups them by
+  (profile, workload), and resolves each group through one prepared
+  :meth:`~repro.core.parallel.SweepEngine.host_subgrid` executor — a
+  1000-node round is a handful of vectorized kernel passes (one per
+  group), not 1000 scalar sweeps.  Under an armed fault plan the
+  executor transparently falls back to the scalar path, faults and all.
+* **Lazy invalidation.**  Budget re-splits re-time running jobs by
+  bumping a per-node epoch and pushing a fresh completion; stale
+  completions are detected and discarded, never processed.
+
+The re-split policy is water-filling fair sharing: every running job is
+first guaranteed its lattice floor (its quantized productive threshold
+— feasible by construction, since each was admitted at or above it),
+then the remaining cluster budget is distributed one equal share at a
+time in node order, capped at each workload's maximum useful demand.
+Grants can shrink as well as grow between intervals; re-timing scales
+the job's remaining work by the old/new modeled rate, exactly the
+rebalancer's boost arithmetic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.coord import coord_cpu
+from repro.core.critical import CpuCriticalPowers
+from repro.core.parallel import SubgridExecutor, SweepEngine, default_engine
+from repro.core.profiler import profile_cpu_workload
+from repro.errors import ConfigurationError, SchedulerError
+from repro.hardware.node import ComputeNode
+from repro.hardware.platforms import haswell_node, ivybridge_node
+from repro.sched.events import (
+    BudgetResplit,
+    EventLoop,
+    EventObserver,
+    JobArrival,
+    JobCompletion,
+    NodeWakeup,
+)
+from repro.sched.job import JobState
+from repro.sched.traces import TraceJob
+from repro.workloads.base import Workload
+from repro.workloads.cpu_suite import cpu_workload
+
+__all__ = ["FleetNode", "FleetRecord", "FleetSimulator", "FleetStats", "PROFILES"]
+
+#: Node profiles the fleet can cycle over (name -> platform factory).
+PROFILES: dict[str, Callable[[], ComputeNode]] = {
+    "ivybridge": ivybridge_node,
+    "haswell": haswell_node,
+}
+
+
+@dataclass(slots=True)
+class FleetNode:
+    """One node's mutable scheduling state (deliberately tiny: the fleet
+    holds thousands of these, so the heavyweight platform model lives
+    once per *profile*, not per node)."""
+
+    index: int
+    profile: str
+    job_id: Optional[int] = None
+    grant_w: float = 0.0
+    epoch: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+
+@dataclass(slots=True)
+class FleetRecord:
+    """Per-job outcome record (compact: no event-log list at 100k jobs)."""
+
+    job: TraceJob
+    state: JobState = JobState.PENDING
+    node_index: Optional[int] = None
+    profile: Optional[str] = None
+    grant_w: float = 0.0
+    start_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    elapsed_s: float = 0.0
+    energy_j: float = 0.0
+    n_retimes: int = 0
+    reject_reason: Optional[str] = None
+
+    @property
+    def wait_s(self) -> float:
+        if self.start_s is None:
+            raise ConfigurationError(f"job {self.job.job_id} never started")
+        return self.start_s - self.job.submit_time_s
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregate outcome of a fleet run."""
+
+    n_nodes: int
+    n_jobs: int
+    n_completed: int
+    n_rejected: int
+    makespan_s: float
+    total_energy_j: float
+    mean_wait_s: float
+    peak_charged_w: float
+    n_resplits: int
+    n_retimed: int
+    n_missed_budget: int
+    n_rounds: int
+    n_kernel_passes: int
+    n_events: int
+
+    @property
+    def throughput_jobs_per_hour(self) -> float:
+        if self.makespan_s <= 0.0:
+            return 0.0
+        return self.n_completed / (self.makespan_s / 3600.0)
+
+
+@dataclass(eq=False)
+class _AllocSpec:
+    """Precomputed allocation lattice for one (profile, workload) pair."""
+
+    critical: CpuCriticalPowers
+    lattice_w: list[float]  # ascending grant_quantum_w multiples
+    executor: SubgridExecutor
+    rows_run: int = 0
+
+    def row_at_or_below(self, value_w: float) -> Optional[int]:
+        """Largest lattice row with watts <= value, or None below floor."""
+        i = bisect.bisect_right(self.lattice_w, value_w) - 1
+        return i if i >= 0 else None
+
+
+#: (record, node, spec, lattice row) — one admission in a round.
+_Assignment = tuple[FleetRecord, FleetNode, "_AllocSpec", int]
+
+
+class FleetSimulator:
+    """Event-driven power-coordinated scheduler over a heterogeneous fleet.
+
+    Parameters
+    ----------
+    trace:
+        Arrivals (see :mod:`repro.sched.traces`); single-node jobs.
+    n_nodes:
+        Fleet size; node ``i`` takes ``profiles[i % len(profiles)]``.
+    global_bound_w:
+        Cluster-wide power bound shared by all grants.
+    profiles:
+        Names from :data:`PROFILES` to cycle nodes over.
+    resplit_interval_s:
+        Period of the water-filling budget re-split; ``0`` disables it.
+    grant_quantum_w:
+        Lattice step for grants (power-of-two watts keep the charged-
+        power accounting exact in floating point).
+    engine:
+        Shared :class:`~repro.core.parallel.SweepEngine`; defaults to
+        the process-wide default engine.
+    """
+
+    def __init__(
+        self,
+        trace: Sequence[TraceJob],
+        *,
+        n_nodes: int,
+        global_bound_w: float,
+        profiles: Sequence[str] = ("ivybridge", "haswell"),
+        resplit_interval_s: float = 0.0,
+        grant_quantum_w: float = 8.0,
+        engine: Optional[SweepEngine] = None,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes must be > 0, got {n_nodes}")
+        if not global_bound_w > 0.0:
+            raise ConfigurationError(
+                f"global_bound_w must be > 0, got {global_bound_w}"
+            )
+        if not grant_quantum_w > 0.0:
+            raise ConfigurationError(
+                f"grant_quantum_w must be > 0, got {grant_quantum_w}"
+            )
+        if resplit_interval_s < 0.0:
+            raise ConfigurationError(
+                f"resplit_interval_s must be >= 0, got {resplit_interval_s}"
+            )
+        if not profiles:
+            raise ConfigurationError("profiles must be non-empty")
+        unknown = sorted(set(profiles) - set(PROFILES))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown profiles {unknown}; available: {sorted(PROFILES)}"
+            )
+        seen = set()
+        for job in trace:
+            if job.job_id in seen:
+                raise ConfigurationError(f"duplicate job id {job.job_id} in trace")
+            seen.add(job.job_id)
+        self.trace = tuple(trace)
+        self.global_bound_w = float(global_bound_w)
+        self.resplit_interval_s = float(resplit_interval_s)
+        self.grant_quantum_w = float(grant_quantum_w)
+        self._engine = engine if engine is not None else default_engine()
+        self._platforms: dict[str, ComputeNode] = {
+            name: PROFILES[name]() for name in dict.fromkeys(profiles)
+        }
+        profile_cycle = list(dict.fromkeys(profiles))
+        self.nodes = [
+            FleetNode(index=i, profile=profile_cycle[i % len(profile_cycle)])
+            for i in range(n_nodes)
+        ]
+        self.records: dict[int, FleetRecord] = {
+            job.job_id: FleetRecord(job=job) for job in self.trace
+        }
+        self._workloads: dict[str, Workload] = {}
+        for job in self.trace:
+            if job.workload not in self._workloads:
+                try:
+                    self._workloads[job.workload] = cpu_workload(job.workload)
+                except Exception as exc:
+                    raise ConfigurationError(
+                        f"trace references unknown workload {job.workload!r}"
+                    ) from exc
+        self._specs: dict[tuple[str, str], _AllocSpec] = {}
+        # Run state.
+        self._free: list[int] = []
+        self._arrived: list[FleetRecord] = []  # FIFO (appended in time order)
+        self._arrived_head = 0
+        self._arrivals_left = 0
+        self._resplit_armed = False
+        self.charged_w = 0.0
+        self.peak_charged_w = 0.0
+        self._now = 0.0
+        self._makespan_s = 0.0
+        self._total_energy_j = 0.0
+        self._n_completed = 0
+        self._n_rejected = 0
+        self.n_resplits = 0
+        self.n_retimed = 0
+        self.n_missed_budget = 0
+        self.n_rounds = 0
+        self.n_kernel_passes = 0
+
+    # ------------------------------------------------------------------
+    # allocation lattice
+    # ------------------------------------------------------------------
+    def _spec(self, profile: str, workload_name: str) -> _AllocSpec:
+        key = (profile, workload_name)
+        spec = self._specs.get(key)
+        if spec is not None:
+            return spec
+        node = self._platforms[profile]
+        workload = self._workloads[workload_name]
+        critical = profile_cpu_workload(node.cpu, node.dram, workload)
+        q = self.grant_quantum_w
+        lo = -(-critical.productive_threshold_w // q) * q  # ceil to lattice
+        hi = -(-critical.max_demand_w // q) * q
+        lattice: list[float] = []
+        proc: list[float] = []
+        mem: list[float] = []
+        w = lo
+        while w <= hi + 1e-9:
+            decision = coord_cpu(critical, w)
+            if decision.accepted:
+                lattice.append(w)
+                proc.append(decision.allocation.proc_w)
+                mem.append(decision.allocation.mem_w)
+            w += q
+        if not lattice:
+            raise SchedulerError(
+                f"no feasible grant lattice for {workload_name!r} on "
+                f"{profile!r} (threshold {critical.productive_threshold_w:.0f} W)"
+            )
+        executor = self._engine.host_subgrid(
+            node.cpu, node.dram, workload.phases, proc, mem
+        )
+        spec = _AllocSpec(critical=critical, lattice_w=lattice, executor=executor)
+        self._specs[key] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    # the allocation round
+    # ------------------------------------------------------------------
+    @property
+    def headroom_w(self) -> float:
+        return self.global_bound_w - self.charged_w
+
+    def _allocation_round(self, loop: EventLoop) -> None:
+        """Admit head-first, then resolve all admissions in one batched
+        pass per (profile, workload) group through the prepared subgrid
+        executors — the whole-fleet vectorized round."""
+        self.n_rounds += 1
+        assignments: list[_Assignment] = []
+        while self._arrived_head < len(self._arrived) and self._free:
+            record = self._arrived[self._arrived_head]
+            node = self.nodes[self._free[0]]  # min-heap: lowest index first
+            spec = self._spec(node.profile, record.job.workload)
+            row = spec.row_at_or_below(
+                min(record.job.budget_w, self.headroom_w)
+            )
+            if row is None:
+                if spec.row_at_or_below(
+                    min(record.job.budget_w, self.global_bound_w)
+                ) is None:
+                    # No lattice point under the request even on an empty
+                    # cluster: the ask sits below the productive threshold.
+                    record.state = JobState.REJECTED
+                    record.reject_reason = (
+                        f"requested {record.job.budget_w:.0f} W below the "
+                        f"productive floor "
+                        f"{spec.lattice_w[0]:.0f} W on {node.profile}"
+                    )
+                    self._n_rejected += 1
+                    self._arrived_head += 1
+                    continue
+                # Power-blocked: a free node exists but headroom cannot
+                # fund the head productively.  No backfill — hold.
+                self.n_missed_budget += 1
+                break
+            grant = spec.lattice_w[row]
+            heapq.heappop(self._free)
+            self.charged_w += grant
+            self.peak_charged_w = max(self.peak_charged_w, self.charged_w)
+            node.job_id = record.job.job_id
+            node.grant_w = grant
+            record.state = JobState.RUNNING
+            record.node_index = node.index
+            record.profile = node.profile
+            record.grant_w = grant
+            record.start_s = self._now
+            assignments.append((record, node, spec, row))
+            self._arrived_head += 1
+        if self._arrived_head > 4096 and self._arrived_head == len(self._arrived):
+            del self._arrived[: self._arrived_head]
+            self._arrived_head = 0
+        if not assignments:
+            return
+        for spec, group in self._group_by_spec(assignments).items():
+            results = spec.executor.run([row for (_, _, _, row) in group])
+            spec.rows_run += len(group)
+            self.n_kernel_passes += 1
+            for (record, node, _, _), result in zip(group, results):
+                record.elapsed_s = result.elapsed_s
+                record.energy_j = result.energy_j
+                finish = self._now + result.elapsed_s
+                record.finish_s = finish
+                node.epoch += 1
+                loop.schedule(
+                    JobCompletion(finish, slot=node.index, epoch=node.epoch)
+                )
+        if self.resplit_interval_s > 0.0 and not self._resplit_armed:
+            self._resplit_armed = True
+            loop.schedule(
+                BudgetResplit(
+                    self._now + self.resplit_interval_s,
+                    interval_s=self.resplit_interval_s,
+                )
+            )
+
+    @staticmethod
+    def _group_by_spec(
+        assignments: list[_Assignment],
+    ) -> dict[_AllocSpec, list[_Assignment]]:
+        groups: dict[_AllocSpec, list[_Assignment]] = {}
+        for entry in assignments:
+            groups.setdefault(entry[2], []).append(entry)
+        return groups
+
+    # ------------------------------------------------------------------
+    # the water-filling budget re-split
+    # ------------------------------------------------------------------
+    def _resplit(self, loop: EventLoop) -> None:
+        """Re-split the cluster budget fairly across running jobs."""
+        self.n_resplits += 1
+        busy = [n for n in self.nodes if n.busy]
+        if not busy:
+            return
+        q = self.grant_quantum_w
+        specs: dict[int, _AllocSpec] = {}
+        floors: dict[int, float] = {}
+        caps: dict[int, float] = {}
+        for node in busy:
+            assert node.job_id is not None
+            record = self.records[node.job_id]
+            spec = self._spec(node.profile, record.job.workload)
+            specs[node.index] = spec
+            floors[node.index] = spec.lattice_w[0]
+            cap_row = spec.row_at_or_below(record.job.budget_w)
+            assert cap_row is not None  # admitted => feasible
+            caps[node.index] = spec.lattice_w[cap_row]
+        grants = dict(floors)
+        remaining = self.global_bound_w - sum(grants.values())
+        # Admitted grants were all >= their floors and summed under the
+        # bound, so the floors fit; distribute the leftover one equal
+        # lattice share at a time, node order breaking the remainder.
+        active = [n.index for n in busy if grants[n.index] < caps[n.index]]
+        while remaining >= q - 1e-9 and active:
+            share = (remaining / len(active)) // q * q
+            if share < q:
+                for idx in active:
+                    if remaining < q - 1e-9:
+                        break
+                    grants[idx] += q
+                    remaining -= q
+                break
+            progressed = False
+            for idx in active:
+                take = min(caps[idx] - grants[idx], share)
+                grants[idx] += take
+                remaining -= take
+                progressed = progressed or take > 0.0
+            active = [i for i in active if grants[i] < caps[i] - 1e-9]
+            if not progressed:  # pragma: no cover - active filter advances
+                break
+        retimes: list[_Assignment] = []
+        for node in busy:
+            new_grant = min(grants[node.index], caps[node.index])
+            if abs(new_grant - node.grant_w) < q / 2.0:
+                continue
+            assert node.job_id is not None
+            record = self.records[node.job_id]
+            spec = specs[node.index]
+            row = spec.row_at_or_below(new_grant)
+            assert row is not None
+            self.charged_w += new_grant - node.grant_w
+            node.grant_w = new_grant
+            record.grant_w = new_grant
+            retimes.append((record, node, spec, row))
+        self.peak_charged_w = max(self.peak_charged_w, self.charged_w)
+        if not retimes:
+            return
+        for spec, group in self._group_by_spec(retimes).items():
+            results = spec.executor.run([row for (_, _, _, row) in group])
+            spec.rows_run += len(group)
+            self.n_kernel_passes += 1
+            for (record, node, _, _), result in zip(group, results):
+                assert record.finish_s is not None
+                remaining_s = max(0.0, record.finish_s - self._now)
+                # Remaining work scales with the modeled rate ratio —
+                # the rebalancer's boost arithmetic, shrink or grow.
+                new_finish = self._now + remaining_s * (
+                    result.elapsed_s / record.elapsed_s
+                )
+                record.elapsed_s = result.elapsed_s
+                record.energy_j = result.energy_j
+                record.finish_s = new_finish
+                record.n_retimes += 1
+                self.n_retimed += 1
+                node.epoch += 1
+                loop.schedule(
+                    JobCompletion(new_finish, slot=node.index, epoch=node.epoch)
+                )
+
+    # ------------------------------------------------------------------
+    # SchedulerHooks
+    # ------------------------------------------------------------------
+    def on_arrival(self, loop: EventLoop, event: JobArrival) -> None:
+        self._now = max(self._now, event.time_s)
+        self._arrivals_left -= 1
+        record = self.records[event.job_id]
+        self._arrived.append(record)
+        if self._free:
+            self._allocation_round(loop)
+
+    def on_completion(self, loop: EventLoop, event: JobCompletion) -> None:
+        node = self.nodes[event.slot]
+        if node.epoch != event.epoch:
+            return  # stale: the job was re-timed by a budget re-split
+        self._now = max(self._now, event.time_s)
+        assert node.job_id is not None
+        record = self.records[node.job_id]
+        record.state = JobState.COMPLETED
+        record.finish_s = event.time_s
+        self._n_completed += 1
+        self._total_energy_j += record.energy_j
+        self._makespan_s = max(self._makespan_s, event.time_s)
+        self.charged_w -= node.grant_w
+        node.job_id = None
+        node.grant_w = 0.0
+        heapq.heappush(self._free, node.index)
+        if self._arrived_head < len(self._arrived):
+            self._allocation_round(loop)
+
+    def on_resplit(self, loop: EventLoop, event: BudgetResplit) -> None:
+        self._now = max(self._now, event.time_s)
+        self._resplit_armed = False
+        self._resplit(loop)
+        # Freed/shrunk power may admit held jobs at this boundary.
+        if self._arrived_head < len(self._arrived) and self._free:
+            self._allocation_round(loop)
+        if any(n.busy for n in self.nodes):
+            self._resplit_armed = True
+            loop.schedule(
+                BudgetResplit(
+                    event.time_s + self.resplit_interval_s,
+                    interval_s=self.resplit_interval_s,
+                )
+            )
+
+    def on_wakeup(self, loop: EventLoop, event: NodeWakeup) -> None:
+        """No wake-up callbacks in the fleet policy (hook kept for API)."""
+
+    def on_drain(self, loop: EventLoop) -> bool:
+        """Arrived jobs that survive a drained queue can never start."""
+        if self._arrived_head >= len(self._arrived):
+            return False
+        record = self._arrived[self._arrived_head]
+        self._arrived_head += 1
+        record.state = JobState.REJECTED
+        record.reject_reason = (
+            "unschedulable: no running job will ever free enough power"
+        )
+        self._n_rejected += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run(self, *, observer: Optional[EventObserver] = None) -> FleetStats:
+        """Drive the whole trace; returns aggregate fleet statistics."""
+        loop = EventLoop(self, observer=observer)
+        self._free = [n.index for n in self.nodes]
+        heapq.heapify(self._free)
+        self._arrivals_left = len(self.trace)
+        for job in sorted(self.trace, key=lambda j: (j.submit_time_s, j.job_id)):
+            loop.schedule(JobArrival(job.submit_time_s, job_id=job.job_id))
+        n_events = loop.run()
+        waits = [
+            r.wait_s
+            for r in self.records.values()
+            if r.state is JobState.COMPLETED
+        ]
+        return FleetStats(
+            n_nodes=len(self.nodes),
+            n_jobs=len(self.trace),
+            n_completed=self._n_completed,
+            n_rejected=self._n_rejected,
+            makespan_s=self._makespan_s,
+            total_energy_j=self._total_energy_j,
+            mean_wait_s=sum(waits) / len(waits) if waits else 0.0,
+            peak_charged_w=self.peak_charged_w,
+            n_resplits=self.n_resplits,
+            n_retimed=self.n_retimed,
+            n_missed_budget=self.n_missed_budget,
+            n_rounds=self.n_rounds,
+            n_kernel_passes=self.n_kernel_passes,
+            n_events=n_events,
+        )

@@ -26,11 +26,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.coord import coord_cpu
 from repro.core.elasticity import power_elasticity
+from repro.core.parallel import SweepEngine
 from repro.errors import SchedulerError
 from repro.perfmodel.executor import execute_on_host
+from repro.sched.cluster import Cluster, NodeSlot
+from repro.sched.events import EventLoop, JobCompletion
 from repro.sched.job import JobState
 from repro.sched.scheduler import PowerBoundedScheduler, SchedulerStats
 
@@ -59,7 +63,11 @@ class RebalancingScheduler(PowerBoundedScheduler):
     """
 
     def __init__(
-        self, cluster, order: str = "fcfs", boost_order: str = "fcfs", engine=None
+        self,
+        cluster: Cluster,
+        order: str = "fcfs",
+        boost_order: str = "fcfs",
+        engine: Optional[SweepEngine] = None,
     ) -> None:
         super().__init__(cluster, order=order, engine=engine)
         if boost_order not in ("fcfs", "elasticity"):
@@ -69,13 +77,18 @@ class RebalancingScheduler(PowerBoundedScheduler):
         self.boost_order = boost_order
         self.n_boosts = 0
         self.boosted_w_total = 0.0
+        # Per-run re-timing state (reset by _begin_run): slot -> live
+        # completion epoch, and slot -> currently scheduled finish.
+        self._epoch: dict[int, int] = {}
+        self._finish_by_slot: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # boosting
     # ------------------------------------------------------------------
-    def _boost_priority(self, pair) -> float:
+    def _boost_priority(self, pair: tuple[int, NodeSlot]) -> float:
         """Sort key for elasticity-ordered boosting (most elastic first)."""
         _, slot = pair
+        assert slot.running_job_id is not None
         record = self.records[slot.running_job_id]
         if record.job.n_nodes > 1:
             return 0.0  # multi-node jobs are not boosted; rank last
@@ -104,10 +117,17 @@ class RebalancingScheduler(PowerBoundedScheduler):
         if self.boost_order == "elasticity":
             busy.sort(key=self._boost_priority)
         else:
-            busy.sort(
-                key=lambda pair: self.records[pair[1].running_job_id].start_time_s
-            )
+
+            def _start_key(pair: tuple[int, NodeSlot]) -> float:
+                job_id = pair[1].running_job_id
+                assert job_id is not None
+                started = self.records[job_id].start_time_s
+                assert started is not None
+                return started
+
+            busy.sort(key=_start_key)
         for idx, slot in busy:
+            assert slot.running_job_id is not None
             record = self.records[slot.running_job_id]
             if record.job.n_nodes > 1:
                 # Multi-node jobs would need a synchronized multi-slot
@@ -155,10 +175,64 @@ class RebalancingScheduler(PowerBoundedScheduler):
         return updates
 
     # ------------------------------------------------------------------
-    # event loop (same skeleton as the base class, plus boost events and
-    # lazy invalidation of re-timed completions)
+    # event-core hooks: boosts become re-timed completions, invalidated
+    # lazily through the event epochs
     # ------------------------------------------------------------------
-    def run(self) -> RebalanceStats:
+    def _begin_run(self) -> None:
+        super()._begin_run()
+        self._epoch = {}
+        self._finish_by_slot = {}
+
+    def _collect_stats(self) -> RebalanceStats:
+        base = super()._collect_stats()
+        return RebalanceStats(
+            n_completed=base.n_completed,
+            n_rejected=base.n_rejected,
+            makespan_s=base.makespan_s,
+            total_energy_j=base.total_energy_j,
+            mean_wait_s=base.mean_wait_s,
+            reclaimed_w_total=base.reclaimed_w_total,
+            peak_charged_w=base.peak_charged_w,
+            n_boosts=self.n_boosts,
+            boosted_w_total=self.boosted_w_total,
+        )
+
+    def _push_completion(self, loop: EventLoop, slot_idx: int, finish: float) -> None:
+        """Re-timable completion: bump the slot epoch, record the finish."""
+        self._epoch[slot_idx] = self._epoch.get(slot_idx, 0) + 1
+        self._finish_by_slot[slot_idx] = finish
+        loop.schedule(
+            JobCompletion(finish, slot=slot_idx, epoch=self._epoch[slot_idx])
+        )
+
+    def on_completion(self, loop: EventLoop, event: JobCompletion) -> None:
+        if self._epoch.get(event.slot) != event.epoch:
+            # Stale: the job was re-timed by a boost.  The legacy loop
+            # popped these without advancing its clock, then re-ran the
+            # top-of-loop admission sweep at the *old* now — replicate
+            # both (the sweep at the stale clock is idempotent).
+            self._admit_available(loop)
+            return
+        self._now = max(self._now, event.time_s)
+        self._complete(event)
+        del self._finish_by_slot[event.slot]
+        # Freed power: queue progress first (pending admissions see
+        # exactly the power the base scheduler would offer them), then
+        # boost the survivors with whatever headroom is left, then the
+        # legacy top-of-loop sweep before the next event dispatch.
+        self._admit_available(loop)
+        for boost_idx, new_finish in self._boost_running(
+            self._now, self._finish_by_slot
+        ):
+            self._push_completion(loop, boost_idx, new_finish)
+        self._admit_available(loop)
+
+    # ------------------------------------------------------------------
+    # legacy loop — the bit-for-bit oracle for the differential battery
+    # (same skeleton as the base class, plus boost events and lazy
+    # invalidation of re-timed completions)
+    # ------------------------------------------------------------------
+    def run_legacy(self) -> RebalanceStats:
         events: list[tuple[float, int, int, int]] = []  # (finish, seq, slot, epoch)
         slot_index = {id(s): i for i, s in enumerate(self.cluster.slots)}
         epoch: dict[int, int] = {}

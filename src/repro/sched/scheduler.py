@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.core.budget import BudgetVerdict, advise_budget
 from repro.core.coord import coord_cpu
@@ -37,6 +38,14 @@ from repro.core.profiler import profile_cpu_workload
 from repro.errors import SchedulerError
 from repro.perfmodel.executor import execute_on_host
 from repro.sched.cluster import Cluster, NodeSlot
+from repro.sched.events import (
+    BudgetResplit,
+    EventLoop,
+    EventObserver,
+    JobArrival,
+    JobCompletion,
+    NodeWakeup,
+)
 from repro.sched.job import Job, JobRecord, JobState
 
 __all__ = ["PowerBoundedScheduler", "PredictKey", "SchedulerStats"]
@@ -111,6 +120,14 @@ class PowerBoundedScheduler:
         self._seq = itertools.count()
         self.reclaimed_w_total = 0.0
         self.peak_charged_w = 0.0
+        # Per-run policy state, reset by _begin_run(): the simulated
+        # clock (owned by the policy, not the event loop — stale
+        # completions must not advance it), stat accumulators, and the
+        # slot-identity -> index map completions are keyed by.
+        self._now = 0.0
+        self._total_energy_j = 0.0
+        self._makespan_s = 0.0
+        self._slot_index: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # submission
@@ -166,7 +183,9 @@ class PowerBoundedScheduler:
 
         return self._predict_cache.get_or_compute(key, compute)  # type: ignore[return-value]
 
-    def _queue_key(self, record: JobRecord):
+    def _queue_key(
+        self, record: JobRecord
+    ) -> Union[tuple[float, float, int], tuple[float, int]]:
         """Ordering key among currently *available* jobs.
 
         SJF can starve long jobs under a continuous stream of short ones;
@@ -251,10 +270,147 @@ class PowerBoundedScheduler:
         return primary, finish
 
     # ------------------------------------------------------------------
-    # event loop
+    # event-driven run: the scheduler is a hook policy on the event core
     # ------------------------------------------------------------------
-    def run(self) -> SchedulerStats:
-        """Run the cluster until the queue drains; returns aggregate stats."""
+    def run(self, *, observer: Optional[EventObserver] = None) -> SchedulerStats:
+        """Run the cluster until the queue drains; returns aggregate stats.
+
+        Drives :class:`~repro.sched.events.EventLoop` with the scheduler
+        itself as the hook policy.  Bit-for-bit equivalent to
+        :meth:`run_legacy` (the pre-event-core loop, kept as the oracle
+        for the differential battery in ``tests/test_fleet.py``): same
+        `JobRecord` histories, same stats, same log lines.  ``observer``
+        receives every dispatched event — the property tests use it to
+        check bound/ordering invariants at event boundaries.
+        """
+        loop = EventLoop(self, observer=observer)
+        self._begin_run()
+        for record in self._pending:
+            loop.schedule(
+                JobArrival(record.job.submit_time_s, job_id=record.job.job_id)
+            )
+        loop.run()
+        return self._collect_stats()
+
+    def _begin_run(self) -> None:
+        """Reset per-run policy state (clock, accumulators, slot map)."""
+        self._pending.sort(key=lambda r: (r.job.submit_time_s, r.job.job_id))
+        self._now = 0.0
+        self._total_energy_j = 0.0
+        self._makespan_s = 0.0
+        self._slot_index = {id(s): i for i, s in enumerate(self.cluster.slots)}
+
+    def _collect_stats(self) -> SchedulerStats:
+        completed = [r for r in self.records.values() if r.state is JobState.COMPLETED]
+        rejected = [r for r in self.records.values() if r.state is JobState.REJECTED]
+        waits = [r.wait_time_s for r in completed]
+        return SchedulerStats(
+            n_completed=len(completed),
+            n_rejected=len(rejected),
+            makespan_s=self._makespan_s,
+            total_energy_j=self._total_energy_j,
+            mean_wait_s=sum(waits) / len(waits) if waits else 0.0,
+            reclaimed_w_total=self.reclaimed_w_total,
+            peak_charged_w=self.peak_charged_w,
+        )
+
+    def _admit_available(self, loop: EventLoop) -> None:
+        """Head-first admission sweep over the jobs that have arrived.
+
+        Exactly the legacy loops' ``admit_pending`` closure: ordered by
+        the selected policy, stopping at the first job that must wait so
+        the policy order is never bypassed (no backfill).  Availability
+        is judged against the policy clock over the *full* pending list
+        (not arrival-event firing), so a completion-time sweep admits
+        same-instant arrivals just as the legacy loop did.
+        """
+        while True:
+            available = [
+                r for r in self._pending if r.job.submit_time_s <= self._now
+            ]
+            if not available:
+                break
+            record = min(available, key=self._queue_key)
+            started = self._try_start(record, self._now)
+            if record.state is JobState.REJECTED:
+                self._pending.remove(record)
+                continue
+            if started is None:
+                break
+            slot, finish = started
+            self._push_completion(loop, self._slot_index[id(slot)], finish)
+            self._pending.remove(record)
+
+    def _push_completion(self, loop: EventLoop, slot_idx: int, finish: float) -> None:
+        """Queue the completion for an admitted job (subclasses re-time)."""
+        loop.schedule(JobCompletion(finish, slot=slot_idx, epoch=0))
+
+    def _complete(self, event: JobCompletion) -> JobRecord:
+        """Terminal bookkeeping for a live completion (legacy verbatim)."""
+        slot = self.cluster.slots[event.slot]
+        job_id = slot.running_job_id
+        assert job_id is not None
+        record = self.records[job_id]
+        record.state = JobState.COMPLETED
+        record.finish_time_s = event.time_s
+        self._total_energy_j += record.energy_j
+        self._makespan_s = max(self._makespan_s, event.time_s)
+        for slot_idx in record.slot_indices:
+            self.cluster.release(self.cluster.slots[slot_idx])
+        record.log(f"completed at t={event.time_s:.1f}s")
+        return record
+
+    # -- SchedulerHooks ------------------------------------------------
+    def on_arrival(self, loop: EventLoop, event: JobArrival) -> None:
+        """Sweep only when the cluster is idle.
+
+        The legacy loop admits arrivals lazily — at completion pops and
+        idle-advances, never mid-run — so a busy-cluster arrival must
+        wait for the next completion sweep.  An idle-cluster arrival is
+        the legacy idle-advance (``now = min future submit``); idle
+        sweeps can never log "holding" (with nothing running the grant
+        equals the feasibility bound), so dispatching one sweep per
+        arrival instead of one per distinct time is log-invisible.
+        """
+        if any(slot.busy for slot in self.cluster.slots):
+            return
+        self._now = max(self._now, event.time_s)
+        self._admit_available(loop)
+
+    def on_completion(self, loop: EventLoop, event: JobCompletion) -> None:
+        self._now = max(self._now, event.time_s)
+        self._complete(event)
+        self._admit_available(loop)
+
+    def on_resplit(self, loop: EventLoop, event: BudgetResplit) -> None:
+        """The static schedulers never re-split; fleet policies do."""
+
+    def on_wakeup(self, loop: EventLoop, event: NodeWakeup) -> None:
+        """No wake-up callbacks in the static schedulers."""
+
+    def on_drain(self, loop: EventLoop) -> bool:
+        """Nothing queued: reject the unschedulable head, legacy-style."""
+        if not self._pending:
+            return False
+        self._admit_available(loop)
+        if loop.queue:
+            return True
+        if not self._pending:
+            return False
+        head = min(self._pending, key=self._queue_key)
+        self._pending.remove(head)
+        head.state = JobState.REJECTED
+        head.reject_reason = (
+            "unschedulable: no running job will ever free enough power"
+        )
+        head.log(head.reject_reason)
+        return True
+
+    # ------------------------------------------------------------------
+    # legacy loop — the bit-for-bit oracle for the differential battery
+    # ------------------------------------------------------------------
+    def run_legacy(self) -> SchedulerStats:
+        """The pre-event-core hand-rolled loop, kept verbatim as oracle."""
         events: list[tuple[float, int, int]] = []  # (finish, seq, slot index)
         slot_index = {id(s): i for i, s in enumerate(self.cluster.slots)}
         self._pending.sort(key=lambda r: (r.job.submit_time_s, r.job.job_id))

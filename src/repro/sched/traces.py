@@ -1,0 +1,271 @@
+"""Seeded synthetic arrival traces for the fleet simulator.
+
+Three generators cover the arrival regimes cluster power managers are
+evaluated against:
+
+* :func:`poisson_trace` — memoryless arrivals at a constant rate (the
+  steady-state baseline);
+* :func:`bursty_trace` — tight bursts separated by exponential gaps
+  (campaign submissions, workflow fan-outs);
+* :func:`diurnal_trace` — a sinusoidally modulated rate with a fixed
+  period, sampled by thinning (day/night load swings).
+
+Every generator is a pure function of its arguments: the same seed
+replays the identical trace, which the property battery in
+``tests/test_fleet.py`` pins.  Budgets are drawn from a small set of
+discrete levels rather than a continuum — real users ask for round
+numbers, and the fleet's allocation rounds stay cache-friendly when the
+distinct (workload, budget) space is small.
+
+The on-disk format is line-oriented and versioned::
+
+    # repro-trace v1
+    job_id,workload,budget_w,submit_time_s
+
+:func:`write_trace`/:func:`read_trace` round-trip bit-for-bit: times and
+budgets are emitted with 6 decimal places and the generators round to
+the same grid, so a trace re-read from disk replays identically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TraceJob",
+    "bursty_trace",
+    "diurnal_trace",
+    "poisson_trace",
+    "read_trace",
+    "write_trace",
+]
+
+#: Format marker written as the first line of every trace file.
+TRACE_HEADER = "# repro-trace v1"
+
+#: Default workload mix: one memory-bound, one balanced, one compute-bound
+#: application from the CPU suite, so traces exercise distinct COORD
+#: splits without enumerating the whole registry.
+DEFAULT_WORKLOADS: tuple[str, ...] = ("ft", "mg", "cg")
+
+#: Default requested-budget levels (per node, watts).
+DEFAULT_BUDGET_LEVELS: tuple[float, ...] = (80.0, 120.0, 160.0, 200.0, 260.0)
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One arrival in a fleet trace.
+
+    Deliberately lighter than :class:`~repro.sched.job.Job`: the
+    workload is a registry *name* (resolved once by the simulator, not
+    per job) and there is no multi-node field — the fleet schedules
+    single-node jobs, matching the paper's per-node COORD granularity.
+    """
+
+    job_id: int
+    workload: str
+    budget_w: float
+    submit_time_s: float
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ConfigurationError(f"job {self.job_id}: empty workload name")
+        if not math.isfinite(self.budget_w) or self.budget_w <= 0.0:
+            raise ConfigurationError(
+                f"job {self.job_id}: budget_w must be finite and > 0, "
+                f"got {self.budget_w!r}"
+            )
+        if not math.isfinite(self.submit_time_s) or self.submit_time_s < 0.0:
+            raise ConfigurationError(
+                f"job {self.job_id}: submit_time_s must be finite and >= 0, "
+                f"got {self.submit_time_s!r}"
+            )
+
+
+def _round_grid(value: float) -> float:
+    """Snap to the 6-decimal grid the file format preserves exactly."""
+    return round(value, 6)
+
+
+def _draw_jobs(
+    arrival_times: Iterable[float],
+    rng: random.Random,
+    workloads: Sequence[str],
+    budget_levels: Sequence[float],
+) -> tuple[TraceJob, ...]:
+    if not workloads:
+        raise ConfigurationError("workloads must be a non-empty sequence")
+    if not budget_levels:
+        raise ConfigurationError("budget_levels must be a non-empty sequence")
+    jobs = []
+    for job_id, t in enumerate(arrival_times):
+        jobs.append(
+            TraceJob(
+                job_id=job_id,
+                workload=rng.choice(list(workloads)),
+                budget_w=_round_grid(float(rng.choice(list(budget_levels)))),
+                submit_time_s=_round_grid(t),
+            )
+        )
+    return tuple(jobs)
+
+
+def _check_n_jobs(n_jobs: int) -> None:
+    if n_jobs <= 0:
+        raise ConfigurationError(f"n_jobs must be > 0, got {n_jobs}")
+
+
+def poisson_trace(
+    *,
+    n_jobs: int,
+    rate_per_s: float,
+    seed: int,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    budget_levels: Sequence[float] = DEFAULT_BUDGET_LEVELS,
+) -> tuple[TraceJob, ...]:
+    """Memoryless arrivals: exponential inter-arrival times at a fixed rate."""
+    _check_n_jobs(n_jobs)
+    if not rate_per_s > 0.0:
+        raise ConfigurationError(f"rate_per_s must be > 0, got {rate_per_s}")
+    rng = random.Random(seed)
+    times = []
+    t = 0.0
+    for _ in range(n_jobs):
+        t += rng.expovariate(rate_per_s)
+        times.append(t)
+    return _draw_jobs(times, rng, workloads, budget_levels)
+
+
+def bursty_trace(
+    *,
+    n_jobs: int,
+    burst_size: int,
+    gap_s: float,
+    seed: int,
+    spread_s: float = 1.0,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    budget_levels: Sequence[float] = DEFAULT_BUDGET_LEVELS,
+) -> tuple[TraceJob, ...]:
+    """Bursts of ~``burst_size`` jobs separated by exponential gaps.
+
+    Each burst lands within ``spread_s`` seconds (jobs inside a burst are
+    near-simultaneous), and burst starts are a Poisson process with mean
+    spacing ``gap_s`` — the campaign-submission pattern that stresses
+    admission ordering and power headroom hardest.
+    """
+    _check_n_jobs(n_jobs)
+    if burst_size <= 0:
+        raise ConfigurationError(f"burst_size must be > 0, got {burst_size}")
+    if not gap_s > 0.0 or spread_s < 0.0:
+        raise ConfigurationError(
+            f"gap_s must be > 0 and spread_s >= 0, got {gap_s}, {spread_s}"
+        )
+    rng = random.Random(seed)
+    times: list[float] = []
+    burst_start = 0.0
+    while len(times) < n_jobs:
+        burst_start += rng.expovariate(1.0 / gap_s)
+        # 1..2*burst_size jobs per burst, mean ~ burst_size.
+        count = rng.randint(1, 2 * burst_size)
+        for _ in range(min(count, n_jobs - len(times))):
+            times.append(burst_start + rng.uniform(0.0, spread_s))
+    times.sort()
+    return _draw_jobs(times, rng, workloads, budget_levels)
+
+
+def diurnal_trace(
+    *,
+    n_jobs: int,
+    base_rate_per_s: float,
+    peak_rate_per_s: float,
+    period_s: float,
+    seed: int,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    budget_levels: Sequence[float] = DEFAULT_BUDGET_LEVELS,
+) -> tuple[TraceJob, ...]:
+    """Sinusoidally modulated arrivals sampled by thinning.
+
+    The instantaneous rate swings between ``base_rate_per_s`` and
+    ``peak_rate_per_s`` with period ``period_s``; candidate arrivals are
+    drawn at the peak rate and accepted with probability rate(t)/peak
+    (Lewis-Shedler thinning), so the accepted process has exactly the
+    modulated intensity.
+    """
+    _check_n_jobs(n_jobs)
+    if not 0.0 < base_rate_per_s <= peak_rate_per_s:
+        raise ConfigurationError(
+            f"need 0 < base_rate_per_s <= peak_rate_per_s, got "
+            f"{base_rate_per_s}, {peak_rate_per_s}"
+        )
+    if not period_s > 0.0:
+        raise ConfigurationError(f"period_s must be > 0, got {period_s}")
+    rng = random.Random(seed)
+    mid = (base_rate_per_s + peak_rate_per_s) / 2.0
+    amplitude = (peak_rate_per_s - base_rate_per_s) / 2.0
+    times = []
+    t = 0.0
+    while len(times) < n_jobs:
+        t += rng.expovariate(peak_rate_per_s)
+        rate = mid + amplitude * math.sin(2.0 * math.pi * t / period_s)
+        if rng.random() * peak_rate_per_s <= rate:
+            times.append(t)
+    return _draw_jobs(times, rng, workloads, budget_levels)
+
+
+# ---------------------------------------------------------------------------
+# the trace file format
+# ---------------------------------------------------------------------------
+
+def write_trace(path: Union[str, Path], jobs: Sequence[TraceJob]) -> Path:
+    """Write a trace file; returns the path written."""
+    out = Path(path)
+    lines = [TRACE_HEADER, "# job_id,workload,budget_w,submit_time_s"]
+    for job in jobs:
+        lines.append(
+            f"{job.job_id},{job.workload},{job.budget_w:.6f},"
+            f"{job.submit_time_s:.6f}"
+        )
+    out.write_text("\n".join(lines) + "\n")
+    return out
+
+
+def read_trace(path: Union[str, Path]) -> tuple[TraceJob, ...]:
+    """Parse a trace file; raises :class:`ConfigurationError` on bad input."""
+    src = Path(path)
+    try:
+        text = src.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace {src}: {exc}") from exc
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != TRACE_HEADER:
+        raise ConfigurationError(
+            f"{src}: not a repro trace (missing '{TRACE_HEADER}' header)"
+        )
+    jobs = []
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 4:
+            raise ConfigurationError(
+                f"{src}:{lineno}: expected 4 comma-separated fields, "
+                f"got {len(parts)}"
+            )
+        try:
+            job = TraceJob(
+                job_id=int(parts[0]),
+                workload=parts[1].strip(),
+                budget_w=float(parts[2]),
+                submit_time_s=float(parts[3]),
+            )
+        except (ValueError, ConfigurationError) as exc:
+            raise ConfigurationError(f"{src}:{lineno}: {exc}") from exc
+        jobs.append(job)
+    return tuple(jobs)

@@ -30,7 +30,14 @@ from repro.hardware.platforms import (
 )
 from repro.hardware.pstate import PStateTable
 from repro.perfmodel.phase import Phase
-from repro.workloads import cpu_workload, gpu_workload
+from repro.sched.job import Job
+from repro.sched.traces import (
+    TraceJob,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+from repro.workloads import cpu_workload, gpu_workload, list_cpu_workloads
 
 
 # ---------------------------------------------------------------------------
@@ -195,6 +202,83 @@ def fault_plans(
         max_attempts=st.integers(min_value=2, max_value=5),
         backoff_base_s=st.just(0.001),
         profile_repeats=st.sampled_from((3, 5)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# scheduler-domain strategies (hypothesis; shared by test_sched_properties
+# and the fleet differential/property battery in test_fleet)
+# ---------------------------------------------------------------------------
+
+#: Every registered CPU workload — the job-mix sampling space.
+SCHED_WORKLOAD_NAMES: tuple[str, ...] = tuple(list_cpu_workloads())
+
+
+@st.composite
+def job_mixes(draw, max_jobs: int = 6, multi_node: bool = False) -> list[Job]:
+    """A small batch of :class:`Job` submissions over the CPU suite.
+
+    The distribution matches the historical ad-hoc generator in
+    ``test_sched_properties`` (1..6 jobs, 60-320 W asks, 0-20 s submit
+    window) so replacing it does not shift what hypothesis explores.
+    ``multi_node=True`` additionally draws 1-2 node jobs.
+    """
+    n = draw(st.integers(1, max_jobs))
+    jobs = []
+    for i in range(n):
+        name = draw(st.sampled_from(SCHED_WORKLOAD_NAMES))
+        request = draw(st.floats(60.0, 320.0))
+        submit = draw(st.floats(0.0, 20.0))
+        n_nodes = draw(st.integers(1, 2)) if multi_node else 1
+        jobs.append(
+            Job(i, cpu_workload(name), request, submit_time_s=submit,
+                n_nodes=n_nodes)
+        )
+    return jobs
+
+
+@st.composite
+def cluster_shapes(draw, max_nodes: int = 4) -> dict:
+    """Keyword arguments for a small :class:`~repro.sched.Cluster`."""
+    return {
+        "node_factory": draw(st.sampled_from((ivybridge_node, haswell_node))),
+        "n_nodes": draw(st.integers(1, max_nodes)),
+        "global_bound_w": draw(
+            st.floats(150.0, 900.0, allow_nan=False, allow_infinity=False)
+        ),
+    }
+
+
+@st.composite
+def fleet_traces(draw, max_jobs: int = 30) -> tuple[TraceJob, ...]:
+    """A seeded synthetic trace from any of the three fleet generators.
+
+    Drawing the *generator inputs* (not the jobs) keeps every example a
+    genuine replayable trace — the replay-identity property re-runs the
+    same generator with the same seed and demands equality.
+    """
+    n = draw(st.integers(1, max_jobs))
+    seed = draw(st.integers(0, 2**32 - 1))
+    kind = draw(st.sampled_from(("poisson", "bursty", "diurnal")))
+    if kind == "poisson":
+        return poisson_trace(
+            n_jobs=n,
+            rate_per_s=draw(st.sampled_from((0.5, 2.0, 8.0))),
+            seed=seed,
+        )
+    if kind == "bursty":
+        return bursty_trace(
+            n_jobs=n,
+            burst_size=draw(st.integers(1, 6)),
+            gap_s=draw(st.sampled_from((2.0, 10.0))),
+            seed=seed,
+        )
+    return diurnal_trace(
+        n_jobs=n,
+        base_rate_per_s=0.5,
+        peak_rate_per_s=draw(st.sampled_from((1.0, 4.0))),
+        period_s=120.0,
+        seed=seed,
     )
 
 

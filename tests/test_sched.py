@@ -1,11 +1,15 @@
 """Power-bounded batch scheduler."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, SchedulerError
 from repro.hardware.platforms import ivybridge_node
 from repro.sched import Cluster, Job, JobState, PowerBoundedScheduler
 from repro.workloads import cpu_workload, gpu_workload
+
+from tests.conftest import cluster_shapes
 
 
 def make_cluster(n_nodes=2, bound=500.0):
@@ -16,6 +20,33 @@ class TestCluster:
     def test_bad_params(self):
         with pytest.raises(ConfigurationError):
             Cluster(node_factory=ivybridge_node, n_nodes=0, global_bound_w=100.0)
+
+    @pytest.mark.parametrize("n_nodes", [0, -1, -100])
+    def test_non_positive_node_count_rejected(self, n_nodes):
+        with pytest.raises(ConfigurationError):
+            Cluster(
+                node_factory=ivybridge_node,
+                n_nodes=n_nodes,
+                global_bound_w=100.0,
+            )
+
+    @pytest.mark.parametrize("bound", [0.0, -1.0, -500.0, float("nan")])
+    def test_non_positive_bound_rejected(self, bound):
+        # Regression: 0.0 W used to construct successfully (watts() only
+        # checks non-negativity), leaving a cluster no job could ever be
+        # charged against.  The whole non-positive range must raise the
+        # typed ConfigurationError (UnitError subclasses it).
+        with pytest.raises(ConfigurationError):
+            Cluster(
+                node_factory=ivybridge_node, n_nodes=2, global_bound_w=bound
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=cluster_shapes())
+    def test_valid_shapes_always_construct(self, shape):
+        cluster = Cluster(**shape)
+        assert len(cluster.slots) == shape["n_nodes"]
+        assert cluster.headroom_w == shape["global_bound_w"]
 
     def test_charge_release_cycle(self):
         cluster = make_cluster()

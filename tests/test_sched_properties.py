@@ -1,4 +1,8 @@
-"""Property-based tests on the batch schedulers (hypothesis)."""
+"""Property-based tests on the batch schedulers (hypothesis).
+
+Job/cluster generation lives in ``tests/conftest.py`` (``job_mixes``,
+``cluster_shapes``), shared with the fleet battery in ``test_fleet.py``.
+"""
 
 import pytest
 from hypothesis import given, settings
@@ -7,9 +11,9 @@ from hypothesis import strategies as st
 from repro.hardware.platforms import ivybridge_node
 from repro.sched import Cluster, Job, JobState, PowerBoundedScheduler
 from repro.sched.rebalance import RebalancingScheduler
-from repro.workloads import cpu_workload, list_cpu_workloads
+from repro.workloads import cpu_workload
 
-WORKLOAD_NAMES = list(list_cpu_workloads())
+from tests.conftest import SCHED_WORKLOAD_NAMES, job_mixes
 
 # Profiles are per (workload, platform) and deterministic: compute them
 # once for the whole module instead of once per generated scheduler.
@@ -21,23 +25,11 @@ def _profiles():
     if not _PROFILES:
         from repro.core.profiler import profile_cpu_workload
 
-        for name in WORKLOAD_NAMES:
+        for name in SCHED_WORKLOAD_NAMES:
             _PROFILES[name] = profile_cpu_workload(
                 _NODE.cpu, _NODE.dram, cpu_workload(name)
             )
     return _PROFILES
-
-
-@st.composite
-def job_mixes(draw):
-    n = draw(st.integers(1, 6))
-    jobs = []
-    for i in range(n):
-        name = draw(st.sampled_from(WORKLOAD_NAMES))
-        request = draw(st.floats(60.0, 320.0))
-        submit = draw(st.floats(0.0, 20.0))
-        jobs.append(Job(i, cpu_workload(name), request, submit_time_s=submit))
-    return jobs
 
 
 def run_mix(scheduler_cls, jobs, n_nodes, bound):
